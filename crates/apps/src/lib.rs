@@ -1,0 +1,37 @@
+//! # noc-apps — wireless baseband workloads and the traffic-pattern test set
+//!
+//! Section 3 of the paper derives the NoC's requirements from three wireless
+//! applications; this crate models all three, plus the synthetic traffic
+//! patterns of Section 6:
+//!
+//! * [`taskgraph`] — the Kahn-like process-graph representation applications
+//!   are partitioned into (paper Section 1: "communicating functional
+//!   processes" mapped onto tiles at run time).
+//! * [`hiperlan2`] — the HiperLAN/2 OFDM baseband pipeline (Fig. 2) with
+//!   edge bandwidths *derived* from the standard's parameters — 80-sample
+//!   symbols every 4 µs, 64-point FFT, 52 used / 48 data subcarriers,
+//!   16-bit I/Q quantisation — reproducing Table 1.
+//! * [`umts`] — the UMTS W-CDMA RAKE receiver (Fig. 3) with bandwidths
+//!   derived from the 3.84 Mchip/s rate, 8-bit I/Q chips, the spreading
+//!   factor and the finger count — reproducing Table 2.
+//! * [`drm`] — Digital Radio Mondiale: structurally the HiperLAN/2 pipeline
+//!   at roughly 1/1000 of the rates (paper Section 3: "communication
+//!   requirements are a factor 1000 less").
+//! * [`traffic`] — the bit-flip data patterns (best/typical/worst of
+//!   Section 6.1), load-controlled phit sources, and word-stream helpers.
+//! * [`scenarios`] — the stream set of Table 3 and the four test scenarios
+//!   of Fig. 8.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod drm;
+pub mod hiperlan2;
+pub mod scenarios;
+pub mod taskgraph;
+pub mod traffic;
+pub mod umts;
+
+pub use scenarios::{Scenario, StreamDef, StreamId};
+pub use taskgraph::{EdgeId, ProcessId, TaskGraph, TrafficShape};
+pub use traffic::{DataPattern, PhitSource, WordStream};

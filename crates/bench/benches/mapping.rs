@@ -1,0 +1,35 @@
+//! CCN run-time mapping cost: spatial mapping + lane-path allocation time
+//! for the Section 3 applications against mesh size. The CCN runs this
+//! "before the start of an application" (Section 1.1), so it must stay in
+//! the low-millisecond range even on large meshes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use noc_apps::hiperlan2::{Hiperlan2Params, Modulation};
+use noc_apps::umts::UmtsParams;
+use noc_core::params::RouterParams;
+use noc_mesh::ccn::Ccn;
+use noc_mesh::tile::TileKind;
+use noc_mesh::topology::Mesh;
+use noc_sim::units::MegaHertz;
+
+fn bench_mapping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ccn_mapping");
+    let hiperlan = noc_apps::hiperlan2::task_graph(&Hiperlan2Params::standard(Modulation::Qam64));
+    let umts = noc_apps::umts::task_graph(&UmtsParams::paper_example());
+
+    for side in [4usize, 8, 16] {
+        let mesh = Mesh::new(side, side);
+        let ccn = Ccn::new(mesh, RouterParams::paper(), MegaHertz(200.0));
+        let kinds = vec![TileKind::Dsrh; mesh.nodes()];
+        group.bench_function(BenchmarkId::new("hiperlan2", side), |b| {
+            b.iter(|| ccn.map(&hiperlan, &kinds).expect("feasible"))
+        });
+        group.bench_function(BenchmarkId::new("umts", side), |b| {
+            b.iter(|| ccn.map(&umts, &kinds).expect("feasible"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Simulation throughput of one router under Scenario IV traffic:
+//! cycles/second of the circuit-switched model vs the packet-switched
+//! baseline. The circuit router should simulate faster — it has no
+//! buffering or allocation logic to evaluate — mirroring its silicon
+//! advantage in a different currency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use noc_apps::scenarios::Scenario;
+use noc_apps::traffic::DataPattern;
+use noc_core::params::RouterParams;
+use noc_exp::testbench::{CircuitScenarioBench, PacketScenarioBench};
+use noc_packet::params::PacketParams;
+
+const CYCLES: u64 = 1000;
+
+fn bench_router_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router_step");
+    group.throughput(Throughput::Elements(CYCLES));
+
+    group.bench_function(BenchmarkId::new("circuit", "scenario_iv"), |b| {
+        b.iter_batched(
+            || {
+                CircuitScenarioBench::new(
+                    RouterParams::paper(),
+                    Scenario::IV,
+                    DataPattern::Random,
+                    1.0,
+                )
+            },
+            |mut bench| bench.run(CYCLES),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function(BenchmarkId::new("packet", "scenario_iv"), |b| {
+        b.iter_batched(
+            || {
+                PacketScenarioBench::new(
+                    PacketParams::paper(),
+                    Scenario::IV,
+                    DataPattern::Random,
+                    1.0,
+                )
+            },
+            |mut bench| bench.run(CYCLES),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    // Ablation: the paper's future-work clock gating, which skips idle
+    // lanes at commit (faster to simulate and lower modelled power).
+    group.bench_function(BenchmarkId::new("circuit", "clock_gated"), |b| {
+        b.iter_batched(
+            || {
+                CircuitScenarioBench::new(
+                    RouterParams {
+                        clock_gating: true,
+                        ..RouterParams::paper()
+                    },
+                    Scenario::IV,
+                    DataPattern::Random,
+                    1.0,
+                )
+            },
+            |mut bench| bench.run(CYCLES),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_router_step);
+criterion_main!(benches);

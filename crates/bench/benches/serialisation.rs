@@ -1,0 +1,55 @@
+//! Data-converter throughput: phit serialise → lane → deserialise
+//! round-trips per second, the hot path of every tile interface.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use noc_core::converter::{RxDeserializer, TxSerializer};
+use noc_core::phit::Phit;
+use noc_sim::activity::ActivityLedger;
+
+const PHITS: u64 = 200;
+
+fn bench_serialisation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serialisation");
+    group.throughput(Throughput::Elements(PHITS));
+
+    group.bench_function("tx_rx_roundtrip", |b| {
+        b.iter(|| {
+            let mut ledger = ActivityLedger::new();
+            let mut tx = TxSerializer::new();
+            let mut rx = RxDeserializer::new();
+            let mut sent = 0u64;
+            let mut received = 0u64;
+            while received < PHITS {
+                if sent < PHITS && tx.can_load() && tx.try_load(Phit::data(sent as u16)) {
+                    sent += 1;
+                }
+                let nib = tx.out_nibble();
+                tx.eval();
+                rx.eval(nib);
+                tx.commit(&mut ledger);
+                if rx.commit(&mut ledger).is_some() {
+                    received += 1;
+                }
+            }
+            received
+        })
+    });
+
+    group.bench_function("phit_pack_unpack", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for w in 0..PHITS as u16 {
+                let phit = Phit::data(w);
+                let flits = phit.to_flits();
+                let back = Phit::from_flits(flits);
+                acc = acc.wrapping_add(u32::from(back.data));
+            }
+            acc
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_serialisation);
+criterion_main!(benches);

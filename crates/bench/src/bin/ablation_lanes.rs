@@ -1,0 +1,114 @@
+//! Design-space ablation: lanes per port.
+//!
+//! Section 5.1: "The width and number of lanes are adjustable parameters
+//! in the design. They can be adjusted at design-time of the SoC to meet
+//! the flexibility and bandwidth requirements of the aimed applications."
+//! This binary sweeps the lane count through the same calibrated models
+//! that reproduce Table 4, showing the silicon cost of flexibility: more
+//! lanes mean more concurrent streams but a bigger, slower crossbar and a
+//! higher idle clock offset.
+
+use noc_core::params::RouterParams;
+use noc_exp::tables;
+use noc_exp::testbench::CircuitScenarioBench;
+use noc_power::area::circuit_router_area;
+use noc_power::estimator::PowerEstimator;
+use noc_power::timing::{circuit_router_fmax, link_bandwidth};
+use noc_sim::units::MegaHertz;
+
+fn main() {
+    let estimator = PowerEstimator::calibrated();
+    let tech = estimator.tech();
+    println!("Lane-count ablation (lane width fixed at 4 bits)\n");
+
+    let mut rows = Vec::new();
+    for lanes in [2usize, 4, 8] {
+        let params = RouterParams {
+            lanes_per_port: lanes,
+            ..RouterParams::paper()
+        };
+        let area = circuit_router_area(&params, tech);
+        let fmax = circuit_router_fmax(&params, tech);
+        let bw = link_bandwidth((lanes as u32) * params.lane_width, fmax);
+
+        // Idle dynamic offset (Scenario I) at 25 MHz.
+        let mut bench = CircuitScenarioBench::new(
+            params,
+            noc_apps::scenarios::Scenario::I,
+            noc_apps::traffic::DataPattern::Random,
+            1.0,
+        );
+        let out = bench.run(2000);
+        let power = estimator.estimate(&out.activity, 2000, MegaHertz(25.0), area.total());
+
+        rows.push(vec![
+            lanes.to_string(),
+            format!("{}x{}", params.foreign_lanes(), params.total_lanes()),
+            format!("{:.4}", area.total().as_mm2()),
+            format!("{:.0}", fmax.value()),
+            format!("{:.1}", bw.as_gbit_s()),
+            format!("{}", params.config_memory_bits()),
+            format!("{:.2}", power.dynamic_uw_per_mhz()),
+        ]);
+    }
+    println!(
+        "{}",
+        tables::render(
+            &[
+                "Lanes/port",
+                "Crossbar",
+                "Area [mm2]",
+                "Fmax [MHz]",
+                "Link BW [Gb/s]",
+                "Config bits",
+                "Idle offset [uW/MHz]",
+            ],
+            &rows
+        )
+    );
+    println!("\nThe paper's 4-lane point balances concurrent-stream count against");
+    println!("crossbar area and clock offset; 8 lanes double the streams but cost");
+    println!("~3.9x crossbar area and a deeper (slower) mux path.");
+
+    // ----- Second axis: divide the same 16-bit link differently. --------
+    println!("\nLane-width ablation (16-bit link divided into lanes x width):\n");
+    let mut rows = Vec::new();
+    for (lanes, width) in [(2usize, 8u32), (4, 4), (8, 2)] {
+        let params = RouterParams {
+            lanes_per_port: lanes,
+            lane_width: width,
+            ..RouterParams::paper()
+        };
+        let area = circuit_router_area(&params, tech);
+        let fmax = circuit_router_fmax(&params, tech);
+        // Payload efficiency: 16 data bits per phit of
+        // ceil(20/width)*width wire bits.
+        let wire_bits = params.flits_per_phit() as u32 * width;
+        let efficiency = 16.0 / f64::from(wire_bits) * 100.0;
+        rows.push(vec![
+            format!("{lanes} x {width} bit"),
+            params.total_lanes().to_string(),
+            format!("{:.4}", area.total().as_mm2()),
+            format!("{:.0}", fmax.value()),
+            format!("{:.0}%", efficiency),
+            format!("{}", params.flits_per_phit()),
+        ]);
+    }
+    println!(
+        "{}",
+        tables::render(
+            &[
+                "Division",
+                "Streams/dir",
+                "Area [mm2]",
+                "Fmax [MHz]",
+                "Payload eff.",
+                "Cycles/phit",
+            ],
+            &rows
+        )
+    );
+    println!("\nNarrow lanes buy concurrency (more physical streams per link) at the");
+    println!("price of serialisation latency; wide lanes waste header bandwidth on");
+    println!("the 20-bit phit (8-bit lanes ship 24 wire bits per 16 payload bits).");
+}

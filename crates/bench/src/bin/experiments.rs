@@ -1,0 +1,42 @@
+//! Runs **every experiment** in EXPERIMENTS.md order by invoking the same
+//! code paths as the individual binaries. `cargo run --release -p
+//! noc-bench --bin experiments` regenerates the full paper-vs-measured
+//! record in one go.
+
+use std::process::Command;
+
+const BINS: [&str; 8] = [
+    "table1_hiperlan2",
+    "table2_umts",
+    "scenarios",
+    "table4_synthesis",
+    "fig9_power_bars",
+    "fig10_bitflips",
+    "reconfig_latency",
+    "map_applications",
+];
+
+fn main() {
+    // When invoked through cargo the sibling binaries sit next to us.
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("bin dir");
+    for bin in BINS {
+        println!("\n================================================================");
+        println!("==  {bin}");
+        println!("================================================================\n");
+        let path = dir.join(bin);
+        if path.exists() {
+            let status = Command::new(&path).status().expect("spawn experiment");
+            if !status.success() {
+                eprintln!("experiment {bin} failed: {status}");
+                std::process::exit(1);
+            }
+        } else {
+            eprintln!(
+                "binary {bin} not built; run `cargo build --release -p noc-bench --bins` first"
+            );
+            std::process::exit(2);
+        }
+    }
+    println!("\nAll experiments completed.");
+}

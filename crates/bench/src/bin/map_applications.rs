@@ -1,0 +1,120 @@
+//! Checks **Section 3's feasibility claim**: all three wireless
+//! applications' guaranteed-throughput demands fit the NoC. Maps
+//! HiperLAN/2, UMTS (4 fingers, SF 4) and DRM onto a 4x4 mesh via the CCN
+//! and reports placements, lane usage and bandwidth margins.
+
+use noc_apps::drm::DrmParams;
+use noc_apps::hiperlan2::{Hiperlan2Params, Modulation};
+use noc_apps::taskgraph::TaskGraph;
+use noc_apps::umts::UmtsParams;
+use noc_core::params::RouterParams;
+use noc_exp::tables;
+use noc_mesh::ccn::Ccn;
+use noc_mesh::soc::Soc;
+use noc_mesh::tile::TileKind;
+use noc_mesh::topology::Mesh;
+use noc_sim::units::MegaHertz;
+
+fn main() {
+    let mesh = Mesh::new(4, 4);
+    let params = RouterParams::paper();
+    // Clock the GT network fast enough for the heaviest HiperLAN/2 edge:
+    // 640 Mbit/s needs ceil(640/(3.2*f)) lanes; at 200 MHz one lane does
+    // 640 Mbit/s exactly.
+    let clock = MegaHertz(200.0);
+    let ccn = Ccn::new(mesh, params, clock);
+    let soc = Soc::new(mesh, params);
+    let kinds: Vec<TileKind> = mesh.iter().map(|n| soc.tile(n).kind).collect();
+
+    let apps: Vec<(&str, TaskGraph)> = vec![
+        (
+            "HiperLAN/2",
+            noc_apps::hiperlan2::task_graph(&Hiperlan2Params::standard(Modulation::Qam64)),
+        ),
+        (
+            "UMTS (4 fingers, SF 4)",
+            noc_apps::umts::task_graph(&UmtsParams::paper_example()),
+        ),
+        ("DRM", noc_apps::drm::task_graph(&DrmParams::standard())),
+    ];
+
+    println!(
+        "Run-time mapping of the Section 3 applications onto a 4x4 mesh at {clock}"
+    );
+    println!(
+        "(lane capacity {:.0} Mbit/s per lane)\n",
+        ccn.lane_capacity().value()
+    );
+
+    let mut rows = Vec::new();
+    for (name, graph) in &apps {
+        match ccn.map(graph, &kinds) {
+            Ok(mapping) => {
+                let feasible = ccn.verify(graph, &mapping);
+                let lanes: usize = mapping.routes.iter().map(|r| r.paths.len()).sum();
+                rows.push(vec![
+                    name.to_string(),
+                    graph.process_count().to_string(),
+                    graph.edge_count().to_string(),
+                    format!("{:.2}", graph.total_bandwidth().value()),
+                    lanes.to_string(),
+                    mapping.total_hops().to_string(),
+                    if feasible { "GT OK".into() } else { "VIOLATED".into() },
+                ]);
+            }
+            Err(e) => {
+                rows.push(vec![
+                    name.to_string(),
+                    graph.process_count().to_string(),
+                    graph.edge_count().to_string(),
+                    format!("{:.2}", graph.total_bandwidth().value()),
+                    "-".into(),
+                    "-".into(),
+                    format!("INFEASIBLE: {e}"),
+                ]);
+            }
+        }
+    }
+    println!(
+        "{}",
+        tables::render(
+            &[
+                "Application",
+                "Processes",
+                "Edges",
+                "GT demand [Mbit/s]",
+                "Lanes",
+                "Router hops",
+                "Feasibility",
+            ],
+            &rows
+        )
+    );
+
+    println!("\nPer-edge detail for HiperLAN/2:");
+    let (_, graph) = &apps[0];
+    let mapping = ccn.map(graph, &kinds).expect("feasible above");
+    let mut rows = Vec::new();
+    for route in &mapping.routes {
+        let labels: Vec<&str> = route
+            .edges
+            .iter()
+            .map(|&id| graph.edge(id).label.as_str())
+            .collect();
+        let demand: f64 = route
+            .edges
+            .iter()
+            .map(|&id| graph.edge(id).bandwidth.value())
+            .sum();
+        rows.push(vec![
+            labels.join(" + "),
+            format!("{demand:.1}"),
+            route.paths.len().to_string(),
+            route.hops().to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        tables::render(&["Circuit (edges sharing it)", "Mbit/s", "Lanes", "Hops"], &rows)
+    );
+}

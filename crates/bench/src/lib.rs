@@ -1,0 +1,34 @@
+//! # noc-bench — table/figure regeneration binaries and Criterion benches
+//!
+//! One binary per paper artefact (run with
+//! `cargo run --release -p noc-bench --bin <name>`):
+//!
+//! | binary | artefact |
+//! |---|---|
+//! | `table1_hiperlan2` | Table 1 — HiperLAN/2 edge bandwidths |
+//! | `table2_umts` | Table 2 — UMTS edge bandwidths |
+//! | `table4_synthesis` | Table 4 — synthesis results, three routers |
+//! | `scenarios` | Table 3 / Fig. 8 — stream sets, verified delivery |
+//! | `fig9_power_bars` | Fig. 9 — power bars per scenario and router |
+//! | `fig10_bitflips` | Fig. 10 — dynamic power vs bit-flip rate |
+//! | `reconfig_latency` | §5.1 — configuration budgets over the BE net |
+//! | `map_applications` | §3 — all three applications mapped on a mesh |
+//! | `experiments` | everything above, in EXPERIMENTS.md order |
+//!
+//! The Criterion benches (`cargo bench -p noc-bench`) measure the
+//! simulator itself and the paper's design-space ablations: router
+//! stepping rate, crossbar scaling with lane count, serialisation,
+//! serial-vs-parallel mesh stepping, CCN mapping time, and window-size
+//! effects on flow-control throughput.
+
+#![warn(missing_docs)]
+
+use noc_exp::fig9::RouterKind;
+
+/// Shared pretty-print of a router name column.
+pub fn router_label(kind: RouterKind) -> &'static str {
+    match kind {
+        RouterKind::Circuit => "circuit",
+        RouterKind::Packet => "packet",
+    }
+}

@@ -1,0 +1,338 @@
+//! The 16×20 fully connected crossbar with registered outputs.
+//!
+//! Paper Section 5.1: "In the router the four lanes of one port have to be
+//! connected with all the four lanes of all the other four ports. This
+//! results in a router with 20 input and 20 output lanes. They are connected
+//! via a 16x20 fully connected crossbar (20x20 is not necessary, because data
+//! does not have to flow back). The 20 output lanes of the crossbar are
+//! registered."
+//!
+//! Because each stream owns its lane, the crossbar needs **no arbitration**:
+//! evaluation is a pure per-output mux indexed by the configuration memory.
+//! The acknowledge wires of the flow-control scheme (Section 5.2, Fig. 7)
+//! travel the same crossbar in reverse: the ack arriving with output lane
+//! *o* is forwarded to whichever input lane is configured to feed *o*.
+//!
+//! Activity model: output registers pay clock energy every cycle (unless the
+//! clock-gating option — the paper's future work — is enabled, in which case
+//! inactive lanes are gated) and toggle energy per changed bit; the mux-tree
+//! capacitance is folded into the per-toggle coefficient by `noc-power`.
+
+use crate::config::ConfigMemory;
+use crate::lane::LaneIndex;
+use crate::params::RouterParams;
+use noc_sim::activity::ActivityLedger;
+use noc_sim::bits::Nibble;
+use noc_sim::signal::Reg;
+
+/// The switch fabric: per-output-lane muxes, output registers and the
+/// reverse acknowledge path.
+#[derive(Debug, Clone)]
+pub struct Crossbar {
+    params: RouterParams,
+    /// Registered data outputs, one per output lane.
+    out_regs: Vec<Reg<Nibble>>,
+    /// Registered ack outputs, one per *input* lane (the reverse path).
+    ack_regs: Vec<Reg<bool>>,
+    /// Which output lanes are currently active (cached from the config
+    /// memory during eval, used for clock gating at commit).
+    active: Vec<bool>,
+    /// Which *input* lanes feed an active output (the reverse ack path is
+    /// indexed by input lane, so its clock gating follows this, not
+    /// `active`).
+    ack_active: Vec<bool>,
+    /// Scratch buffer for the reverse ack computation, reused across cycles
+    /// to keep the per-cycle path allocation-free.
+    ack_scratch: Vec<bool>,
+}
+
+impl Crossbar {
+    /// A crossbar with all outputs idle (driving zero nibbles).
+    pub fn new(params: RouterParams) -> Crossbar {
+        let n = params.total_lanes();
+        Crossbar {
+            params,
+            out_regs: vec![Reg::new(Nibble::ZERO); n],
+            ack_regs: vec![Reg::new(false); n],
+            active: vec![false; n],
+            ack_active: vec![false; n],
+            ack_scratch: vec![false; n],
+        }
+    }
+
+    /// Combinational evaluation.
+    ///
+    /// * `inputs[i]` — the nibble sampled on flat input lane `i` this cycle;
+    /// * `acks_in[o]` — the ack wire arriving alongside output lane `o`
+    ///   (from the downstream router or the local tile);
+    /// * `config` — the configuration memory selecting inputs for outputs.
+    ///
+    /// # Panics
+    /// Panics if the slices do not match `params.total_lanes()` — a wiring
+    /// bug in the enclosing router, not a runtime condition.
+    pub fn eval(&mut self, inputs: &[Nibble], acks_in: &[bool], config: &ConfigMemory) {
+        let n = self.params.total_lanes();
+        assert_eq!(inputs.len(), n, "input lane count mismatch");
+        assert_eq!(acks_in.len(), n, "ack wire count mismatch");
+
+        // Forward data path: per-output 16:1 mux.
+        // Reverse ack path: ack_out[input] = OR of acks of outputs fed by it
+        // (OR supports the multicast case where several outputs listen to
+        // one input; each branch destination acknowledges independently and
+        // any ack credits the source conservatively).
+        self.ack_scratch.fill(false);
+        self.ack_active.fill(false);
+        let mut ack_next = std::mem::take(&mut self.ack_scratch);
+        for o in 0..n {
+            let entry = config.entry(LaneIndex(o as u8));
+            self.active[o] = entry.active;
+            let value = if entry.active {
+                let out_port = LaneIndex(o as u8).port(self.params.lanes_per_port);
+                let input = self
+                    .params
+                    .select_to_input(out_port, entry.select)
+                    .expect("config memory holds only validated selects");
+                self.ack_active[input.get()] = true;
+                if acks_in[o] {
+                    ack_next[input.get()] = true;
+                }
+                inputs[input.get()]
+            } else {
+                Nibble::ZERO
+            };
+            self.out_regs[o].set_next(value);
+        }
+        for (reg, &ack) in self.ack_regs.iter_mut().zip(&ack_next) {
+            reg.set_next(ack);
+        }
+        self.ack_scratch = ack_next;
+    }
+
+    /// Clock edge: latch outputs, recording activity into `ledger`.
+    ///
+    /// With `params.clock_gating` enabled, output lanes whose configuration
+    /// entry is inactive hold for free — the paper's proposed fix for the
+    /// dynamic-power offset ("we can use the configuration information of
+    /// the router and switch off the unused lanes").
+    pub fn commit(&mut self, ledger: &mut ActivityLedger) {
+        let gating = self.params.clock_gating;
+        for (o, reg) in self.out_regs.iter_mut().enumerate() {
+            if gating && !self.active[o] {
+                reg.clock_gated();
+            } else {
+                reg.clock(ledger);
+            }
+        }
+        for (i, reg) in self.ack_regs.iter_mut().enumerate() {
+            if gating && !self.ack_active[i] {
+                reg.clock_gated();
+            } else {
+                reg.clock(ledger);
+            }
+        }
+    }
+
+    /// The latched data output of flat lane `o`.
+    #[inline]
+    pub fn output(&self, o: LaneIndex) -> Nibble {
+        self.out_regs[o.get()].q()
+    }
+
+    /// The latched reverse ack leaving flat *input* lane `i` toward the
+    /// upstream router.
+    #[inline]
+    pub fn ack_output(&self, i: LaneIndex) -> bool {
+        self.ack_regs[i.get()].q()
+    }
+
+    /// All latched data outputs in flat order (for link wiring loops).
+    pub fn outputs(&self) -> impl Iterator<Item = Nibble> + '_ {
+        self.out_regs.iter().map(|r| r.q())
+    }
+
+    /// Number of architectural register bits in the crossbar (data outputs
+    /// plus ack flops) — input to the area model.
+    pub fn register_bits(params: &RouterParams) -> u32 {
+        params.total_lanes() as u32 * (params.lane_width + 1)
+    }
+
+    /// The parameters this crossbar was built with.
+    pub fn params(&self) -> &RouterParams {
+        &self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ConfigEntry;
+    use crate::lane::Port;
+    use noc_sim::activity::ActivityClass;
+
+    fn setup() -> (Crossbar, ConfigMemory, ActivityLedger) {
+        let p = RouterParams::paper();
+        (Crossbar::new(p), ConfigMemory::new(p), ActivityLedger::new())
+    }
+
+    fn lane(port: Port, l: usize) -> LaneIndex {
+        LaneIndex::of(port, l, 4)
+    }
+
+    #[test]
+    fn idle_crossbar_outputs_zero() {
+        let (mut xbar, cfg, mut ledger) = setup();
+        let inputs = vec![Nibble::MAX; 20];
+        xbar.eval(&inputs, &vec![false; 20], &cfg);
+        xbar.commit(&mut ledger);
+        for o in 0..20 {
+            assert_eq!(xbar.output(LaneIndex(o)), Nibble::ZERO);
+        }
+    }
+
+    #[test]
+    fn configured_route_passes_data_after_one_cycle() {
+        let (mut xbar, mut cfg, mut ledger) = setup();
+        let p = *xbar.params();
+        // East lane 2 listens to West lane 1 (a straight-through stream).
+        let sel = p.foreign_select(Port::East, Port::West, 1).unwrap();
+        cfg.write_entry(lane(Port::East, 2), ConfigEntry::active(sel), &mut ledger);
+
+        let mut inputs = vec![Nibble::ZERO; 20];
+        inputs[lane(Port::West, 1).get()] = Nibble::new(0xA);
+        xbar.eval(&inputs, &vec![false; 20], &cfg);
+        // Registered output: not visible before the edge.
+        assert_eq!(xbar.output(lane(Port::East, 2)), Nibble::ZERO);
+        xbar.commit(&mut ledger);
+        assert_eq!(xbar.output(lane(Port::East, 2)), Nibble::new(0xA));
+        // No other output disturbed.
+        for o in 0..20u8 {
+            if LaneIndex(o) != lane(Port::East, 2) {
+                assert_eq!(xbar.output(LaneIndex(o)), Nibble::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn streams_are_physically_separated() {
+        // Two concurrent streams on different lanes never interact — the
+        // core claim of lane-division multiplexing.
+        let (mut xbar, mut cfg, mut ledger) = setup();
+        let p = *xbar.params();
+        let s1 = p.foreign_select(Port::East, Port::Tile, 0).unwrap();
+        let s2 = p.foreign_select(Port::East, Port::West, 0).unwrap();
+        cfg.write_entry(lane(Port::East, 0), ConfigEntry::active(s1), &mut ledger);
+        cfg.write_entry(lane(Port::East, 1), ConfigEntry::active(s2), &mut ledger);
+
+        let mut inputs = vec![Nibble::ZERO; 20];
+        inputs[lane(Port::Tile, 0).get()] = Nibble::new(0x5);
+        inputs[lane(Port::West, 0).get()] = Nibble::new(0xC);
+        xbar.eval(&inputs, &vec![false; 20], &cfg);
+        xbar.commit(&mut ledger);
+        assert_eq!(xbar.output(lane(Port::East, 0)), Nibble::new(0x5));
+        assert_eq!(xbar.output(lane(Port::East, 1)), Nibble::new(0xC));
+    }
+
+    #[test]
+    fn multicast_same_input_to_two_outputs() {
+        let (mut xbar, mut cfg, mut ledger) = setup();
+        let p = *xbar.params();
+        let sel_e = p.foreign_select(Port::East, Port::Tile, 0).unwrap();
+        let sel_w = p.foreign_select(Port::West, Port::Tile, 0).unwrap();
+        cfg.write_entry(lane(Port::East, 0), ConfigEntry::active(sel_e), &mut ledger);
+        cfg.write_entry(lane(Port::West, 0), ConfigEntry::active(sel_w), &mut ledger);
+
+        let mut inputs = vec![Nibble::ZERO; 20];
+        inputs[lane(Port::Tile, 0).get()] = Nibble::new(0x9);
+        xbar.eval(&inputs, &vec![false; 20], &cfg);
+        xbar.commit(&mut ledger);
+        assert_eq!(xbar.output(lane(Port::East, 0)), Nibble::new(0x9));
+        assert_eq!(xbar.output(lane(Port::West, 0)), Nibble::new(0x9));
+    }
+
+    #[test]
+    fn ack_travels_reverse_path() {
+        let (mut xbar, mut cfg, mut ledger) = setup();
+        let p = *xbar.params();
+        // Stream Tile.0 -> East.0; the ack entering with East.0 must leave
+        // on Tile.0's reverse wire.
+        let sel = p.foreign_select(Port::East, Port::Tile, 0).unwrap();
+        cfg.write_entry(lane(Port::East, 0), ConfigEntry::active(sel), &mut ledger);
+
+        let inputs = vec![Nibble::ZERO; 20];
+        let mut acks = vec![false; 20];
+        acks[lane(Port::East, 0).get()] = true;
+        xbar.eval(&inputs, &acks, &cfg);
+        xbar.commit(&mut ledger);
+        assert!(xbar.ack_output(lane(Port::Tile, 0)));
+        assert!(!xbar.ack_output(lane(Port::Tile, 1)));
+    }
+
+    #[test]
+    fn ack_ignored_on_inactive_output() {
+        let (mut xbar, cfg, mut ledger) = setup();
+        let mut acks = vec![false; 20];
+        acks[lane(Port::East, 0).get()] = true;
+        xbar.eval(&vec![Nibble::ZERO; 20], &acks, &cfg);
+        xbar.commit(&mut ledger);
+        for i in 0..20 {
+            assert!(!xbar.ack_output(LaneIndex(i)));
+        }
+    }
+
+    #[test]
+    fn idle_ungated_crossbar_pays_clock_energy() {
+        // This is the paper's "relative high offset in the dynamic power
+        // consumption": the 100 register bits clock every cycle even with
+        // no data (Section 7.3).
+        let (mut xbar, cfg, mut ledger) = setup();
+        xbar.eval(&vec![Nibble::ZERO; 20], &vec![false; 20], &cfg);
+        xbar.commit(&mut ledger);
+        // 20 lanes x 4 data bits + 20 ack bits = 100 bits clocked.
+        assert_eq!(ledger.get(ActivityClass::RegClock), 100);
+        assert_eq!(ledger.get(ActivityClass::RegToggle), 0);
+    }
+
+    #[test]
+    fn clock_gating_eliminates_idle_clock_energy() {
+        let p = RouterParams {
+            clock_gating: true,
+            ..RouterParams::paper()
+        };
+        let mut xbar = Crossbar::new(p);
+        let cfg = ConfigMemory::new(p);
+        let mut ledger = ActivityLedger::new();
+        xbar.eval(&vec![Nibble::ZERO; 20], &vec![false; 20], &cfg);
+        xbar.commit(&mut ledger);
+        assert_eq!(ledger.get(ActivityClass::RegClock), 0);
+    }
+
+    #[test]
+    fn clock_gating_keeps_active_lane_clocked() {
+        let p = RouterParams {
+            clock_gating: true,
+            ..RouterParams::paper()
+        };
+        let mut xbar = Crossbar::new(p);
+        let mut cfg = ConfigMemory::new(p);
+        let mut ledger = ActivityLedger::new();
+        let sel = p.foreign_select(Port::East, Port::Tile, 0).unwrap();
+        cfg.write_entry(lane(Port::East, 0), ConfigEntry::active(sel), &mut ledger);
+        ledger.clear();
+        xbar.eval(&vec![Nibble::ZERO; 20], &vec![false; 20], &cfg);
+        xbar.commit(&mut ledger);
+        // Exactly one active lane: 4 data bits + 1 ack bit clocked.
+        assert_eq!(ledger.get(ActivityClass::RegClock), 5);
+    }
+
+    #[test]
+    fn register_bit_count() {
+        assert_eq!(Crossbar::register_bits(&RouterParams::paper()), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "input lane count")]
+    fn wrong_input_width_panics() {
+        let (mut xbar, cfg, _) = setup();
+        xbar.eval(&vec![Nibble::ZERO; 19], &vec![false; 20], &cfg);
+    }
+}

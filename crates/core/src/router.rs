@@ -1,0 +1,622 @@
+//! The complete circuit-switched router (paper Fig. 4).
+//!
+//! "The reconfigurable circuit-switched router consists of three major parts:
+//! the data-converter, crossbar and the crossbar configuration." This module
+//! wires those parts — plus the window-counter flow control of Section 5.2 —
+//! into one [`Clocked`] component with the external interface of the silicon:
+//!
+//! * four neighbour ports, each `lanes_per_port` forward nibbles in and out
+//!   plus one reverse acknowledge wire per lane in each direction;
+//! * a 16-bit tile interface (send/receive phits per tile lane);
+//! * a configuration side-interface accepting 10-bit words.
+//!
+//! Per-cycle protocol for the owner (testbench, mesh):
+//!
+//! 1. sample neighbour outputs from last cycle into this router's inputs
+//!    ([`CircuitRouter::set_link_input`], [`CircuitRouter::set_ack_input`]);
+//! 2. optionally exchange phits on the tile interface
+//!    ([`CircuitRouter::tile_send`], [`CircuitRouter::tile_recv`]);
+//! 3. `eval()` then `commit()` (or [`noc_sim::kernel::step`]).
+//!
+//! Activity is split over per-component ledgers matching the rows of the
+//! paper's Table 4, retrievable with [`CircuitRouter::activity`].
+
+use crate::config::{ConfigEntry, ConfigMemory, ConfigWord};
+use crate::converter::DataConverter;
+use crate::crossbar::Crossbar;
+use crate::error::ConfigError;
+use crate::flow::{AckGenerator, FlowControlMode, WindowCounter};
+use crate::lane::{LaneIndex, Port};
+use crate::params::RouterParams;
+use crate::phit::Phit;
+use noc_sim::activity::{ActivityLedger, ComponentActivity, ComponentKind};
+use noc_sim::bits::Nibble;
+use noc_sim::kernel::Clocked;
+use noc_sim::signal::Wire;
+
+/// The reconfigurable circuit-switched router.
+#[derive(Debug, Clone)]
+pub struct CircuitRouter {
+    params: RouterParams,
+    config: ConfigMemory,
+    crossbar: Crossbar,
+    converter: DataConverter,
+    window_counters: Vec<WindowCounter>,
+    ack_gens: Vec<AckGenerator>,
+
+    /// Sampled forward-data inputs, flat lane order (tile entries unused —
+    /// the converter drives those).
+    link_in: Vec<Nibble>,
+    /// Sampled reverse acks, indexed by *output* lane: `ack_in[o]` is the
+    /// ack arriving alongside output lane `o` from its downstream consumer.
+    ack_in: Vec<bool>,
+
+    /// Observed link wires (data), neighbour lanes only; counts the extra
+    /// capacitance of inter-router wiring.
+    link_out_wires: Vec<Wire<Nibble>>,
+    /// Observed link wires (reverse ack), neighbour lanes only.
+    link_ack_wires: Vec<Wire<bool>>,
+
+    /// Tile lanes that accepted a phit since the last eval.
+    sent_this_cycle: Vec<bool>,
+    /// Phits consumed by the tile per lane since the last eval.
+    consumed_this_cycle: Vec<u16>,
+    /// Scratch for converter completions.
+    completions: Vec<bool>,
+
+    led_crossbar: ActivityLedger,
+    led_config: ActivityLedger,
+    led_converter: ActivityLedger,
+    led_flow: ActivityLedger,
+    led_link: ActivityLedger,
+
+    /// Phits accepted on the tile interface since construction.
+    pub phits_sent: u64,
+    /// Phits delivered into tile-side receive queues since construction.
+    pub phits_received: u64,
+}
+
+impl CircuitRouter {
+    /// A router with all lanes unconfigured (every output idle).
+    pub fn new(params: RouterParams) -> CircuitRouter {
+        let lanes = params.lanes_per_port;
+        let total = params.total_lanes();
+        let mode = FlowControlMode::from_params(params.window_size, params.ack_batch);
+        CircuitRouter {
+            config: ConfigMemory::new(params),
+            crossbar: Crossbar::new(params),
+            converter: DataConverter::new(&params),
+            window_counters: vec![WindowCounter::new(mode); lanes],
+            ack_gens: vec![AckGenerator::new(mode); lanes],
+            link_in: vec![Nibble::ZERO; total],
+            ack_in: vec![false; total],
+            link_out_wires: vec![
+                Wire::new(Nibble::ZERO, noc_sim::activity::ActivityClass::LinkToggle);
+                total
+            ],
+            link_ack_wires: vec![
+                Wire::new(false, noc_sim::activity::ActivityClass::LinkToggle);
+                total
+            ],
+            sent_this_cycle: vec![false; lanes],
+            consumed_this_cycle: vec![0; lanes],
+            completions: vec![false; lanes],
+            led_crossbar: ActivityLedger::new(),
+            led_config: ActivityLedger::new(),
+            led_converter: ActivityLedger::new(),
+            led_flow: ActivityLedger::new(),
+            led_link: ActivityLedger::new(),
+            phits_sent: 0,
+            phits_received: 0,
+            params,
+        }
+    }
+
+    /// The router's design-time parameters.
+    pub fn params(&self) -> &RouterParams {
+        &self.params
+    }
+
+    /// The configuration memory (read-only view).
+    pub fn config(&self) -> &ConfigMemory {
+        &self.config
+    }
+
+    // ----- configuration interface -------------------------------------
+
+    /// Apply a 10-bit configuration word from the BE network.
+    pub fn apply_config_word(&mut self, word: ConfigWord) -> Result<(), ConfigError> {
+        self.config.apply(word, &mut self.led_config)
+    }
+
+    /// Configure one output lane directly (testbench/CCN convenience).
+    pub fn configure_lane(
+        &mut self,
+        port: Port,
+        lane: usize,
+        entry: ConfigEntry,
+    ) -> Result<(), ConfigError> {
+        self.params.check_lane(lane)?;
+        if entry.active {
+            // Validate the select against this output port (rejects
+            // out-of-range selects; U-turns are unrepresentable by design).
+            self.params.select_to_input(port, entry.select)?;
+        }
+        self.config.write_entry(
+            LaneIndex::of(port, lane, self.params.lanes_per_port),
+            entry,
+            &mut self.led_config,
+        );
+        Ok(())
+    }
+
+    /// Tear down (deactivate) one output lane.
+    pub fn deactivate_lane(&mut self, port: Port, lane: usize) -> Result<(), ConfigError> {
+        self.configure_lane(port, lane, ConfigEntry::INACTIVE)
+    }
+
+    /// Convenience: configure a pass-through connection so that data entering
+    /// on `(in_port, in_lane)` leaves on `(out_port, out_lane)`.
+    pub fn connect(
+        &mut self,
+        in_port: Port,
+        in_lane: usize,
+        out_port: Port,
+        out_lane: usize,
+    ) -> Result<(), ConfigError> {
+        let select = self.params.foreign_select(out_port, in_port, in_lane)?;
+        self.configure_lane(out_port, out_lane, ConfigEntry::active(select))
+    }
+
+    // ----- link interface (neighbour ports) ----------------------------
+
+    /// Sample a forward-data nibble arriving on `(port, lane)` this cycle.
+    pub fn set_link_input(&mut self, port: Port, lane: usize, value: Nibble) {
+        debug_assert!(port.is_neighbour(), "tile lanes are driven by the converter");
+        self.link_in[LaneIndex::of(port, lane, self.params.lanes_per_port).get()] = value;
+    }
+
+    /// Sample the reverse ack arriving for *output* lane `(port, lane)` —
+    /// i.e. the downstream consumer of the data this router transmits on
+    /// that lane has pulsed its acknowledge wire.
+    pub fn set_ack_input(&mut self, port: Port, lane: usize, ack: bool) {
+        debug_assert!(port.is_neighbour());
+        self.ack_in[LaneIndex::of(port, lane, self.params.lanes_per_port).get()] = ack;
+    }
+
+    /// The forward-data nibble this router transmits on `(port, lane)`
+    /// (latched; valid after `commit`).
+    pub fn link_output(&self, port: Port, lane: usize) -> Nibble {
+        self.crossbar
+            .output(LaneIndex::of(port, lane, self.params.lanes_per_port))
+    }
+
+    /// The reverse ack this router transmits *upstream* on `(port, lane)`:
+    /// the ack belonging to the data stream that enters this router on that
+    /// input lane.
+    pub fn ack_to_upstream(&self, port: Port, lane: usize) -> bool {
+        self.crossbar
+            .ack_output(LaneIndex::of(port, lane, self.params.lanes_per_port))
+    }
+
+    // ----- tile interface ----------------------------------------------
+
+    /// Offer a phit for injection on tile lane `lane`. Returns `false` when
+    /// the serialiser is busy or the window counter has no credit (blocking
+    /// flow control); the caller retries next cycle.
+    pub fn tile_send(&mut self, lane: usize, phit: Phit) -> bool {
+        if !self.window_counters[lane].can_send() {
+            return false;
+        }
+        if !self.converter.try_send(lane, phit) {
+            return false;
+        }
+        self.sent_this_cycle[lane] = true;
+        self.phits_sent += 1;
+        true
+    }
+
+    /// Would [`Self::tile_send`] succeed on `lane` this cycle?
+    pub fn tile_can_send(&self, lane: usize) -> bool {
+        self.window_counters[lane].can_send() && self.converter.can_send(lane)
+    }
+
+    /// Consume one received phit from tile lane `lane`, driving the
+    /// destination's acknowledge machinery.
+    pub fn tile_recv(&mut self, lane: usize) -> Option<Phit> {
+        let phit = self.converter.try_recv(lane)?;
+        self.consumed_this_cycle[lane] += 1;
+        Some(phit)
+    }
+
+    /// Received phits waiting on tile lane `lane`.
+    pub fn tile_rx_pending(&self, lane: usize) -> usize {
+        self.converter.rx_pending(lane)
+    }
+
+    /// Credits available to the source on tile lane `lane`.
+    pub fn tile_credits(&self, lane: usize) -> u16 {
+        self.window_counters[lane].credits()
+    }
+
+    /// Phits dropped because a tile receive queue overflowed (0 under
+    /// correct flow control).
+    pub fn rx_overflows(&self) -> u64 {
+        self.converter.rx_overflows
+    }
+
+    // ----- activity ------------------------------------------------------
+
+    /// Per-component activity snapshots (Table 4 component granularity).
+    pub fn activity(&self) -> Vec<ComponentActivity> {
+        vec![
+            ComponentActivity::new(ComponentKind::Crossbar, self.led_crossbar),
+            ComponentActivity::new(ComponentKind::ConfigMemory, self.led_config),
+            ComponentActivity::new(ComponentKind::DataConverter, self.led_converter),
+            ComponentActivity::new(ComponentKind::FlowControl, self.led_flow),
+            ComponentActivity::new(ComponentKind::Link, self.led_link),
+        ]
+    }
+
+    /// Reset all activity ledgers (start of a measurement window).
+    pub fn clear_activity(&mut self) {
+        self.led_crossbar.clear();
+        self.led_config.clear();
+        self.led_converter.clear();
+        self.led_flow.clear();
+        self.led_link.clear();
+    }
+}
+
+impl Clocked for CircuitRouter {
+    fn eval(&mut self) {
+        let lanes = self.params.lanes_per_port;
+
+        // 1. Tile-side converter: deserialisers absorb last cycle's crossbar
+        //    outputs on the tile port; serialisers advance.
+        let mut rx_nibbles = [Nibble::ZERO; 16];
+        debug_assert!(lanes <= rx_nibbles.len());
+        for l in 0..lanes {
+            rx_nibbles[l] = self
+                .crossbar
+                .output(LaneIndex::of(Port::Tile, l, lanes));
+        }
+        self.converter.eval(&rx_nibbles[..lanes]);
+
+        // 2. Flow control: window counters see this cycle's accepted sends
+        //    and the latched reverse acks; ack generators see tile reads.
+        for l in 0..lanes {
+            let ack_back = self
+                .crossbar
+                .ack_output(LaneIndex::of(Port::Tile, l, lanes));
+            self.window_counters[l].eval(self.sent_this_cycle[l], ack_back);
+            self.ack_gens[l].eval(self.consumed_this_cycle[l]);
+            self.sent_this_cycle[l] = false;
+            self.consumed_this_cycle[l] = 0;
+        }
+
+        // 3. Crossbar: forward muxing + reverse ack routing. Tile input
+        //    lanes carry the serialiser outputs; tile output lanes receive
+        //    the local ack generators' pulses.
+        let total = self.params.total_lanes();
+        let mut inputs = std::mem::take(&mut self.link_in);
+        for l in 0..lanes {
+            inputs[LaneIndex::of(Port::Tile, l, lanes).get()] = self.converter.tx_nibble(l);
+        }
+        let mut acks = std::mem::take(&mut self.ack_in);
+        for l in 0..lanes {
+            acks[LaneIndex::of(Port::Tile, l, lanes).get()] = self.ack_gens[l].ack();
+        }
+        self.crossbar.eval(&inputs, &acks, &self.config);
+        self.link_in = inputs;
+        self.ack_in = acks;
+        debug_assert_eq!(self.link_in.len(), total);
+    }
+
+    fn commit(&mut self) {
+        self.crossbar.commit(&mut self.led_crossbar);
+        self.converter
+            .commit(&mut self.led_converter, &mut self.completions);
+        for done in &self.completions {
+            self.phits_received += u64::from(*done);
+        }
+        for wc in &mut self.window_counters {
+            wc.commit(&mut self.led_flow);
+        }
+        for ag in &mut self.ack_gens {
+            ag.commit(&mut self.led_flow);
+        }
+
+        // Drive the inter-router wires with the freshly latched outputs and
+        // acks; their toggles are the link-capacitance share of the power.
+        let lanes = self.params.lanes_per_port;
+        for port in Port::NEIGHBOURS {
+            for l in 0..lanes {
+                let idx = LaneIndex::of(port, l, lanes).get();
+                let data = self.crossbar.output(LaneIndex(idx as u8));
+                self.link_out_wires[idx].drive(data, &mut self.led_link);
+                let ack = self.crossbar.ack_output(LaneIndex(idx as u8));
+                self.link_ack_wires[idx].drive(ack, &mut self.led_link);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_sim::activity::ActivityClass;
+    use noc_sim::kernel::step;
+
+    fn router() -> CircuitRouter {
+        CircuitRouter::new(RouterParams::paper())
+    }
+
+    /// Drive a router for `n` cycles with no external input.
+    fn idle_cycles(r: &mut CircuitRouter, n: usize) {
+        for _ in 0..n {
+            step(r);
+        }
+    }
+
+    #[test]
+    fn tile_to_link_stream() {
+        // Stream 1 of Table 3: Tile -> Router(East).
+        let mut r = router();
+        r.connect(Port::Tile, 0, Port::East, 0).unwrap();
+
+        assert!(r.tile_send(0, Phit::data(0xCAFE)));
+        // Collect the five nibbles leaving on East lane 0. Pipeline: nibble
+        // on tile TX at t+1, crossbar register at t+2.
+        let mut seen = Vec::new();
+        for _ in 0..8 {
+            step(&mut r);
+            seen.push(r.link_output(Port::East, 0));
+        }
+        let expect = Phit::data(0xCAFE).to_flits();
+        // First nibble appears after 2 cycles.
+        assert_eq!(&seen[1..6], &expect[..], "serialised phit on the link");
+        assert_eq!(seen[0], Nibble::ZERO);
+        assert_eq!(seen[6], Nibble::ZERO);
+    }
+
+    #[test]
+    fn link_to_tile_stream() {
+        // Stream 2 of Table 3: Router(North) -> Tile.
+        let mut r = router();
+        r.connect(Port::North, 1, Port::Tile, 2).unwrap();
+
+        let phit = Phit::data(0x1234);
+        let flits = phit.to_flits();
+        for f in flits {
+            r.set_link_input(Port::North, 1, f);
+            step(&mut r);
+        }
+        r.set_link_input(Port::North, 1, Nibble::ZERO);
+        // Drain the pipeline: crossbar reg + deserialiser completion.
+        idle_cycles(&mut r, 3);
+        assert_eq!(r.tile_recv(2), Some(phit));
+        assert_eq!(r.phits_received, 1);
+    }
+
+    #[test]
+    fn pass_through_stream() {
+        // Stream 3 of Table 3: Router(West) -> Router(East).
+        let mut r = router();
+        r.connect(Port::West, 3, Port::East, 3).unwrap();
+
+        r.set_link_input(Port::West, 3, Nibble::new(0xB));
+        step(&mut r);
+        assert_eq!(r.link_output(Port::East, 3), Nibble::new(0xB));
+        // One-cycle latency through the registered crossbar: "the speed of
+        // the total network will only depend on the maximum delay in a
+        // single router plus the wire delay" (Section 5.1).
+    }
+
+    #[test]
+    fn concurrent_streams_do_not_interact() {
+        // All three Table 3 streams at once (Scenario IV) — on a circuit
+        // router the East outputs use *different lanes* so no collision.
+        let mut r = router();
+        r.connect(Port::Tile, 0, Port::East, 0).unwrap();
+        r.connect(Port::North, 0, Port::Tile, 0).unwrap();
+        r.connect(Port::West, 0, Port::East, 1).unwrap();
+
+        assert!(r.tile_send(0, Phit::data(0xAAAA)));
+        let inbound = Phit::data(0x5555).to_flits();
+        for i in 0..8 {
+            if i < 5 {
+                r.set_link_input(Port::North, 0, inbound[i]);
+                r.set_link_input(Port::West, 0, Nibble::new(0x7));
+            } else {
+                r.set_link_input(Port::North, 0, Nibble::ZERO);
+            }
+            step(&mut r);
+        }
+        assert_eq!(r.tile_recv(0), Some(Phit::data(0x5555)));
+        assert_eq!(r.link_output(Port::East, 1), Nibble::new(0x7));
+    }
+
+    #[test]
+    fn config_word_path_equals_direct_path() {
+        let p = RouterParams::paper();
+        let mut a = CircuitRouter::new(p);
+        let mut b = CircuitRouter::new(p);
+        a.connect(Port::West, 2, Port::South, 1).unwrap();
+        let sel = p.foreign_select(Port::South, Port::West, 2).unwrap();
+        let w = ConfigWord::for_lane(Port::South, 1, ConfigEntry::active(sel), &p).unwrap();
+        b.apply_config_word(w).unwrap();
+        assert_eq!(a.config().snapshot_words(), b.config().snapshot_words());
+    }
+
+    #[test]
+    fn invalid_configuration_rejected() {
+        let mut r = router();
+        assert!(r.connect(Port::East, 0, Port::East, 1).is_err(), "U-turn");
+        assert!(r.connect(Port::West, 9, Port::East, 0).is_err(), "lane range");
+        assert!(r
+            .configure_lane(Port::East, 0, ConfigEntry::active(16))
+            .is_err());
+    }
+
+    #[test]
+    fn window_flow_control_blocks_source() {
+        // WC=8 with no acks ever returning: after 8 phits the source blocks.
+        let mut r = router();
+        r.connect(Port::Tile, 0, Port::East, 0).unwrap();
+        let mut accepted = 0;
+        for i in 0..100 {
+            if r.tile_send(0, Phit::data(i as u16)) {
+                accepted += 1;
+            }
+            step(&mut r);
+        }
+        assert_eq!(accepted, 8, "window size bounds unacknowledged phits");
+        assert!(!r.tile_can_send(0));
+    }
+
+    #[test]
+    fn acks_from_downstream_restore_credits() {
+        let mut r = router();
+        r.connect(Port::Tile, 0, Port::East, 0).unwrap();
+        // Exhaust the window (the serialiser accepts one phit per 5 cycles,
+        // so 8 credits take at least 40 cycles to burn).
+        for i in 0..60 {
+            r.tile_send(0, Phit::data(i));
+            step(&mut r);
+        }
+        assert_eq!(r.tile_credits(0), 0);
+        // Downstream acknowledges one batch (X=4) on East lane 0.
+        r.set_ack_input(Port::East, 0, true);
+        step(&mut r);
+        r.set_ack_input(Port::East, 0, false);
+        // Ack crosses the crossbar ack register (1 cycle) then the window
+        // counter latches (1 cycle).
+        step(&mut r);
+        step(&mut r);
+        assert_eq!(r.tile_credits(0), 4);
+        assert!(r.tile_can_send(0));
+    }
+
+    #[test]
+    fn receiving_tile_generates_acks() {
+        // North -> Tile stream; the tile reads phits; ack pulses must leave
+        // on North's upstream ack wire after every X=4 reads.
+        let mut r = router();
+        r.connect(Port::North, 0, Port::Tile, 0).unwrap();
+        let mut acks_seen = 0;
+        let mut received = 0;
+        let mut word: u16 = 0;
+        let mut flits: Vec<Nibble> = Vec::new();
+        for _cycle in 0..200 {
+            if flits.is_empty() {
+                flits = Phit::data(word).to_flits().to_vec();
+                word += 1;
+            }
+            r.set_link_input(Port::North, 0, flits.remove(0));
+            step(&mut r);
+            if r.tile_recv(0).is_some() {
+                received += 1;
+            }
+            if r.ack_to_upstream(Port::North, 0) {
+                acks_seen += 1;
+            }
+        }
+        assert!(received > 30);
+        // One ack per 4 received (within one in-flight batch).
+        let expected = received / 4;
+        assert!(
+            (acks_seen as i64 - expected as i64).abs() <= 1,
+            "acks {acks_seen} vs received {received}"
+        );
+    }
+
+    #[test]
+    fn idle_router_pays_clock_offset_but_nothing_else() {
+        let mut r = router();
+        idle_cycles(&mut r, 100);
+        let act = r.activity();
+        let total: u64 = act.iter().map(|c| c.ledger.total()).sum();
+        let clocks: u64 = act
+            .iter()
+            .map(|c| c.ledger.get(ActivityClass::RegClock))
+            .sum();
+        assert_eq!(total, clocks, "idle router: only clock events");
+        // Crossbar 100 bits + converter 184 bits + flow control
+        // (4 x (16 credits + 16 consumed + 1 ack)) per cycle.
+        assert!(clocks > 0);
+    }
+
+    #[test]
+    fn data_transport_adds_toggles_over_idle() {
+        let mut idle = router();
+        idle_cycles(&mut idle, 200);
+        let idle_total: u64 = idle.activity().iter().map(|c| c.ledger.total()).sum();
+
+        let mut busy = router();
+        busy.connect(Port::West, 0, Port::East, 0).unwrap();
+        let mut v = 0u8;
+        for _ in 0..200 {
+            busy.set_link_input(Port::West, 0, Nibble::new(v));
+            v = v.wrapping_add(7);
+            step(&mut busy);
+        }
+        let busy_total: u64 = busy.activity().iter().map(|c| c.ledger.total()).sum();
+        assert!(
+            busy_total > idle_total,
+            "transport must add switching activity"
+        );
+    }
+
+    #[test]
+    fn clear_activity_resets_ledgers() {
+        let mut r = router();
+        idle_cycles(&mut r, 10);
+        r.clear_activity();
+        assert!(r.activity().iter().all(|c| c.ledger.is_empty()));
+    }
+
+    #[test]
+    fn reconfiguration_moves_a_stream_between_lanes() {
+        // Semi-static streams still reconfigure at runtime (Section 5.1):
+        // move West->East from lane 0 to lane 2 mid-run.
+        let mut r = router();
+        r.connect(Port::West, 0, Port::East, 0).unwrap();
+        r.set_link_input(Port::West, 0, Nibble::new(0x3));
+        step(&mut r);
+        assert_eq!(r.link_output(Port::East, 0), Nibble::new(0x3));
+
+        r.deactivate_lane(Port::East, 0).unwrap();
+        r.connect(Port::West, 0, Port::East, 2).unwrap();
+        step(&mut r);
+        assert_eq!(r.link_output(Port::East, 0), Nibble::ZERO);
+        assert_eq!(r.link_output(Port::East, 2), Nibble::new(0x3));
+    }
+
+    #[test]
+    fn full_lane_utilisation_all_twenty() {
+        // Every output lane active simultaneously: 4 tile-out lanes fed by
+        // neighbours and 16 neighbour-out lanes fed round-robin from other
+        // ports — the "maximum equal to the number of lanes (20)" case of
+        // Section 6.
+        let mut r = router();
+        let p = *r.params();
+        let mut configured = 0;
+        for port in Port::ALL {
+            for lane in 0..4 {
+                // Pick any legal foreign input.
+                let src_port = Port::ALL
+                    .iter()
+                    .copied()
+                    .find(|&q| q != port)
+                    .unwrap();
+                let sel = p.foreign_select(port, src_port, lane).unwrap();
+                r.configure_lane(port, lane, ConfigEntry::active(sel)).unwrap();
+                configured += 1;
+            }
+        }
+        assert_eq!(configured, 20);
+        assert_eq!(r.config().active_lanes(), 20);
+        step(&mut r);
+    }
+}

@@ -1,0 +1,206 @@
+//! Fig. 10: "Data Dependency of the Dynamic Power Consumption (100% load)".
+//!
+//! Dynamic power normalised to µW/MHz versus the bit-flip rate of the
+//! offered data — best case (0%, zeros), typical (50%, random), worst
+//! (100%, continuous toggles) — for all four scenarios on both routers.
+//! The paper's observations to reproduce:
+//!
+//! * bit-flips have only a **minor** influence;
+//! * the **number of concurrent streams** matters more;
+//! * the packet router's colliding-stream curve is **non-straight**: the
+//!   time-multiplexing of the link adds control switching that does not
+//!   interpolate linearly between the data extremes.
+
+use crate::fig9::RouterKind;
+use crate::testbench::{CircuitScenarioBench, PacketScenarioBench};
+use noc_apps::scenarios::Scenario;
+use noc_apps::traffic::DataPattern;
+use noc_core::params::RouterParams;
+use noc_packet::params::PacketParams;
+use noc_power::area::{circuit_router_area, packet_router_area};
+use noc_power::estimator::PowerEstimator;
+use noc_sim::time::cycles_in;
+use noc_sim::units::{MegaHertz, Picoseconds};
+
+/// One measured point of the figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig10Point {
+    /// Which router.
+    pub router: RouterKind,
+    /// Which scenario.
+    pub scenario: Scenario,
+    /// Bit-flip fraction of the offered data (0.0, 0.5, 1.0).
+    pub flip_fraction: f64,
+    /// Dynamic power normalised by frequency [µW/MHz].
+    pub uw_per_mhz: f64,
+}
+
+/// The full figure: 2 routers × 4 scenarios × 3 flip levels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig10 {
+    /// All 24 points.
+    pub points: Vec<Fig10Point>,
+}
+
+impl Fig10 {
+    /// The series (3 points, flip-ordered) for one router and scenario.
+    pub fn series(&self, router: RouterKind, scenario: Scenario) -> Vec<&Fig10Point> {
+        let mut pts: Vec<&Fig10Point> = self
+            .points
+            .iter()
+            .filter(|p| p.router == router && p.scenario == scenario)
+            .collect();
+        pts.sort_by(|a, b| a.flip_fraction.partial_cmp(&b.flip_fraction).unwrap());
+        pts
+    }
+
+    /// Relative spread of a series: (max-min)/mid-value. Small spreads are
+    /// the paper's "minor influence" observation.
+    pub fn flip_sensitivity(&self, router: RouterKind, scenario: Scenario) -> f64 {
+        let s = self.series(router, scenario);
+        let vals: Vec<f64> = s.iter().map(|p| p.uw_per_mhz).collect();
+        let max = vals.iter().cloned().fold(f64::MIN, f64::max);
+        let min = vals.iter().cloned().fold(f64::MAX, f64::min);
+        (max - min) / vals[1]
+    }
+
+    /// Deviation of the 50% point from the straight line between 0% and
+    /// 100% — the non-linearity the paper highlights for the colliding
+    /// scenario of the packet router.
+    pub fn midpoint_deviation(&self, router: RouterKind, scenario: Scenario) -> f64 {
+        let s = self.series(router, scenario);
+        let linear_mid = (s[0].uw_per_mhz + s[2].uw_per_mhz) / 2.0;
+        s[1].uw_per_mhz - linear_mid
+    }
+}
+
+/// Run the Fig. 10 experiment at the paper's conditions.
+pub fn fig10() -> Fig10 {
+    fig10_with(
+        RouterParams::paper(),
+        PacketParams::paper(),
+        &PowerEstimator::calibrated(),
+    )
+}
+
+/// Run Fig. 10 with explicit configurations.
+pub fn fig10_with(cs: RouterParams, ps: PacketParams, estimator: &PowerEstimator) -> Fig10 {
+    let freq = MegaHertz(crate::reference::fig9_conditions::CLOCK_MHZ);
+    let cycles = cycles_in(
+        Picoseconds::from_micros(crate::reference::fig9_conditions::WINDOW_US),
+        freq,
+    );
+    let tech = estimator.tech();
+    let c_area = circuit_router_area(&cs, tech).total();
+    let p_area = packet_router_area(&ps, tech).total();
+
+    let mut points = Vec::with_capacity(24);
+    for pattern in DataPattern::LEVELS {
+        for scenario in Scenario::ALL {
+            let mut bench = CircuitScenarioBench::new(cs, scenario, pattern, 1.0);
+            let out = bench.run(cycles);
+            let power = estimator.estimate(&out.activity, cycles, freq, c_area);
+            points.push(Fig10Point {
+                router: RouterKind::Circuit,
+                scenario,
+                flip_fraction: pattern.flip_fraction(),
+                uw_per_mhz: power.dynamic_uw_per_mhz(),
+            });
+
+            let mut bench = PacketScenarioBench::new(ps, scenario, pattern, 1.0);
+            let out = bench.run(cycles);
+            let power = estimator.estimate(&out.activity, cycles, freq, p_area);
+            points.push(Fig10Point {
+                router: RouterKind::Packet,
+                scenario,
+                flip_fraction: pattern.flip_fraction(),
+                uw_per_mhz: power.dynamic_uw_per_mhz(),
+            });
+        }
+    }
+    Fig10 { points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure() -> &'static Fig10 {
+        static FIG: std::sync::OnceLock<Fig10> = std::sync::OnceLock::new();
+        FIG.get_or_init(fig10)
+    }
+
+    #[test]
+    fn twenty_four_points() {
+        assert_eq!(figure().points.len(), 24);
+    }
+
+    #[test]
+    fn bit_flips_have_minor_influence() {
+        // Across every series the 0%→100% spread stays far below the
+        // offset level ("only a minor influence on the dynamic power").
+        for router in RouterKind::BOTH {
+            for scenario in Scenario::ALL {
+                let sens = figure().flip_sensitivity(router, scenario);
+                assert!(
+                    sens < 0.35,
+                    "{router:?} {scenario}: flip sensitivity {sens:.3} too large"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stream_count_matters_more_than_flips() {
+        // "A more relevant parameter is the number of data streams":
+        // going I -> IV moves power more than 0% -> 100% flips within IV.
+        for router in RouterKind::BOTH {
+            let s_i = figure().series(router, Scenario::I);
+            let s_iv = figure().series(router, Scenario::IV);
+            let stream_effect = s_iv[1].uw_per_mhz - s_i[1].uw_per_mhz;
+            let flip_effect =
+                (s_iv[2].uw_per_mhz - s_iv[0].uw_per_mhz).abs();
+            assert!(
+                stream_effect > flip_effect,
+                "{router:?}: streams {stream_effect:.2} vs flips {flip_effect:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn packet_router_sits_well_above_circuit() {
+        for scenario in Scenario::ALL {
+            let c = figure().series(RouterKind::Circuit, scenario)[1].uw_per_mhz;
+            let p = figure().series(RouterKind::Packet, scenario)[1].uw_per_mhz;
+            assert!(p > 2.5 * c, "{scenario}: {p:.1} vs {c:.1} µW/MHz");
+        }
+    }
+
+    #[test]
+    fn colliding_scenario_is_least_straight_for_packet_router() {
+        // The paper singles out the colliding-stream curve as visibly
+        // non-straight. Compare the packet router's midpoint deviation in
+        // the collision scenario (IV) against the collision-free ones.
+        let fig = figure();
+        let coll = fig
+            .midpoint_deviation(RouterKind::Packet, Scenario::IV)
+            .abs();
+        let free = fig
+            .midpoint_deviation(RouterKind::Packet, Scenario::II)
+            .abs()
+            .max(fig.midpoint_deviation(RouterKind::Packet, Scenario::III).abs());
+        assert!(
+            coll > free,
+            "collision curve should deviate most: IV={coll:.3}, others<={free:.3}"
+        );
+    }
+
+    #[test]
+    fn scenario_i_is_flip_independent() {
+        // No data moves in Scenario I, so the three points coincide.
+        for router in RouterKind::BOTH {
+            let s = figure().series(router, Scenario::I);
+            assert!((s[0].uw_per_mhz - s[2].uw_per_mhz).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # noc-exp — the experiment harness
+//!
+//! Everything needed to regenerate the paper's tables and figures, shared
+//! by the `noc-bench` binaries, the Criterion benches and the integration
+//! tests:
+//!
+//! * [`testbench`] — single-router scenario rigs for both routers,
+//!   reproducing Section 6's measurement setup: Table 3's streams at
+//!   configurable load and data pattern, the surrounding network played by
+//!   the testbench (upstream serialisers with window flow control,
+//!   downstream consumers returning acks/credits).
+//! * [`fig9`] — Fig. 9: static/internal/switching power bars for
+//!   Scenarios I–IV on both routers (random data, 100% load, 25 MHz,
+//!   200 µs — 2 kB per stream).
+//! * [`fig10`] — Fig. 10: dynamic power [µW/MHz] versus bit-flip rate
+//!   (0/50/100%) for all scenarios and both routers.
+//! * [`reference`] — the paper's published numbers, for paper-vs-measured
+//!   reporting in EXPERIMENTS.md.
+//! * [`tables`] — plain-text table rendering used by every binary.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod fig10;
+pub mod fig9;
+pub mod reference;
+pub mod tables;
+pub mod testbench;
+
+pub use fig10::{fig10, Fig10, Fig10Point};
+pub use fig9::{fig9, Fig9, Fig9Bar};
+pub use testbench::{CircuitScenarioBench, PacketScenarioBench, ScenarioOutcome};

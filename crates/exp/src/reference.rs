@@ -1,0 +1,157 @@
+//! The paper's published numbers, collected in one place.
+//!
+//! Every experiment binary prints paper-vs-measured against these
+//! constants, and EXPERIMENTS.md is generated from the same source, so the
+//! reproduction's accuracy is auditable in code review rather than buried
+//! in prose.
+
+/// Table 1 — HiperLAN/2 edge bandwidths [Mbit/s].
+pub const TABLE1_MBITS: [(&str, f64); 5] = [
+    ("S/P -> Pre-fix removal", 640.0),
+    ("Pre-fix removal -> FFT", 512.0),
+    ("FFT -> Channel eq.", 416.0),
+    ("Channel eq. -> De-map", 384.0),
+    ("Hard bits (BPSK)", 12.0),
+];
+
+/// Table 1's QAM-64 hard-bit upper bound [Mbit/s].
+pub const TABLE1_HARD_BITS_QAM64: f64 = 72.0;
+
+/// Table 2 — UMTS edge bandwidths [Mbit/s] at SF=4, QPSK.
+pub const TABLE2_MBITS: [(&str, f64); 4] = [
+    ("Chips (per finger)", 61.44),
+    ("Scrambling code", 7.68),
+    ("MRC coefficient (per finger)", 15.36),
+    ("Received bits (QPSK)", 1.92),
+];
+
+/// Section 3.2's aggregate example: 4 fingers, SF 4 ≈ 320 Mbit/s.
+pub const UMTS_EXAMPLE_TOTAL_MBITS: f64 = 320.0;
+
+/// Table 4 — circuit-switched router [mm² / MHz / Gbit/s].
+pub struct Table4Row {
+    /// Component areas `(name, mm²)`; `None` = n.a. in the paper.
+    pub components: [(&'static str, Option<f64>); 6],
+    /// Total area [mm²].
+    pub total_mm2: f64,
+    /// Maximum frequency [MHz].
+    pub fmax_mhz: f64,
+    /// Link bandwidth [Gbit/s].
+    pub bandwidth_gbps: f64,
+}
+
+/// Table 4, circuit-switched column.
+pub const TABLE4_CIRCUIT: Table4Row = Table4Row {
+    components: [
+        ("Crossbar", Some(0.0258)),
+        ("Buffering", None),
+        ("Arbitration", None),
+        ("Configuration", Some(0.0090)),
+        ("Data converter", Some(0.0158)),
+        ("Misc", None),
+    ],
+    total_mm2: 0.0506,
+    fmax_mhz: 1075.0,
+    bandwidth_gbps: 17.2,
+};
+
+/// Table 4, packet-switched column.
+pub const TABLE4_PACKET: Table4Row = Table4Row {
+    components: [
+        ("Crossbar", Some(0.0706)),
+        ("Buffering", Some(0.1034)),
+        ("Arbitration", Some(0.0022)),
+        ("Configuration", None),
+        ("Data converter", None),
+        ("Misc", Some(0.0038)),
+    ],
+    total_mm2: 0.1800,
+    fmax_mhz: 507.0,
+    bandwidth_gbps: 8.1,
+};
+
+/// Table 4, Æthereal column (published totals only).
+pub const TABLE4_AETHEREAL: Table4Row = Table4Row {
+    components: [
+        ("Crossbar", None),
+        ("Buffering", None),
+        ("Arbitration", None),
+        ("Configuration", None),
+        ("Data converter", None),
+        ("Misc", None),
+    ],
+    total_mm2: 0.1750,
+    fmax_mhz: 500.0,
+    bandwidth_gbps: 16.0,
+};
+
+/// The headline claim: "consumes 3.5 times less energy compared to its
+/// packet-switched equivalent" (abstract; Section 7.3 applies the same
+/// factor to area and power).
+pub const POWER_AREA_RATIO: f64 = 3.5;
+
+/// Fig. 9's measurement conditions.
+pub mod fig9_conditions {
+    /// Clock frequency [MHz]: "fixed at 25 MHz".
+    pub const CLOCK_MHZ: f64 = 25.0;
+    /// Simulated time: "The simulation time is 200 µs".
+    pub const WINDOW_US: f64 = 200.0;
+    /// Per-stream data: "2 kB of data is transported per stream".
+    pub const BYTES_PER_STREAM: u64 = 2000;
+    /// Per-stream bandwidth: "a data-bandwidth of 80 Mbit/s per stream".
+    pub const STREAM_MBITS: f64 = 80.0;
+}
+
+/// Section 5.1 configuration-interface facts.
+pub mod config_claims {
+    /// "Configuration of 1 lane requires 10 bits".
+    pub const BITS_PER_LANE: u32 = 10;
+    /// "The configuration memory size is 5x20 = 100 bits".
+    pub const MEMORY_BITS: u32 = 100;
+    /// "...in less than 1 ms over the BE network" per lane.
+    pub const LANE_BUDGET_MS: f64 = 1.0;
+    /// "One single router can than be fully reconfigured within 20 ms".
+    pub const ROUTER_BUDGET_MS: f64 = 20.0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_totals_are_component_sums() {
+        let sum: f64 = TABLE4_CIRCUIT
+            .components
+            .iter()
+            .filter_map(|&(_, a)| a)
+            .sum();
+        assert!((sum - TABLE4_CIRCUIT.total_mm2).abs() < 1e-9);
+        let sum: f64 = TABLE4_PACKET
+            .components
+            .iter()
+            .filter_map(|&(_, a)| a)
+            .sum();
+        assert!((sum - TABLE4_PACKET.total_mm2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn published_ratio_holds_in_reference_data() {
+        let ratio = TABLE4_PACKET.total_mm2 / TABLE4_CIRCUIT.total_mm2;
+        assert!((ratio - 3.557).abs() < 0.01, "published tables give {ratio:.3}");
+    }
+
+    #[test]
+    fn bandwidth_is_width_times_frequency() {
+        assert!((TABLE4_CIRCUIT.fmax_mhz * 16.0 / 1000.0 - TABLE4_CIRCUIT.bandwidth_gbps).abs() < 0.01);
+        assert!((TABLE4_PACKET.fmax_mhz * 16.0 / 1000.0 - TABLE4_PACKET.bandwidth_gbps).abs() < 0.02);
+        assert!((TABLE4_AETHEREAL.fmax_mhz * 32.0 / 1000.0 - TABLE4_AETHEREAL.bandwidth_gbps).abs() < 0.01);
+    }
+
+    #[test]
+    fn fig9_window_consistency() {
+        // 80 Mbit/s for 200 µs = 2000 bytes: the three quoted conditions
+        // agree with each other.
+        let bits = fig9_conditions::STREAM_MBITS * fig9_conditions::WINDOW_US;
+        assert_eq!((bits / 8.0) as u64, fig9_conditions::BYTES_PER_STREAM);
+    }
+}

@@ -1,0 +1,100 @@
+//! Plain-text table rendering for the experiment binaries.
+//!
+//! Every binary prints the same artefact the paper shows — a table or a
+//! figure's data series — in aligned ASCII, plus a paper-vs-measured
+//! column where a published value exists.
+
+use std::fmt::Write as _;
+
+/// Render an aligned ASCII table.
+///
+/// # Panics
+/// Panics when a row's arity differs from the header's — a bug in the
+/// calling binary, not data-dependent.
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "ragged table row");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep: String = widths
+        .iter()
+        .map(|w| format!("+{}", "-".repeat(w + 2)))
+        .collect::<String>()
+        + "+";
+    let render_row = |cells: &[String]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            let _ = write!(line, "| {:<width$} ", cell, width = widths[i]);
+        }
+        line + "|"
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    let _ = writeln!(out, "{sep}");
+    let _ = writeln!(out, "{}", render_row(&header_cells));
+    let _ = writeln!(out, "{sep}");
+    for row in rows {
+        let _ = writeln!(out, "{}", render_row(row));
+    }
+    let _ = write!(out, "{sep}");
+    out
+}
+
+/// Format a measured-vs-paper pair with relative error.
+pub fn vs(measured: f64, paper: f64, unit: &str) -> String {
+    let err = noc_sim::units::relative_error(measured, paper) * 100.0;
+    format!("{measured:.2} {unit} (paper {paper:.2}, {err:+.1}%)")
+}
+
+/// Format an `Option<f64>` area cell (mm²), `n.a.` when absent.
+pub fn mm2_cell(value: Option<f64>) -> String {
+    match value {
+        Some(v) => format!("{v:.4}"),
+        None => "n.a.".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let t = render(
+            &["Edge", "Mbit/s"],
+            &[
+                vec!["S/P".into(), "640".into()],
+                vec!["FFT -> Channel eq.".into(), "416".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 6);
+        // All rows equal width.
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w), "{t}");
+        assert!(t.contains("| S/P"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        let _ = render(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn vs_formats_error() {
+        let s = vs(110.0, 100.0, "MHz");
+        assert!(s.contains("+10.0%"), "{s}");
+    }
+
+    #[test]
+    fn mm2_cells() {
+        assert_eq!(mm2_cell(Some(0.0258)), "0.0258");
+        assert_eq!(mm2_cell(None), "n.a.");
+    }
+}

@@ -1,0 +1,680 @@
+//! Single-router scenario testbenches (paper Section 6).
+//!
+//! The measurement setup of Fig. 8: one router under test, the rest of the
+//! network played by the bench. For each Table 3 stream the bench provides
+//!
+//! * **sources** — tile-side phit sources (stream 1) or upstream link
+//!   serialisers with window-counter flow control (streams 2 and 3), at a
+//!   configurable load and bit-flip pattern;
+//! * **sinks** — the local tile (drained every cycle; its ack generator is
+//!   part of the router) or downstream consumers that deserialise the link
+//!   and return acknowledge pulses every `X` packets.
+//!
+//! The same scenarios drive the packet-switched router, with words grouped
+//! into wormhole packets, credits returned by the bench, and destinations
+//! expressed as mesh coordinates (the router under test sits at (1,1) of a
+//! 3×3 mesh so every port has a neighbour).
+
+use noc_apps::scenarios::{Endpoint, Scenario, StreamDef};
+use noc_apps::traffic::{DataPattern, PhitSource, WordStream};
+use noc_core::converter::{RxDeserializer, TxSerializer};
+use noc_core::lane::Port;
+use noc_core::params::RouterParams;
+use noc_core::router::CircuitRouter;
+use noc_packet::flit::Flit;
+use noc_packet::params::{PacketParams, PacketPort};
+use noc_packet::router::PacketRouter;
+use noc_packet::routing::Coords;
+use noc_packet::vc::VcId;
+use noc_sim::activity::{ActivityLedger, ComponentActivity};
+use noc_sim::kernel::step;
+use noc_sim::time::CycleCount;
+use std::collections::VecDeque;
+
+/// What a scenario run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioOutcome {
+    /// Cycles simulated.
+    pub cycles: CycleCount,
+    /// Per-component switching activity of the router under test.
+    pub activity: Vec<ComponentActivity>,
+    /// Payload words injected per stream (Table 3 order).
+    pub injected: Vec<u64>,
+    /// Payload words delivered per stream (Table 3 order).
+    pub delivered: Vec<u64>,
+}
+
+impl ScenarioOutcome {
+    /// Payload bytes delivered by stream `i` — the paper transports 2 kB
+    /// per stream in its 200 µs window.
+    pub fn delivered_bytes(&self, stream: usize) -> u64 {
+        self.delivered[stream] * 2
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Circuit-switched bench
+// ---------------------------------------------------------------------------
+
+/// Upstream network model feeding one link input lane: a phit source behind
+/// a serialiser, throttled by the acks the router returns on that lane.
+struct LinkFeeder {
+    port: Port,
+    lane: usize,
+    source: PhitSource,
+    tx: TxSerializer,
+    credits: u16,
+    ack_batch: u16,
+    injected: u64,
+    scratch: ActivityLedger,
+}
+
+impl LinkFeeder {
+    fn new(port: Port, lane: usize, source: PhitSource, params: &RouterParams) -> LinkFeeder {
+        LinkFeeder {
+            port,
+            lane,
+            source,
+            tx: TxSerializer::new(),
+            credits: params.window_size,
+            ack_batch: params.ack_batch,
+            injected: 0,
+            scratch: ActivityLedger::new(),
+        }
+    }
+
+    fn drive(&mut self, router: &mut CircuitRouter) {
+        if router.ack_to_upstream(self.port, self.lane) {
+            self.credits = self.credits.saturating_add(self.ack_batch);
+        }
+        let can = self.tx.can_load() && self.credits > 0;
+        if let Some(phit) = self.source.poll(can) {
+            let loaded = self.tx.try_load(phit);
+            debug_assert!(loaded);
+            self.credits -= 1;
+            self.injected += 1;
+        }
+        router.set_link_input(self.port, self.lane, self.tx.out_nibble());
+        self.tx.eval();
+        self.tx.commit(&mut self.scratch);
+    }
+}
+
+/// Downstream network model consuming one link output lane: a deserialiser
+/// that acknowledges every `X`-th packet on the reverse wire.
+struct LinkSink {
+    port: Port,
+    lane: usize,
+    rx: RxDeserializer,
+    since_ack: u16,
+    ack_batch: u16,
+    received: u64,
+    scratch: ActivityLedger,
+}
+
+impl LinkSink {
+    fn new(port: Port, lane: usize, params: &RouterParams) -> LinkSink {
+        LinkSink {
+            port,
+            lane,
+            rx: RxDeserializer::new(),
+            since_ack: 0,
+            ack_batch: params.ack_batch.max(1),
+            received: 0,
+            scratch: ActivityLedger::new(),
+        }
+    }
+
+    fn observe(&mut self, router: &mut CircuitRouter) {
+        let nibble = router.link_output(self.port, self.lane);
+        self.rx.eval(nibble);
+        let mut ack = false;
+        if self.rx.commit(&mut self.scratch).is_some() {
+            self.received += 1;
+            self.since_ack += 1;
+            if self.since_ack >= self.ack_batch {
+                self.since_ack = 0;
+                ack = true;
+            }
+        }
+        router.set_ack_input(self.port, self.lane, ack);
+    }
+}
+
+/// The circuit-switched scenario bench.
+pub struct CircuitScenarioBench {
+    /// The router under test (public for configuration inspection).
+    pub router: CircuitRouter,
+    scenario: Scenario,
+    tile_sources: Vec<(usize, PhitSource, usize)>, // (lane, source, stream index)
+    feeders: Vec<(LinkFeeder, usize)>,
+    sinks: Vec<(LinkSink, usize)>,
+    tile_streams: Vec<(usize, usize)>, // (lane, stream index) delivered to tile
+    injected: Vec<u64>,
+    delivered: Vec<u64>,
+}
+
+impl CircuitScenarioBench {
+    /// Build the bench for `scenario` with every stream at `load` carrying
+    /// `pattern` data. Streams use distinct seeds so concurrent random
+    /// streams are independent (as the paper's random inputs are).
+    pub fn new(
+        params: RouterParams,
+        scenario: Scenario,
+        pattern: DataPattern,
+        load: f64,
+    ) -> CircuitScenarioBench {
+        let mut router = CircuitRouter::new(params);
+        let flits = params.flits_per_phit();
+        let mut tile_sources = Vec::new();
+        let mut feeders = Vec::new();
+        let mut sinks = Vec::new();
+        let mut tile_streams = Vec::new();
+
+        for (i, stream) in scenario.streams().iter().enumerate() {
+            let StreamDef { from, to, .. } = *stream;
+            router
+                .connect(from.port(), from.lane(), to.port(), to.lane())
+                .expect("Table 3 streams are legal configurations");
+            let seed = 0x2005_0000 + i as u64;
+            match from {
+                Endpoint::Tile { lane } => {
+                    tile_sources.push((lane, PhitSource::new(pattern, seed, load, flits), i));
+                }
+                Endpoint::Link { port, lane } => {
+                    feeders.push((
+                        LinkFeeder::new(
+                            port,
+                            lane,
+                            PhitSource::new(pattern, seed, load, flits),
+                            &params,
+                        ),
+                        i,
+                    ));
+                }
+            }
+            match to {
+                Endpoint::Tile { lane } => tile_streams.push((lane, i)),
+                Endpoint::Link { port, lane } => {
+                    sinks.push((LinkSink::new(port, lane, &params), i));
+                }
+            }
+        }
+
+        let n = scenario.streams().len();
+        CircuitScenarioBench {
+            router,
+            scenario,
+            tile_sources,
+            feeders,
+            sinks,
+            tile_streams,
+            injected: vec![0; n],
+            delivered: vec![0; n],
+        }
+    }
+
+    /// One bench cycle.
+    fn cycle(&mut self) {
+        // Downstream consumers observe last cycle's outputs and drive acks.
+        for (sink, _) in &mut self.sinks {
+            sink.observe(&mut self.router);
+        }
+        // Tile sources inject.
+        for (lane, source, idx) in &mut self.tile_sources {
+            let can = self.router.tile_can_send(*lane);
+            if let Some(phit) = source.poll(can) {
+                let ok = self.router.tile_send(*lane, phit);
+                debug_assert!(ok);
+                self.injected[*idx] += 1;
+            }
+        }
+        // The local tile consumes everything that arrived.
+        for (lane, idx) in &self.tile_streams {
+            while self.router.tile_recv(*lane).is_some() {
+                self.delivered[*idx] += 1;
+            }
+        }
+        // Upstream feeders present this cycle's nibbles.
+        for (feeder, _) in &mut self.feeders {
+            feeder.drive(&mut self.router);
+        }
+        step(&mut self.router);
+    }
+
+    /// Run `cycles` cycles and collect the outcome. Activity is measured
+    /// from a clean ledger (configuration writes excluded, as Power
+    /// Compiler measures the running design).
+    pub fn run(&mut self, cycles: CycleCount) -> ScenarioOutcome {
+        self.router.clear_activity();
+        for _ in 0..cycles {
+            self.cycle();
+        }
+        // Fold in feeder/sink injected+received counts.
+        for (feeder, idx) in &self.feeders {
+            self.injected[*idx] += feeder.injected;
+        }
+        for (sink, idx) in &self.sinks {
+            self.delivered[*idx] += sink.received;
+        }
+        ScenarioOutcome {
+            cycles,
+            activity: self.router.activity(),
+            injected: std::mem::take(&mut self.injected),
+            delivered: std::mem::take(&mut self.delivered),
+        }
+    }
+
+    /// The scenario under test.
+    pub fn scenario(&self) -> Scenario {
+        self.scenario
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Packet-switched bench
+// ---------------------------------------------------------------------------
+
+/// Words per wormhole packet in the scenario benches. Chosen so packets
+/// are long enough for wormhole interleaving to matter (the time-division
+/// contrast with lane multiplexing) but short enough that several packets
+/// fit a 5000-cycle window per stream.
+pub const PACKET_WORDS: usize = 16;
+
+/// A flit train generator: words at `load`-controlled rate, grouped into
+/// `PACKET_WORDS`-word packets addressed to a fixed destination.
+struct FlitTrain {
+    words: WordStream,
+    rate: f64,
+    acc: f64,
+    dest: Coords,
+    pending: VecDeque<Flit>,
+    words_in_packet: usize,
+    injected_words: u64,
+}
+
+impl FlitTrain {
+    fn new(pattern: DataPattern, seed: u64, load: f64, dest: Coords) -> FlitTrain {
+        FlitTrain {
+            words: WordStream::new(pattern, seed),
+            // Payload parity with the circuit bench: 16 payload bits per 5
+            // cycles at 100% load -> 0.2 words per cycle.
+            rate: load * 0.2,
+            acc: 0.0,
+            dest,
+            pending: VecDeque::new(),
+            words_in_packet: 0,
+            injected_words: 0,
+        }
+    }
+
+    /// Advance one cycle; generate due words into pending flits.
+    fn tick(&mut self) {
+        self.acc += self.rate;
+        while self.acc + 1e-9 >= 1.0 {
+            self.acc -= 1.0;
+            if self.words_in_packet == 0 {
+                self.pending.push_back(Flit::head(self.dest));
+            }
+            let word = self.words.next_word();
+            self.words_in_packet += 1;
+            if self.words_in_packet == PACKET_WORDS {
+                self.pending.push_back(Flit::tail(word));
+                self.words_in_packet = 0;
+            } else {
+                self.pending.push_back(Flit::body(word));
+            }
+            self.injected_words += 1;
+        }
+    }
+
+    fn front(&self) -> Option<&Flit> {
+        self.pending.front()
+    }
+
+    fn pop(&mut self) -> Option<Flit> {
+        self.pending.pop_front()
+    }
+}
+
+/// The packet-switched scenario bench. The router under test sits at (1,1)
+/// of a wide-enough mesh: tile-bound streams target (1,1); East-bound
+/// streams get *distinct* destinations further east ((2,1), (3,1), …) so
+/// the consumer can attribute each wormhole to its stream from the head
+/// flit — XY routing sends all of them out the East port regardless.
+pub struct PacketScenarioBench {
+    /// The router under test.
+    pub router: PacketRouter,
+    scenario: Scenario,
+    /// Tile-injected stream (stream 1), if active.
+    tile_train: Option<(FlitTrain, usize)>,
+    /// Link-injected streams with upstream credit tracking:
+    /// (train, port, vc, credits, stream index).
+    link_trains: Vec<(FlitTrain, PacketPort, VcId, u8, usize)>,
+    /// Credit return pipeline for the East consumer.
+    east_credit_pipe: VecDeque<VcId>,
+    delivered_words: Vec<u64>,
+    injected_words: Vec<u64>,
+    /// Destination coordinates → stream index for East-bound wormholes.
+    east_dest_stream: Vec<(Coords, usize)>,
+    /// Which stream currently owns each East output VC (learned from head
+    /// flits).
+    east_vc_owner: [Option<usize>; 4],
+    tile_stream_index: Option<usize>,
+}
+
+impl PacketScenarioBench {
+    /// Build the bench (same scenario semantics as the circuit bench).
+    pub fn new(
+        params: PacketParams,
+        scenario: Scenario,
+        pattern: DataPattern,
+        load: f64,
+    ) -> PacketScenarioBench {
+        let here = Coords::new(1, 1);
+        let router = PacketRouter::new(params.at(here));
+        let mut tile_train = None;
+        let mut link_trains = Vec::new();
+        let mut east_dest_stream = Vec::new();
+        let mut tile_stream_index = None;
+
+        for (i, stream) in scenario.streams().iter().enumerate() {
+            let seed = 0x2005_0000 + i as u64;
+            let dest = match stream.to {
+                Endpoint::Tile { .. } => {
+                    tile_stream_index = Some(i);
+                    here
+                }
+                Endpoint::Link { .. } => {
+                    // Unique east-of-here destination per stream.
+                    let dest = Coords::new(2 + east_dest_stream.len() as u8, 1);
+                    east_dest_stream.push((dest, i));
+                    dest
+                }
+            };
+            match stream.from {
+                Endpoint::Tile { .. } => {
+                    tile_train = Some((FlitTrain::new(pattern, seed, load, dest), i));
+                }
+                Endpoint::Link { port, .. } => {
+                    let pport = match port {
+                        Port::North => PacketPort::North,
+                        Port::South => PacketPort::South,
+                        Port::East => PacketPort::East,
+                        Port::West => PacketPort::West,
+                        Port::Tile => unreachable!("link endpoint"),
+                    };
+                    link_trains.push((
+                        FlitTrain::new(pattern, seed, load, dest),
+                        pport,
+                        VcId(0),
+                        params.fifo_depth as u8,
+                        i,
+                    ));
+                }
+            }
+        }
+
+        let n = scenario.streams().len();
+        PacketScenarioBench {
+            router,
+            scenario,
+            tile_train,
+            link_trains,
+            east_credit_pipe: VecDeque::new(),
+            delivered_words: vec![0; n],
+            injected_words: vec![0; n],
+            east_dest_stream,
+            east_vc_owner: [None; 4],
+            tile_stream_index,
+        }
+    }
+
+    fn cycle(&mut self) {
+        // East consumer returns one credit per flit observed last cycle.
+        if let Some(vc) = self.east_credit_pipe.pop_front() {
+            self.router.set_credit_input(PacketPort::East, vc, true);
+        }
+
+        // Tile injection.
+        if let Some((train, _)) = &mut self.tile_train {
+            train.tick();
+            if let Some(&flit) = train.front() {
+                if self.router.tile_inject(VcId(0), flit) {
+                    train.pop();
+                }
+            }
+        }
+
+        // Link injections with upstream credit tracking.
+        for (train, port, vc, credits, _) in &mut self.link_trains {
+            if self.router.credit_output(*port, *vc) {
+                *credits += 1;
+            }
+            train.tick();
+            if *credits > 0 {
+                if let Some(flit) = train.pop() {
+                    self.router.set_link_input(*port, *vc, flit);
+                    *credits -= 1;
+                }
+            }
+        }
+
+        step(&mut self.router);
+
+        // Observe outputs after the edge. Head flits carry the (unique)
+        // destination, binding their output VC to a stream; body/tail
+        // words then count against the owning stream.
+        if let Some((vc, flit)) = self.router.link_output(PacketPort::East).flit {
+            self.east_credit_pipe.push_back(VcId(vc));
+            match flit.dest() {
+                Some(dest) => {
+                    self.east_vc_owner[vc as usize] = self
+                        .east_dest_stream
+                        .iter()
+                        .find(|&&(d, _)| d == dest)
+                        .map(|&(_, idx)| idx);
+                }
+                None => {
+                    if let Some(idx) = self.east_vc_owner[vc as usize] {
+                        self.delivered_words[idx] += 1;
+                    }
+                }
+            }
+        }
+        while let Some((_, flit)) = self.router.tile_recv() {
+            if !matches!(flit.kind, noc_packet::flit::FlitKind::Head) {
+                if let Some(idx) = self.tile_stream_index {
+                    self.delivered_words[idx] += 1;
+                }
+            }
+        }
+    }
+
+    /// Run `cycles` cycles and collect the outcome.
+    pub fn run(&mut self, cycles: CycleCount) -> ScenarioOutcome {
+        self.router.clear_activity();
+        for _ in 0..cycles {
+            self.cycle();
+        }
+        if let Some((train, idx)) = &self.tile_train {
+            self.injected_words[*idx] = train.injected_words;
+        }
+        for (train, _, _, _, idx) in &self.link_trains {
+            self.injected_words[*idx] = train.injected_words;
+        }
+        ScenarioOutcome {
+            cycles,
+            activity: self.router.activity(),
+            injected: std::mem::take(&mut self.injected_words),
+            delivered: std::mem::take(&mut self.delivered_words),
+        }
+    }
+
+    /// The scenario under test.
+    pub fn scenario(&self) -> Scenario {
+        self.scenario
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_sim::activity::ActivityClass;
+
+    const CYCLES: CycleCount = 5000; // 200 µs at 25 MHz.
+
+    #[test]
+    fn circuit_scenario_ii_delivers_full_load() {
+        let mut bench = CircuitScenarioBench::new(
+            RouterParams::paper(),
+            Scenario::II,
+            DataPattern::Random,
+            1.0,
+        );
+        let out = bench.run(CYCLES);
+        // 5000 cycles / 5 per phit = 1000 phits = 2000 bytes ("2 kB of
+        // data is transported per stream").
+        assert!(out.injected[0] >= 990, "injected {:?}", out.injected);
+        assert!(out.delivered[0] >= 985, "delivered {:?}", out.delivered);
+        assert!(out.delivered_bytes(0) >= 1970);
+    }
+
+    #[test]
+    fn circuit_scenario_iv_all_streams_run_concurrently() {
+        let mut bench = CircuitScenarioBench::new(
+            RouterParams::paper(),
+            Scenario::IV,
+            DataPattern::Random,
+            1.0,
+        );
+        let out = bench.run(CYCLES);
+        for i in 0..3 {
+            assert!(
+                out.delivered[i] >= 980,
+                "stream {i} starved: {:?}",
+                out.delivered
+            );
+        }
+    }
+
+    #[test]
+    fn circuit_scenario_i_only_clocks() {
+        let mut bench = CircuitScenarioBench::new(
+            RouterParams::paper(),
+            Scenario::I,
+            DataPattern::Random,
+            1.0,
+        );
+        let out = bench.run(1000);
+        let total: u64 = out.activity.iter().map(|c| c.ledger.total()).sum();
+        let clocks: u64 = out
+            .activity
+            .iter()
+            .map(|c| c.ledger.get(ActivityClass::RegClock))
+            .sum();
+        assert_eq!(total, clocks, "scenario I is the pure offset");
+    }
+
+    #[test]
+    fn circuit_activity_monotone_in_stream_count() {
+        // "A more relevant parameter is the number of data streams" — more
+        // streams, more activity.
+        let mut totals = Vec::new();
+        for scenario in Scenario::ALL {
+            let mut bench = CircuitScenarioBench::new(
+                RouterParams::paper(),
+                scenario,
+                DataPattern::Random,
+                1.0,
+            );
+            let out = bench.run(2000);
+            totals.push(out.activity.iter().map(|c| c.ledger.total()).sum::<u64>());
+        }
+        assert!(totals[0] < totals[1], "{totals:?}");
+        assert!(totals[1] < totals[2], "{totals:?}");
+        assert!(totals[2] < totals[3], "{totals:?}");
+    }
+
+    #[test]
+    fn packet_scenario_ii_delivers_full_load() {
+        let mut bench = PacketScenarioBench::new(
+            PacketParams::paper(),
+            Scenario::II,
+            DataPattern::Random,
+            1.0,
+        );
+        let out = bench.run(CYCLES);
+        // 1000 words offered; wormhole overhead fits easily in 16-bit
+        // links, so nearly all are delivered east.
+        assert!(out.injected[0] >= 990, "{:?}", out.injected);
+        assert!(out.delivered[0] >= 950, "{:?}", out.delivered);
+    }
+
+    #[test]
+    fn packet_scenario_iv_collision_still_delivers() {
+        let mut bench = PacketScenarioBench::new(
+            PacketParams::paper(),
+            Scenario::IV,
+            DataPattern::Random,
+            1.0,
+        );
+        let out = bench.run(CYCLES);
+        // Streams 1 and 3 share the East link: 2x0.2 words/cycle payload +
+        // head overhead ≈ 0.425 flits/cycle < 1, so both still fit.
+        let east_words = out.delivered[0] + out.delivered[2];
+        assert!(east_words >= 1900, "east delivered {east_words}");
+        assert!(out.delivered[1] >= 950, "tile stream {:?}", out.delivered);
+    }
+
+    #[test]
+    fn packet_collision_adds_grant_changes_vs_scenario_ii() {
+        let grant_changes = |scenario| {
+            let mut bench = PacketScenarioBench::new(
+                PacketParams::paper(),
+                scenario,
+                DataPattern::Random,
+                1.0,
+            );
+            let out = bench.run(3000);
+            out.activity
+                .iter()
+                .map(|c| c.ledger.get(ActivityClass::ArbiterGrantChange))
+                .sum::<u64>()
+        };
+        let ii = grant_changes(Scenario::II);
+        let iv = grant_changes(Scenario::IV);
+        assert!(
+            iv > ii * 2,
+            "collision at East must multiply control toggles: II={ii} IV={iv}"
+        );
+    }
+
+    #[test]
+    fn both_benches_respect_reduced_load() {
+        let mut c = CircuitScenarioBench::new(
+            RouterParams::paper(),
+            Scenario::II,
+            DataPattern::Random,
+            0.5,
+        );
+        let out = c.run(CYCLES);
+        assert!(
+            (out.injected[0] as i64 - 500).abs() <= 5,
+            "50% load: {:?}",
+            out.injected
+        );
+        let mut p = PacketScenarioBench::new(
+            PacketParams::paper(),
+            Scenario::II,
+            DataPattern::Random,
+            0.5,
+        );
+        let pout = p.run(CYCLES);
+        assert!(
+            (pout.injected[0] as i64 - 500).abs() <= 16,
+            "50% load: {:?}",
+            pout.injected
+        );
+    }
+}

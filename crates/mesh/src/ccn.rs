@@ -1,0 +1,915 @@
+//! The Central Coordination Node: run-time mapping and lane allocation.
+//!
+//! "The CCN performs the feasibility analysis, spatial mapping, process
+//! allocation and configuration of the tiles and the NoC before the start
+//! of an application" (Section 1.1). Concretely, given a Kahn process graph
+//! and the SoC's tile inventory, the CCN here:
+//!
+//! 1. **Clusters** processes whose tile-interface lane pressure exceeds
+//!    the per-port lane count — a tile has only `lanes_per_port` transmit
+//!    and receive lanes, so a process talking to five distinct partners
+//!    must share a tile with its heaviest partner (the paper's mapper
+//!    likewise places multiple cooperating processes per tile when
+//!    beneficial);
+//! 2. **Places** clusters on tiles — greedy by communication volume,
+//!    minimising bandwidth-weighted Manhattan distance, preferring tiles
+//!    whose kind matches the process affinity ("the tiles that can execute
+//!    it most efficiently");
+//! 3. **Allocates lane paths** per tile-to-tile *demand* (all edges between
+//!    the same pair of tiles share one circuit — the 16-bit tile interface
+//!    multiplexes them, the 4-bit header tags them), taking
+//!    ⌈bandwidth / lane-capacity⌉ parallel lanes ("Depending on the
+//!    application one or more lanes ... can be used", Section 5.2);
+//! 4. **Checks feasibility** — guaranteed-throughput demands against lane
+//!    capacity, rejecting infeasible requests instead of degrading them;
+//! 5. **Emits configuration words** — the 10-bit words per output lane the
+//!    BE network carries to each router.
+//!
+//! The router does no run-time scheduling: once lanes are configured the
+//! streams are physically separated, which is the paper's core argument.
+
+use crate::soc::Soc;
+use crate::tile::TileKind;
+use crate::topology::{Mesh, NodeId};
+use noc_apps::taskgraph::{EdgeId, ProcessId, TaskGraph};
+use noc_core::config::{ConfigEntry, ConfigWord};
+use noc_core::error::ConfigError;
+use noc_core::lane::Port;
+use noc_core::params::RouterParams;
+use noc_sim::units::{Bandwidth, MegaHertz};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// One router traversal of an allocated circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathHop {
+    /// The router.
+    pub node: NodeId,
+    /// Input side (port, lane) at this router.
+    pub in_port: Port,
+    /// Input lane within the port.
+    pub in_lane: usize,
+    /// Output side (port, lane) at this router.
+    pub out_port: Port,
+    /// Output lane within the port.
+    pub out_lane: usize,
+}
+
+/// The allocated circuit(s) for one tile-to-tile demand: all task-graph
+/// edges between the same source and destination tile share it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdgeRoute {
+    /// The edges served by this circuit (at least one).
+    pub edges: Vec<EdgeId>,
+    /// Parallel physical circuits (one per allocated lane). Empty when
+    /// source and destination share a tile (no NoC traversal).
+    pub paths: Vec<Vec<PathHop>>,
+    /// Bandwidth each circuit provides.
+    pub lane_capacity: Bandwidth,
+}
+
+impl EdgeRoute {
+    /// Total bandwidth allocated to the demand.
+    pub fn allocated_bandwidth(&self) -> Bandwidth {
+        if self.paths.is_empty() {
+            // On-tile communication is not NoC-limited.
+            Bandwidth(f64::INFINITY)
+        } else {
+            self.lane_capacity * self.paths.len() as f64
+        }
+    }
+
+    /// Does this circuit serve `edge`?
+    pub fn serves(&self, edge: EdgeId) -> bool {
+        self.edges.contains(&edge)
+    }
+
+    /// Hop count of the circuit (routers traversed).
+    pub fn hops(&self) -> usize {
+        self.paths.first().map_or(0, |p| p.len())
+    }
+}
+
+/// A complete application mapping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mapping {
+    /// Process placements.
+    pub placement: Vec<(ProcessId, NodeId)>,
+    /// Per-edge circuits.
+    pub routes: Vec<EdgeRoute>,
+}
+
+impl Mapping {
+    /// The tile a process was placed on.
+    pub fn node_of(&self, p: ProcessId) -> Option<NodeId> {
+        self.placement
+            .iter()
+            .find(|&&(q, _)| q == p)
+            .map(|&(_, n)| n)
+    }
+
+    /// Total router hops over all circuits (a mapping-quality metric).
+    pub fn total_hops(&self) -> usize {
+        self.routes.iter().map(|r| r.hops() * r.paths.len().max(1)).sum()
+    }
+
+    /// The configuration words the CCN must deliver, as `(router, word)`
+    /// pairs in teardown-safe order (setup is order-independent because
+    /// each word touches one output lane).
+    pub fn config_words(&self, params: &RouterParams) -> Vec<(NodeId, ConfigWord)> {
+        let mut words = Vec::new();
+        for route in &self.routes {
+            for path in &route.paths {
+                for hop in path {
+                    let select = params
+                        .foreign_select(hop.out_port, hop.in_port, hop.in_lane)
+                        .expect("allocator produced a legal hop");
+                    let word = ConfigWord::for_lane(
+                        hop.out_port,
+                        hop.out_lane,
+                        ConfigEntry::active(select),
+                        params,
+                    )
+                    .expect("allocator produced a legal lane");
+                    words.push((hop.node, word));
+                }
+            }
+        }
+        words
+    }
+
+    /// Apply the mapping directly to a SoC's routers (the instantaneous
+    /// testbench path; production delivery goes through [`crate::be`]).
+    pub fn apply_direct(&self, soc: &mut Soc) -> Result<(), ConfigError> {
+        let params = *soc.params();
+        for (node, word) in self.config_words(&params) {
+            soc.router_mut(node).apply_config_word(word)?;
+        }
+        Ok(())
+    }
+
+    /// The tile transmit lane assigned to an edge at its source (for
+    /// binding traffic sources), when the edge crosses the NoC.
+    pub fn source_lane(&self, edge: EdgeId) -> Option<usize> {
+        self.routes
+            .iter()
+            .find(|r| r.serves(edge))
+            .and_then(|r| r.paths.first())
+            .and_then(|p| p.first())
+            .map(|hop| hop.in_lane)
+    }
+
+    /// The tile receive lane at an edge's destination.
+    pub fn dest_lane(&self, edge: EdgeId) -> Option<usize> {
+        self.routes
+            .iter()
+            .find(|r| r.serves(edge))
+            .and_then(|r| r.paths.first())
+            .and_then(|p| p.last())
+            .map(|hop| hop.out_lane)
+    }
+}
+
+/// Why a mapping attempt failed feasibility analysis.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MappingError {
+    /// More processes than tiles.
+    NotEnoughTiles {
+        /// Processes requested.
+        processes: usize,
+        /// Tiles available.
+        tiles: usize,
+    },
+    /// An edge needs more parallel lanes than a port offers.
+    EdgeTooWide {
+        /// The offending edge.
+        edge: EdgeId,
+        /// Lanes required.
+        needed: usize,
+        /// Lanes per port.
+        available: usize,
+    },
+    /// No path with enough free lanes exists.
+    NoPath {
+        /// The edge that could not be routed.
+        edge: EdgeId,
+    },
+    /// A tile ran out of interface lanes for its streams.
+    TileLanesExhausted {
+        /// The saturated node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::NotEnoughTiles { processes, tiles } => {
+                write!(f, "{processes} processes but only {tiles} tiles")
+            }
+            MappingError::EdgeTooWide {
+                edge,
+                needed,
+                available,
+            } => write!(
+                f,
+                "edge {edge:?} needs {needed} lanes, a port has {available}"
+            ),
+            MappingError::NoPath { edge } => write!(f, "no lane path for edge {edge:?}"),
+            MappingError::TileLanesExhausted { node } => {
+                write!(f, "tile {node:?} has no free interface lanes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
+
+/// The Central Coordination Node.
+#[derive(Debug, Clone)]
+pub struct Ccn {
+    mesh: Mesh,
+    params: RouterParams,
+    clock: MegaHertz,
+}
+
+/// Lane-occupancy bookkeeping during allocation.
+struct Allocator {
+    /// Free lanes per directed link, keyed by `(node, out port)`.
+    link_free: HashMap<(NodeId, Port), Vec<bool>>,
+    /// Free tile transmit lanes per node (tile → router direction).
+    tx_free: Vec<Vec<bool>>,
+    /// Free tile receive lanes per node (router → tile direction).
+    rx_free: Vec<Vec<bool>>,
+}
+
+impl Allocator {
+    fn new(mesh: &Mesh, params: &RouterParams) -> Allocator {
+        let mut link_free = HashMap::new();
+        for (from, port, _) in mesh.links() {
+            link_free.insert((from, port), vec![true; params.lanes_per_port]);
+        }
+        Allocator {
+            link_free,
+            tx_free: (0..mesh.nodes()).map(|_| vec![true; params.lanes_per_port]).collect(),
+            rx_free: (0..mesh.nodes()).map(|_| vec![true; params.lanes_per_port]).collect(),
+        }
+    }
+
+    fn link_free_count(&self, node: NodeId, port: Port) -> usize {
+        self.link_free
+            .get(&(node, port))
+            .map_or(0, |v| v.iter().filter(|&&f| f).count())
+    }
+
+    /// Mark every lane of a directed link as unusable (fault injection).
+    fn kill_link(&mut self, node: NodeId, port: Port) {
+        if let Some(lanes) = self.link_free.get_mut(&(node, port)) {
+            lanes.fill(false);
+        }
+    }
+
+    /// Claim `k` lanes on a directed link; returns their indices.
+    fn claim_link(&mut self, node: NodeId, port: Port, k: usize) -> Vec<usize> {
+        let lanes = self
+            .link_free
+            .get_mut(&(node, port))
+            .expect("link exists");
+        let mut out = Vec::with_capacity(k);
+        for (i, free) in lanes.iter_mut().enumerate() {
+            if *free && out.len() < k {
+                *free = false;
+                out.push(i);
+            }
+        }
+        assert_eq!(out.len(), k, "claim_link called without capacity check");
+        out
+    }
+
+    fn claim_tile(pool: &mut [bool], k: usize) -> Option<Vec<usize>> {
+        let mut out = Vec::with_capacity(k);
+        for (i, free) in pool.iter_mut().enumerate() {
+            if *free && out.len() < k {
+                *free = false;
+                out.push(i);
+            }
+        }
+        (out.len() == k).then_some(out)
+    }
+}
+
+impl Ccn {
+    /// A CCN for the given mesh and router configuration at the SoC clock.
+    pub fn new(mesh: Mesh, params: RouterParams, clock: MegaHertz) -> Ccn {
+        Ccn {
+            mesh,
+            params,
+            clock,
+        }
+    }
+
+    /// Payload bandwidth of one lane at the SoC clock (16 payload bits per
+    /// 5-cycle phit on a 4-bit lane: 80 Mbit/s at 25 MHz).
+    pub fn lane_capacity(&self) -> Bandwidth {
+        Bandwidth(self.clock.value() * self.params.lane_payload_bits_per_cycle())
+    }
+
+    /// Map an application onto tiles and lanes.
+    pub fn map(
+        &self,
+        graph: &TaskGraph,
+        tile_kinds: &[TileKind],
+    ) -> Result<Mapping, MappingError> {
+        self.map_with_faults(graph, tile_kinds, &[])
+    }
+
+    /// Map an application while avoiding failed links.
+    ///
+    /// Each `(node, port)` names one *directed* link leaving `node`; a
+    /// physically broken link should be listed in both directions. Dead
+    /// links simply have no free lanes, so path allocation routes around
+    /// them (or reports [`MappingError::NoPath`] when no detour exists) —
+    /// the CCN-side half of fault tolerance, exercised by the
+    /// fault-injection tests.
+    pub fn map_with_faults(
+        &self,
+        graph: &TaskGraph,
+        tile_kinds: &[TileKind],
+        dead_links: &[(NodeId, Port)],
+    ) -> Result<Mapping, MappingError> {
+        assert_eq!(tile_kinds.len(), self.mesh.nodes(), "one kind per tile");
+        let clusters = self.cluster(graph);
+        let cluster_count = clusters.iter().collect::<std::collections::HashSet<_>>().len();
+        if cluster_count > self.mesh.nodes() {
+            return Err(MappingError::NotEnoughTiles {
+                processes: cluster_count,
+                tiles: self.mesh.nodes(),
+            });
+        }
+
+        let placement = self.place(graph, tile_kinds, &clusters);
+        let routes = self.route_with_faults(graph, &placement, dead_links)?;
+        Ok(Mapping { placement, routes })
+    }
+
+    /// Reduce tile-interface lane pressure by co-locating processes.
+    ///
+    /// A tile has `lanes_per_port` transmit and receive lanes; a process
+    /// with more distinct communication partners than that cannot live
+    /// alone. Repeatedly merge the most-pressured cluster with the partner
+    /// cluster it exchanges the most bandwidth with, until every cluster's
+    /// distinct-partner counts fit (or everything is one cluster, in which
+    /// case all communication is on-tile and trivially feasible).
+    ///
+    /// Returns, per process index, its cluster's representative.
+    fn cluster(&self, graph: &TaskGraph) -> Vec<usize> {
+        let n = graph.process_count();
+        let mut rep: Vec<usize> = (0..n).collect();
+        // Small n: resolve representatives by scanning (no union-find rank
+        // machinery needed at task-graph sizes).
+        fn find(rep: &[usize], mut i: usize) -> usize {
+            while rep[i] != i {
+                i = rep[i];
+            }
+            i
+        }
+
+        let lanes = self.params.lanes_per_port;
+        loop {
+            // Distinct out/in partner clusters and exchanged bandwidth.
+            let mut out_partners: HashMap<usize, HashMap<usize, f64>> = HashMap::new();
+            let mut in_partners: HashMap<usize, HashMap<usize, f64>> = HashMap::new();
+            for (_, e) in graph.edges() {
+                let s = find(&rep, e.src.0);
+                let d = find(&rep, e.dst.0);
+                if s == d {
+                    continue;
+                }
+                *out_partners.entry(s).or_default().entry(d).or_default() +=
+                    e.bandwidth.value();
+                *in_partners.entry(d).or_default().entry(s).or_default() +=
+                    e.bandwidth.value();
+            }
+
+            // Find the most over-pressured cluster.
+            let mut worst: Option<(usize, usize)> = None; // (overflow, cluster)
+            for c in 0..n {
+                if find(&rep, c) != c {
+                    continue;
+                }
+                let o = out_partners.get(&c).map_or(0, |m| m.len());
+                let i = in_partners.get(&c).map_or(0, |m| m.len());
+                let overflow = o.saturating_sub(lanes) + i.saturating_sub(lanes);
+                if overflow > 0 && worst.map_or(true, |(w, _)| overflow > w) {
+                    worst = Some((overflow, c));
+                }
+            }
+            let Some((_, c)) = worst else { break };
+
+            // Merge with the partner exchanging the most bandwidth (both
+            // directions summed once). BTreeMap keeps candidate order —
+            // and therefore tie-breaking — deterministic.
+            let mut exchanged: std::collections::BTreeMap<usize, f64> =
+                std::collections::BTreeMap::new();
+            if let Some(m) = out_partners.get(&c) {
+                for (&p, &bw) in m {
+                    *exchanged.entry(p).or_default() += bw;
+                }
+            }
+            if let Some(m) = in_partners.get(&c) {
+                for (&p, &bw) in m {
+                    *exchanged.entry(p).or_default() += bw;
+                }
+            }
+            let mut best_partner: Option<(f64, usize)> = None;
+            for (&p, &total) in &exchanged {
+                let better = match best_partner {
+                    None => true,
+                    // Strictly more bandwidth wins; ties keep the earlier
+                    // (smaller-id) partner.
+                    Some((b, _)) => total > b + 1e-9,
+                };
+                if better {
+                    best_partner = Some((total, p));
+                }
+            }
+            let Some((_, p)) = best_partner else { break };
+            let (lo, hi) = (c.min(p), c.max(p));
+            rep[hi] = lo;
+        }
+
+        (0..n).map(|i| find(&rep, i)).collect()
+    }
+
+    /// Greedy spatial mapping of clusters: heaviest communicators first,
+    /// each to the free tile minimising bandwidth-weighted distance to
+    /// already-placed partners, with affinity preference.
+    fn place(
+        &self,
+        graph: &TaskGraph,
+        tile_kinds: &[TileKind],
+        clusters: &[usize],
+    ) -> Vec<(ProcessId, NodeId)> {
+        // External bandwidth per cluster.
+        let mut volume: HashMap<usize, f64> = HashMap::new();
+        for (_, e) in graph.edges() {
+            let s = clusters[e.src.0];
+            let d = clusters[e.dst.0];
+            if s != d {
+                *volume.entry(s).or_default() += e.bandwidth.value();
+                *volume.entry(d).or_default() += e.bandwidth.value();
+            }
+        }
+        let mut order: Vec<usize> = clusters
+            .iter()
+            .copied()
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        order.sort_by(|a, b| {
+            let va = volume.get(a).copied().unwrap_or(0.0);
+            let vb = volume.get(b).copied().unwrap_or(0.0);
+            vb.partial_cmp(&va).unwrap().then(a.cmp(b))
+        });
+
+        let mut placed: HashMap<usize, NodeId> = HashMap::new();
+        let mut used = vec![false; self.mesh.nodes()];
+        for cid in order {
+            // Affinity: any member process's hint counts.
+            let hints: Vec<&str> = graph
+                .processes()
+                .filter(|(id, _)| clusters[id.0] == cid)
+                .filter_map(|(_, p)| p.affinity.as_deref())
+                .collect();
+            let mut best: Option<(f64, NodeId)> = None;
+            for node in self.mesh.iter() {
+                if used[node.0] {
+                    continue;
+                }
+                let mut cost = 0.0;
+                for (_, e) in graph.edges() {
+                    let (s, d) = (clusters[e.src.0], clusters[e.dst.0]);
+                    let other = if s == cid && d != cid {
+                        d
+                    } else if d == cid && s != cid {
+                        s
+                    } else {
+                        continue;
+                    };
+                    if let Some(&other_node) = placed.get(&other) {
+                        cost += e.bandwidth.value()
+                            * self.mesh.distance(node, other_node) as f64;
+                    }
+                }
+                let affinity_ok =
+                    hints.is_empty() || hints.iter().any(|h| tile_kinds[node.0].matches_affinity(h));
+                if !affinity_ok {
+                    // Affinity miss: pay the volume again — placement
+                    // still succeeds when no matching tile is free.
+                    cost += volume.get(&cid).copied().unwrap_or(0.0) + 1.0;
+                }
+                if best.map_or(true, |(c, _)| cost < c) {
+                    best = Some((cost, node));
+                }
+            }
+            let (_, node) = best.expect("cluster count checked before placement");
+            used[node.0] = true;
+            placed.insert(cid, node);
+        }
+
+        let mut out: Vec<(ProcessId, NodeId)> = graph
+            .processes()
+            .map(|(id, _)| (id, placed[&clusters[id.0]]))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Allocate lane paths per tile-to-tile demand, heaviest first. All
+    /// edges between the same tile pair share one circuit: the tile
+    /// interface multiplexes them at word level.
+    #[cfg(test)]
+    fn route(
+        &self,
+        graph: &TaskGraph,
+        placement: &[(ProcessId, NodeId)],
+    ) -> Result<Vec<EdgeRoute>, MappingError> {
+        self.route_with_faults(graph, placement, &[])
+    }
+
+    fn route_with_faults(
+        &self,
+        graph: &TaskGraph,
+        placement: &[(ProcessId, NodeId)],
+        dead_links: &[(NodeId, Port)],
+    ) -> Result<Vec<EdgeRoute>, MappingError> {
+        let node_of: HashMap<ProcessId, NodeId> = placement.iter().copied().collect();
+        let mut alloc = Allocator::new(&self.mesh, &self.params);
+        for &(node, port) in dead_links {
+            alloc.kill_link(node, port);
+        }
+        let capacity = self.lane_capacity();
+
+        // Aggregate edges into demands by (src tile, dst tile).
+        let mut demands: HashMap<(NodeId, NodeId), (Vec<EdgeId>, f64)> = HashMap::new();
+        for (id, e) in graph.edges() {
+            let key = (node_of[&e.src], node_of[&e.dst]);
+            let entry = demands.entry(key).or_default();
+            entry.0.push(id);
+            entry.1 += e.bandwidth.value();
+        }
+        let mut demand_list: Vec<((NodeId, NodeId), (Vec<EdgeId>, f64))> =
+            demands.into_iter().collect();
+        demand_list.sort_by(|a, b| {
+            b.1 .1
+                .partial_cmp(&a.1 .1)
+                .unwrap()
+                .then(a.1 .0.cmp(&b.1 .0))
+        });
+
+        let mut routes = Vec::with_capacity(demand_list.len());
+        for ((src, dst), (mut edge_ids, total_bw)) in demand_list {
+            edge_ids.sort();
+            if src == dst {
+                routes.push(EdgeRoute {
+                    edges: edge_ids,
+                    paths: Vec::new(),
+                    lane_capacity: capacity,
+                });
+                continue;
+            }
+            let needed = (total_bw / capacity.value()).ceil().max(1.0) as usize;
+            if needed > self.params.lanes_per_port {
+                return Err(MappingError::EdgeTooWide {
+                    edge: edge_ids[0],
+                    needed,
+                    available: self.params.lanes_per_port,
+                });
+            }
+
+            // BFS for the shortest node path whose links all have `needed`
+            // free lanes.
+            let node_path = self
+                .bfs(src, dst, needed, &alloc)
+                .ok_or(MappingError::NoPath { edge: edge_ids[0] })?;
+
+            // Claim tile lanes at the endpoints.
+            let tx = Allocator::claim_tile(&mut alloc.tx_free[src.0], needed)
+                .ok_or(MappingError::TileLanesExhausted { node: src })?;
+            let rx = Allocator::claim_tile(&mut alloc.rx_free[dst.0], needed)
+                .ok_or(MappingError::TileLanesExhausted { node: dst })?;
+
+            // Claim link lanes hop by hop.
+            let mut link_lanes: Vec<Vec<usize>> = Vec::new(); // [hop][parallel]
+            for w in node_path.windows(2) {
+                let port = self
+                    .port_between(w[0], w[1])
+                    .expect("BFS path uses mesh links");
+                link_lanes.push(alloc.claim_link(w[0], port, needed));
+            }
+
+            // Assemble per-parallel-circuit hop lists.
+            let mut paths = Vec::with_capacity(needed);
+            for j in 0..needed {
+                let mut hops = Vec::with_capacity(node_path.len());
+                for (i, &node) in node_path.iter().enumerate() {
+                    let (in_port, in_lane) = if i == 0 {
+                        (Port::Tile, tx[j])
+                    } else {
+                        let from = node_path[i - 1];
+                        let port = self.port_between(from, node).unwrap();
+                        (port.opposite().unwrap(), link_lanes[i - 1][j])
+                    };
+                    let (out_port, out_lane) = if i + 1 == node_path.len() {
+                        (Port::Tile, rx[j])
+                    } else {
+                        let port = self.port_between(node, node_path[i + 1]).unwrap();
+                        (port, link_lanes[i][j])
+                    };
+                    hops.push(PathHop {
+                        node,
+                        in_port,
+                        in_lane,
+                        out_port,
+                        out_lane,
+                    });
+                }
+                paths.push(hops);
+            }
+            routes.push(EdgeRoute {
+                edges: edge_ids,
+                paths,
+                lane_capacity: capacity,
+            });
+        }
+        routes.sort_by_key(|r| r.edges[0]);
+        Ok(routes)
+    }
+
+    fn port_between(&self, from: NodeId, to: NodeId) -> Option<Port> {
+        Port::NEIGHBOURS
+            .into_iter()
+            .find(|&p| self.mesh.neighbour(from, p) == Some(to))
+    }
+
+    /// Shortest path by BFS over links with at least `needed` free lanes.
+    fn bfs(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        needed: usize,
+        alloc: &Allocator,
+    ) -> Option<Vec<NodeId>> {
+        let mut prev: HashMap<NodeId, NodeId> = HashMap::new();
+        let mut queue = VecDeque::from([src]);
+        let mut seen = vec![false; self.mesh.nodes()];
+        seen[src.0] = true;
+        while let Some(node) = queue.pop_front() {
+            if node == dst {
+                let mut path = vec![dst];
+                let mut cur = dst;
+                while let Some(&p) = prev.get(&cur) {
+                    path.push(p);
+                    cur = p;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for port in Port::NEIGHBOURS {
+                if let Some(next) = self.mesh.neighbour(node, port) {
+                    if !seen[next.0] && alloc.link_free_count(node, port) >= needed {
+                        seen[next.0] = true;
+                        prev.insert(next, node);
+                        queue.push_back(next);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Feasibility report: does every circuit carry at least the summed
+    /// bandwidth of the edges sharing it?
+    pub fn verify(&self, graph: &TaskGraph, mapping: &Mapping) -> bool {
+        // Every edge must be served by exactly one route…
+        let all_served = graph.edges().all(|(id, _)| {
+            mapping.routes.iter().filter(|r| r.serves(id)).count() == 1
+        });
+        // …and every route must cover its demand.
+        let all_covered = mapping.routes.iter().all(|r| {
+            let demand: f64 = r
+                .edges
+                .iter()
+                .map(|&id| graph.edge(id).bandwidth.value())
+                .sum();
+            r.allocated_bandwidth().value() >= demand - 1e-9
+        });
+        all_served && all_covered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_apps::taskgraph::TrafficShape;
+
+    fn kinds(n: usize) -> Vec<TileKind> {
+        let palette = [
+            TileKind::Gpp,
+            TileKind::Dsp,
+            TileKind::Asic,
+            TileKind::Dsrh,
+            TileKind::Fpga,
+            TileKind::Dsrh,
+        ];
+        (0..n).map(|i| palette[i % palette.len()]).collect()
+    }
+
+    fn ccn(w: usize, h: usize) -> Ccn {
+        Ccn::new(Mesh::new(w, h), RouterParams::paper(), MegaHertz(25.0))
+    }
+
+    fn pipeline(stages: usize, bw: f64) -> TaskGraph {
+        let mut g = TaskGraph::new("pipe");
+        let ids: Vec<ProcessId> = (0..stages).map(|i| g.add_process(format!("s{i}"))).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], Bandwidth(bw), TrafficShape::Streaming, "e");
+        }
+        g
+    }
+
+    #[test]
+    fn lane_capacity_at_25_mhz_is_80_mbit() {
+        assert!((ccn(2, 2).lane_capacity().value() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn maps_a_pipeline_and_verifies() {
+        let c = ccn(3, 3);
+        let g = pipeline(5, 60.0);
+        let m = c.map(&g, &kinds(9)).expect("feasible");
+        assert_eq!(m.placement.len(), 5);
+        assert!(c.verify(&g, &m));
+        // Placement is injective.
+        let nodes: std::collections::HashSet<NodeId> =
+            m.placement.iter().map(|&(_, n)| n).collect();
+        assert_eq!(nodes.len(), 5);
+    }
+
+    #[test]
+    fn heavy_neighbours_are_placed_adjacently() {
+        // Two heavy communicators should end up one hop apart.
+        let c = ccn(4, 4);
+        let mut g = TaskGraph::new("pair");
+        let a = g.add_process("a");
+        let b = g.add_process("b");
+        g.add_edge(a, b, Bandwidth(79.0), TrafficShape::Streaming, "hot");
+        let m = c.map(&g, &kinds(16)).unwrap();
+        let na = m.node_of(a).unwrap();
+        let nb = m.node_of(b).unwrap();
+        assert_eq!(c.mesh.distance(na, nb), 1);
+    }
+
+    #[test]
+    fn wide_edge_takes_multiple_lanes() {
+        // 200 Mbit/s at 80 Mbit/s per lane -> 3 parallel circuits.
+        let c = ccn(2, 1);
+        let g = pipeline(2, 200.0);
+        let m = c.map(&g, &kinds(2)).unwrap();
+        let route = &m.routes[0];
+        assert_eq!(route.paths.len(), 3);
+        assert!(c.verify(&g, &m));
+        // Parallel circuits use distinct lanes of the same link.
+        let lanes: std::collections::HashSet<usize> = route
+            .paths
+            .iter()
+            .map(|p| p.first().unwrap().out_lane)
+            .collect();
+        assert_eq!(lanes.len(), 3);
+    }
+
+    #[test]
+    fn edge_beyond_port_capacity_rejected() {
+        // 400 Mbit/s needs 5 lanes; a port has 4.
+        let c = ccn(2, 1);
+        let g = pipeline(2, 400.0);
+        match c.map(&g, &kinds(2)) {
+            Err(MappingError::EdgeTooWide { needed: 5, .. }) => {}
+            other => panic!("expected EdgeTooWide, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn too_many_processes_rejected() {
+        let c = ccn(2, 1);
+        let g = pipeline(3, 1.0);
+        assert!(matches!(
+            c.map(&g, &kinds(2)),
+            Err(MappingError::NotEnoughTiles { processes: 3, tiles: 2 })
+        ));
+    }
+
+    #[test]
+    fn congestion_routes_around_saturated_link() {
+        // A heavy stream (0,0)->(2,0) claims all four lanes of the two
+        // eastbound links of the top row; a later stream (1,0)->(2,1) must
+        // avoid the saturated (1,0)->East link and go through (1,1).
+        let c = ccn(3, 2);
+        let mut g = TaskGraph::new("congest");
+        let p0 = g.add_process("src-heavy");
+        let p1 = g.add_process("dst-heavy");
+        let p2 = g.add_process("src-light");
+        let p3 = g.add_process("dst-light");
+        let e1 = g.add_edge(p0, p1, Bandwidth(310.0), TrafficShape::Streaming, "heavy");
+        let e2 = g.add_edge(p2, p3, Bandwidth(79.0), TrafficShape::Streaming, "light");
+        // Hand placement (bypasses `place` so the contention is exact).
+        let mesh = c.mesh;
+        let placement = vec![
+            (p0, mesh.node(0, 0)),
+            (p1, mesh.node(2, 0)),
+            (p2, mesh.node(1, 0)),
+            (p3, mesh.node(2, 1)),
+        ];
+        let routes = c.route(&g, &placement).expect("detour exists");
+        let heavy = routes.iter().find(|r| r.serves(e1)).unwrap();
+        assert_eq!(heavy.paths.len(), 4, "310 Mbit/s = 4 lanes at 80 each");
+        let light = routes.iter().find(|r| r.serves(e2)).unwrap();
+        // The light stream's first hop must leave south, not east.
+        let first_hop = &light.paths[0][0];
+        assert_eq!(first_hop.out_port, Port::South, "must avoid saturated link");
+        assert_eq!(light.paths[0].len(), 3, "one router more than direct XY? no: equal-length detour through (1,1)");
+    }
+
+    #[test]
+    fn saturated_line_yields_no_path() {
+        // On a 1-D mesh there is no detour: two streams needing 3+2 lanes
+        // of the same eastbound link cannot both be admitted.
+        let c = ccn(3, 1);
+        let mut g = TaskGraph::new("line");
+        let a = g.add_process("a");
+        let b = g.add_process("b");
+        let d = g.add_process("d");
+        g.add_edge(a, d, Bandwidth(230.0), TrafficShape::Streaming, "3 lanes");
+        g.add_edge(b, d, Bandwidth(155.0), TrafficShape::Streaming, "2 lanes");
+        let mesh = c.mesh;
+        let placement = vec![
+            (a, mesh.node(0, 0)),
+            (b, mesh.node(1, 0)),
+            (d, mesh.node(2, 0)),
+        ];
+        // Link (1,0)->East would need 5 lanes; expect NoPath for the
+        // lighter edge (routed second).
+        match c.route(&g, &placement) {
+            Err(MappingError::NoPath { .. }) => {}
+            other => panic!("expected NoPath, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn config_words_apply_to_a_soc() {
+        let c = ccn(3, 1);
+        let g = pipeline(3, 60.0);
+        let m = c.map(&g, &kinds(3)).unwrap();
+        let mut soc = Soc::new(Mesh::new(3, 1), RouterParams::paper());
+        m.apply_direct(&mut soc).expect("all words legal");
+        // Each route's hops configured: every hop's output lane is active.
+        for route in &m.routes {
+            for path in &route.paths {
+                for hop in path {
+                    let entry = soc
+                        .router(hop.node)
+                        .config()
+                        .entry_of(hop.out_port, hop.out_lane);
+                    assert!(entry.active, "hop not configured: {hop:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_tile_edge_needs_no_lanes() {
+        // Force a tiny mesh so two processes share... actually placement
+        // is injective; same-tile edges only occur with process count 1.
+        // Exercise the branch directly instead.
+        let c = ccn(1, 1);
+        let mut g = TaskGraph::new("self");
+        let a = g.add_process("a");
+        let m = c.map(&g, &kinds(1)).unwrap();
+        assert_eq!(m.node_of(a), Some(NodeId(0)));
+        assert!(m.routes.is_empty());
+    }
+
+    #[test]
+    fn affinity_steers_placement() {
+        let c = ccn(2, 1);
+        let mut g = TaskGraph::new("aff");
+        let p = g.add_process_with_affinity("filter", "DSP");
+        let q = g.add_process("other");
+        g.add_edge(p, q, Bandwidth(1.0), TrafficShape::Streaming, "e");
+        // Tile 1 is the DSP.
+        let tiles = vec![TileKind::Gpp, TileKind::Dsp];
+        let m = c.map(&g, &tiles).unwrap();
+        assert_eq!(m.node_of(p), Some(NodeId(1)), "DSP process on DSP tile");
+    }
+}

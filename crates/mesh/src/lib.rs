@@ -1,0 +1,46 @@
+//! # noc-mesh — the multi-tile SoC substrate
+//!
+//! The paper's router lives inside a heterogeneous multi-tile
+//! System-on-Chip (Fig. 1): a regular 2-D mesh of circuit-switched routers,
+//! each attached to one processing tile, coordinated by a Central
+//! Coordination Node (CCN) that "performs run-time mapping of the newly
+//! arrived applications to suitable processing tiles and inter-processing
+//! communications to a concatenation of network links" (Section 1.1). This
+//! crate builds that whole substrate:
+//!
+//! * [`topology`] — the mesh: node coordinates, neighbour relations, links.
+//! * [`tile`] — processing tiles (GPP/DSP/ASIC/FPGA/DSRH kinds of Fig. 1)
+//!   acting as stream sources/sinks through the 16-bit tile interface.
+//! * [`soc`] — the assembled SoC: routers + tiles + link wiring, stepped
+//!   cycle-by-cycle, serially or in parallel across cores
+//!   ([`noc_sim::par`]) — evaluation order cannot matter thanks to the
+//!   two-phase clocking contract.
+//! * [`ccn`] — the CCN: spatial mapping of Kahn process graphs onto tiles,
+//!   lane-path allocation over the mesh (one or more physical lanes per
+//!   edge), admission control against guaranteed-throughput budgets, and
+//!   configuration-word generation.
+//! * [`be`] — the best-effort network that carries configuration data to
+//!   the routers' 10-bit configuration interfaces (paper Section 5.1: the
+//!   GT crossbar cannot route packets, so configuration rides a separate
+//!   BE network).
+//! * [`reconfig`] — run-time reconfiguration: stream teardown/setup diffs
+//!   delivered over the BE network, with the paper's <20 ms full-router
+//!   budget checked.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod be;
+pub mod ccn;
+pub mod packet_mesh;
+pub mod reconfig;
+pub mod soc;
+pub mod tile;
+pub mod topology;
+
+pub use be::{BeConfig, BeNetwork};
+pub use ccn::{Ccn, Mapping, MappingError, PathHop};
+pub use packet_mesh::{PacketMesh, RandomTraffic};
+pub use soc::Soc;
+pub use tile::{Tile, TileKind};
+pub use topology::{Mesh, NodeId};

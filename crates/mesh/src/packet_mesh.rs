@@ -1,0 +1,309 @@
+//! A mesh of packet-switched routers — the best-effort data plane.
+//!
+//! The paper dedicates the circuit-switched fabric to guaranteed-throughput
+//! traffic and "aims for a packet-switched solution" for the best-effort
+//! remainder (Section 5). This module builds that plane out of
+//! `noc-packet`'s routers: a 2-D mesh with credit-managed links and
+//! uniform-random tile traffic — the "local area network approach where
+//! the benchmarks use random traffic patterns" that Section 2 notes is the
+//! customary way to evaluate NoC routers. The `be_random_traffic` binary
+//! sweeps injection rate against delivery latency on it.
+
+use crate::topology::{Mesh, NodeId};
+use noc_packet::flit::{Flit, FlitKind};
+use noc_packet::params::{PacketParams, PacketPort};
+use noc_packet::router::PacketRouter;
+use noc_packet::routing::Coords;
+use noc_packet::vc::VcId;
+use noc_sim::kernel::Clocked;
+use noc_sim::rng::SplitMix64;
+use noc_sim::stats::{Histogram, Running};
+use noc_sim::time::{Cycle, CycleCount};
+
+/// Map a mesh port to the packet router's port type.
+fn pport(port: noc_core::lane::Port) -> PacketPort {
+    match port {
+        noc_core::lane::Port::Tile => PacketPort::Tile,
+        noc_core::lane::Port::North => PacketPort::North,
+        noc_core::lane::Port::East => PacketPort::East,
+        noc_core::lane::Port::South => PacketPort::South,
+        noc_core::lane::Port::West => PacketPort::West,
+    }
+}
+
+/// Uniform-random best-effort traffic configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomTraffic {
+    /// Offered load: probability per node per cycle of generating a packet.
+    pub packet_rate: f64,
+    /// Payload words per packet (wire flits = words + 1 head).
+    pub packet_words: usize,
+}
+
+/// The packet-switched mesh under uniform-random traffic.
+#[derive(Debug)]
+pub struct PacketMesh {
+    mesh: Mesh,
+    routers: Vec<PacketRouter>,
+    /// Flits awaiting injection at each tile (unbounded source queue; its
+    /// depth measures congestion).
+    backlog: Vec<std::collections::VecDeque<Flit>>,
+    traffic: RandomTraffic,
+    rng: SplitMix64,
+    now: Cycle,
+    /// Packet delivery latency in cycles (head injection → tail delivery),
+    /// bucketed.
+    pub latency: Histogram,
+    /// Running latency statistics.
+    pub latency_stats: Running,
+    /// Packets fully delivered.
+    pub packets_delivered: u64,
+    /// Packets generated.
+    pub packets_generated: u64,
+    /// Per-node, per-VC partial-packet timestamp being reassembled (from
+    /// the body word carrying the injection cycle) — wormholes on
+    /// different VCs interleave at the tile and must not mix.
+    rx_inject_ts: Vec<[Option<u16>; 4]>,
+}
+
+impl PacketMesh {
+    /// A mesh of `params`-configured routers with the given traffic.
+    pub fn new(mesh: Mesh, params: PacketParams, traffic: RandomTraffic, seed: u64) -> PacketMesh {
+        assert!(traffic.packet_words >= 1, "packets need payload");
+        assert!(
+            mesh.width <= 16 && mesh.height <= 16,
+            "coords are 8-bit nibble pairs in the head flit"
+        );
+        let routers = mesh
+            .iter()
+            .map(|n| {
+                let (x, y) = mesh.coords(n);
+                PacketRouter::new(params.at(Coords::new(x as u8, y as u8)))
+            })
+            .collect();
+        PacketMesh {
+            routers,
+            backlog: mesh.iter().map(|_| Default::default()).collect(),
+            traffic,
+            rng: SplitMix64::new(seed),
+            now: Cycle::ZERO,
+            latency: Histogram::new(4, 256),
+            latency_stats: Running::new(),
+            packets_delivered: 0,
+            packets_generated: 0,
+            rx_inject_ts: mesh.iter().map(|_| [None; 4]).collect(),
+            mesh,
+        }
+    }
+
+    /// The mesh topology.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Sum of all source backlogs — grows without bound past saturation.
+    pub fn total_backlog(&self) -> usize {
+        self.backlog.iter().map(|q| q.len()).sum()
+    }
+
+    /// Generate one packet at `src` to a uniformly random other node. The
+    /// first payload word carries the injection cycle for latency
+    /// measurement; remaining words are random data.
+    fn generate_packet(&mut self, src: NodeId) {
+        let nodes = self.mesh.nodes() as u32;
+        let mut dst = self.rng.below(nodes) as usize;
+        if dst == src.0 {
+            dst = (dst + 1) % nodes as usize;
+        }
+        let (dx, dy) = self.mesh.coords(NodeId(dst));
+        let dest = Coords::new(dx as u8, dy as u8);
+        let q = &mut self.backlog[src.0];
+        q.push_back(Flit::head(dest));
+        let ts = self.now.0 as u16;
+        for i in 0..self.traffic.packet_words {
+            let word = if i == 0 { ts } else { self.rng.next_u16() };
+            q.push_back(if i + 1 == self.traffic.packet_words {
+                Flit {
+                    kind: FlitKind::Tail,
+                    payload: word,
+                }
+            } else {
+                Flit {
+                    kind: FlitKind::Body,
+                    payload: word,
+                }
+            });
+        }
+        self.packets_generated += 1;
+    }
+
+    /// Advance the whole BE plane one cycle.
+    pub fn step(&mut self) {
+        // 1. Wire the links: flits forward, credits backward. Outputs are
+        //    latched, so sampling before eval is race-free.
+        for node in self.mesh.iter() {
+            for port in noc_core::lane::Port::NEIGHBOURS {
+                if let Some(nb) = self.mesh.neighbour(node, port) {
+                    let opp = pport(port.opposite().expect("neighbour port"));
+                    let p = pport(port);
+                    // Data from neighbour's opposite output into our input.
+                    if let Some((vc, flit)) = self.routers[nb.0].link_output(opp).flit {
+                        self.routers[node.0].set_link_input(p, VcId(vc), flit);
+                    }
+                    // Credits from the neighbour's input FIFOs back to us.
+                    for vc in 0..4u8 {
+                        if self.routers[nb.0].credit_output(opp, VcId(vc)) {
+                            self.routers[node.0].set_credit_input(p, VcId(vc), true);
+                        }
+                    }
+                }
+            }
+        }
+
+        // 2. Traffic generation and injection.
+        for node in self.mesh.iter() {
+            if self.rng.chance(self.traffic.packet_rate) {
+                self.generate_packet(node);
+            }
+            if let Some(&flit) = self.backlog[node.0].front() {
+                // Pick any VC with room (head flits may start on any VC;
+                // body/tail must continue the wormhole's VC — we inject a
+                // whole packet on one VC by only switching at heads).
+                let vc = VcId(0);
+                if self.routers[node.0].tile_inject(vc, flit) {
+                    self.backlog[node.0].pop_front();
+                }
+            }
+        }
+
+        // 3. Clock all routers.
+        for r in &mut self.routers {
+            r.eval();
+        }
+        for r in &mut self.routers {
+            r.commit();
+        }
+        self.now += 1;
+
+        // 4. Tile deliveries: reassemble per VC, record latency at the tail.
+        for node in self.mesh.iter() {
+            while let Some((vc, flit)) = self.routers[node.0].tile_recv() {
+                let slot = &mut self.rx_inject_ts[node.0][vc.index()];
+                match flit.kind {
+                    FlitKind::Head => {
+                        *slot = None;
+                    }
+                    FlitKind::Body | FlitKind::Tail => {
+                        if slot.is_none() {
+                            *slot = Some(flit.payload);
+                        }
+                        if flit.kind == FlitKind::Tail {
+                            if let Some(ts) = slot.take() {
+                                let lat = (self.now.0 as u16).wrapping_sub(ts);
+                                self.latency.record(u64::from(lat));
+                                self.latency_stats.push(f64::from(lat));
+                            }
+                            self.packets_delivered += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run `cycles` cycles.
+    pub fn run(&mut self, cycles: CycleCount) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Delivered throughput in packets per node per cycle.
+    pub fn throughput(&self) -> f64 {
+        if self.now.0 == 0 {
+            0.0
+        } else {
+            self.packets_delivered as f64 / (self.now.0 as f64 * self.mesh.nodes() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traffic(rate: f64) -> RandomTraffic {
+        RandomTraffic {
+            packet_rate: rate,
+            packet_words: 4,
+        }
+    }
+
+    #[test]
+    fn light_load_delivers_everything_quickly() {
+        let mut pm = PacketMesh::new(Mesh::new(3, 3), PacketParams::paper(), traffic(0.02), 1);
+        pm.run(3000);
+        assert!(pm.packets_generated > 100);
+        let delivered_frac = pm.packets_delivered as f64 / pm.packets_generated as f64;
+        assert!(
+            delivered_frac > 0.95,
+            "light load should deliver ~all: {delivered_frac:.2}"
+        );
+        // Latency near the zero-load floor: a few cycles per hop plus
+        // serialisation.
+        let mean = pm.latency_stats.mean();
+        assert!(mean < 40.0, "mean latency {mean:.1} too high for light load");
+    }
+
+    #[test]
+    fn latency_rises_with_load() {
+        let mean_at = |rate: f64| {
+            let mut pm =
+                PacketMesh::new(Mesh::new(3, 3), PacketParams::paper(), traffic(rate), 7);
+            pm.run(3000);
+            pm.latency_stats.mean()
+        };
+        let light = mean_at(0.01);
+        let heavy = mean_at(0.12);
+        assert!(
+            heavy > light * 1.3,
+            "congestion must show: light {light:.1}, heavy {heavy:.1}"
+        );
+    }
+
+    #[test]
+    fn saturation_grows_backlog() {
+        let mut pm = PacketMesh::new(Mesh::new(3, 3), PacketParams::paper(), traffic(0.5), 3);
+        pm.run(2000);
+        assert!(
+            pm.total_backlog() > 100,
+            "past saturation the source queues must grow: {}",
+            pm.total_backlog()
+        );
+    }
+
+    #[test]
+    fn no_packets_no_latency_samples() {
+        let mut pm = PacketMesh::new(Mesh::new(2, 2), PacketParams::paper(), traffic(0.0), 9);
+        pm.run(500);
+        assert_eq!(pm.packets_generated, 0);
+        assert_eq!(pm.latency_stats.count(), 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut pm =
+                PacketMesh::new(Mesh::new(3, 3), PacketParams::paper(), traffic(0.05), seed);
+            pm.run(1500);
+            (pm.packets_delivered, pm.latency_stats.mean())
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+}

@@ -1,0 +1,254 @@
+//! Processing tiles: the endpoints of every stream.
+//!
+//! Fig. 1's SoC mixes GPPs, DSPs, ASICs, FPGAs and Domain Specific
+//! Reconfigurable Hardware (DSRH). For the communication experiments a tile
+//! is a traffic endpoint: it injects phits on bound transmit lanes
+//! (load-controlled, pattern-controlled) and drains its receive lanes,
+//! counting and optionally checking what arrives. Computation latency
+//! inside the tile is outside the paper's scope — its streams are periodic
+//! by construction (Section 3.3).
+
+use noc_apps::traffic::{DataPattern, PhitSource};
+use noc_core::router::CircuitRouter;
+use noc_core::phit::Phit;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The heterogeneous tile kinds of Fig. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TileKind {
+    /// General-purpose processor.
+    Gpp,
+    /// Digital signal processor.
+    Dsp,
+    /// Fixed-function hardware.
+    Asic,
+    /// Field-programmable fabric.
+    Fpga,
+    /// Domain-specific reconfigurable hardware (e.g. the Montium).
+    Dsrh,
+}
+
+impl TileKind {
+    /// Does this tile kind satisfy a process affinity hint?
+    pub fn matches_affinity(self, hint: &str) -> bool {
+        let name = match self {
+            TileKind::Gpp => "GPP",
+            TileKind::Dsp => "DSP",
+            TileKind::Asic => "ASIC",
+            TileKind::Fpga => "FPGA",
+            TileKind::Dsrh => "DSRH",
+        };
+        // FFT-style hints map onto reconfigurable fabric.
+        name == hint || (matches!(self, TileKind::Dsrh | TileKind::Fpga) && hint == "FFT")
+    }
+}
+
+impl fmt::Display for TileKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TileKind::Gpp => "GPP",
+            TileKind::Dsp => "DSP",
+            TileKind::Asic => "ASIC",
+            TileKind::Fpga => "FPGA",
+            TileKind::Dsrh => "DSRH",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A transmit binding: a phit source feeding one tile lane.
+#[derive(Debug, Clone)]
+struct TxBinding {
+    lane: usize,
+    source: PhitSource,
+}
+
+/// Per-receive-lane statistics.
+#[derive(Debug, Clone, Default)]
+pub struct RxStats {
+    /// Phits consumed on this lane.
+    pub received: u64,
+    /// Payload bits received.
+    pub payload_bits: u64,
+    /// Last received word (for sequence checks by tests).
+    pub last_word: Option<u16>,
+}
+
+/// One processing tile attached to a router's tile interface.
+#[derive(Debug, Clone)]
+pub struct Tile {
+    /// The tile's hardware kind.
+    pub kind: TileKind,
+    tx: Vec<TxBinding>,
+    rx_stats: Vec<RxStats>,
+}
+
+impl Tile {
+    /// A tile of `kind` with `lanes` receive lanes and no transmit
+    /// bindings yet.
+    pub fn new(kind: TileKind, lanes: usize) -> Tile {
+        Tile {
+            kind,
+            tx: Vec::new(),
+            rx_stats: vec![RxStats::default(); lanes],
+        }
+    }
+
+    /// Bind a load-controlled source to transmit lane `lane`.
+    ///
+    /// # Panics
+    /// Panics when the lane is already bound — one stream per lane is the
+    /// architecture's invariant.
+    pub fn bind_source(
+        &mut self,
+        lane: usize,
+        pattern: DataPattern,
+        seed: u64,
+        load: f64,
+        flits_per_phit: usize,
+    ) {
+        assert!(
+            self.tx.iter().all(|b| b.lane != lane),
+            "tile lane {lane} already bound"
+        );
+        self.tx.push(TxBinding {
+            lane,
+            source: PhitSource::new(pattern, seed, load, flits_per_phit),
+        });
+    }
+
+    /// Remove the source bound to `lane` (stream teardown).
+    pub fn unbind_source(&mut self, lane: usize) {
+        self.tx.retain(|b| b.lane != lane);
+    }
+
+    /// Drive one cycle of tile-side behaviour against the attached router:
+    /// offer due phits on bound lanes, drain all receive queues.
+    pub fn step(&mut self, router: &mut CircuitRouter) {
+        for binding in &mut self.tx {
+            let can = router.tile_can_send(binding.lane);
+            if let Some(phit) = binding.source.poll(can) {
+                let accepted = router.tile_send(binding.lane, phit);
+                debug_assert!(accepted, "tile_can_send implies acceptance");
+            }
+        }
+        for lane in 0..self.rx_stats.len() {
+            while let Some(phit) = router.tile_recv(lane) {
+                self.record_rx(lane, phit);
+            }
+        }
+    }
+
+    fn record_rx(&mut self, lane: usize, phit: Phit) {
+        let stats = &mut self.rx_stats[lane];
+        stats.received += 1;
+        stats.payload_bits += 16;
+        stats.last_word = Some(phit.data);
+    }
+
+    /// Statistics for receive lane `lane`.
+    pub fn rx(&self, lane: usize) -> &RxStats {
+        &self.rx_stats[lane]
+    }
+
+    /// Total phits emitted over all bound sources.
+    pub fn total_sent(&self) -> u64 {
+        self.tx.iter().map(|b| b.source.emitted).sum()
+    }
+
+    /// Total phits received over all lanes.
+    pub fn total_received(&self) -> u64 {
+        self.rx_stats.iter().map(|s| s.received).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_core::lane::Port;
+    use noc_core::params::RouterParams;
+    use noc_sim::kernel::step;
+
+    #[test]
+    fn tile_kind_affinity() {
+        assert!(TileKind::Dsp.matches_affinity("DSP"));
+        assert!(!TileKind::Dsp.matches_affinity("GPP"));
+        assert!(TileKind::Dsrh.matches_affinity("FFT"));
+        assert!(TileKind::Fpga.matches_affinity("FFT"));
+        assert!(!TileKind::Asic.matches_affinity("FFT"));
+    }
+
+    #[test]
+    fn source_feeds_router_and_sink_counts() {
+        // Loopback at one router: tile lane 0 -> East, and externally we
+        // feed East's traffic back in on North -> tile lane 0. Here just
+        // check the TX path: the tile's source drives the router.
+        let mut router = CircuitRouter::new(RouterParams::paper());
+        router.connect(Port::Tile, 0, Port::East, 0).unwrap();
+        let mut tile = Tile::new(TileKind::Dsp, 4);
+        tile.bind_source(0, DataPattern::Random, 1, 1.0, 5);
+        for _ in 0..100 {
+            tile.step(&mut router);
+            step(&mut router);
+        }
+        // 100 cycles at 1 phit/5 cycles, window WC=8 acked? No acks return
+        // here, so the window (8) bounds the emission.
+        assert_eq!(tile.total_sent(), 8);
+    }
+
+    #[test]
+    fn rx_statistics_accumulate() {
+        let mut router = CircuitRouter::new(RouterParams::paper());
+        router.connect(Port::North, 0, Port::Tile, 2).unwrap();
+        let mut tile = Tile::new(TileKind::Gpp, 4);
+        // Stream five phits in from the north.
+        let mut flits: Vec<noc_sim::bits::Nibble> = Vec::new();
+        for i in 0..5u16 {
+            flits.extend(Phit::data(0x100 + i).to_flits());
+        }
+        for nib in flits {
+            router.set_link_input(Port::North, 0, nib);
+            step(&mut router);
+            tile.step(&mut router);
+        }
+        // Drain the pipeline.
+        router.set_link_input(Port::North, 0, noc_sim::bits::Nibble::ZERO);
+        for _ in 0..5 {
+            step(&mut router);
+            tile.step(&mut router);
+        }
+        assert_eq!(tile.rx(2).received, 5);
+        assert_eq!(tile.rx(2).payload_bits, 80);
+        assert_eq!(tile.rx(2).last_word, Some(0x104));
+        assert_eq!(tile.total_received(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "already bound")]
+    fn double_binding_rejected() {
+        let mut tile = Tile::new(TileKind::Asic, 4);
+        tile.bind_source(1, DataPattern::Zeros, 1, 1.0, 5);
+        tile.bind_source(1, DataPattern::Zeros, 2, 1.0, 5);
+    }
+
+    #[test]
+    fn unbind_stops_traffic() {
+        let mut router = CircuitRouter::new(RouterParams::paper());
+        router.connect(Port::Tile, 0, Port::East, 0).unwrap();
+        let mut tile = Tile::new(TileKind::Dsrh, 4);
+        tile.bind_source(0, DataPattern::Random, 1, 1.0, 5);
+        for _ in 0..10 {
+            tile.step(&mut router);
+            step(&mut router);
+        }
+        let sent = tile.total_sent();
+        assert!(sent > 0);
+        tile.unbind_source(0);
+        for _ in 0..10 {
+            tile.step(&mut router);
+            step(&mut router);
+        }
+        assert_eq!(tile.total_sent(), 0, "source removed, counter gone");
+    }
+}

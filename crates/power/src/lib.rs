@@ -1,0 +1,53 @@
+//! # noc-power — area, timing and power models calibrated to 0.13 µm
+//!
+//! The original study synthesised both routers in a TSMC 0.13 µm low-voltage
+//! standard-cell library (TCB013LVHP) and estimated power with Synopsys Power
+//! Compiler. Neither tool is available, so this crate substitutes analytic
+//! models at the same granularity the paper reports:
+//!
+//! * [`tech`] — technology constants (gate area, leakage density, timing
+//!   overheads) for a 0.13 µm-class process, with the calibration constants
+//!   explicitly named and documented.
+//! * [`gates`] — structural gate-count formulas for every component of both
+//!   routers, driven by the routers' own parameter structs so ablations
+//!   (more lanes, more VCs, wider links) scale the model.
+//! * [`area`] — gate counts × gate area × per-component layout overheads,
+//!   reproducing Table 4's component breakdown.
+//! * [`timing`] — logic-depth-based maximum-frequency model reproducing
+//!   Table 4's 1075 MHz vs 507 MHz and the bandwidth-per-link row.
+//! * [`energy`] — per-event energies (fJ) for each
+//!   [`noc_sim::ActivityClass`], with per-component scaling.
+//! * [`estimator`] — multiplies counted activity by the energy table and
+//!   splits the result into the same three categories Power Compiler
+//!   reports: static, dynamic internal-cell, dynamic switching (Fig. 9),
+//!   plus the µW/MHz normalisation of Fig. 10.
+//! * [`synthesis`] — assembles the full Table 4, including the published
+//!   Æthereal reference row.
+//!
+//! ## Calibration policy
+//!
+//! Constants marked `CALIBRATED` in [`tech`] and [`area`] are fitted once to
+//! the paper's published numbers (Table 4 areas and frequencies) and then
+//! frozen; the power figures (Fig. 9, Fig. 10) are *measured* from simulated
+//! switching activity using one global energy scale — their shapes (offset
+//! dominance, stream-count sensitivity, bit-flip insensitivity, collision
+//! non-linearity) are emergent, not fitted. EXPERIMENTS.md records
+//! paper-vs-measured for every artefact.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod area;
+pub mod energy;
+pub mod estimator;
+pub mod gates;
+pub mod synthesis;
+pub mod tech;
+pub mod timing;
+
+pub use area::{circuit_router_area, packet_router_area, AreaBreakdown};
+pub use energy::EnergyTable;
+pub use estimator::{PowerEstimator, PowerReport};
+pub use synthesis::{table4, SynthesisRow, Table4};
+pub use tech::Technology;
+pub use timing::{circuit_router_fmax, packet_router_fmax};

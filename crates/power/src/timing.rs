@@ -1,0 +1,148 @@
+//! Maximum-frequency model from structural logic depth.
+//!
+//! The circuit router's cycle path is short — "the speed of the total
+//! network will therefore only depend on the maximum delay in a single
+//! router plus the maximum wire delay of the link" (Section 5.1) — because
+//! the only logic between registers is the configuration-indexed mux tree.
+//! The packet router stacks FIFO read muxing, two arbitration stages and a
+//! larger crossbar in one cycle. Logic depths below are counted from the
+//! component structure; the two technology constants they multiply are
+//! calibrated in [`crate::tech`].
+
+use crate::tech::Technology;
+use noc_core::params::RouterParams;
+use noc_packet::params::PacketParams;
+use noc_sim::units::{Bandwidth, MegaHertz};
+
+/// Gate levels of an `n`:1 mux tree (one 2:1 level per select bit).
+fn mux_levels(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+/// Logic depth of the circuit router's critical path: the crossbar's
+/// foreign-input mux tree plus the activation gating.
+///
+/// Paper configuration: 16:1 mux = 4 levels + 1 gating = **5 levels**.
+pub fn circuit_router_depth(p: &RouterParams) -> u32 {
+    mux_levels(p.foreign_lanes()) + 1
+}
+
+/// Logic depth of the packet router's critical path: FIFO read mux, VC
+/// state check, the input- and output-stage arbiters (priority propagation
+/// ≈ one level per requester-tree stage plus grant gating), and the
+/// crossbar mux over all input VCs.
+///
+/// Paper configuration: 2 (FIFO) + 1 (ready) + 3 (input arb over 4) +
+/// 4 (output arb over 5) + 5 (20:1 crossbar mux) + 2 (select/output gating)
+/// = **17 levels**.
+pub fn packet_router_depth(p: &PacketParams) -> u32 {
+    let fifo = mux_levels(p.fifo_depth);
+    let ready = 1;
+    let input_arb = mux_levels(p.vcs) + 1;
+    let output_arb = mux_levels(p.ports()) + 1;
+    let crossbar = mux_levels(p.ports() * p.vcs);
+    let gating = 2;
+    fifo + ready + input_arb + output_arb + crossbar + gating
+}
+
+/// Maximum clock frequency of the circuit-switched router.
+pub fn circuit_router_fmax(p: &RouterParams, tech: &Technology) -> MegaHertz {
+    tech.fmax_for_depth(circuit_router_depth(p))
+}
+
+/// Maximum clock frequency of the packet-switched router.
+pub fn packet_router_fmax(p: &PacketParams, tech: &Technology) -> MegaHertz {
+    tech.fmax_for_depth(packet_router_depth(p))
+}
+
+/// Peak bandwidth of one link direction at `fmax`: `width` bits per cycle
+/// (Table 4's "Bandwidth/link" row).
+pub fn link_bandwidth(width_bits: u32, fmax: MegaHertz) -> Bandwidth {
+    Bandwidth(f64::from(width_bits) * fmax.value())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_sim::units::relative_error;
+
+    fn tech() -> Technology {
+        Technology::tsmc_0_13um()
+    }
+
+    #[test]
+    fn paper_depths() {
+        assert_eq!(circuit_router_depth(&RouterParams::paper()), 5);
+        assert_eq!(packet_router_depth(&PacketParams::paper()), 17);
+    }
+
+    #[test]
+    fn circuit_fmax_matches_1075_mhz() {
+        let f = circuit_router_fmax(&RouterParams::paper(), &tech());
+        assert!(
+            relative_error(f.value(), 1075.0) < 0.01,
+            "got {f}, paper 1075 MHz"
+        );
+    }
+
+    #[test]
+    fn packet_fmax_matches_507_mhz() {
+        let f = packet_router_fmax(&PacketParams::paper(), &tech());
+        assert!(
+            relative_error(f.value(), 507.0) < 0.01,
+            "got {f}, paper 507 MHz"
+        );
+    }
+
+    #[test]
+    fn bandwidth_rows_match_table4() {
+        let t = tech();
+        let c = link_bandwidth(16, circuit_router_fmax(&RouterParams::paper(), &t));
+        assert!(relative_error(c.as_gbit_s(), 17.2) < 0.01, "got {c}");
+        let p = link_bandwidth(16, packet_router_fmax(&PacketParams::paper(), &t));
+        assert!(relative_error(p.as_gbit_s(), 8.1) < 0.01, "got {p}");
+    }
+
+    #[test]
+    fn more_lanes_slow_the_circuit_router() {
+        // 8 lanes/port -> 32:1 muxes -> deeper path -> lower fmax; the
+        // design-time trade-off behind "the width and number of lanes are
+        // adjustable parameters".
+        let t = tech();
+        let base = circuit_router_fmax(&RouterParams::paper(), &t);
+        let wide = circuit_router_fmax(
+            &RouterParams {
+                lanes_per_port: 8,
+                ..RouterParams::paper()
+            },
+            &t,
+        );
+        assert!(wide.value() < base.value());
+    }
+
+    #[test]
+    fn more_vcs_slow_the_packet_router() {
+        let t = tech();
+        let base = packet_router_fmax(&PacketParams::paper(), &t);
+        let more = packet_router_fmax(
+            &PacketParams {
+                vcs: 8,
+                ..PacketParams::paper()
+            },
+            &t,
+        );
+        assert!(more.value() < base.value());
+    }
+
+    #[test]
+    fn mux_levels_values() {
+        assert_eq!(mux_levels(1), 0);
+        assert_eq!(mux_levels(2), 1);
+        assert_eq!(mux_levels(16), 4);
+        assert_eq!(mux_levels(20), 5);
+    }
+}

@@ -1,0 +1,216 @@
+//! Bit-level view of bus values: widths and Hamming distances.
+//!
+//! Power estimation is toggle counting: the dynamic switching energy of a CMOS
+//! node is `½·C·V²` per *transition*, so what the simulator must know about
+//! every bus is (a) how many wires it has and (b) how many of them changed
+//! between two consecutive cycles. [`Bits`] provides exactly that and nothing
+//! more; registers and wires in [`crate::signal`] are generic over it.
+
+/// A value that can live on a bus of a fixed number of wires.
+pub trait Bits: Copy + PartialEq {
+    /// Number of wires this value occupies.
+    const WIDTH: u32;
+
+    /// Number of wires that differ between `self` and `other`
+    /// (the count of toggling nodes when a register moves from one to the
+    /// other).
+    fn hamming(self, other: Self) -> u32;
+
+    /// Number of wires at logic 1 — used for (rarely needed) state-dependent
+    /// leakage models and for test assertions on data patterns.
+    fn ones(self) -> u32;
+}
+
+macro_rules! impl_bits_uint {
+    ($t:ty, $w:expr) => {
+        impl Bits for $t {
+            const WIDTH: u32 = $w;
+
+            #[inline]
+            fn hamming(self, other: Self) -> u32 {
+                (self ^ other).count_ones()
+            }
+
+            #[inline]
+            fn ones(self) -> u32 {
+                self.count_ones()
+            }
+        }
+    };
+}
+
+impl_bits_uint!(u8, 8);
+impl_bits_uint!(u16, 16);
+impl_bits_uint!(u32, 32);
+impl_bits_uint!(u64, 64);
+
+impl Bits for bool {
+    const WIDTH: u32 = 1;
+
+    #[inline]
+    fn hamming(self, other: Self) -> u32 {
+        (self != other) as u32
+    }
+
+    #[inline]
+    fn ones(self) -> u32 {
+        self as u32
+    }
+}
+
+impl<T: Bits, const N: usize> Bits for [T; N] {
+    const WIDTH: u32 = T::WIDTH * N as u32;
+
+    #[inline]
+    fn hamming(self, other: Self) -> u32 {
+        let mut acc = 0;
+        for i in 0..N {
+            acc += self[i].hamming(other[i]);
+        }
+        acc
+    }
+
+    #[inline]
+    fn ones(self) -> u32 {
+        let mut acc = 0;
+        for v in self {
+            acc += v.ones();
+        }
+        acc
+    }
+}
+
+/// A 4-bit quantity: the value carried by one **lane** per cycle in the
+/// paper's router (Section 5.1: "small channels (e.g. four bits) called
+/// lanes"). Stored in the low nibble of a `u8`; the high nibble must be zero.
+///
+/// A dedicated newtype (instead of a bare `u8`) makes the 4-wire width visible
+/// to the toggle accounting: a lane has four data wires, not eight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Nibble(u8);
+
+impl Nibble {
+    /// The all-zero nibble (the paper's best-case data pattern).
+    pub const ZERO: Nibble = Nibble(0);
+
+    /// The all-ones nibble.
+    pub const MAX: Nibble = Nibble(0xF);
+
+    /// Build from the low 4 bits of `v`; higher bits are discarded.
+    #[inline]
+    pub fn new(v: u8) -> Nibble {
+        Nibble(v & 0xF)
+    }
+
+    /// The nibble value in the low 4 bits of a `u8`.
+    #[inline]
+    pub fn get(self) -> u8 {
+        self.0
+    }
+}
+
+impl Bits for Nibble {
+    const WIDTH: u32 = 4;
+
+    #[inline]
+    fn hamming(self, other: Self) -> u32 {
+        (self.0 ^ other.0).count_ones()
+    }
+
+    #[inline]
+    fn ones(self) -> u32 {
+        self.0.count_ones()
+    }
+}
+
+impl From<Nibble> for u8 {
+    fn from(n: Nibble) -> u8 {
+        n.get()
+    }
+}
+
+/// Split a 16-bit word into four nibbles, least-significant first.
+///
+/// This is the order the data converter (paper Fig. 5) shifts a tile word onto
+/// a lane; `nibbles_to_word` is its inverse.
+#[inline]
+pub fn word_to_nibbles(word: u16) -> [Nibble; 4] {
+    [
+        Nibble::new(word as u8),
+        Nibble::new((word >> 4) as u8),
+        Nibble::new((word >> 8) as u8),
+        Nibble::new((word >> 12) as u8),
+    ]
+}
+
+/// Reassemble a 16-bit word from four nibbles, least-significant first.
+#[inline]
+pub fn nibbles_to_word(n: [Nibble; 4]) -> u16 {
+    (n[0].get() as u16)
+        | ((n[1].get() as u16) << 4)
+        | ((n[2].get() as u16) << 8)
+        | ((n[3].get() as u16) << 12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(<u8 as Bits>::WIDTH, 8);
+        assert_eq!(<u16 as Bits>::WIDTH, 16);
+        assert_eq!(<bool as Bits>::WIDTH, 1);
+        assert_eq!(<Nibble as Bits>::WIDTH, 4);
+        assert_eq!(<[Nibble; 4] as Bits>::WIDTH, 16);
+        assert_eq!(<[u16; 3] as Bits>::WIDTH, 48);
+    }
+
+    #[test]
+    fn hamming_uint() {
+        assert_eq!(0b1010u8.hamming(0b0101), 4);
+        assert_eq!(0xFFFFu16.hamming(0x0000), 16);
+        assert_eq!(7u32.hamming(7), 0);
+    }
+
+    #[test]
+    fn hamming_bool() {
+        assert_eq!(true.hamming(false), 1);
+        assert_eq!(true.hamming(true), 0);
+    }
+
+    #[test]
+    fn hamming_array() {
+        let a = [Nibble::new(0xF), Nibble::new(0x0)];
+        let b = [Nibble::new(0x0), Nibble::new(0x0)];
+        assert_eq!(a.hamming(b), 4);
+    }
+
+    #[test]
+    fn nibble_masks_high_bits() {
+        assert_eq!(Nibble::new(0xAB).get(), 0xB);
+        assert_eq!(Nibble::new(0xAB), Nibble::new(0x0B));
+    }
+
+    #[test]
+    fn nibble_ones() {
+        assert_eq!(Nibble::new(0xF).ones(), 4);
+        assert_eq!(Nibble::ZERO.ones(), 0);
+    }
+
+    #[test]
+    fn word_nibble_roundtrip() {
+        for w in [0u16, 1, 0xABCD, 0xFFFF, 0x8000, 0x1234] {
+            assert_eq!(nibbles_to_word(word_to_nibbles(w)), w);
+        }
+    }
+
+    #[test]
+    fn word_nibble_order_lsb_first() {
+        let n = word_to_nibbles(0xABCD);
+        assert_eq!(n[0].get(), 0xD);
+        assert_eq!(n[1].get(), 0xC);
+        assert_eq!(n[2].get(), 0xB);
+        assert_eq!(n[3].get(), 0xA);
+    }
+}

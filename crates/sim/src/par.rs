@@ -1,0 +1,175 @@
+//! Data-parallel evaluation of independent components.
+//!
+//! The two-phase clocking contract ([`crate::kernel`]) guarantees that during
+//! the evaluate phase no component mutates state visible to another — each
+//! router reads the *latched* outputs of its neighbours, sampled into its
+//! input ports by the wiring step. Evaluation of the components of one cycle
+//! is therefore embarrassingly parallel, and on meshes of hundreds of routers
+//! it pays to fan it out across cores.
+//!
+//! `crossbeam::scope` is used instead of a global thread pool: mesh stepping
+//! alternates with sequential wiring every cycle, and scoped threads let the
+//! closure borrow the component slice directly with no `Arc` plumbing. For
+//! small meshes the sequential path wins (thread spawn ≈ µs); callers choose
+//! via [`ParPolicy`], and the `mesh_step` bench quantifies the crossover.
+
+use crate::kernel::Clocked;
+
+/// How to distribute per-cycle component evaluation over threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParPolicy {
+    /// Always evaluate sequentially on the calling thread.
+    Sequential,
+    /// Evaluate on up to `n` threads (clamped to component count).
+    Threads(usize),
+    /// Pick `Sequential` below 4096 components, otherwise one thread per
+    /// available CPU. The threshold is deliberately high: the `mesh_step`
+    /// bench measures scoped-thread spawn/join per cycle at ~ms scale,
+    /// which dwarfs the ~20 µs a 12×12 mesh needs to evaluate serially —
+    /// per-cycle threading only pays for very large fabrics (or a future
+    /// persistent worker pool).
+    Auto,
+}
+
+impl ParPolicy {
+    /// Resolve the policy to a concrete thread count for `len` components.
+    fn threads_for(self, len: usize) -> usize {
+        match self {
+            ParPolicy::Sequential => 1,
+            ParPolicy::Threads(n) => n.max(1).min(len.max(1)),
+            ParPolicy::Auto => {
+                if len < 4096 {
+                    1
+                } else {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                        .min(len)
+                }
+            }
+        }
+    }
+}
+
+/// Apply `f` to every element, possibly in parallel per `policy`.
+///
+/// The function must be safe to run concurrently on *different* elements —
+/// which the type system enforces: each invocation gets an exclusive `&mut`.
+pub fn par_for_each_mut<T, F>(items: &mut [T], policy: ParPolicy, f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    let threads = policy.threads_for(items.len());
+    if threads <= 1 || items.len() <= 1 {
+        for item in items.iter_mut() {
+            f(item);
+        }
+        return;
+    }
+    let chunk = items.len().div_ceil(threads);
+    crossbeam::scope(|s| {
+        for slab in items.chunks_mut(chunk) {
+            s.spawn(|_| {
+                for item in slab.iter_mut() {
+                    f(item);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked during parallel evaluation");
+}
+
+/// Evaluate phase for a slice of clocked components, possibly in parallel.
+pub fn par_eval<C: Clocked + Send>(components: &mut [C], policy: ParPolicy) {
+    par_for_each_mut(components, policy, |c| c.eval());
+}
+
+/// Commit phase for a slice of clocked components, possibly in parallel.
+///
+/// Commits only touch each component's own registers, so they parallelise
+/// exactly like evaluation.
+pub fn par_commit<C: Clocked + Send>(components: &mut [C], policy: ParPolicy) {
+    par_for_each_mut(components, policy, |c| c.commit());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::ActivityLedger;
+    use crate::signal::Reg;
+
+    struct Doubler {
+        v: Reg<u32>,
+        ledger: ActivityLedger,
+    }
+
+    impl Clocked for Doubler {
+        fn eval(&mut self) {
+            self.v.set_next(self.v.q().wrapping_mul(2).wrapping_add(1));
+        }
+        fn commit(&mut self) {
+            self.v.clock(&mut self.ledger);
+        }
+    }
+
+    fn make(n: usize) -> Vec<Doubler> {
+        (0..n)
+            .map(|i| Doubler {
+                v: Reg::new(i as u32),
+                ledger: ActivityLedger::new(),
+            })
+            .collect()
+    }
+
+    fn run(components: &mut [Doubler], policy: ParPolicy, cycles: usize) {
+        for _ in 0..cycles {
+            par_eval(components, policy);
+            par_commit(components, policy);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut seq = make(200);
+        let mut par = make(200);
+        run(&mut seq, ParPolicy::Sequential, 50);
+        run(&mut par, ParPolicy::Threads(4), 50);
+        for (a, b) in seq.iter().zip(par.iter()) {
+            assert_eq!(a.v.q(), b.v.q());
+            assert_eq!(a.ledger, b.ledger);
+        }
+    }
+
+    #[test]
+    fn auto_policy_small_is_sequential() {
+        assert_eq!(ParPolicy::Auto.threads_for(10), 1);
+        assert_eq!(ParPolicy::Auto.threads_for(144), 1, "12x12 mesh: serial wins");
+    }
+
+    #[test]
+    fn auto_policy_large_uses_threads() {
+        let t = ParPolicy::Auto.threads_for(10_000);
+        assert!(t >= 1);
+    }
+
+    #[test]
+    fn threads_policy_clamps() {
+        assert_eq!(ParPolicy::Threads(16).threads_for(4), 4);
+        assert_eq!(ParPolicy::Threads(0).threads_for(4), 1);
+    }
+
+    #[test]
+    fn empty_slice_is_fine() {
+        let mut empty: Vec<Doubler> = Vec::new();
+        run(&mut empty, ParPolicy::Threads(4), 3);
+    }
+
+    #[test]
+    fn single_element() {
+        let mut one = make(1);
+        run(&mut one, ParPolicy::Threads(8), 2);
+        // v starts 0: cycle1 -> 1, cycle2 -> 3.
+        assert_eq!(one[0].v.q(), 3);
+    }
+}

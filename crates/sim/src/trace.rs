@@ -1,0 +1,216 @@
+//! Minimal VCD (value-change dump) writer.
+//!
+//! Debugging a router pipeline from printlns is miserable; debugging it from
+//! a waveform is routine. This writer emits the subset of IEEE 1364 VCD that
+//! GTKWave and friends need: a header, `$var` declarations, and per-cycle
+//! binary value changes. Values are at most 64 bits wide, which covers every
+//! bus in the workspace.
+
+use std::io::{self, Write};
+
+/// Handle for a declared signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignalId(usize);
+
+struct SignalDef {
+    name: String,
+    width: u32,
+    ident: String,
+    last: Option<u64>,
+}
+
+/// Streaming VCD writer. Declare signals, then call [`VcdWriter::tick`] once
+/// per cycle after updating values with [`VcdWriter::change`].
+pub struct VcdWriter<W: Write> {
+    out: W,
+    signals: Vec<SignalDef>,
+    header_done: bool,
+    time: u64,
+    pending: Vec<(usize, u64)>,
+}
+
+/// VCD identifier characters (printable ASCII per the spec).
+fn ident_for(index: usize) -> String {
+    // Base-94 encoding over '!'..='~'.
+    let mut n = index;
+    let mut s = String::new();
+    loop {
+        s.push((b'!' + (n % 94) as u8) as char);
+        n /= 94;
+        if n == 0 {
+            break;
+        }
+    }
+    s
+}
+
+impl<W: Write> VcdWriter<W> {
+    /// A writer with a `timescale` of 1 ns per tick (one tick per cycle; the
+    /// mapping from cycles to real time is the caller's business).
+    pub fn new(out: W) -> Self {
+        Self {
+            out,
+            signals: Vec::new(),
+            header_done: false,
+            time: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Declare a signal before the first tick. Width must be 1..=64.
+    ///
+    /// # Panics
+    /// Panics if called after the header has been written or width is out of
+    /// range — both are programming errors in the testbench.
+    pub fn declare(&mut self, name: &str, width: u32) -> SignalId {
+        assert!(!self.header_done, "declare() after first tick");
+        assert!((1..=64).contains(&width), "width must be 1..=64");
+        let id = self.signals.len();
+        self.signals.push(SignalDef {
+            name: name.to_string(),
+            width,
+            ident: ident_for(id),
+            last: None,
+        });
+        SignalId(id)
+    }
+
+    fn write_header(&mut self) -> io::Result<()> {
+        writeln!(self.out, "$date rcs-noc simulation $end")?;
+        writeln!(self.out, "$version noc-sim vcd writer $end")?;
+        writeln!(self.out, "$timescale 1ns $end")?;
+        writeln!(self.out, "$scope module noc $end")?;
+        for s in &self.signals {
+            writeln!(
+                self.out,
+                "$var wire {} {} {} $end",
+                s.width, s.ident, s.name
+            )?;
+        }
+        writeln!(self.out, "$upscope $end")?;
+        writeln!(self.out, "$enddefinitions $end")?;
+        self.header_done = true;
+        Ok(())
+    }
+
+    /// Record a new value for `signal`, emitted at the next [`Self::tick`].
+    pub fn change(&mut self, signal: SignalId, value: u64) {
+        self.pending.push((signal.0, value));
+    }
+
+    /// Emit all changed values at the current timestamp, then advance time.
+    pub fn tick(&mut self) -> io::Result<()> {
+        if !self.header_done {
+            self.write_header()?;
+        }
+        let mut wrote_time = false;
+        let pending = std::mem::take(&mut self.pending);
+        for (idx, value) in pending {
+            let masked = if self.signals[idx].width == 64 {
+                value
+            } else {
+                value & ((1u64 << self.signals[idx].width) - 1)
+            };
+            if self.signals[idx].last == Some(masked) {
+                continue;
+            }
+            if !wrote_time {
+                writeln!(self.out, "#{}", self.time)?;
+                wrote_time = true;
+            }
+            let s = &mut self.signals[idx];
+            if s.width == 1 {
+                writeln!(self.out, "{}{}", masked & 1, s.ident)?;
+            } else {
+                writeln!(self.out, "b{:b} {}", masked, s.ident)?;
+            }
+            s.last = Some(masked);
+        }
+        self.time += 1;
+        Ok(())
+    }
+
+    /// Flush and return the underlying writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        if !self.header_done {
+            self.write_header()?;
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dump<F: FnOnce(&mut VcdWriter<Vec<u8>>)>(f: F) -> String {
+        let mut w = VcdWriter::new(Vec::new());
+        f(&mut w);
+        String::from_utf8(w.finish().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn header_contains_declarations() {
+        let text = dump(|w| {
+            w.declare("lane_in", 4);
+            w.declare("ack", 1);
+        });
+        assert!(text.contains("$var wire 4 ! lane_in $end"));
+        assert!(text.contains("$var wire 1 \" ack $end"));
+        assert!(text.contains("$enddefinitions $end"));
+    }
+
+    #[test]
+    fn value_changes_emitted_once() {
+        let text = dump(|w| {
+            let s = w.declare("data", 8);
+            w.change(s, 0xAB);
+            w.tick().unwrap();
+            w.change(s, 0xAB); // unchanged -> suppressed
+            w.tick().unwrap();
+            w.change(s, 0x01);
+            w.tick().unwrap();
+        });
+        assert!(text.contains("#0"));
+        assert!(text.contains("b10101011 !"));
+        assert!(!text.contains("#1\nb10101011"));
+        assert!(text.contains("#2"));
+        assert!(text.contains("b1 !"));
+    }
+
+    #[test]
+    fn scalar_signals_use_compact_form() {
+        let text = dump(|w| {
+            let s = w.declare("valid", 1);
+            w.change(s, 1);
+            w.tick().unwrap();
+        });
+        assert!(text.contains("1!"), "scalar change should be `1!`:\n{text}");
+    }
+
+    #[test]
+    fn width_masking() {
+        let text = dump(|w| {
+            let s = w.declare("nib", 4);
+            w.change(s, 0xFF);
+            w.tick().unwrap();
+        });
+        assert!(text.contains("b1111 !"), "should mask to 4 bits:\n{text}");
+    }
+
+    #[test]
+    fn ident_generation_is_unique_for_many_signals() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..500 {
+            assert!(seen.insert(ident_for(i)), "duplicate ident at {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_rejected() {
+        let mut w = VcdWriter::new(Vec::new());
+        w.declare("bad", 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: one router, one circuit, and the three things this library
+//! measures — delivery, guaranteed throughput, and power.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use noc_power::area::circuit_router_area;
+use rcs_noc::prelude::*;
+
+fn main() {
+    // --- 1. A single circuit-switched router (the paper's Fig. 4). ------
+    let params = RouterParams::paper();
+    let mut router = CircuitRouter::new(params);
+    println!("Router: {} ports, {} lanes/port of {} bits,", 5, params.lanes_per_port, params.lane_width);
+    println!("        crossbar {}x{}, config memory {} bits\n",
+        params.foreign_lanes(), params.total_lanes(), params.config_memory_bits());
+
+    // --- 2. Configure a circuit: tile lane 0 -> East lane 0. ------------
+    router.connect(Port::Tile, 0, Port::East, 0).expect("legal circuit");
+    println!("Configured circuit: Tile.0 -> East.0 (Table 3, stream 1)");
+
+    // --- 3. Stream ten words through it. ---------------------------------
+    let mut sent = 0u16;
+    let mut on_wire = Vec::new();
+    for cycle in 0..64 {
+        if sent < 10 && router.tile_can_send(0) {
+            router.tile_send(0, Phit::data(0xA000 + sent));
+            sent += 1;
+        }
+        // Downstream consumer acknowledges every 4th phit (window X=4).
+        noc_sim::kernel::step(&mut router);
+        let nib = router.link_output(Port::East, 0);
+        if nib != noc_sim::bits::Nibble::ZERO || !on_wire.is_empty() {
+            on_wire.push(nib.get());
+        }
+        if cycle % 20 == 19 {
+            router.set_ack_input(Port::East, 0, true);
+        } else {
+            router.set_ack_input(Port::East, 0, false);
+        }
+    }
+    println!("Sent {sent} phits; first serialised nibbles on the link: {:02x?}\n", &on_wire[..10.min(on_wire.len())]);
+
+    // --- 4. Estimate its power, Synopsys-style. --------------------------
+    let estimator = PowerEstimator::calibrated();
+    let area = circuit_router_area(&params, estimator.tech()).total();
+    let report = estimator.estimate(&router.activity(), 64, MegaHertz(25.0), area);
+    println!("Power at 25 MHz over this window: {report}");
+    println!("  (compare the paper's Fig. 9: ~300 uW for the circuit router)\n");
+
+    // --- 5. The headline tables come from the same models. --------------
+    let t4 = table4(&params, &PacketParams::paper(), &Technology::tsmc_0_13um());
+    println!("Table 4 totals: circuit {:.4} mm2 vs packet {:.4} mm2 ({:.2}x)",
+        t4.circuit.total.as_mm2(), t4.packet.total.as_mm2(), t4.area_ratio());
+    println!("Run `cargo run --release -p noc-bench --bin experiments` for everything else.");
+}

@@ -1,0 +1,276 @@
+//! Application deployment: task graph → mapped, configured, traffic-bound
+//! SoC.
+//!
+//! This is the "run-time software" glue of the paper's Section 1 in one
+//! call: the CCN maps the application, the configuration words are
+//! delivered over the best-effort network, and each circuit's source tile
+//! is bound to a load-controlled traffic generator standing in for the
+//! producing process. Examples and integration tests then just `run()` and
+//! read back per-circuit delivery statistics.
+
+use noc_apps::taskgraph::TaskGraph;
+use noc_apps::traffic::DataPattern;
+use noc_core::params::RouterParams;
+use noc_mesh::be::{BeConfig, BeNetwork};
+use noc_mesh::ccn::{Ccn, Mapping, MappingError};
+use noc_mesh::soc::Soc;
+use noc_mesh::tile::TileKind;
+use noc_mesh::topology::{Mesh, NodeId};
+use noc_sim::time::{Cycle, CycleCount};
+use noc_sim::units::{Bandwidth, MegaHertz};
+
+/// A deployed application: SoC, mapping, and the traffic bindings.
+#[derive(Debug)]
+pub struct AppRun {
+    /// The simulated SoC (public: callers may inspect routers/tiles).
+    pub soc: Soc,
+    /// The CCN's mapping.
+    pub mapping: Mapping,
+    /// The clock the deployment assumed.
+    pub clock: MegaHertz,
+    /// Cycle at which all configuration had arrived over the BE network.
+    pub configured_at: Cycle,
+    cycles_run: CycleCount,
+    /// Per-route traffic bookkeeping: (route index, src node, tx lanes,
+    /// dst node, rx lanes).
+    bindings: Vec<(usize, NodeId, Vec<usize>, NodeId, Vec<usize>)>,
+}
+
+/// Delivery statistics for one circuit (one mapped tile-to-tile demand).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteReport {
+    /// Index into `mapping.routes`.
+    pub route: usize,
+    /// Labels of the task-graph edges sharing the circuit.
+    pub labels: Vec<String>,
+    /// Required bandwidth (sum over the edges).
+    pub required: Bandwidth,
+    /// Measured delivered bandwidth over the run.
+    pub measured: Bandwidth,
+    /// `measured` relative to `required` (can exceed 1 while a backlog
+    /// drains; ~1.0 in steady state; ≥0.9 is the examples' pass bar).
+    pub delivered_fraction: f64,
+}
+
+impl AppRun {
+    /// Map `graph` onto a fresh `mesh` of routers with `params` at `clock`,
+    /// deliver the configuration over the BE network, and bind traffic
+    /// sources (random data, seeded by `seed`) at every circuit's source
+    /// tile at the demand's offered load.
+    pub fn deploy(
+        graph: &TaskGraph,
+        mesh: Mesh,
+        params: RouterParams,
+        clock: MegaHertz,
+        seed: u64,
+    ) -> Result<AppRun, MappingError> {
+        let mut soc = Soc::new(mesh, params);
+        let kinds: Vec<TileKind> = mesh.iter().map(|n| soc.tile(n).kind).collect();
+        let ccn = Ccn::new(mesh, params, clock);
+        let mapping = ccn.map(graph, &kinds)?;
+
+        // Configuration rides the BE network from the CCN's corner node.
+        let mut be = BeNetwork::new(mesh, BeConfig::default());
+        let ccn_node = mesh.node(0, 0);
+        let mut latest = Cycle::ZERO;
+        let words = mapping.config_words(&params);
+        // One message per router keeps ordering trivial.
+        let mut by_node: std::collections::BTreeMap<NodeId, Vec<_>> =
+            std::collections::BTreeMap::new();
+        for (node, word) in words {
+            by_node.entry(node).or_default().push(word);
+        }
+        for (node, words) in by_node {
+            let t = be.send(Cycle::ZERO, ccn_node, node, &words);
+            latest = Cycle(latest.0.max(t.0));
+        }
+        be.deliver_due(latest, &mut soc)
+            .expect("CCN generates only legal words");
+
+        // Bind traffic per route: sources at the demand's offered load,
+        // spread over the parallel lanes.
+        let capacity = ccn.lane_capacity();
+        let mut bindings = Vec::new();
+        for (idx, route) in mapping.routes.iter().enumerate() {
+            if route.paths.is_empty() {
+                continue; // on-tile communication, nothing on the NoC
+            }
+            let demand: f64 = route
+                .edges
+                .iter()
+                .map(|&id| graph.edge(id).bandwidth.value())
+                .sum();
+            let per_lane_load =
+                (demand / (route.paths.len() as f64 * capacity.value())).min(1.0);
+            let src = route.paths[0][0].node;
+            let dst = route.paths[0].last().expect("non-empty path").node;
+            let mut tx_lanes = Vec::new();
+            let mut rx_lanes = Vec::new();
+            for (j, path) in route.paths.iter().enumerate() {
+                let tx_lane = path[0].in_lane;
+                let rx_lane = path.last().expect("non-empty").out_lane;
+                soc.tile_mut(src).bind_source(
+                    tx_lane,
+                    DataPattern::Random,
+                    seed ^ ((idx as u64) << 32) ^ j as u64,
+                    per_lane_load,
+                    params.flits_per_phit(),
+                );
+                tx_lanes.push(tx_lane);
+                rx_lanes.push(rx_lane);
+            }
+            bindings.push((idx, src, tx_lanes, dst, rx_lanes));
+        }
+
+        Ok(AppRun {
+            soc,
+            mapping,
+            clock,
+            configured_at: latest,
+            cycles_run: 0,
+            bindings,
+        })
+    }
+
+    /// Advance the SoC by `cycles` cycles of application traffic.
+    pub fn run(&mut self, cycles: CycleCount) {
+        self.soc.run(cycles);
+        self.cycles_run += cycles;
+    }
+
+    /// Cycles of traffic simulated so far.
+    pub fn cycles_run(&self) -> CycleCount {
+        self.cycles_run
+    }
+
+    /// Per-circuit delivery statistics against the task graph's demands.
+    pub fn report(&self, graph: &TaskGraph) -> Vec<RouteReport> {
+        let window = self.clock.period() * self.cycles_run as f64;
+        self.bindings
+            .iter()
+            .map(|(idx, _src, _tx, dst, rx_lanes)| {
+                let route = &self.mapping.routes[*idx];
+                let required = Bandwidth(
+                    route
+                        .edges
+                        .iter()
+                        .map(|&id| graph.edge(id).bandwidth.value())
+                        .sum(),
+                );
+                let bits: u64 = rx_lanes
+                    .iter()
+                    .map(|&lane| self.soc.tile(*dst).rx(lane).payload_bits)
+                    .sum();
+                let measured = Bandwidth::from_bits_over(bits, window);
+                RouteReport {
+                    route: *idx,
+                    labels: route
+                        .edges
+                        .iter()
+                        .map(|&id| graph.edge(id).label.clone())
+                        .collect(),
+                    required,
+                    measured,
+                    delivered_fraction: if required.value() > 0.0 {
+                        measured.value() / required.value()
+                    } else {
+                        1.0
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// Total phits dropped anywhere in the SoC (0 under correct flow
+    /// control).
+    pub fn total_overflows(&self) -> u64 {
+        self.soc
+            .mesh()
+            .iter()
+            .map(|n| self.soc.router(n).rx_overflows())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_apps::taskgraph::TrafficShape;
+
+    fn pipeline(bw: f64) -> TaskGraph {
+        let mut g = TaskGraph::new("pipe");
+        let a = g.add_process("a");
+        let b = g.add_process("b");
+        let c = g.add_process("c");
+        g.add_edge(a, b, Bandwidth(bw), TrafficShape::Streaming, "a->b");
+        g.add_edge(b, c, Bandwidth(bw), TrafficShape::Streaming, "b->c");
+        g
+    }
+
+    #[test]
+    fn deploy_and_run_meets_demand() {
+        let g = pipeline(60.0);
+        let mut app = AppRun::deploy(
+            &g,
+            Mesh::new(3, 3),
+            RouterParams::paper(),
+            MegaHertz(100.0),
+            7,
+        )
+        .expect("feasible");
+        app.run(5000);
+        let reports = app.report(&g);
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            assert!(
+                r.delivered_fraction > 0.9,
+                "{:?} under-delivered: {:.2}",
+                r.labels,
+                r.delivered_fraction
+            );
+        }
+        assert_eq!(app.total_overflows(), 0);
+    }
+
+    #[test]
+    fn configuration_arrives_before_traffic() {
+        let g = pipeline(10.0);
+        let app = AppRun::deploy(
+            &g,
+            Mesh::new(2, 2),
+            RouterParams::paper(),
+            MegaHertz(100.0),
+            1,
+        )
+        .unwrap();
+        assert!(app.configured_at > Cycle::ZERO);
+        // All circuits configured: every hop active.
+        for route in &app.mapping.routes {
+            for path in &route.paths {
+                for hop in path {
+                    assert!(app
+                        .soc
+                        .router(hop.node)
+                        .config()
+                        .entry_of(hop.out_port, hop.out_lane)
+                        .active);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_graph_is_reported() {
+        // 400 Mbit/s on a 25 MHz SoC (80 Mbit/s lanes): needs 5 lanes.
+        let g = pipeline(400.0);
+        let err = AppRun::deploy(
+            &g,
+            Mesh::new(2, 2),
+            RouterParams::paper(),
+            MegaHertz(25.0),
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, MappingError::EdgeTooWide { .. }));
+    }
+}

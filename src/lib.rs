@@ -1,0 +1,45 @@
+//! # rcs-noc — an energy-efficient reconfigurable circuit-switched NoC
+//!
+//! A from-scratch reproduction of Wolkotte, Smit, Rauwerda & Smit,
+//! *An Energy-Efficient Reconfigurable Circuit-Switched Network-on-Chip*
+//! (IPDPS 2005), as a Rust workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`noc_sim`] | cycle-driven simulation kernel with switching-activity accounting |
+//! | [`noc_core`] | **the paper's router**: lanes, 16×20 crossbar, config memory, data converter, window flow control |
+//! | [`noc_packet`] | the packet-switched virtual-channel baseline |
+//! | [`noc_power`] | 0.13 µm area/timing models and the Synopsys-style power estimator |
+//! | [`noc_apps`] | HiperLAN/2, UMTS, DRM workloads and the traffic-pattern test set |
+//! | [`noc_mesh`] | mesh SoC, tiles, CCN run-time mapping, BE configuration network |
+//! | [`noc_exp`] | scenario testbenches and the Fig. 9 / Fig. 10 experiments |
+//!
+//! This facade re-exports the common entry points and adds [`apprun`], a
+//! small deployment helper used by the examples: task graph in, configured
+//! and traffic-bound SoC out.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rcs_noc::prelude::*;
+//!
+//! // Deploy a two-stage pipeline onto a 2x2 SoC at 100 MHz.
+//! let mut graph = TaskGraph::new("demo");
+//! let src = graph.add_process("producer");
+//! let dst = graph.add_process("consumer");
+//! graph.add_edge(src, dst, Bandwidth(100.0), TrafficShape::Streaming, "demo edge");
+//!
+//! let mut app = AppRun::deploy(&graph, Mesh::new(2, 2), RouterParams::paper(),
+//!                              MegaHertz(100.0), 42).unwrap();
+//! app.run(2000);
+//! let report = app.report(&graph);
+//! assert!(report.iter().all(|r| r.delivered_fraction > 0.9));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod apprun;
+pub mod prelude;
+
+pub use apprun::{AppRun, RouteReport};

@@ -1,0 +1,81 @@
+//! Reproducibility: identical seeds give identical results, independent of
+//! parallelism — the property every number in EXPERIMENTS.md rests on.
+
+use noc_exp::testbench::CircuitScenarioBench;
+use noc_sim::par::ParPolicy;
+use rcs_noc::prelude::*;
+
+#[test]
+fn scenario_bench_bitwise_reproducible() {
+    let run = || {
+        let mut bench = CircuitScenarioBench::new(
+            RouterParams::paper(),
+            Scenario::IV,
+            DataPattern::Random,
+            1.0,
+        );
+        bench.run(2000)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn fig10_points_stable_across_runs() {
+    let a = noc_exp::fig10::fig10();
+    let b = noc_exp::fig10::fig10();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn soc_results_independent_of_thread_count() {
+    let build = |threads: Option<usize>| {
+        let mut soc = Soc::new(Mesh::new(4, 4), RouterParams::paper());
+        match threads {
+            None => soc.set_parallelism(ParPolicy::Sequential),
+            Some(n) => soc.set_parallelism(ParPolicy::Threads(n)),
+        }
+        let a = soc.mesh().node(0, 0);
+        let b = soc.mesh().node(3, 3);
+        // A long diagonal circuit: (0,0) east x3 then south x3 to (3,3).
+        soc.router_mut(a).connect(Port::Tile, 0, Port::East, 0).unwrap();
+        for x in 1..3 {
+            let n = soc.mesh().node(x, 0);
+            soc.router_mut(n).connect(Port::West, 0, Port::East, 0).unwrap();
+        }
+        let corner = soc.mesh().node(3, 0);
+        soc.router_mut(corner).connect(Port::West, 0, Port::South, 0).unwrap();
+        for y in 1..3 {
+            let n = soc.mesh().node(3, y);
+            soc.router_mut(n).connect(Port::North, 0, Port::South, 0).unwrap();
+        }
+        soc.router_mut(b).connect(Port::North, 0, Port::Tile, 0).unwrap();
+        soc.tile_mut(a).bind_source(0, DataPattern::Random, 99, 1.0, 5);
+        soc.run(3000);
+        (
+            soc.tile(b).rx(0).received,
+            soc.tile(b).rx(0).last_word,
+            soc.total_activity(),
+        )
+    };
+    let serial = build(None);
+    let two = build(Some(2));
+    let eight = build(Some(8));
+    assert_eq!(serial, two);
+    assert_eq!(serial, eight);
+    assert!(serial.0 > 400, "diagonal stream must flow: {}", serial.0);
+}
+
+#[test]
+fn mapping_is_deterministic() {
+    let graph = noc_apps::umts::task_graph(&UmtsParams::paper_example());
+    let mesh = Mesh::new(4, 4);
+    let params = RouterParams::paper();
+    let soc = Soc::new(mesh, params);
+    let kinds: Vec<TileKind> = mesh.iter().map(|n| soc.tile(n).kind).collect();
+    let ccn = Ccn::new(mesh, params, MegaHertz(100.0));
+    let a = ccn.map(&graph, &kinds).unwrap();
+    let b = ccn.map(&graph, &kinds).unwrap();
+    assert_eq!(a, b);
+}

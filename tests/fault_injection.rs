@@ -1,0 +1,138 @@
+//! Fault injection: a link dies, the CCN re-maps around it, the diff rides
+//! the BE network, and traffic resumes — the recovery path an ambient
+//! system needs when "the control system might change some settings of
+//! processes due to changing environmental conditions" extends to hardware
+//! faults.
+
+use noc_core::lane::Port;
+use rcs_noc::prelude::*;
+
+fn pipeline(stages: usize, bw: f64) -> TaskGraph {
+    let mut g = TaskGraph::new("pipe");
+    let ids: Vec<ProcessId> = (0..stages)
+        .map(|i| g.add_process(format!("s{i}")))
+        .collect();
+    for w in ids.windows(2) {
+        g.add_edge(w[0], w[1], Bandwidth(bw), TrafficShape::Streaming, "e");
+    }
+    g
+}
+
+/// The directed links a mapping's circuits traverse.
+fn links_used(mapping: &Mapping) -> Vec<(NodeId, Port)> {
+    let mut out = Vec::new();
+    for route in &mapping.routes {
+        for path in &route.paths {
+            for hop in path {
+                if hop.out_port != Port::Tile {
+                    out.push((hop.node, hop.out_port));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn remap_avoids_dead_link() {
+    let mesh = Mesh::new(3, 3);
+    let params = RouterParams::paper();
+    let ccn = Ccn::new(mesh, params, MegaHertz(100.0));
+    let kinds = vec![TileKind::Dsrh; 9];
+    let graph = pipeline(4, 60.0);
+
+    let healthy = ccn.map(&graph, &kinds).expect("healthy mapping");
+    let used = links_used(&healthy);
+    assert!(!used.is_empty(), "pipeline must cross the NoC");
+
+    // Kill the first used link, both directions.
+    let (node, port) = used[0];
+    let neighbour = mesh.neighbour(node, port).unwrap();
+    let dead = vec![
+        (node, port),
+        (neighbour, port.opposite().unwrap()),
+    ];
+    let remapped = ccn
+        .map_with_faults(&graph, &kinds, &dead)
+        .expect("detour exists on a 3x3 mesh");
+    for link in links_used(&remapped) {
+        assert!(
+            !dead.contains(&link),
+            "remapped circuit still crosses dead link {link:?}"
+        );
+    }
+    assert!(ccn.verify(&graph, &remapped), "GT still guaranteed");
+}
+
+#[test]
+fn recovery_over_be_network_restores_traffic() {
+    let mesh = Mesh::new(3, 3);
+    let params = RouterParams::paper();
+    let ccn = Ccn::new(mesh, params, MegaHertz(100.0));
+    let kinds = vec![TileKind::Dsrh; 9];
+    let graph = pipeline(3, 60.0);
+
+    // Deploy healthy, then compute the post-fault mapping and deliver the
+    // reconfiguration diff over the BE network.
+    let healthy = ccn.map(&graph, &kinds).unwrap();
+    let mut soc = Soc::new(mesh, params);
+    healthy.apply_direct(&mut soc).unwrap();
+
+    let used = links_used(&healthy);
+    let (node, port) = used[0];
+    let neighbour = mesh.neighbour(node, port).unwrap();
+    let dead = vec![(node, port), (neighbour, port.opposite().unwrap())];
+    let remapped = ccn.map_with_faults(&graph, &kinds, &dead).unwrap();
+
+    let plan = noc_mesh::reconfig::plan(&healthy, &remapped, &params);
+    assert!(plan.word_count() > 0, "fault must force a change");
+    let mut be = BeNetwork::new(mesh, BeConfig::default());
+    noc_mesh::reconfig::execute(&plan, &mut be, &mut soc, mesh.node(0, 0), Cycle::ZERO)
+        .expect("legal plan");
+
+    // The SoC now equals a fresh application of the remapped circuit set.
+    let mut reference = Soc::new(mesh, params);
+    remapped.apply_direct(&mut reference).unwrap();
+    for n in mesh.iter() {
+        assert_eq!(
+            soc.router(n).config().snapshot_words(),
+            reference.router(n).config().snapshot_words()
+        );
+    }
+
+    // And traffic flows end to end on the recovered fabric.
+    let first_edge = EdgeId(0);
+    let src_proc = graph.edges().next().unwrap().1.src;
+    let src_node = remapped.node_of(src_proc).unwrap();
+    let tx_lane = remapped.source_lane(first_edge).expect("crosses NoC");
+    let dst_proc = graph.edges().next().unwrap().1.dst;
+    let dst_node = remapped.node_of(dst_proc).unwrap();
+    let rx_lane = remapped.dest_lane(first_edge).unwrap();
+    soc.tile_mut(src_node)
+        .bind_source(tx_lane, DataPattern::Random, 5, 1.0, 5);
+    soc.run(2000);
+    assert!(
+        soc.tile(dst_node).rx(rx_lane).received > 300,
+        "traffic must resume after recovery"
+    );
+}
+
+#[test]
+fn isolated_node_is_unmappable_and_reported() {
+    // Kill all four links around the only free path on a 1-wide mesh: no
+    // detour can exist, so the CCN must refuse rather than degrade.
+    let mesh = Mesh::new(3, 1);
+    let params = RouterParams::paper();
+    let ccn = Ccn::new(mesh, params, MegaHertz(100.0));
+    let kinds = vec![TileKind::Dsrh; 3];
+    let graph = pipeline(3, 60.0);
+    let mid = mesh.node(1, 0);
+    let dead = vec![
+        (mid, Port::East),
+        (mesh.node(2, 0), Port::West),
+    ];
+    match ccn.map_with_faults(&graph, &kinds, &dead) {
+        Err(MappingError::NoPath { .. }) => {}
+        other => panic!("expected NoPath, got {other:?}"),
+    }
+}

@@ -1,0 +1,157 @@
+//! The paper's quantitative claims, asserted as tests. Each test names the
+//! claim it checks; EXPERIMENTS.md cross-references them.
+
+use noc_exp::fig9::RouterKind;
+use noc_exp::reference;
+use rcs_noc::prelude::*;
+
+/// Abstract: "A 5-port circuit-switched router has an area of 0.05 mm2
+/// and runs at 1075 MHz."
+#[test]
+fn claim_area_and_frequency() {
+    let t4 = table4(
+        &RouterParams::paper(),
+        &PacketParams::paper(),
+        &Technology::tsmc_0_13um(),
+    );
+    assert!((t4.circuit.total.as_mm2() - 0.0506).abs() < 0.001);
+    assert!((t4.circuit.fmax.value() - 1075.0).abs() < 11.0);
+}
+
+/// Abstract: "The proposed architecture consumes 3.5 times less energy
+/// compared to its packet-switched equivalent."
+#[test]
+fn claim_three_and_a_half_times() {
+    let fig = noc_exp::fig9::fig9();
+    for scenario in Scenario::ALL {
+        let r = fig.ratio(scenario);
+        assert!(
+            (2.8..4.5).contains(&r),
+            "{scenario}: measured ratio {r:.2} out of the 3.5x band"
+        );
+    }
+}
+
+/// Table 4: the packet router's buffering is its largest component.
+#[test]
+fn claim_buffers_dominate_packet_router() {
+    let t4 = table4(
+        &RouterParams::paper(),
+        &PacketParams::paper(),
+        &Technology::tsmc_0_13um(),
+    );
+    let buf = t4
+        .packet
+        .component(noc_sim::activity::ComponentKind::Buffering)
+        .unwrap();
+    let xbar = t4
+        .packet
+        .component(noc_sim::activity::ComponentKind::Crossbar)
+        .unwrap();
+    assert!(buf.value() > xbar.value());
+    // And the circuit router has no buffering at all.
+    assert!(t4
+        .circuit
+        .component(noc_sim::activity::ComponentKind::Buffering)
+        .is_none());
+}
+
+/// Section 7.3: "the number of bit-flips has only a minor influence on the
+/// dynamic power consumption" and "a more relevant parameter is the number
+/// of data streams".
+#[test]
+fn claim_streams_beat_bitflips() {
+    let fig = noc_exp::fig10::fig10();
+    for router in RouterKind::BOTH {
+        // Flip sensitivity small.
+        let sens = fig.flip_sensitivity(router, Scenario::IV);
+        assert!(sens < 0.35, "{router:?}: {sens}");
+        // Stream count effect dominates.
+        let i = fig.series(router, Scenario::I)[1].uw_per_mhz;
+        let iv = fig.series(router, Scenario::IV)[1].uw_per_mhz;
+        let flips = fig.series(router, Scenario::IV)[2].uw_per_mhz
+            - fig.series(router, Scenario::IV)[0].uw_per_mhz;
+        assert!((iv - i) > flips.abs(), "{router:?}");
+    }
+}
+
+/// Section 7.3: the high offset — Scenario II–IV "does not increase
+/// considerably compared with Scenario I".
+#[test]
+fn claim_offset_dominates() {
+    let fig = noc_exp::fig9::fig9();
+    for router in RouterKind::BOTH {
+        let idle = fig.bar(router, Scenario::I).power.dynamic().value();
+        let busy = fig.bar(router, Scenario::IV).power.dynamic().value();
+        assert!(
+            busy < idle * 1.25,
+            "{router:?}: busy {busy:.0} should be within 25% of idle {idle:.0}"
+        );
+    }
+}
+
+/// Section 7.3: the collision of streams at port East produces extra
+/// control switching on the packet router (the "non-straight line").
+#[test]
+fn claim_collision_nonlinearity() {
+    let fig = noc_exp::fig10::fig10();
+    let coll = fig
+        .midpoint_deviation(RouterKind::Packet, Scenario::IV)
+        .abs();
+    let free = fig
+        .midpoint_deviation(RouterKind::Packet, Scenario::II)
+        .abs();
+    assert!(coll > free, "collision {coll:.3} vs collision-free {free:.3}");
+}
+
+/// Section 5.1: configuration sizes and timing budgets.
+#[test]
+fn claim_configuration_budgets() {
+    let p = RouterParams::paper();
+    assert_eq!(p.config_word_bits(), reference::config_claims::BITS_PER_LANE);
+    assert_eq!(
+        p.config_memory_bits(),
+        reference::config_claims::MEMORY_BITS
+    );
+
+    // Full-router reconfiguration over the BE network within 20 ms.
+    let mesh = Mesh::new(4, 4);
+    let mut be = BeNetwork::new(mesh, BeConfig::default());
+    let mut soc = Soc::new(mesh, p);
+    let words = soc.router(mesh.node(3, 3)).config().snapshot_words();
+    let t = be.send(Cycle(0), mesh.node(0, 0), mesh.node(3, 3), &words);
+    be.deliver_due(t, &mut soc).unwrap();
+    let ms = t.at(MegaHertz(25.0)).as_millis();
+    assert!(ms < reference::config_claims::ROUTER_BUDGET_MS);
+}
+
+/// Section 7.2: 80 Mbit/s per stream at 25 MHz — "2 kB of data is
+/// transported per stream" in 200 µs.
+#[test]
+fn claim_stream_bandwidth() {
+    let p = RouterParams::paper();
+    let per_cycle = p.lane_payload_bits_per_cycle();
+    let mbits = per_cycle * 25.0;
+    assert!((mbits - reference::fig9_conditions::STREAM_MBITS).abs() < 1e-9);
+}
+
+/// Section 3: all three applications' demands fit the NoC (Table 4's
+/// bandwidth rows against Tables 1 and 2).
+#[test]
+fn claim_applications_feasible() {
+    let mesh = Mesh::new(4, 4);
+    let params = RouterParams::paper();
+    let soc = Soc::new(mesh, params);
+    let kinds: Vec<TileKind> = mesh.iter().map(|n| soc.tile(n).kind).collect();
+    let ccn = Ccn::new(mesh, params, MegaHertz(200.0));
+
+    let graphs = [
+        noc_apps::hiperlan2::task_graph(&Hiperlan2Params::standard(Modulation::Qam64)),
+        noc_apps::umts::task_graph(&UmtsParams::paper_example()),
+        noc_apps::drm::task_graph(&DrmParams::standard()),
+    ];
+    for g in &graphs {
+        let m = ccn.map(g, &kinds).unwrap_or_else(|e| panic!("{}: {e}", g.name));
+        assert!(ccn.verify(g, &m), "{} demands not covered", g.name);
+    }
+}
