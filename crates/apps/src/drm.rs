@@ -97,9 +97,7 @@ mod tests {
         assert!((p.bw_front_end().value() - 0.64).abs() < 1e-9);
         let h = crate::hiperlan2::task_graph(&p.ofdm);
         let d = task_graph(&p);
-        assert!(
-            (h.total_bandwidth().value() / d.total_bandwidth().value() - 1000.0).abs() < 1e-6
-        );
+        assert!((h.total_bandwidth().value() / d.total_bandwidth().value() - 1000.0).abs() < 1e-6);
     }
 
     #[test]

@@ -196,7 +196,10 @@ pub fn table1(params: &Hiperlan2Params) -> Vec<(String, Bandwidth)> {
         ("S/P -> Pre-fix removal".into(), params.bw_sp_to_prefix()),
         ("Pre-fix removal -> FFT".into(), params.bw_prefix_to_fft()),
         ("FFT -> Channel eq.".into(), params.bw_fft_to_equalizer()),
-        ("Channel eq. -> De-map".into(), params.bw_equalizer_to_demap()),
+        (
+            "Channel eq. -> De-map".into(),
+            params.bw_equalizer_to_demap(),
+        ),
         (
             format!("Hard bits ({:?})", params.modulation),
             params.bw_hard_bits(),

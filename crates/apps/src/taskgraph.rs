@@ -193,8 +193,7 @@ impl TaskGraph {
             indegree[e.dst.0] += 1;
             succ.entry(e.src.0).or_default().push(e.dst.0);
         }
-        let mut queue: VecDeque<usize> =
-            (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut queue: VecDeque<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(i) = queue.pop_front() {
             order.push(ProcessId(i));
@@ -292,7 +291,13 @@ mod tests {
     fn dangling_edge_rejected() {
         let mut g = TaskGraph::new("bad");
         let p = g.add_process("p");
-        g.add_edge(p, ProcessId(7), Bandwidth(1.0), TrafficShape::Streaming, "x");
+        g.add_edge(
+            p,
+            ProcessId(7),
+            Bandwidth(1.0),
+            TrafficShape::Streaming,
+            "x",
+        );
     }
 
     #[test]

@@ -79,8 +79,7 @@ impl UmtsParams {
     /// symbol.
     pub fn bw_mrc_per_finger(&self) -> Bandwidth {
         Bandwidth(
-            self.chip_rate_mcps * f64::from(2 * self.chip_bits)
-                / f64::from(self.spreading_factor),
+            self.chip_rate_mcps * f64::from(2 * self.chip_bits) / f64::from(self.spreading_factor),
         )
     }
 
@@ -117,8 +116,7 @@ pub fn task_graph(params: &UmtsParams) -> TaskGraph {
     let demap = g.add_process_with_affinity("De-mapping", "DSP");
 
     for i in 0..params.fingers {
-        let finger =
-            g.add_process_with_affinity(format!("RAKE finger {i}"), "DSRH");
+        let finger = g.add_process_with_affinity(format!("RAKE finger {i}"), "DSRH");
         g.add_edge(
             pulse,
             finger,
@@ -164,7 +162,10 @@ pub fn table2(params: &UmtsParams) -> Vec<(String, Bandwidth)> {
         ("Chips (per finger)".into(), params.bw_chips_per_finger()),
         ("Scrambling code".into(), params.bw_scrambling_code()),
         (
-            format!("MRC coefficient (per finger, SF={})", params.spreading_factor),
+            format!(
+                "MRC coefficient (per finger, SF={})",
+                params.spreading_factor
+            ),
             params.bw_mrc_per_finger(),
         ),
         (
@@ -220,10 +221,7 @@ mod tests {
         // 4 edges per finger + 1 output edge.
         assert_eq!(g.edge_count(), 17);
 
-        let one = task_graph(&UmtsParams {
-            fingers: 1,
-            ..p
-        });
+        let one = task_graph(&UmtsParams { fingers: 1, ..p });
         assert_eq!(one.process_count(), 5);
         assert_eq!(one.edge_count(), 5);
     }
@@ -245,7 +243,10 @@ mod tests {
             ..UmtsParams::paper_example()
         };
         assert!((p.bw_mrc_per_finger().value() - 0.12).abs() < 1e-9);
-        assert!(p.bw_chips_per_finger().value() > 61.0, "chip edges unaffected");
+        assert!(
+            p.bw_chips_per_finger().value() > 61.0,
+            "chip edges unaffected"
+        );
     }
 
     #[test]

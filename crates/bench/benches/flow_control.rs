@@ -21,9 +21,14 @@ fn run_with_window(wc: u16) -> u64 {
     let mut soc = Soc::new(Mesh::new(2, 1), params);
     let a = soc.mesh().node(0, 0);
     let b = soc.mesh().node(1, 0);
-    soc.router_mut(a).connect(Port::Tile, 0, Port::East, 0).unwrap();
-    soc.router_mut(b).connect(Port::West, 0, Port::Tile, 0).unwrap();
-    soc.tile_mut(a).bind_source(0, DataPattern::Random, 1, 1.0, 5);
+    soc.router_mut(a)
+        .connect(Port::Tile, 0, Port::East, 0)
+        .unwrap();
+    soc.router_mut(b)
+        .connect(Port::West, 0, Port::Tile, 0)
+        .unwrap();
+    soc.tile_mut(a)
+        .bind_source(0, DataPattern::Random, 1, 1.0, 5);
     soc.run(CYCLES);
     soc.tile(b).rx(0).received
 }

@@ -20,8 +20,12 @@ fn build_soc(side: usize) -> Soc {
     for y in 0..side {
         let a = soc.mesh().node(0, y);
         let b = soc.mesh().node(1, y);
-        soc.router_mut(a).connect(Port::Tile, 0, Port::East, 0).unwrap();
-        soc.router_mut(b).connect(Port::West, 0, Port::Tile, 0).unwrap();
+        soc.router_mut(a)
+            .connect(Port::Tile, 0, Port::East, 0)
+            .unwrap();
+        soc.router_mut(b)
+            .connect(Port::West, 0, Port::Tile, 0)
+            .unwrap();
         soc.tile_mut(a)
             .bind_source(0, DataPattern::Random, y as u64 + 1, 1.0, 5);
     }

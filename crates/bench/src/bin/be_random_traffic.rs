@@ -30,8 +30,14 @@ fn main() {
             2005,
         );
         pm.run(5000);
-        let p50 = pm.latency.quantile(0.5).map_or("-".into(), |v| v.to_string());
-        let p99 = pm.latency.quantile(0.99).map_or("-".into(), |v| v.to_string());
+        let p50 = pm
+            .latency
+            .quantile(0.5)
+            .map_or("-".into(), |v| v.to_string());
+        let p99 = pm
+            .latency
+            .quantile(0.99)
+            .map_or("-".into(), |v| v.to_string());
         rows.push(vec![
             format!("{:.3}", rate),
             format!("{:.4}", pm.throughput()),

@@ -38,9 +38,7 @@ fn main() {
         ("DRM", noc_apps::drm::task_graph(&DrmParams::standard())),
     ];
 
-    println!(
-        "Run-time mapping of the Section 3 applications onto a 4x4 mesh at {clock}"
-    );
+    println!("Run-time mapping of the Section 3 applications onto a 4x4 mesh at {clock}");
     println!(
         "(lane capacity {:.0} Mbit/s per lane)\n",
         ccn.lane_capacity().value()
@@ -59,7 +57,11 @@ fn main() {
                     format!("{:.2}", graph.total_bandwidth().value()),
                     lanes.to_string(),
                     mapping.total_hops().to_string(),
-                    if feasible { "GT OK".into() } else { "VIOLATED".into() },
+                    if feasible {
+                        "GT OK".into()
+                    } else {
+                        "VIOLATED".into()
+                    },
                 ]);
             }
             Err(e) => {
@@ -115,6 +117,9 @@ fn main() {
     }
     println!(
         "{}",
-        tables::render(&["Circuit (edges sharing it)", "Mbit/s", "Lanes", "Hops"], &rows)
+        tables::render(
+            &["Circuit (edges sharing it)", "Mbit/s", "Lanes", "Hops"],
+            &rows
+        )
     );
 }

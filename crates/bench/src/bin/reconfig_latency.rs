@@ -84,5 +84,9 @@ fn main() {
 }
 
 fn pass(ok: bool) -> String {
-    if ok { "PASS".into() } else { "FAIL".into() }
+    if ok {
+        "PASS".into()
+    } else {
+        "FAIL".into()
+    }
 }

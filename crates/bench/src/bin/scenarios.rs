@@ -28,19 +28,11 @@ fn main() {
     println!("\nFig. 8 scenarios, verified at 100% load over 5000 cycles:\n");
     let mut rows = Vec::new();
     for scenario in Scenario::ALL {
-        let mut c = CircuitScenarioBench::new(
-            RouterParams::paper(),
-            scenario,
-            DataPattern::Random,
-            1.0,
-        );
+        let mut c =
+            CircuitScenarioBench::new(RouterParams::paper(), scenario, DataPattern::Random, 1.0);
         let cout = c.run(5000);
-        let mut p = PacketScenarioBench::new(
-            PacketParams::paper(),
-            scenario,
-            DataPattern::Random,
-            1.0,
-        );
+        let mut p =
+            PacketScenarioBench::new(PacketParams::paper(), scenario, DataPattern::Random, 1.0);
         let pout = p.run(5000);
         rows.push(vec![
             scenario.to_string(),

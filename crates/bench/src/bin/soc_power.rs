@@ -25,8 +25,7 @@ fn run(gating: bool) -> (f64, f64, f64) {
     };
     let clock = MegaHertz(200.0);
     let mesh = Mesh::new(4, 4);
-    let graph =
-        noc_apps::hiperlan2::task_graph(&Hiperlan2Params::standard(Modulation::Qam64));
+    let graph = noc_apps::hiperlan2::task_graph(&Hiperlan2Params::standard(Modulation::Qam64));
     let mut soc = Soc::new(mesh, params);
     let kinds: Vec<TileKind> = mesh.iter().map(|n| soc.tile(n).kind).collect();
     let ccn = Ccn::new(mesh, params, clock);
@@ -94,7 +93,13 @@ fn main() {
     println!(
         "{}",
         tables::render(
-            &["Configuration", "Static [uW]", "Internal [uW]", "Switching [uW]", "Total [uW]"],
+            &[
+                "Configuration",
+                "Static [uW]",
+                "Internal [uW]",
+                "Switching [uW]",
+                "Total [uW]"
+            ],
             &rows
         )
     );

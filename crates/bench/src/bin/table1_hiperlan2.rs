@@ -8,17 +8,13 @@ use noc_exp::tables;
 
 fn main() {
     println!("Table 1: Communication in HiperLAN/2 (derived from OFDM parameters)");
-    println!(
-        "  80-sample symbol / 4 us, 64-pt FFT, 52 used / 48 data carriers, 16-bit I+Q\n"
-    );
+    println!("  80-sample symbol / 4 us, 64-pt FFT, 52 used / 48 data carriers, 16-bit I+Q\n");
 
     let bpsk = Hiperlan2Params::standard(Modulation::Bpsk);
     let rows: Vec<Vec<String>> = table1(&bpsk)
         .into_iter()
         .zip(TABLE1_MBITS.iter())
-        .map(|((label, bw), &(_, paper))| {
-            vec![label, tables::vs(bw.value(), paper, "Mbit/s")]
-        })
+        .map(|((label, bw), &(_, paper))| vec![label, tables::vs(bw.value(), paper, "Mbit/s")])
         .collect();
     println!("{}", tables::render(&["Edge(s)", "Bandwidth"], &rows));
 
@@ -26,6 +22,10 @@ fn main() {
     println!(
         "\nHard bits across modulations: {} .. {}",
         tables::vs(bpsk.bw_hard_bits().value(), TABLE1_MBITS[4].1, "Mbit/s"),
-        tables::vs(qam64.bw_hard_bits().value(), TABLE1_HARD_BITS_QAM64, "Mbit/s"),
+        tables::vs(
+            qam64.bw_hard_bits().value(),
+            TABLE1_HARD_BITS_QAM64,
+            "Mbit/s"
+        ),
     );
 }

@@ -14,9 +14,7 @@ fn main() {
     let rows: Vec<Vec<String>> = table2(&p)
         .into_iter()
         .zip(TABLE2_MBITS.iter())
-        .map(|((label, bw), &(_, paper))| {
-            vec![label, tables::vs(bw.value(), paper, "Mbit/s")]
-        })
+        .map(|((label, bw), &(_, paper))| vec![label, tables::vs(bw.value(), paper, "Mbit/s")])
         .collect();
     println!("{}", tables::render(&["Edge #", "Bandwidth"], &rows));
 

@@ -53,8 +53,14 @@ fn main() {
     }
     rows.push(vec![
         "Total [mm2]".into(),
-        cell(Some(t4.circuit.total.as_mm2()), Some(TABLE4_CIRCUIT.total_mm2)),
-        cell(Some(t4.packet.total.as_mm2()), Some(TABLE4_PACKET.total_mm2)),
+        cell(
+            Some(t4.circuit.total.as_mm2()),
+            Some(TABLE4_CIRCUIT.total_mm2),
+        ),
+        cell(
+            Some(t4.packet.total.as_mm2()),
+            Some(TABLE4_PACKET.total_mm2),
+        ),
         cell(
             Some(t4.aethereal.total.as_mm2()),
             Some(TABLE4_AETHEREAL.total_mm2),
@@ -88,7 +94,12 @@ fn main() {
     println!(
         "{}",
         tables::render(
-            &["Router", "Circuit switched", "Packet switched", "AEthereal [5]"],
+            &[
+                "Router",
+                "Circuit switched",
+                "Packet switched",
+                "AEthereal [5]"
+            ],
             &rows
         )
     );

@@ -385,10 +385,8 @@ mod tests {
         let mut sent = 0u32;
         let mut received = Vec::new();
         for _cycle in 0..51 {
-            if tx.can_load() {
-                if tx.try_load(Phit::data(0x1000 + sent as u16)) {
-                    sent += 1;
-                }
+            if tx.can_load() && tx.try_load(Phit::data(0x1000 + sent as u16)) {
+                sent += 1;
             }
             let nib = tx.out_nibble();
             tx.eval();

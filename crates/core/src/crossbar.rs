@@ -70,6 +70,7 @@ impl Crossbar {
     /// # Panics
     /// Panics if the slices do not match `params.total_lanes()` — a wiring
     /// bug in the enclosing router, not a runtime condition.
+    #[allow(clippy::needless_range_loop)] // `o` indexes four parallel arrays
     pub fn eval(&mut self, inputs: &[Nibble], acks_in: &[bool], config: &ConfigMemory) {
         let n = self.params.total_lanes();
         assert_eq!(inputs.len(), n, "input lane count mismatch");
@@ -171,7 +172,11 @@ mod tests {
 
     fn setup() -> (Crossbar, ConfigMemory, ActivityLedger) {
         let p = RouterParams::paper();
-        (Crossbar::new(p), ConfigMemory::new(p), ActivityLedger::new())
+        (
+            Crossbar::new(p),
+            ConfigMemory::new(p),
+            ActivityLedger::new(),
+        )
     }
 
     fn lane(port: Port, l: usize) -> LaneIndex {
@@ -182,7 +187,7 @@ mod tests {
     fn idle_crossbar_outputs_zero() {
         let (mut xbar, cfg, mut ledger) = setup();
         let inputs = vec![Nibble::MAX; 20];
-        xbar.eval(&inputs, &vec![false; 20], &cfg);
+        xbar.eval(&inputs, &[false; 20], &cfg);
         xbar.commit(&mut ledger);
         for o in 0..20 {
             assert_eq!(xbar.output(LaneIndex(o)), Nibble::ZERO);
@@ -199,7 +204,7 @@ mod tests {
 
         let mut inputs = vec![Nibble::ZERO; 20];
         inputs[lane(Port::West, 1).get()] = Nibble::new(0xA);
-        xbar.eval(&inputs, &vec![false; 20], &cfg);
+        xbar.eval(&inputs, &[false; 20], &cfg);
         // Registered output: not visible before the edge.
         assert_eq!(xbar.output(lane(Port::East, 2)), Nibble::ZERO);
         xbar.commit(&mut ledger);
@@ -226,7 +231,7 @@ mod tests {
         let mut inputs = vec![Nibble::ZERO; 20];
         inputs[lane(Port::Tile, 0).get()] = Nibble::new(0x5);
         inputs[lane(Port::West, 0).get()] = Nibble::new(0xC);
-        xbar.eval(&inputs, &vec![false; 20], &cfg);
+        xbar.eval(&inputs, &[false; 20], &cfg);
         xbar.commit(&mut ledger);
         assert_eq!(xbar.output(lane(Port::East, 0)), Nibble::new(0x5));
         assert_eq!(xbar.output(lane(Port::East, 1)), Nibble::new(0xC));
@@ -243,7 +248,7 @@ mod tests {
 
         let mut inputs = vec![Nibble::ZERO; 20];
         inputs[lane(Port::Tile, 0).get()] = Nibble::new(0x9);
-        xbar.eval(&inputs, &vec![false; 20], &cfg);
+        xbar.eval(&inputs, &[false; 20], &cfg);
         xbar.commit(&mut ledger);
         assert_eq!(xbar.output(lane(Port::East, 0)), Nibble::new(0x9));
         assert_eq!(xbar.output(lane(Port::West, 0)), Nibble::new(0x9));
@@ -272,7 +277,7 @@ mod tests {
         let (mut xbar, cfg, mut ledger) = setup();
         let mut acks = vec![false; 20];
         acks[lane(Port::East, 0).get()] = true;
-        xbar.eval(&vec![Nibble::ZERO; 20], &acks, &cfg);
+        xbar.eval(&[Nibble::ZERO; 20], &acks, &cfg);
         xbar.commit(&mut ledger);
         for i in 0..20 {
             assert!(!xbar.ack_output(LaneIndex(i)));
@@ -285,7 +290,7 @@ mod tests {
         // consumption": the 100 register bits clock every cycle even with
         // no data (Section 7.3).
         let (mut xbar, cfg, mut ledger) = setup();
-        xbar.eval(&vec![Nibble::ZERO; 20], &vec![false; 20], &cfg);
+        xbar.eval(&[Nibble::ZERO; 20], &[false; 20], &cfg);
         xbar.commit(&mut ledger);
         // 20 lanes x 4 data bits + 20 ack bits = 100 bits clocked.
         assert_eq!(ledger.get(ActivityClass::RegClock), 100);
@@ -301,7 +306,7 @@ mod tests {
         let mut xbar = Crossbar::new(p);
         let cfg = ConfigMemory::new(p);
         let mut ledger = ActivityLedger::new();
-        xbar.eval(&vec![Nibble::ZERO; 20], &vec![false; 20], &cfg);
+        xbar.eval(&[Nibble::ZERO; 20], &[false; 20], &cfg);
         xbar.commit(&mut ledger);
         assert_eq!(ledger.get(ActivityClass::RegClock), 0);
     }
@@ -318,7 +323,7 @@ mod tests {
         let sel = p.foreign_select(Port::East, Port::Tile, 0).unwrap();
         cfg.write_entry(lane(Port::East, 0), ConfigEntry::active(sel), &mut ledger);
         ledger.clear();
-        xbar.eval(&vec![Nibble::ZERO; 20], &vec![false; 20], &cfg);
+        xbar.eval(&[Nibble::ZERO; 20], &[false; 20], &cfg);
         xbar.commit(&mut ledger);
         // Exactly one active lane: 4 data bits + 1 ack bit clocked.
         assert_eq!(ledger.get(ActivityClass::RegClock), 5);
@@ -333,6 +338,6 @@ mod tests {
     #[should_panic(expected = "input lane count")]
     fn wrong_input_width_panics() {
         let (mut xbar, cfg, _) = setup();
-        xbar.eval(&vec![Nibble::ZERO; 19], &vec![false; 20], &cfg);
+        xbar.eval(&[Nibble::ZERO; 19], &[false; 20], &cfg);
     }
 }

@@ -57,7 +57,10 @@ impl fmt::Display for ConfigError {
                 write!(f, "lane {lane} out of range (max {max})")
             }
             ConfigError::UTurn { port } => {
-                write!(f, "U-turn on port {port}: output cannot select its own port's input")
+                write!(
+                    f,
+                    "U-turn on port {port}: output cannot select its own port's input"
+                )
             }
             ConfigError::OutputLaneOutOfRange { lane, max } => {
                 write!(f, "output lane address {lane} out of range (max {max})")
@@ -77,7 +80,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = ConfigError::SelectOutOfRange { select: 16, max: 15 };
+        let e = ConfigError::SelectOutOfRange {
+            select: 16,
+            max: 15,
+        };
         assert_eq!(e.to_string(), "input select 16 out of range (max 15)");
         let e = ConfigError::UTurn { port: Port::East };
         assert!(e.to_string().contains("East"));

@@ -110,7 +110,10 @@ impl WindowCounter {
             let mut next = self.credits.q() - u16::from(sent && self.credits.q() > 0);
             if ack {
                 next += x;
-                debug_assert!(next <= wc, "ack overflowed the window (credits {next} > WC {wc})");
+                debug_assert!(
+                    next <= wc,
+                    "ack overflowed the window (credits {next} > WC {wc})"
+                );
                 next = next.min(wc);
             }
             self.credits.set_next(next);
@@ -201,7 +204,10 @@ mod tests {
 
     #[test]
     fn mode_from_params() {
-        assert_eq!(FlowControlMode::from_params(0, 4), FlowControlMode::NonBlocking);
+        assert_eq!(
+            FlowControlMode::from_params(0, 4),
+            FlowControlMode::NonBlocking
+        );
         assert_eq!(FlowControlMode::from_params(8, 4), window(8, 4));
         // X clamped to WC.
         assert_eq!(FlowControlMode::from_params(4, 9), window(4, 4));
@@ -354,6 +360,6 @@ mod tests {
             gen.commit(&mut ledger);
         }
         // Period = send + 1 fwd delay + ack reg = 3 cycles.
-        assert!(sent >= 29 && sent <= 31, "expected ~30 sends, got {sent}");
+        assert!((29..=31).contains(&sent), "expected ~30 sends, got {sent}");
     }
 }

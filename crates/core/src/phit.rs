@@ -133,7 +133,10 @@ impl Phit {
         if last {
             h = h.with(Header::EOB);
         }
-        Phit { header: h, data: word }
+        Phit {
+            header: h,
+            data: word,
+        }
     }
 
     /// A control/synchronisation phit.

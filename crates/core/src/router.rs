@@ -91,7 +91,10 @@ impl CircuitRouter {
             link_in: vec![Nibble::ZERO; total],
             ack_in: vec![false; total],
             link_out_wires: vec![
-                Wire::new(Nibble::ZERO, noc_sim::activity::ActivityClass::LinkToggle);
+                Wire::new(
+                    Nibble::ZERO,
+                    noc_sim::activity::ActivityClass::LinkToggle
+                );
                 total
             ],
             link_ack_wires: vec![
@@ -172,7 +175,10 @@ impl CircuitRouter {
 
     /// Sample a forward-data nibble arriving on `(port, lane)` this cycle.
     pub fn set_link_input(&mut self, port: Port, lane: usize, value: Nibble) {
-        debug_assert!(port.is_neighbour(), "tile lanes are driven by the converter");
+        debug_assert!(
+            port.is_neighbour(),
+            "tile lanes are driven by the converter"
+        );
         self.link_in[LaneIndex::of(port, lane, self.params.lanes_per_port).get()] = value;
     }
 
@@ -276,10 +282,8 @@ impl Clocked for CircuitRouter {
         //    outputs on the tile port; serialisers advance.
         let mut rx_nibbles = [Nibble::ZERO; 16];
         debug_assert!(lanes <= rx_nibbles.len());
-        for l in 0..lanes {
-            rx_nibbles[l] = self
-                .crossbar
-                .output(LaneIndex::of(Port::Tile, l, lanes));
+        for (l, nib) in rx_nibbles.iter_mut().enumerate().take(lanes) {
+            *nib = self.crossbar.output(LaneIndex::of(Port::Tile, l, lanes));
         }
         self.converter.eval(&rx_nibbles[..lanes]);
 
@@ -424,6 +428,7 @@ mod tests {
 
         assert!(r.tile_send(0, Phit::data(0xAAAA)));
         let inbound = Phit::data(0x5555).to_flits();
+        #[allow(clippy::needless_range_loop)] // 8 cycles, 5 flits: not zippable
         for i in 0..8 {
             if i < 5 {
                 r.set_link_input(Port::North, 0, inbound[i]);
@@ -453,7 +458,10 @@ mod tests {
     fn invalid_configuration_rejected() {
         let mut r = router();
         assert!(r.connect(Port::East, 0, Port::East, 1).is_err(), "U-turn");
-        assert!(r.connect(Port::West, 9, Port::East, 0).is_err(), "lane range");
+        assert!(
+            r.connect(Port::West, 9, Port::East, 0).is_err(),
+            "lane range"
+        );
         assert!(r
             .configure_lane(Port::East, 0, ConfigEntry::active(16))
             .is_err());
@@ -605,13 +613,10 @@ mod tests {
         for port in Port::ALL {
             for lane in 0..4 {
                 // Pick any legal foreign input.
-                let src_port = Port::ALL
-                    .iter()
-                    .copied()
-                    .find(|&q| q != port)
-                    .unwrap();
+                let src_port = Port::ALL.iter().copied().find(|&q| q != port).unwrap();
                 let sel = p.foreign_select(port, src_port, lane).unwrap();
-                r.configure_lane(port, lane, ConfigEntry::active(sel)).unwrap();
+                r.configure_lane(port, lane, ConfigEntry::active(sel))
+                    .unwrap();
                 configured += 1;
             }
         }

@@ -174,7 +174,11 @@ impl MessageRx {
             self.completed.push_back(Message::Control(phit.data));
             return;
         }
-        match (&mut self.open_block, h.is_start_of_block(), h.is_end_of_block()) {
+        match (
+            &mut self.open_block,
+            h.is_start_of_block(),
+            h.is_end_of_block(),
+        ) {
             (None, true, false) => self.open_block = Some(vec![phit.data]),
             (None, true, true) => self.completed.push_back(Message::Block(vec![phit.data])),
             (None, false, true) => {
@@ -302,11 +306,7 @@ mod tests {
 
     #[test]
     fn stream_words_pass_one_by_one() {
-        let msgs = vec![
-            Message::Stream(1),
-            Message::Stream(2),
-            Message::Stream(3),
-        ];
+        let msgs = vec![Message::Stream(1), Message::Stream(2), Message::Stream(3)];
         let (got, errs) = roundtrip(&msgs);
         assert_eq!(got, msgs);
         assert_eq!(errs, 0);

@@ -1,0 +1,189 @@
+//! Fabric-generic application experiments: the scenario plumbing written
+//! once over `F: Fabric`, so every workload is automatically a
+//! circuit-vs-packet comparison.
+//!
+//! This is the deployment-level generalisation of the single-router rigs
+//! in [`crate::testbench`]: instead of hand-wiring one router's ports, an
+//! application task graph is deployed through
+//! [`noc_mesh::deployment::Deployment`] onto *any* backend, driven at its
+//! demanded offered load, settled, and costed with the calibrated energy
+//! model. [`compare_fabrics`] runs the identical workload (same seed, same
+//! payload words) on both backends and reports the paper's headline
+//! quantities side by side.
+
+use noc_apps::taskgraph::TaskGraph;
+use noc_mesh::deployment::{DeployError, Deployment};
+use noc_mesh::fabric::{EnergyModel, Fabric, FabricKind};
+use noc_mesh::topology::Mesh;
+use noc_power::estimator::PowerReport;
+use noc_sim::time::CycleCount;
+use noc_sim::units::{FemtoJoules, MegaHertz};
+
+/// What one fabric produced for one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricRunSummary {
+    /// Which backend ran.
+    pub kind: FabricKind,
+    /// Cycles simulated (offered-load window plus settling).
+    pub cycles: CycleCount,
+    /// Payload words injected across all circuits.
+    pub injected: u64,
+    /// Payload words delivered across all destinations.
+    pub delivered: u64,
+    /// The worst per-circuit delivered fraction.
+    pub min_delivered_fraction: f64,
+    /// Power over the run at the deployment clock.
+    pub power: PowerReport,
+    /// Total energy over the run.
+    pub energy: FemtoJoules,
+}
+
+impl FabricRunSummary {
+    /// Energy per delivered payload bit — the efficiency number the paper
+    /// argues about.
+    pub fn energy_per_bit(&self) -> FemtoJoules {
+        if self.delivered == 0 {
+            FemtoJoules::ZERO
+        } else {
+            self.energy / (self.delivered as f64 * 16.0)
+        }
+    }
+}
+
+/// Drive `dep` for `cycles` cycles of offered-load traffic, settle the
+/// in-flight tail, and summarise. Generic over the backend — this one
+/// function is the testbench for both routers.
+pub fn run_app<F: Fabric>(
+    dep: &mut Deployment<F>,
+    graph: &TaskGraph,
+    cycles: CycleCount,
+) -> FabricRunSummary {
+    dep.run(cycles);
+    dep.settle(cycles / 2 + 1000);
+    let model: EnergyModel = dep.energy_model();
+    let reports = dep.report(graph);
+    FabricRunSummary {
+        kind: dep.fabric().kind(),
+        cycles: dep.cycles_run(),
+        injected: dep.total_injected(),
+        delivered: dep.total_delivered(),
+        // An application with no NoC routes (everything co-located on one
+        // tile) trivially meets its demands; report 1.0 rather than the
+        // empty fold's +inf so tables and thresholds stay meaningful.
+        min_delivered_fraction: if reports.is_empty() {
+            1.0
+        } else {
+            reports
+                .iter()
+                .map(|r| r.delivered_fraction)
+                .fold(f64::INFINITY, f64::min)
+        },
+        power: dep.power(&model),
+        energy: dep.total_energy(&model),
+    }
+}
+
+/// Both backends' results for one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricComparison {
+    /// The circuit-switched run.
+    pub circuit: FabricRunSummary,
+    /// The packet-switched run.
+    pub packet: FabricRunSummary,
+}
+
+impl FabricComparison {
+    /// Packet-over-circuit total-energy ratio (the paper's "~3.5× less"
+    /// is the single-router version of this number).
+    pub fn energy_ratio(&self) -> f64 {
+        self.packet.energy.value() / self.circuit.energy.value()
+    }
+
+    /// The summary for `kind`.
+    pub fn summary(&self, kind: FabricKind) -> &FabricRunSummary {
+        match kind {
+            FabricKind::Circuit => &self.circuit,
+            FabricKind::Packet => &self.packet,
+        }
+    }
+}
+
+/// Deploy `graph` on both backends (same mesh, clock and traffic seed)
+/// and run the identical workload through each.
+pub fn compare_fabrics(
+    graph: &TaskGraph,
+    mesh: Mesh,
+    clock: MegaHertz,
+    cycles: CycleCount,
+    seed: u64,
+) -> Result<FabricComparison, DeployError> {
+    let mut circuit = Deployment::builder(graph)
+        .mesh_topology(mesh)
+        .clock(clock)
+        .seed(seed)
+        .build_circuit()?;
+    let mut packet = Deployment::builder(graph)
+        .mesh_topology(mesh)
+        .clock(clock)
+        .seed(seed)
+        .build_packet()?;
+    Ok(FabricComparison {
+        circuit: run_app(&mut circuit, graph, cycles),
+        packet: run_app(&mut packet, graph, cycles),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_apps::hiperlan2::{task_graph, Hiperlan2Params, Modulation};
+
+    fn comparison() -> &'static FabricComparison {
+        static CMP: std::sync::OnceLock<FabricComparison> = std::sync::OnceLock::new();
+        CMP.get_or_init(|| {
+            let graph = task_graph(&Hiperlan2Params::standard(Modulation::Qam64));
+            compare_fabrics(&graph, Mesh::new(4, 4), MegaHertz(100.0), 6000, 0x2005)
+                .expect("HiperLAN/2 deploys on both backends")
+        })
+    }
+
+    #[test]
+    fn hiperlan2_runs_on_both_backends() {
+        let cmp = comparison();
+        assert_eq!(cmp.circuit.kind, FabricKind::Circuit);
+        assert_eq!(cmp.packet.kind, FabricKind::Packet);
+        // Same seed: identical offered traffic.
+        assert_eq!(cmp.circuit.injected, cmp.packet.injected);
+        assert!(cmp.circuit.injected > 0);
+    }
+
+    #[test]
+    fn both_backends_meet_demand() {
+        let cmp = comparison();
+        assert!(
+            cmp.circuit.min_delivered_fraction > 0.9,
+            "circuit: {:.3}",
+            cmp.circuit.min_delivered_fraction
+        );
+        assert!(
+            cmp.packet.min_delivered_fraction > 0.9,
+            "packet: {:.3}",
+            cmp.packet.min_delivered_fraction
+        );
+    }
+
+    #[test]
+    fn circuit_fabric_wins_on_energy() {
+        let r = comparison().energy_ratio();
+        assert!(r > 1.5, "fabric-level energy ratio {r:.2} too small");
+    }
+
+    #[test]
+    fn energy_per_bit_is_finite_and_ordered() {
+        let cmp = comparison();
+        let c = cmp.circuit.energy_per_bit().value();
+        let p = cmp.packet.energy_per_bit().value();
+        assert!(c > 0.0 && p > 0.0);
+        assert!(c < p, "circuit {c:.1} fJ/bit vs packet {p:.1} fJ/bit");
+    }
+}

@@ -158,8 +158,7 @@ mod tests {
             let s_i = figure().series(router, Scenario::I);
             let s_iv = figure().series(router, Scenario::IV);
             let stream_effect = s_iv[1].uw_per_mhz - s_i[1].uw_per_mhz;
-            let flip_effect =
-                (s_iv[2].uw_per_mhz - s_iv[0].uw_per_mhz).abs();
+            let flip_effect = (s_iv[2].uw_per_mhz - s_iv[0].uw_per_mhz).abs();
             assert!(
                 stream_effect > flip_effect,
                 "{router:?}: streams {stream_effect:.2} vs flips {flip_effect:.2}"
@@ -188,7 +187,10 @@ mod tests {
         let free = fig
             .midpoint_deviation(RouterKind::Packet, Scenario::II)
             .abs()
-            .max(fig.midpoint_deviation(RouterKind::Packet, Scenario::III).abs());
+            .max(
+                fig.midpoint_deviation(RouterKind::Packet, Scenario::III)
+                    .abs(),
+            );
         assert!(
             coll > free,
             "collision curve should deviate most: IV={coll:.3}, others<={free:.3}"

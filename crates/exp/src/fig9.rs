@@ -88,11 +88,7 @@ pub fn fig9() -> Fig9 {
 }
 
 /// Run Fig. 9 with explicit configurations (used by ablation benches).
-pub fn fig9_with(
-    cs: RouterParams,
-    ps: PacketParams,
-    estimator: &PowerEstimator,
-) -> Fig9 {
+pub fn fig9_with(cs: RouterParams, ps: PacketParams, estimator: &PowerEstimator) -> Fig9 {
     let freq = MegaHertz(fig9_conditions::CLOCK_MHZ);
     let window = Picoseconds::from_micros(fig9_conditions::WINDOW_US);
     let cycles = cycles_in(window, freq);

@@ -17,16 +17,21 @@
 //! * [`reference`] — the paper's published numbers, for paper-vs-measured
 //!   reporting in EXPERIMENTS.md.
 //! * [`tables`] — plain-text table rendering used by every binary.
+//! * [`fabric_bench`] — the fabric-generic deployment bench: any
+//!   application task graph, either backend, one code path
+//!   ([`fabric_bench::run_app`] is written once over `F: Fabric`).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod fabric_bench;
 pub mod fig10;
 pub mod fig9;
 pub mod reference;
 pub mod tables;
 pub mod testbench;
 
+pub use fabric_bench::{compare_fabrics, run_app, FabricComparison, FabricRunSummary};
 pub use fig10::{fig10, Fig10, Fig10Point};
 pub use fig9::{fig9, Fig9, Fig9Bar};
 pub use testbench::{CircuitScenarioBench, PacketScenarioBench, ScenarioOutcome};

@@ -137,14 +137,24 @@ mod tests {
     #[test]
     fn published_ratio_holds_in_reference_data() {
         let ratio = TABLE4_PACKET.total_mm2 / TABLE4_CIRCUIT.total_mm2;
-        assert!((ratio - 3.557).abs() < 0.01, "published tables give {ratio:.3}");
+        assert!(
+            (ratio - 3.557).abs() < 0.01,
+            "published tables give {ratio:.3}"
+        );
     }
 
     #[test]
     fn bandwidth_is_width_times_frequency() {
-        assert!((TABLE4_CIRCUIT.fmax_mhz * 16.0 / 1000.0 - TABLE4_CIRCUIT.bandwidth_gbps).abs() < 0.01);
-        assert!((TABLE4_PACKET.fmax_mhz * 16.0 / 1000.0 - TABLE4_PACKET.bandwidth_gbps).abs() < 0.02);
-        assert!((TABLE4_AETHEREAL.fmax_mhz * 32.0 / 1000.0 - TABLE4_AETHEREAL.bandwidth_gbps).abs() < 0.01);
+        assert!(
+            (TABLE4_CIRCUIT.fmax_mhz * 16.0 / 1000.0 - TABLE4_CIRCUIT.bandwidth_gbps).abs() < 0.01
+        );
+        assert!(
+            (TABLE4_PACKET.fmax_mhz * 16.0 / 1000.0 - TABLE4_PACKET.bandwidth_gbps).abs() < 0.02
+        );
+        assert!(
+            (TABLE4_AETHEREAL.fmax_mhz * 32.0 / 1000.0 - TABLE4_AETHEREAL.bandwidth_gbps).abs()
+                < 0.01
+        );
     }
 
     #[test]

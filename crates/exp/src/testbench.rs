@@ -560,12 +560,8 @@ mod tests {
 
     #[test]
     fn circuit_scenario_i_only_clocks() {
-        let mut bench = CircuitScenarioBench::new(
-            RouterParams::paper(),
-            Scenario::I,
-            DataPattern::Random,
-            1.0,
-        );
+        let mut bench =
+            CircuitScenarioBench::new(RouterParams::paper(), Scenario::I, DataPattern::Random, 1.0);
         let out = bench.run(1000);
         let total: u64 = out.activity.iter().map(|c| c.ledger.total()).sum();
         let clocks: u64 = out
@@ -630,12 +626,8 @@ mod tests {
     #[test]
     fn packet_collision_adds_grant_changes_vs_scenario_ii() {
         let grant_changes = |scenario| {
-            let mut bench = PacketScenarioBench::new(
-                PacketParams::paper(),
-                scenario,
-                DataPattern::Random,
-                1.0,
-            );
+            let mut bench =
+                PacketScenarioBench::new(PacketParams::paper(), scenario, DataPattern::Random, 1.0);
             let out = bench.run(3000);
             out.activity
                 .iter()

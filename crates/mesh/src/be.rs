@@ -119,13 +119,7 @@ impl BeNetwork {
     /// entering the network at `now`. Returns the delivery cycle,
     /// accounting for XY hops, per-link serialisation and contention with
     /// earlier messages.
-    pub fn send(
-        &mut self,
-        now: Cycle,
-        from: NodeId,
-        to: NodeId,
-        words: &[ConfigWord],
-    ) -> Cycle {
+    pub fn send(&mut self, now: Cycle, from: NodeId, to: NodeId, words: &[ConfigWord]) -> Cycle {
         let payload = encode_words(words);
         let ser = self.serialisation_cycles(&payload);
         let mut t = now;
@@ -164,8 +158,8 @@ impl BeNetwork {
         while i < self.pending.len() {
             if self.pending[i].delivery <= now {
                 let msg = self.pending.swap_remove(i);
-                let words = decode_words(msg.payload)
-                    .ok_or(ConfigError::MalformedWord { raw: 0xFFFF })?;
+                let words =
+                    decode_words(msg.payload).ok_or(ConfigError::MalformedWord { raw: 0xFFFF })?;
                 for w in words {
                     soc.router_mut(msg.dst).apply_config_word(w)?;
                     applied += 1;
@@ -250,9 +244,7 @@ mod tests {
         let delivery = be.send(Cycle::ZERO, ccn_node, target, &[word()]);
 
         // Not yet due.
-        let before = be
-            .deliver_due(Cycle(delivery.0 - 1), &mut soc)
-            .unwrap();
+        let before = be.deliver_due(Cycle(delivery.0 - 1), &mut soc).unwrap();
         assert_eq!(before, 0);
         assert!(!soc.router(target).config().entry_of(Port::East, 0).active);
 

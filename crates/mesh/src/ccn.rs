@@ -111,7 +111,10 @@ impl Mapping {
 
     /// Total router hops over all circuits (a mapping-quality metric).
     pub fn total_hops(&self) -> usize {
-        self.routes.iter().map(|r| r.hops() * r.paths.len().max(1)).sum()
+        self.routes
+            .iter()
+            .map(|r| r.hops() * r.paths.len().max(1))
+            .sum()
     }
 
     /// The configuration words the CCN must deliver, as `(router, word)`
@@ -252,8 +255,12 @@ impl Allocator {
         }
         Allocator {
             link_free,
-            tx_free: (0..mesh.nodes()).map(|_| vec![true; params.lanes_per_port]).collect(),
-            rx_free: (0..mesh.nodes()).map(|_| vec![true; params.lanes_per_port]).collect(),
+            tx_free: (0..mesh.nodes())
+                .map(|_| vec![true; params.lanes_per_port])
+                .collect(),
+            rx_free: (0..mesh.nodes())
+                .map(|_| vec![true; params.lanes_per_port])
+                .collect(),
         }
     }
 
@@ -272,10 +279,7 @@ impl Allocator {
 
     /// Claim `k` lanes on a directed link; returns their indices.
     fn claim_link(&mut self, node: NodeId, port: Port, k: usize) -> Vec<usize> {
-        let lanes = self
-            .link_free
-            .get_mut(&(node, port))
-            .expect("link exists");
+        let lanes = self.link_free.get_mut(&(node, port)).expect("link exists");
         let mut out = Vec::with_capacity(k);
         for (i, free) in lanes.iter_mut().enumerate() {
             if *free && out.len() < k {
@@ -316,11 +320,7 @@ impl Ccn {
     }
 
     /// Map an application onto tiles and lanes.
-    pub fn map(
-        &self,
-        graph: &TaskGraph,
-        tile_kinds: &[TileKind],
-    ) -> Result<Mapping, MappingError> {
+    pub fn map(&self, graph: &TaskGraph, tile_kinds: &[TileKind]) -> Result<Mapping, MappingError> {
         self.map_with_faults(graph, tile_kinds, &[])
     }
 
@@ -340,7 +340,10 @@ impl Ccn {
     ) -> Result<Mapping, MappingError> {
         assert_eq!(tile_kinds.len(), self.mesh.nodes(), "one kind per tile");
         let clusters = self.cluster(graph);
-        let cluster_count = clusters.iter().collect::<std::collections::HashSet<_>>().len();
+        let cluster_count = clusters
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .len();
         if cluster_count > self.mesh.nodes() {
             return Err(MappingError::NotEnoughTiles {
                 processes: cluster_count,
@@ -386,10 +389,8 @@ impl Ccn {
                 if s == d {
                     continue;
                 }
-                *out_partners.entry(s).or_default().entry(d).or_default() +=
-                    e.bandwidth.value();
-                *in_partners.entry(d).or_default().entry(s).or_default() +=
-                    e.bandwidth.value();
+                *out_partners.entry(s).or_default().entry(d).or_default() += e.bandwidth.value();
+                *in_partners.entry(d).or_default().entry(s).or_default() += e.bandwidth.value();
             }
 
             // Find the most over-pressured cluster.
@@ -401,7 +402,7 @@ impl Ccn {
                 let o = out_partners.get(&c).map_or(0, |m| m.len());
                 let i = in_partners.get(&c).map_or(0, |m| m.len());
                 let overflow = o.saturating_sub(lanes) + i.saturating_sub(lanes);
-                if overflow > 0 && worst.map_or(true, |(w, _)| overflow > w) {
+                if overflow > 0 && worst.is_none_or(|(w, _)| overflow > w) {
                     worst = Some((overflow, c));
                 }
             }
@@ -498,18 +499,17 @@ impl Ccn {
                         continue;
                     };
                     if let Some(&other_node) = placed.get(&other) {
-                        cost += e.bandwidth.value()
-                            * self.mesh.distance(node, other_node) as f64;
+                        cost += e.bandwidth.value() * self.mesh.distance(node, other_node) as f64;
                     }
                 }
-                let affinity_ok =
-                    hints.is_empty() || hints.iter().any(|h| tile_kinds[node.0].matches_affinity(h));
+                let affinity_ok = hints.is_empty()
+                    || hints.iter().any(|h| tile_kinds[node.0].matches_affinity(h));
                 if !affinity_ok {
                     // Affinity miss: pay the volume again — placement
                     // still succeeds when no matching tile is free.
                     cost += volume.get(&cid).copied().unwrap_or(0.0) + 1.0;
                 }
-                if best.map_or(true, |(c, _)| cost < c) {
+                if best.is_none_or(|(c, _)| cost < c) {
                     best = Some((cost, node));
                 }
             }
@@ -559,8 +559,8 @@ impl Ccn {
             entry.0.push(id);
             entry.1 += e.bandwidth.value();
         }
-        let mut demand_list: Vec<((NodeId, NodeId), (Vec<EdgeId>, f64))> =
-            demands.into_iter().collect();
+        type DemandList = Vec<((NodeId, NodeId), (Vec<EdgeId>, f64))>;
+        let mut demand_list: DemandList = demands.into_iter().collect();
         demand_list.sort_by(|a, b| {
             b.1 .1
                 .partial_cmp(&a.1 .1)
@@ -693,9 +693,9 @@ impl Ccn {
     /// bandwidth of the edges sharing it?
     pub fn verify(&self, graph: &TaskGraph, mapping: &Mapping) -> bool {
         // Every edge must be served by exactly one route…
-        let all_served = graph.edges().all(|(id, _)| {
-            mapping.routes.iter().filter(|r| r.serves(id)).count() == 1
-        });
+        let all_served = graph
+            .edges()
+            .all(|(id, _)| mapping.routes.iter().filter(|r| r.serves(id)).count() == 1);
         // …and every route must cover its demand.
         let all_covered = mapping.routes.iter().all(|r| {
             let demand: f64 = r
@@ -732,7 +732,9 @@ mod tests {
 
     fn pipeline(stages: usize, bw: f64) -> TaskGraph {
         let mut g = TaskGraph::new("pipe");
-        let ids: Vec<ProcessId> = (0..stages).map(|i| g.add_process(format!("s{i}"))).collect();
+        let ids: Vec<ProcessId> = (0..stages)
+            .map(|i| g.add_process(format!("s{i}")))
+            .collect();
         for w in ids.windows(2) {
             g.add_edge(w[0], w[1], Bandwidth(bw), TrafficShape::Streaming, "e");
         }
@@ -806,7 +808,10 @@ mod tests {
         let g = pipeline(3, 1.0);
         assert!(matches!(
             c.map(&g, &kinds(2)),
-            Err(MappingError::NotEnoughTiles { processes: 3, tiles: 2 })
+            Err(MappingError::NotEnoughTiles {
+                processes: 3,
+                tiles: 2
+            })
         ));
     }
 
@@ -838,7 +843,11 @@ mod tests {
         // The light stream's first hop must leave south, not east.
         let first_hop = &light.paths[0][0];
         assert_eq!(first_hop.out_port, Port::South, "must avoid saturated link");
-        assert_eq!(light.paths[0].len(), 3, "one router more than direct XY? no: equal-length detour through (1,1)");
+        assert_eq!(
+            light.paths[0].len(),
+            3,
+            "one router more than direct XY? no: equal-length detour through (1,1)"
+        );
     }
 
     #[test]

@@ -1,0 +1,641 @@
+//! Application deployment over any [`Fabric`]: task graph in, provisioned
+//! and traffic-bound network out — circuit- or packet-switched, through
+//! one builder.
+//!
+//! This replaces the old fixed five-positional-argument deployment entry
+//! point (`AppRun::deploy`, now a deprecated shim in the facade crate).
+//! The builder owns every knob with a sensible default:
+//!
+//! ```text
+//! let mut dep = Deployment::builder(&graph)
+//!     .mesh(4, 4)
+//!     .clock(MegaHertz(100.0))
+//!     .seed(42)
+//!     .fabric(FabricKind::Circuit)
+//!     .build()?;              // -> Deployment<Box<dyn Fabric>>
+//! dep.run(10_000);
+//! dep.settle(2_000);
+//! let reports = dep.report(&graph);
+//! ```
+//!
+//! `build_circuit()` / `build_packet()` return concretely-typed
+//! deployments for code that is itself generic over `F: Fabric`; `build()`
+//! erases the backend behind `Box<dyn Fabric>` for runtime selection.
+//! Either way the scenario plumbing — CCN mapping, per-route offered-load
+//! word streams, delivery accounting, energy readout — is written once,
+//! here.
+
+use crate::ccn::{Ccn, Mapping, MappingError};
+use crate::fabric::{EnergyModel, Fabric, FabricKind, PacketFabric, ProvisionError};
+use crate::soc::Soc;
+use crate::tile::{default_tile_kinds, TileKind};
+use crate::topology::{Mesh, NodeId};
+use noc_apps::taskgraph::TaskGraph;
+use noc_apps::traffic::{DataPattern, WordStream};
+use noc_core::params::RouterParams;
+use noc_packet::params::PacketParams;
+use noc_power::estimator::PowerReport;
+use noc_sim::time::CycleCount;
+use noc_sim::units::{Bandwidth, FemtoJoules, MegaHertz};
+use std::fmt;
+
+/// Why a deployment could not be built.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeployError {
+    /// The CCN rejected the application.
+    Mapping(MappingError),
+    /// The chosen fabric rejected the mapping.
+    Provision(ProvisionError),
+}
+
+impl fmt::Display for DeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeployError::Mapping(e) => write!(f, "mapping failed: {e}"),
+            DeployError::Provision(e) => write!(f, "provisioning failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+impl From<MappingError> for DeployError {
+    fn from(e: MappingError) -> DeployError {
+        DeployError::Mapping(e)
+    }
+}
+
+impl From<ProvisionError> for DeployError {
+    fn from(e: ProvisionError) -> DeployError {
+        DeployError::Provision(e)
+    }
+}
+
+/// Builder for [`Deployment`]s. Construct with [`Deployment::builder`].
+#[derive(Debug, Clone)]
+pub struct DeploymentBuilder<'g> {
+    graph: &'g TaskGraph,
+    mesh: Mesh,
+    router_params: RouterParams,
+    packet_params: PacketParams,
+    clock: MegaHertz,
+    seed: u64,
+    kind: FabricKind,
+    packet_words: usize,
+    pattern: DataPattern,
+    tile_kinds: Option<Vec<TileKind>>,
+}
+
+impl<'g> DeploymentBuilder<'g> {
+    fn new(graph: &'g TaskGraph) -> DeploymentBuilder<'g> {
+        DeploymentBuilder {
+            graph,
+            mesh: Mesh::new(4, 4),
+            router_params: RouterParams::paper(),
+            packet_params: PacketParams::paper(),
+            clock: MegaHertz(100.0),
+            seed: 0,
+            kind: FabricKind::Circuit,
+            packet_words: PacketFabric::DEFAULT_PACKET_WORDS,
+            pattern: DataPattern::Random,
+            tile_kinds: None,
+        }
+    }
+
+    /// Mesh dimensions (default 4×4).
+    pub fn mesh(mut self, width: usize, height: usize) -> Self {
+        self.mesh = Mesh::new(width, height);
+        self
+    }
+
+    /// An explicit mesh topology.
+    pub fn mesh_topology(mut self, mesh: Mesh) -> Self {
+        self.mesh = mesh;
+        self
+    }
+
+    /// Circuit-router parameters (default [`RouterParams::paper`]).
+    pub fn router_params(mut self, params: RouterParams) -> Self {
+        self.router_params = params;
+        self
+    }
+
+    /// Packet-router parameters (default [`PacketParams::paper`]).
+    pub fn packet_params(mut self, params: PacketParams) -> Self {
+        self.packet_params = params;
+        self
+    }
+
+    /// SoC clock (default 100 MHz).
+    pub fn clock(mut self, clock: MegaHertz) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Traffic seed (default 0). The same seed produces bit-identical
+    /// payload streams on every backend — the basis of parity testing.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Which backend [`DeploymentBuilder::build`] instantiates (default
+    /// circuit-switched). `build_circuit`/`build_packet` ignore this.
+    pub fn fabric(mut self, kind: FabricKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Payload words per wormhole packet on the packet backend.
+    pub fn packet_words(mut self, words: usize) -> Self {
+        self.packet_words = words;
+        self
+    }
+
+    /// Payload data pattern (default random; drives bit-flip energy).
+    pub fn pattern(mut self, pattern: DataPattern) -> Self {
+        self.pattern = pattern;
+        self
+    }
+
+    /// Override the tile inventory (default: the Fig. 1 palette rotation).
+    pub fn tile_kinds(mut self, kinds: Vec<TileKind>) -> Self {
+        self.tile_kinds = kinds.into();
+        self
+    }
+
+    /// Map the application (shared by every backend).
+    fn map(&self) -> Result<Mapping, MappingError> {
+        let kinds = match &self.tile_kinds {
+            Some(k) => k.clone(),
+            None => default_tile_kinds(&self.mesh),
+        };
+        let ccn = Ccn::new(self.mesh, self.router_params, self.clock);
+        ccn.map(self.graph, &kinds)
+    }
+
+    /// Deploy onto the backend chosen with [`DeploymentBuilder::fabric`].
+    pub fn build(self) -> Result<Deployment<Box<dyn Fabric>>, DeployError> {
+        match self.kind {
+            FabricKind::Circuit => self.build_circuit().map(Deployment::boxed),
+            FabricKind::Packet => self.build_packet().map(Deployment::boxed),
+        }
+    }
+
+    /// Deploy onto the circuit-switched mesh.
+    pub fn build_circuit(self) -> Result<Deployment<Soc>, DeployError> {
+        let mapping = self.map()?;
+        let mut fabric = Soc::new(self.mesh, self.router_params);
+        fabric.provision(&mapping).map_err(ProvisionError::from)?;
+        Ok(Deployment::assemble(fabric, mapping, &self))
+    }
+
+    /// Deploy onto the packet-switched mesh.
+    pub fn build_packet(self) -> Result<Deployment<PacketFabric>, DeployError> {
+        // Pre-check the packet header's coordinate space so the size limit
+        // surfaces as an error, not as `PacketFabric::new`'s panic.
+        if self.mesh.width > 16 || self.mesh.height > 16 {
+            return Err(ProvisionError::MeshTooLarge {
+                width: self.mesh.width,
+                height: self.mesh.height,
+            }
+            .into());
+        }
+        let mapping = self.map()?;
+        let mut fabric = PacketFabric::new(self.mesh, self.packet_params, self.packet_words);
+        fabric.provision(&mapping)?;
+        Ok(Deployment::assemble(fabric, mapping, &self))
+    }
+}
+
+/// One circuit's offered-load traffic generator.
+#[derive(Debug)]
+struct RouteTraffic {
+    route: usize,
+    src: NodeId,
+    dst: NodeId,
+    /// Offered payload words per cycle.
+    rate: f64,
+    acc: f64,
+    stream: WordStream,
+    injected: u64,
+}
+
+/// Per-route delivery statistics, the fabric-generic analogue of the old
+/// `RouteReport`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricRouteReport {
+    /// Index into `mapping.routes`.
+    pub route: usize,
+    /// Labels of the task-graph edges sharing the circuit.
+    pub labels: Vec<String>,
+    /// Required bandwidth (sum over the edges).
+    pub required: Bandwidth,
+    /// Measured delivered bandwidth over the run.
+    pub measured: Bandwidth,
+    /// `measured` relative to `required`. When several routes terminate at
+    /// the same node the node's deliveries are attributed proportionally
+    /// to each route's injected words.
+    pub delivered_fraction: f64,
+}
+
+/// A deployed application: fabric, mapping, and offered-load bindings —
+/// generic over the switching discipline.
+///
+/// The type parameter is unconstrained on the struct itself only so that
+/// `Deployment::builder` resolves without naming a backend; every
+/// operational method requires `F: Fabric`.
+#[derive(Debug)]
+pub struct Deployment<F> {
+    fabric: F,
+    mapping: Mapping,
+    clock: MegaHertz,
+    traffic: Vec<RouteTraffic>,
+    /// Words drained at each node over the deployment's lifetime.
+    delivered_at: Vec<u64>,
+    /// Delivered payload words per node (kept for parity checks).
+    payload_at: Vec<Vec<u16>>,
+    keep_payload: bool,
+    cycles_run: CycleCount,
+    /// Cycles during which traffic was offered (excludes settling), the
+    /// window delivery fractions are measured against.
+    offered_cycles: CycleCount,
+}
+
+impl Deployment<()> {
+    /// Start building a deployment of `graph`. (`()` here is only the
+    /// resolution anchor; the built deployment carries a real backend.)
+    pub fn builder(graph: &TaskGraph) -> DeploymentBuilder<'_> {
+        DeploymentBuilder::new(graph)
+    }
+}
+
+impl<F: Fabric> Deployment<F> {
+    fn assemble(fabric: F, mapping: Mapping, b: &DeploymentBuilder<'_>) -> Deployment<F> {
+        let nodes = b.mesh.nodes();
+        let mut traffic = Vec::new();
+        for (idx, route) in mapping.routes.iter().enumerate() {
+            if route.paths.is_empty() {
+                continue; // on-tile communication, nothing on the NoC
+            }
+            let demand: f64 = route
+                .edges
+                .iter()
+                .map(|&id| b.graph.edge(id).bandwidth.value())
+                .sum();
+            let src = route.paths[0][0].node;
+            let dst = route.paths[0].last().expect("non-empty path").node;
+            traffic.push(RouteTraffic {
+                route: idx,
+                src,
+                dst,
+                // Mbit/s over (MHz × 16 bit/word) = words/cycle.
+                rate: demand / (b.clock.value() * 16.0),
+                acc: 0.0,
+                stream: WordStream::new(b.pattern, b.seed ^ ((idx as u64) << 32)),
+                injected: 0,
+            });
+        }
+        Deployment {
+            fabric,
+            mapping,
+            clock: b.clock,
+            traffic,
+            delivered_at: vec![0; nodes],
+            payload_at: vec![Vec::new(); nodes],
+            keep_payload: false,
+            cycles_run: 0,
+            offered_cycles: 0,
+        }
+    }
+
+    /// Erase the backend type for runtime-selected deployments.
+    pub fn boxed(self) -> Deployment<Box<dyn Fabric>>
+    where
+        F: 'static,
+    {
+        Deployment {
+            fabric: Box::new(self.fabric) as Box<dyn Fabric>,
+            mapping: self.mapping,
+            clock: self.clock,
+            traffic: self.traffic,
+            delivered_at: self.delivered_at,
+            payload_at: self.payload_at,
+            keep_payload: self.keep_payload,
+            cycles_run: self.cycles_run,
+            offered_cycles: self.offered_cycles,
+        }
+    }
+
+    /// Take the fabric and mapping apart (the legacy `AppRun` shim builds
+    /// its load-driven bindings on top of a freshly provisioned fabric).
+    pub fn into_parts(self) -> (F, Mapping) {
+        (self.fabric, self.mapping)
+    }
+
+    /// The deployed fabric.
+    pub fn fabric(&self) -> &F {
+        &self.fabric
+    }
+
+    /// Mutable access to the fabric (testbench drives, activity windows).
+    pub fn fabric_mut(&mut self) -> &mut F {
+        &mut self.fabric
+    }
+
+    /// The CCN's mapping.
+    pub fn mapping(&self) -> &Mapping {
+        &self.mapping
+    }
+
+    /// The deployment clock.
+    pub fn clock(&self) -> MegaHertz {
+        self.clock
+    }
+
+    /// Cycles of traffic simulated so far.
+    pub fn cycles_run(&self) -> CycleCount {
+        self.cycles_run
+    }
+
+    /// Keep the delivered payload words per node (off by default; needed
+    /// for cross-fabric parity assertions).
+    pub fn keep_payload(&mut self, on: bool) {
+        self.keep_payload = on;
+    }
+
+    /// The [`EnergyModel`] matching this deployment's clock.
+    pub fn energy_model(&self) -> EnergyModel {
+        EnergyModel::calibrated(self.clock)
+    }
+
+    fn collect(&mut self) {
+        for node in 0..self.delivered_at.len() {
+            let words = self.fabric.drain(NodeId(node));
+            self.delivered_at[node] += words.len() as u64;
+            if self.keep_payload {
+                self.payload_at[node].extend(words);
+            }
+        }
+    }
+
+    /// Advance `cycles` cycles of offered-load traffic: each route's
+    /// word stream is injected at its demanded rate, the fabric steps
+    /// once per cycle, and deliveries are collected.
+    pub fn run(&mut self, cycles: CycleCount) {
+        for _ in 0..cycles {
+            for t in &mut self.traffic {
+                t.acc += t.rate;
+                while t.acc + 1e-9 >= 1.0 {
+                    t.acc -= 1.0;
+                    let word = t.stream.next_word();
+                    self.fabric.inject(t.src, &[word]);
+                    t.injected += 1;
+                }
+            }
+            self.fabric.step();
+        }
+        self.cycles_run += cycles;
+        self.offered_cycles += cycles;
+        self.collect();
+    }
+
+    /// Stop injecting and run until deliveries stop arriving (or
+    /// `max_cycles` elapse): flushes wormhole staging, then steps in small
+    /// chunks until no new words appear for a settle window. Returns the
+    /// cycles spent settling.
+    pub fn settle(&mut self, max_cycles: CycleCount) -> CycleCount {
+        self.fabric.finish_injection();
+        const CHUNK: CycleCount = 32;
+        const IDLE_CHUNKS: u32 = 8;
+        let mut spent = 0;
+        let mut idle = 0;
+        while spent < max_cycles && idle < IDLE_CHUNKS {
+            let before: u64 = self.delivered_at.iter().sum();
+            self.fabric.run(CHUNK);
+            spent += CHUNK;
+            self.collect();
+            let after: u64 = self.delivered_at.iter().sum();
+            idle = if after > before { 0 } else { idle + 1 };
+        }
+        self.cycles_run += spent;
+        spent
+    }
+
+    /// Total payload words injected across all routes.
+    pub fn total_injected(&self) -> u64 {
+        self.traffic.iter().map(|t| t.injected).sum()
+    }
+
+    /// Total payload words delivered across all nodes.
+    pub fn total_delivered(&self) -> u64 {
+        self.delivered_at.iter().sum()
+    }
+
+    /// Payload lost anywhere in the fabric (0 under correct flow control).
+    pub fn total_overflows(&self) -> u64 {
+        self.fabric.total_overflows()
+    }
+
+    /// The delivered payload at `node`, in arrival order. Empty unless
+    /// [`Deployment::keep_payload`] was enabled before running.
+    pub fn payload_at(&self, node: NodeId) -> &[u16] {
+        &self.payload_at[node.0]
+    }
+
+    /// Per-circuit delivery statistics against the task graph's demands.
+    pub fn report(&self, graph: &TaskGraph) -> Vec<FabricRouteReport> {
+        // Measure against the offered-load window: settling cycles carry
+        // no new demand, so counting them would understate delivery.
+        let window = self.clock.period() * self.offered_cycles.max(1) as f64;
+        self.traffic
+            .iter()
+            .map(|t| {
+                let route = &self.mapping.routes[t.route];
+                let required = Bandwidth(
+                    route
+                        .edges
+                        .iter()
+                        .map(|&id| graph.edge(id).bandwidth.value())
+                        .sum(),
+                );
+                // Attribute the destination node's deliveries to this
+                // route, proportionally when routes share a destination.
+                let at_dst: u64 = self.delivered_at[t.dst.0];
+                let injected_here = t.injected.max(1);
+                let injected_at_dst: u64 = self
+                    .traffic
+                    .iter()
+                    .filter(|o| o.dst == t.dst)
+                    .map(|o| o.injected.max(1))
+                    .sum();
+                let share = at_dst as f64 * injected_here as f64 / injected_at_dst as f64;
+                let measured = Bandwidth::from_bits_over((share * 16.0) as u64, window);
+                FabricRouteReport {
+                    route: t.route,
+                    labels: route
+                        .edges
+                        .iter()
+                        .map(|&id| graph.edge(id).label.clone())
+                        .collect(),
+                    required,
+                    measured,
+                    delivered_fraction: if required.value() > 0.0 {
+                        measured.value() / required.value()
+                    } else {
+                        1.0
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// Power over the deployment's lifetime at its clock.
+    pub fn power(&self, model: &EnergyModel) -> PowerReport {
+        self.fabric.power(model, self.cycles_run.max(1))
+    }
+
+    /// Total energy dissipated over the deployment's lifetime.
+    pub fn total_energy(&self, model: &EnergyModel) -> FemtoJoules {
+        self.fabric.total_energy(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_apps::taskgraph::TrafficShape;
+
+    fn pipeline(stages: usize, bw: f64) -> TaskGraph {
+        let mut g = TaskGraph::new("pipe");
+        let ids: Vec<_> = (0..stages)
+            .map(|i| g.add_process(format!("s{i}")))
+            .collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], Bandwidth(bw), TrafficShape::Streaming, "e");
+        }
+        g
+    }
+
+    /// The whole point of the redesign: this helper is written once over
+    /// `F: Fabric` and the tests below pass both backends through it.
+    fn run_generic<F: Fabric>(mut dep: Deployment<F>, graph: &TaskGraph) -> Deployment<F> {
+        dep.run(6000);
+        dep.settle(4000);
+        for r in dep.report(graph) {
+            assert!(
+                r.delivered_fraction > 0.9,
+                "{} under-delivered: {:?}",
+                dep.fabric().kind(),
+                r
+            );
+        }
+        dep
+    }
+
+    #[test]
+    fn builder_deploys_pipeline_on_both_backends() {
+        let g = pipeline(3, 60.0);
+        let circuit = run_generic(
+            Deployment::builder(&g)
+                .mesh(3, 3)
+                .seed(7)
+                .build_circuit()
+                .unwrap(),
+            &g,
+        );
+        let packet = run_generic(
+            Deployment::builder(&g)
+                .mesh(3, 3)
+                .seed(7)
+                .build_packet()
+                .unwrap(),
+            &g,
+        );
+        assert!(circuit.total_delivered() > 0);
+        // Same seed, same offered words on both backends.
+        assert_eq!(circuit.total_injected(), packet.total_injected());
+    }
+
+    #[test]
+    fn boxed_build_selects_backend_at_runtime() {
+        let g = pipeline(2, 40.0);
+        for kind in FabricKind::BOTH {
+            let dep = Deployment::builder(&g)
+                .mesh(2, 2)
+                .fabric(kind)
+                .seed(3)
+                .build()
+                .unwrap();
+            assert_eq!(dep.fabric().kind(), kind);
+            let dep = run_generic(dep, &g);
+            assert!(dep.total_delivered() > 0, "{kind} delivered nothing");
+        }
+    }
+
+    #[test]
+    fn infeasible_graph_is_reported() {
+        // 400 Mbit/s on a 25 MHz SoC (80 Mbit/s lanes): needs 5 lanes.
+        let g = pipeline(2, 400.0);
+        let err = Deployment::builder(&g)
+            .mesh(2, 2)
+            .clock(MegaHertz(25.0))
+            .build_circuit()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            DeployError::Mapping(MappingError::EdgeTooWide { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_mesh_is_an_error_not_a_panic() {
+        // 17 columns exceed the packet header's 4-bit coordinate space;
+        // the builder must report it, not panic in PacketFabric::new.
+        let g = pipeline(2, 10.0);
+        let err = Deployment::builder(&g)
+            .mesh(17, 1)
+            .build_packet()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            DeployError::Provision(ProvisionError::MeshTooLarge {
+                width: 17,
+                height: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn parity_of_payload_between_backends() {
+        let g = pipeline(2, 80.0);
+        let run = |kind| {
+            let mut dep = Deployment::builder(&g)
+                .mesh(2, 1)
+                .seed(11)
+                .fabric(kind)
+                .build()
+                .unwrap();
+            dep.keep_payload(true);
+            dep.run(3000);
+            dep.settle(3000);
+            let dst = dep.mapping().routes[0].paths[0].last().unwrap().node;
+            dep.payload_at(dst).to_vec()
+        };
+        let circuit = run(FabricKind::Circuit);
+        let packet = run(FabricKind::Packet);
+        assert!(!circuit.is_empty());
+        assert_eq!(circuit, packet, "identical payload through both fabrics");
+    }
+
+    #[test]
+    fn energy_model_matches_clock() {
+        let g = pipeline(2, 10.0);
+        let dep = Deployment::builder(&g)
+            .mesh(2, 2)
+            .clock(MegaHertz(50.0))
+            .build_circuit()
+            .unwrap();
+        assert_eq!(dep.energy_model().clock(), MegaHertz(50.0));
+    }
+}

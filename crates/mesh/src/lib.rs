@@ -26,12 +26,22 @@
 //! * [`reconfig`] — run-time reconfiguration: stream teardown/setup diffs
 //!   delivered over the BE network, with the paper's <20 ms full-router
 //!   budget checked.
+//! * [`fabric`] — **the unified backend API**: the [`fabric::Fabric`]
+//!   trait over whole networks-on-chip, implemented by the
+//!   circuit-switched [`Soc`] and by [`fabric::PacketFabric`], a full mesh
+//!   of `noc_packet` wormhole routers. Every workload written against it
+//!   is automatically a circuit-vs-packet comparison.
+//! * [`deployment`] — the [`deployment::Deployment`] builder: task graph
+//!   in, provisioned and traffic-bound fabric out, generic over the
+//!   backend.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod be;
 pub mod ccn;
+pub mod deployment;
+pub mod fabric;
 pub mod packet_mesh;
 pub mod reconfig;
 pub mod soc;
@@ -40,7 +50,9 @@ pub mod topology;
 
 pub use be::{BeConfig, BeNetwork};
 pub use ccn::{Ccn, Mapping, MappingError, PathHop};
+pub use deployment::{DeployError, Deployment, DeploymentBuilder, FabricRouteReport};
+pub use fabric::{EnergyModel, Fabric, FabricKind, PacketFabric, ProvisionError};
 pub use packet_mesh::{PacketMesh, RandomTraffic};
 pub use soc::Soc;
-pub use tile::{Tile, TileKind};
+pub use tile::{default_tile_kinds, Tile, TileKind};
 pub use topology::{Mesh, NodeId};

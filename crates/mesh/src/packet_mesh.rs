@@ -257,14 +257,16 @@ mod tests {
         // Latency near the zero-load floor: a few cycles per hop plus
         // serialisation.
         let mean = pm.latency_stats.mean();
-        assert!(mean < 40.0, "mean latency {mean:.1} too high for light load");
+        assert!(
+            mean < 40.0,
+            "mean latency {mean:.1} too high for light load"
+        );
     }
 
     #[test]
     fn latency_rises_with_load() {
         let mean_at = |rate: f64| {
-            let mut pm =
-                PacketMesh::new(Mesh::new(3, 3), PacketParams::paper(), traffic(rate), 7);
+            let mut pm = PacketMesh::new(Mesh::new(3, 3), PacketParams::paper(), traffic(rate), 7);
             pm.run(3000);
             pm.latency_stats.mean()
         };

@@ -66,10 +66,8 @@ pub fn plan(old: &Mapping, new: &Mapping, params: &RouterParams) -> ReconfigPlan
     for &(node, lane_addr) in &old_lanes {
         if !new_lanes.contains(&(node, lane_addr)) {
             // Deactivation word: same lane address, inactive entry.
-            let word = ConfigWord(
-                (lane_addr << params.entry_bits())
-                    | ConfigEntry::INACTIVE.pack(params),
-            );
+            let word =
+                ConfigWord((lane_addr << params.entry_bits()) | ConfigEntry::INACTIVE.pack(params));
             teardown.push((node, word));
         }
     }
@@ -141,7 +139,9 @@ mod tests {
 
     fn pipeline(name: &str, stages: usize, bw: f64) -> TaskGraph {
         let mut g = TaskGraph::new(name);
-        let ids: Vec<_> = (0..stages).map(|i| g.add_process(format!("{name}{i}"))).collect();
+        let ids: Vec<_> = (0..stages)
+            .map(|i| g.add_process(format!("{name}{i}")))
+            .collect();
         for w in ids.windows(2) {
             g.add_edge(w[0], w[1], Bandwidth(bw), TrafficShape::Streaming, "e");
         }

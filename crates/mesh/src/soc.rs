@@ -15,15 +15,31 @@
 //! evaluate pass never race — this is the property that makes big-mesh
 //! simulation embarrassingly parallel (see the `mesh_step` bench).
 
-use crate::tile::{Tile, TileKind};
+use crate::ccn::Mapping;
+use crate::tile::{default_tile_kinds, Tile, TileKind};
 use crate::topology::{Mesh, NodeId};
+use noc_core::error::ConfigError;
 use noc_core::lane::Port;
 use noc_core::params::RouterParams;
+use noc_core::phit::Phit;
 use noc_core::router::CircuitRouter;
 use noc_sim::activity::{ActivityLedger, ComponentActivity};
 use noc_sim::kernel::Clocked;
 use noc_sim::par::{par_commit, par_eval, ParPolicy};
 use noc_sim::time::{Cycle, CycleCount};
+use std::collections::VecDeque;
+
+/// The provisioned word-level injection plan behind the [`crate::fabric`]
+/// API: for every node, the tile transmit lanes of the circuits that
+/// originate there, and the queue of payload words awaiting injection.
+#[derive(Debug, Clone, Default)]
+struct CircuitPlan {
+    /// Per node: tile TX lanes of provisioned circuits, in route order.
+    tx_lanes: Vec<Vec<usize>>,
+    /// Per node: payload words queued by `inject`, drained onto the tile
+    /// lanes one phit per free lane per cycle.
+    ingress: Vec<VecDeque<u16>>,
+}
 
 /// A mesh SoC of circuit-switched routers with one tile per router.
 #[derive(Debug)]
@@ -38,24 +54,19 @@ pub struct Soc {
     sample_data: Vec<Vec<noc_sim::bits::Nibble>>,
     /// Scratch: sampled reverse acks per node per flat lane.
     sample_ack: Vec<Vec<bool>>,
+    /// Set by [`Soc::provision`]; drives the fabric-level inject/drain.
+    plan: Option<CircuitPlan>,
 }
 
 impl Soc {
     /// Build a SoC with identical routers and a default tile mix: kinds
     /// rotate through the Fig. 1 palette so every kind exists somewhere.
     pub fn new(mesh: Mesh, params: RouterParams) -> Soc {
-        let kinds = [
-            TileKind::Gpp,
-            TileKind::Dsp,
-            TileKind::Asic,
-            TileKind::Dsrh,
-            TileKind::Fpga,
-            TileKind::Dsrh,
-        ];
+        let kinds = default_tile_kinds(&mesh);
         let routers = mesh.iter().map(|_| CircuitRouter::new(params)).collect();
         let tiles = mesh
             .iter()
-            .map(|n| Tile::new(kinds[n.0 % kinds.len()], params.lanes_per_port))
+            .map(|n| Tile::new(kinds[n.0], params.lanes_per_port))
             .collect();
         let lanes = params.total_lanes();
         Soc {
@@ -65,9 +76,93 @@ impl Soc {
             tiles,
             policy: ParPolicy::Auto,
             now: Cycle::ZERO,
-            sample_data: (0..mesh.nodes()).map(|_| vec![Default::default(); lanes]).collect(),
+            sample_data: (0..mesh.nodes())
+                .map(|_| vec![Default::default(); lanes])
+                .collect(),
             sample_ack: (0..mesh.nodes()).map(|_| vec![false; lanes]).collect(),
+            plan: None,
         }
+    }
+
+    /// Configure every circuit of `mapping` directly into the routers and
+    /// set up the word-level injection plan the [`crate::fabric::Fabric`]
+    /// API drives: source tiles get their provisioned TX lanes recorded,
+    /// destination tiles get payload capture enabled so `drain` can
+    /// return delivered words.
+    ///
+    /// Production configuration delivery rides the BE network
+    /// ([`crate::be`]); this is the instantaneous path, equivalent in
+    /// final router state (`be_configuration_matches_direct_configuration`
+    /// in the end-to-end tests).
+    pub fn provision(&mut self, mapping: &Mapping) -> Result<(), ConfigError> {
+        let params = self.params;
+        // Idempotency (the Fabric contract): a re-provision replaces the
+        // previous plan entirely — tear down every configured lane and
+        // stop capturing at the old destinations before applying the new
+        // mapping, so no stale circuit keeps forwarding or capturing.
+        if self.plan.is_some() {
+            for node in self.mesh.iter() {
+                for port in Port::ALL {
+                    for lane in 0..params.lanes_per_port {
+                        self.routers[node.0].deactivate_lane(port, lane)?;
+                    }
+                }
+                self.tiles[node.0].set_capture(false);
+            }
+        }
+        for (node, word) in mapping.config_words(&params) {
+            self.routers[node.0].apply_config_word(word)?;
+        }
+        let mut plan = CircuitPlan {
+            tx_lanes: vec![Vec::new(); self.mesh.nodes()],
+            ingress: vec![VecDeque::new(); self.mesh.nodes()],
+        };
+        for route in &mapping.routes {
+            for path in &route.paths {
+                let first = path.first().expect("non-empty path");
+                let last = path.last().expect("non-empty path");
+                plan.tx_lanes[first.node.0].push(first.in_lane);
+                self.tiles[last.node.0].set_capture(true);
+            }
+        }
+        self.plan = Some(plan);
+        Ok(())
+    }
+
+    /// Queue payload words for injection at `node`'s tile. Words are
+    /// drained onto the node's provisioned TX lanes (round-robin across
+    /// parallel lanes, one phit per free lane per cycle). Returns the
+    /// number of words accepted (all of them — the ingress queue is
+    /// unbounded; its depth measures offered-load backlog).
+    ///
+    /// # Panics
+    /// Panics when called before [`Soc::provision`] or at a node with no
+    /// outgoing circuit.
+    pub fn inject_words(&mut self, node: NodeId, words: &[u16]) -> usize {
+        let plan = self
+            .plan
+            .as_mut()
+            .expect("Soc::inject_words before Soc::provision");
+        assert!(
+            !plan.tx_lanes[node.0].is_empty(),
+            "node {node:?} has no provisioned outgoing circuit"
+        );
+        plan.ingress[node.0].extend(words.iter().copied());
+        words.len()
+    }
+
+    /// Take the payload words delivered to `node`'s tile since the last
+    /// call (requires capture, which [`Soc::provision`] enables at every
+    /// circuit destination).
+    pub fn drain_words(&mut self, node: NodeId) -> Vec<u16> {
+        self.tiles[node.0].take_captured()
+    }
+
+    /// Total words queued for injection but not yet on the wire.
+    pub fn ingress_backlog(&self) -> usize {
+        self.plan
+            .as_ref()
+            .map_or(0, |p| p.ingress.iter().map(|q| q.len()).sum())
     }
 
     /// Choose serial or parallel router evaluation.
@@ -125,10 +220,8 @@ impl Soc {
                     let opp = port.opposite().expect("neighbour port");
                     for l in 0..lanes {
                         let flat = noc_core::lane::LaneIndex::of(port, l, lanes).get();
-                        self.sample_data[node.0][flat] =
-                            self.routers[nb.0].link_output(opp, l);
-                        self.sample_ack[node.0][flat] =
-                            self.routers[nb.0].ack_to_upstream(opp, l);
+                        self.sample_data[node.0][flat] = self.routers[nb.0].link_output(opp, l);
+                        self.sample_ack[node.0][flat] = self.routers[nb.0].ack_to_upstream(opp, l);
                     }
                 }
             }
@@ -144,17 +237,29 @@ impl Soc {
                             l,
                             self.sample_data[node.0][flat],
                         );
-                        self.routers[node.0].set_ack_input(
-                            port,
-                            l,
-                            self.sample_ack[node.0][flat],
-                        );
+                        self.routers[node.0].set_ack_input(port, l, self.sample_ack[node.0][flat]);
                     }
                 }
             }
         }
 
-        // 2. Tiles inject and drain.
+        // 2. Tiles inject and drain. Provisioned ingress queues go first:
+        //    one word per free TX lane per cycle, round-robin over the
+        //    node's parallel circuits.
+        if let Some(plan) = &mut self.plan {
+            for node in self.mesh.iter() {
+                for &lane in &plan.tx_lanes[node.0] {
+                    if plan.ingress[node.0].is_empty() {
+                        break;
+                    }
+                    if self.routers[node.0].tile_can_send(lane) {
+                        let word = plan.ingress[node.0].pop_front().expect("non-empty");
+                        let ok = self.routers[node.0].tile_send(lane, Phit::data(word));
+                        debug_assert!(ok, "tile_can_send implies acceptance");
+                    }
+                }
+            }
+        }
         for node in self.mesh.iter() {
             self.tiles[node.0].step(&mut self.routers[node.0]);
         }
@@ -239,9 +344,14 @@ mod tests {
         let b = soc.mesh().node(1, 0);
         // Configure: at A, tile lane 0 -> East lane 0; at B, West lane 0
         // -> tile lane 0.
-        soc.router_mut(a).connect(Port::Tile, 0, Port::East, 0).unwrap();
-        soc.router_mut(b).connect(Port::West, 0, Port::Tile, 0).unwrap();
-        soc.tile_mut(a).bind_source(0, DataPattern::Random, 7, 1.0, 5);
+        soc.router_mut(a)
+            .connect(Port::Tile, 0, Port::East, 0)
+            .unwrap();
+        soc.router_mut(b)
+            .connect(Port::West, 0, Port::Tile, 0)
+            .unwrap();
+        soc.tile_mut(a)
+            .bind_source(0, DataPattern::Random, 7, 1.0, 5);
 
         soc.run(200);
         let received = soc.tile(b).rx(0).received;
@@ -257,9 +367,14 @@ mod tests {
         let mut soc = two_by_one();
         let a = soc.mesh().node(0, 0);
         let b = soc.mesh().node(1, 0);
-        soc.router_mut(a).connect(Port::Tile, 0, Port::East, 0).unwrap();
-        soc.router_mut(b).connect(Port::West, 0, Port::Tile, 0).unwrap();
-        soc.tile_mut(a).bind_source(0, DataPattern::Zeros, 1, 1.0, 5);
+        soc.router_mut(a)
+            .connect(Port::Tile, 0, Port::East, 0)
+            .unwrap();
+        soc.router_mut(b)
+            .connect(Port::West, 0, Port::Tile, 0)
+            .unwrap();
+        soc.tile_mut(a)
+            .bind_source(0, DataPattern::Zeros, 1, 1.0, 5);
         soc.run(400);
         let sent = soc.tile(a).total_sent();
         assert!(
@@ -276,10 +391,17 @@ mod tests {
         let n0 = soc.mesh().node(0, 0);
         let n1 = soc.mesh().node(1, 0);
         let n2 = soc.mesh().node(2, 0);
-        soc.router_mut(n0).connect(Port::Tile, 0, Port::East, 0).unwrap();
-        soc.router_mut(n1).connect(Port::West, 0, Port::East, 0).unwrap();
-        soc.router_mut(n2).connect(Port::West, 0, Port::Tile, 0).unwrap();
-        soc.tile_mut(n0).bind_source(0, DataPattern::Random, 3, 1.0, 5);
+        soc.router_mut(n0)
+            .connect(Port::Tile, 0, Port::East, 0)
+            .unwrap();
+        soc.router_mut(n1)
+            .connect(Port::West, 0, Port::East, 0)
+            .unwrap();
+        soc.router_mut(n2)
+            .connect(Port::West, 0, Port::Tile, 0)
+            .unwrap();
+        soc.tile_mut(n0)
+            .bind_source(0, DataPattern::Random, 3, 1.0, 5);
         soc.run(300);
         assert!(soc.tile(n2).rx(0).received > 40);
         // Intermediate tile got nothing.
@@ -292,9 +414,14 @@ mod tests {
             let mut soc = Soc::new(Mesh::new(4, 4), RouterParams::paper());
             let a = soc.mesh().node(0, 0);
             let b = soc.mesh().node(1, 0);
-            soc.router_mut(a).connect(Port::Tile, 0, Port::East, 0).unwrap();
-            soc.router_mut(b).connect(Port::West, 0, Port::Tile, 0).unwrap();
-            soc.tile_mut(a).bind_source(0, DataPattern::Random, 11, 1.0, 5);
+            soc.router_mut(a)
+                .connect(Port::Tile, 0, Port::East, 0)
+                .unwrap();
+            soc.router_mut(b)
+                .connect(Port::West, 0, Port::Tile, 0)
+                .unwrap();
+            soc.tile_mut(a)
+                .bind_source(0, DataPattern::Random, 11, 1.0, 5);
             soc
         };
         let mut serial = build();
@@ -332,8 +459,12 @@ mod tests {
         let mut soc = two_by_one();
         let a = soc.mesh().node(0, 0);
         let b = soc.mesh().node(1, 0);
-        soc.router_mut(a).connect(Port::Tile, 1, Port::East, 2).unwrap();
-        soc.router_mut(b).connect(Port::West, 2, Port::Tile, 1).unwrap();
+        soc.router_mut(a)
+            .connect(Port::Tile, 1, Port::East, 2)
+            .unwrap();
+        soc.router_mut(b)
+            .connect(Port::West, 2, Port::Tile, 1)
+            .unwrap();
         assert!(soc.router_mut(a).tile_send(1, Phit::data(0xD00D)));
         soc.run(12);
         assert_eq!(soc.tile(b).rx(1).received, 1);

@@ -9,8 +9,8 @@
 //! by construction (Section 3.3).
 
 use noc_apps::traffic::{DataPattern, PhitSource};
-use noc_core::router::CircuitRouter;
 use noc_core::phit::Phit;
+use noc_core::router::CircuitRouter;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -57,6 +57,22 @@ impl fmt::Display for TileKind {
     }
 }
 
+/// The default heterogeneous tile mix: kinds rotate through the Fig. 1
+/// palette so every kind exists somewhere on any non-trivial mesh. Shared
+/// by [`crate::soc::Soc::new`] and the deployment builder so that both
+/// fabrics map applications against the same tile inventory.
+pub fn default_tile_kinds(mesh: &crate::topology::Mesh) -> Vec<TileKind> {
+    const PALETTE: [TileKind; 6] = [
+        TileKind::Gpp,
+        TileKind::Dsp,
+        TileKind::Asic,
+        TileKind::Dsrh,
+        TileKind::Fpga,
+        TileKind::Dsrh,
+    ];
+    mesh.iter().map(|n| PALETTE[n.0 % PALETTE.len()]).collect()
+}
+
 /// A transmit binding: a phit source feeding one tile lane.
 #[derive(Debug, Clone)]
 struct TxBinding {
@@ -82,6 +98,11 @@ pub struct Tile {
     pub kind: TileKind,
     tx: Vec<TxBinding>,
     rx_stats: Vec<RxStats>,
+    /// When set, every received payload word is also kept (in arrival
+    /// order, lane-major within a cycle) for [`Tile::take_captured`] —
+    /// the fabric API's `drain` path.
+    capture: bool,
+    captured: Vec<u16>,
 }
 
 impl Tile {
@@ -92,7 +113,30 @@ impl Tile {
             kind,
             tx: Vec::new(),
             rx_stats: vec![RxStats::default(); lanes],
+            capture: false,
+            captured: Vec::new(),
         }
+    }
+
+    /// Enable or disable payload capture. Capture is what backs the
+    /// fabric-level `drain`; leave it off for load-style runs that only
+    /// read the per-lane statistics, so long simulations do not
+    /// accumulate payload history.
+    pub fn set_capture(&mut self, on: bool) {
+        self.capture = on;
+        if !on {
+            self.captured.clear();
+        }
+    }
+
+    /// Whether payload capture is enabled.
+    pub fn capture_enabled(&self) -> bool {
+        self.capture
+    }
+
+    /// Take all payload words captured since the last call.
+    pub fn take_captured(&mut self) -> Vec<u16> {
+        std::mem::take(&mut self.captured)
     }
 
     /// Bind a load-controlled source to transmit lane `lane`.
@@ -145,6 +189,9 @@ impl Tile {
         stats.received += 1;
         stats.payload_bits += 16;
         stats.last_word = Some(phit.data);
+        if self.capture {
+            self.captured.push(phit.data);
+        }
     }
 
     /// Statistics for receive lane `lane`.

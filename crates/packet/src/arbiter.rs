@@ -93,7 +93,10 @@ mod tests {
         let mut ledger = ActivityLedger::new();
         let mut arb = RoundRobin::new(4);
         for _ in 0..5 {
-            assert_eq!(step(&mut arb, &[false, true, false, false], &mut ledger), Some(1));
+            assert_eq!(
+                step(&mut arb, &[false, true, false, false], &mut ledger),
+                Some(1)
+            );
         }
     }
 
@@ -154,9 +157,18 @@ mod tests {
         // the first grant over {0,2} lands on 2, then rotation alternates.
         let mut ledger = ActivityLedger::new();
         let mut arb = RoundRobin::new(4);
-        assert_eq!(step(&mut arb, &[true, false, true, false], &mut ledger), Some(2));
-        assert_eq!(step(&mut arb, &[true, false, true, false], &mut ledger), Some(0));
-        assert_eq!(step(&mut arb, &[true, false, true, false], &mut ledger), Some(2));
+        assert_eq!(
+            step(&mut arb, &[true, false, true, false], &mut ledger),
+            Some(2)
+        );
+        assert_eq!(
+            step(&mut arb, &[true, false, true, false], &mut ledger),
+            Some(0)
+        );
+        assert_eq!(
+            step(&mut arb, &[true, false, true, false], &mut ledger),
+            Some(2)
+        );
     }
 
     #[test]

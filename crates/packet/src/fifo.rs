@@ -103,7 +103,10 @@ impl FlitFifo {
         let storage = self.capacity as u64 * u64::from(Flit::STORE_BITS);
         // Two pointers of ceil(log2(capacity)) bits plus a fill counter.
         let ptr_bits = (usize::BITS - (self.capacity - 1).leading_zeros()).max(1) as u64;
-        ledger.add(ActivityClass::RegClock, storage + 2 * ptr_bits + ptr_bits + 1);
+        ledger.add(
+            ActivityClass::RegClock,
+            storage + 2 * ptr_bits + ptr_bits + 1,
+        );
     }
 }
 

@@ -155,7 +155,10 @@ impl Packet {
     /// Panics on an empty payload: a packet with no payload words has no
     /// tail flit and would wedge the wormhole.
     pub fn new(dest: Coords, payload: Vec<u16>) -> Packet {
-        assert!(!payload.is_empty(), "packets need at least one payload word");
+        assert!(
+            !payload.is_empty(),
+            "packets need at least one payload word"
+        );
         Packet { dest, payload }
     }
 
@@ -165,7 +168,11 @@ impl Packet {
         flits.push(Flit::head(self.dest));
         let last = self.payload.len() - 1;
         for (i, &w) in self.payload.iter().enumerate() {
-            flits.push(if i == last { Flit::tail(w) } else { Flit::body(w) });
+            flits.push(if i == last {
+                Flit::tail(w)
+            } else {
+                Flit::body(w)
+            });
         }
         flits
     }

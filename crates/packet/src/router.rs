@@ -160,7 +160,9 @@ impl PacketRouter {
     /// Room available for injection on tile VC `vc`?
     pub fn tile_can_inject(&self, vc: VcId) -> bool {
         self.link_in[PacketPort::Tile.index()].is_none()
-            && !self.inputs[PacketPort::Tile.index()][vc.index()].fifo.is_full()
+            && !self.inputs[PacketPort::Tile.index()][vc.index()]
+                .fifo
+                .is_full()
     }
 
     /// Offer a flit at the tile input port (at most one per cycle).
@@ -209,10 +211,7 @@ impl PacketRouter {
 
     /// Is every FIFO empty and every VC idle? (drain detection for tests)
     pub fn is_quiescent(&self) -> bool {
-        self.inputs
-            .iter()
-            .flatten()
-            .all(|vc| vc.is_idle())
+        self.inputs.iter().flatten().all(|vc| vc.is_idle())
     }
 }
 
@@ -282,22 +281,21 @@ impl Clocked for PacketRouter {
         // --- 3. Switch allocation (input-first separable). ---------------
         // Input stage: nominate one ready VC per input port.
         let mut nominee: [Option<usize>; P] = [None; P]; // vc index per input port
-        for in_port in 0..P {
+        for (in_port, nom) in nominee.iter_mut().enumerate() {
             let mut requests = vec![false; vcs];
-            for vc in 0..vcs {
+            for (vc, request) in requests.iter_mut().enumerate() {
                 let ivc = &self.inputs[in_port][vc];
                 let ready = ivc.out_vc.is_some()
                     && !ivc.fifo.is_empty()
-                    && ivc.route.map_or(false, |r| {
+                    && ivc.route.is_some_and(|r| {
                         let ovc = ivc.out_vc.unwrap();
                         // The tile output sinks into an unbounded queue: it
                         // always has credit. Mesh outputs need real credit.
-                        r == PacketPort::Tile
-                            || self.outputs[r.index()][ovc.index()].credits > 0
+                        r == PacketPort::Tile || self.outputs[r.index()][ovc.index()].credits > 0
                     });
-                requests[vc] = ready;
+                *request = ready;
             }
-            nominee[in_port] = self.input_arbs[in_port].grant(&requests, &mut self.led_arb);
+            *nom = self.input_arbs[in_port].grant(&requests, &mut self.led_arb);
         }
 
         // Output stage: pick one nominated input per output port.
@@ -313,7 +311,11 @@ impl Clocked for PacketRouter {
                 }
             }
             if let Some(win) = self.output_arbs[out_port].grant(&requests, &mut self.led_arb) {
-                granted_pairs.push((win, nominee[win].expect("granted implies nominated"), out_port));
+                granted_pairs.push((
+                    win,
+                    nominee[win].expect("granted implies nominated"),
+                    out_port,
+                ));
                 // Crossbar select lines follow the granted input.
                 self.out_select[out_port].drive(win as u8 + 1, &mut self.led_xbar);
             } else {
@@ -345,8 +347,8 @@ impl Clocked for PacketRouter {
                 ivc.release();
             }
         }
-        for port in 0..P {
-            self.out_regs[port].set_next(out_next[port]);
+        for (port, &next) in out_next.iter().enumerate() {
+            self.out_regs[port].set_next(next);
         }
     }
 
@@ -379,8 +381,7 @@ impl Clocked for PacketRouter {
         }
 
         // VC state and credit-counter registers clock every cycle.
-        let state_bits = (P * vcs) as u64
-            * u64::from(InputVc::STATE_BITS + OutputVc::STATE_BITS);
+        let state_bits = (P * vcs) as u64 * u64::from(InputVc::STATE_BITS + OutputVc::STATE_BITS);
         self.led_arb.add(ActivityClass::RegClock, state_bits);
 
         // Arbiters' pointer state.
@@ -469,7 +470,6 @@ mod tests {
                 }
             }
         }
-
     }
 
     #[test]
@@ -513,8 +513,7 @@ mod tests {
     fn xy_routing_against_coords() {
         // Router at (2,2); destination (2,4) must leave South.
         let mut r = PacketRouter::new(PacketParams::paper().at(Coords::new(2, 2)));
-        let mut flits: VecDeque<Flit> =
-            Packet::new(Coords::new(2, 4), vec![1]).to_flits().into();
+        let mut flits: VecDeque<Flit> = Packet::new(Coords::new(2, 4), vec![1]).to_flits().into();
         let mut south = 0;
         let mut elsewhere = 0;
         for _ in 0..20 {
@@ -570,8 +569,7 @@ mod tests {
         assert!(east_seen.iter().any(|&(_, p)| p == 0x1111));
         assert!(east_seen.iter().any(|&(_, p)| p == 0x2222));
         // They use distinct output VCs.
-        let vcs_used: std::collections::HashSet<u8> =
-            east_seen.iter().map(|&(vc, _)| vc).collect();
+        let vcs_used: std::collections::HashSet<u8> = east_seen.iter().map(|&(vc, _)| vc).collect();
         assert_eq!(vcs_used.len(), 2);
         // And genuinely interleave (not strictly sequential).
         let first_b = east_seen.iter().position(|&(_, p)| p == 0x2222).unwrap();
@@ -584,8 +582,9 @@ mod tests {
         // The mechanism behind the paper's Scenario III/IV observation.
         let run = |collide: bool| -> u64 {
             let mut r = router();
-            let mut tile_flits: VecDeque<Flit> =
-                Packet::new(Coords::new(1, 0), vec![0; 32]).to_flits().into();
+            let mut tile_flits: VecDeque<Flit> = Packet::new(Coords::new(1, 0), vec![0; 32])
+                .to_flits()
+                .into();
             let west_pkt = Packet::new(Coords::new(1, 0), vec![0; 32]);
             let mut west = Upstream::new(PacketPort::West, VcId(0), &west_pkt);
             for _ in 0..100 {
@@ -689,7 +688,10 @@ mod tests {
             "buffering should be the majority of idle clocking"
         );
         // And hugely more than the circuit router's ~300 bits/cycle:
-        assert!(buffer_clocks >= 100 * 1440, "all FIFO bits clock each cycle");
+        assert!(
+            buffer_clocks >= 100 * 1440,
+            "all FIFO bits clock each cycle"
+        );
     }
 
     #[test]
@@ -829,8 +831,7 @@ mod tests {
             .count();
         assert_eq!(busy, 4);
         // A fifth wormhole from the tile cannot get a VC; its head stays.
-        let mut flits: VecDeque<Flit> =
-            Packet::new(Coords::new(1, 0), vec![1]).to_flits().into();
+        let mut flits: VecDeque<Flit> = Packet::new(Coords::new(1, 0), vec![1]).to_flits().into();
         for _ in 0..10 {
             if let Some(&f) = flits.front() {
                 if r.tile_inject(VcId(0), f) {

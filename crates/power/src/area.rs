@@ -197,7 +197,10 @@ mod tests {
     #[test]
     fn missing_component_reports_zero() {
         let a = circuit_router_area(&RouterParams::paper(), &tech());
-        assert_eq!(a.component(ComponentKind::Buffering), SquareMicroMeters::ZERO);
+        assert_eq!(
+            a.component(ComponentKind::Buffering),
+            SquareMicroMeters::ZERO
+        );
     }
 
     #[test]
@@ -205,8 +208,8 @@ mod tests {
         // Mux trees grow with foreign-lane count AND lane count: 8 lanes
         // per port gives a 32x40 crossbar, >4x the 16x20 one.
         let t = tech();
-        let base = circuit_router_area(&RouterParams::paper(), &t)
-            .component(ComponentKind::Crossbar);
+        let base =
+            circuit_router_area(&RouterParams::paper(), &t).component(ComponentKind::Crossbar);
         let wide = circuit_router_area(
             &RouterParams {
                 lanes_per_port: 8,

@@ -131,8 +131,7 @@ mod tests {
     fn link_costs_more_than_local_wire() {
         let t = EnergyTable::tsmc_0_13um();
         assert!(
-            t.base(ActivityClass::LinkToggle).value()
-                > t.base(ActivityClass::WireToggle).value()
+            t.base(ActivityClass::LinkToggle).value() > t.base(ActivityClass::WireToggle).value()
         );
     }
 

@@ -143,9 +143,7 @@ impl PowerEstimator {
         }
 
         PowerReport {
-            static_power: MicroWatts(
-                area.as_mm2() * self.tech.leakage_uw_per_mm2,
-            ),
+            static_power: MicroWatts(area.as_mm2() * self.tech.leakage_uw_per_mm2),
             dynamic_internal: internal.over(window),
             dynamic_switching: switching.over(window),
             by_component,

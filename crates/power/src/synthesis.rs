@@ -48,7 +48,11 @@ impl SynthesisRow {
 
 impl fmt::Display for SynthesisRow {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{}: {} ports, {} bit", self.name, self.ports, self.width_bits)?;
+        writeln!(
+            f,
+            "{}: {} ports, {} bit",
+            self.name, self.ports, self.width_bits
+        )?;
         for (kind, area) in &self.components {
             match area {
                 Some(a) => writeln!(f, "  {:<16} {:.4} mm2", kind.name(), a.as_mm2())?,
@@ -57,7 +61,12 @@ impl fmt::Display for SynthesisRow {
         }
         writeln!(f, "  {:<16} {:.4} mm2", "Total", self.total.as_mm2())?;
         writeln!(f, "  {:<16} {:.0} MHz", "Max freq.", self.fmax.value())?;
-        write!(f, "  {:<16} {:.1} Gb/s", "Bandwidth/link", self.bandwidth.as_gbit_s())
+        write!(
+            f,
+            "  {:<16} {:.1} Gb/s",
+            "Bandwidth/link",
+            self.bandwidth.as_gbit_s()
+        )
     }
 }
 
@@ -130,7 +139,10 @@ pub fn table4(cs: &RouterParams, ps: &PacketParams, tech: &Technology) -> Table4
             ),
             (ComponentKind::ConfigMemory, None),
             (ComponentKind::DataConverter, None),
-            (ComponentKind::Misc, Some(p_area.component(ComponentKind::Misc))),
+            (
+                ComponentKind::Misc,
+                Some(p_area.component(ComponentKind::Misc)),
+            ),
         ],
         total: p_area.total(),
         fmax: p_fmax,

@@ -51,6 +51,4 @@ pub use kernel::{Clocked, Simulator};
 pub use rng::SplitMix64;
 pub use signal::{Reg, Wire};
 pub use time::{Cycle, CycleCount};
-pub use units::{
-    Bandwidth, FemtoJoules, MegaHertz, MicroWatts, Picoseconds, SquareMicroMeters,
-};
+pub use units::{Bandwidth, FemtoJoules, MegaHertz, MicroWatts, Picoseconds, SquareMicroMeters};

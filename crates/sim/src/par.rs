@@ -144,7 +144,11 @@ mod tests {
     #[test]
     fn auto_policy_small_is_sequential() {
         assert_eq!(ParPolicy::Auto.threads_for(10), 1);
-        assert_eq!(ParPolicy::Auto.threads_for(144), 1, "12x12 mesh: serial wins");
+        assert_eq!(
+            ParPolicy::Auto.threads_for(144),
+            1,
+            "12x12 mesh: serial wins"
+        );
     }
 
     #[test]

@@ -312,7 +312,7 @@ mod tests {
     fn paper_frequency_1075_mhz_period() {
         // Table 4: the circuit-switched router runs at 1075 MHz -> ~930 ps.
         let t = MegaHertz(1075.0).period();
-        assert!((t.value() - 930.2325581395349).abs() < 1e-6);
+        assert!((t.value() - 930.232_558_139_535).abs() < 1e-6);
     }
 
     #[test]
@@ -346,7 +346,7 @@ mod tests {
 
     #[test]
     fn display_formatting() {
-        assert_eq!(format!("{:.2}", MicroWatts(3.14159)), "3.14 uW");
+        assert_eq!(format!("{:.2}", MicroWatts(1.234_56)), "1.23 uW");
         assert_eq!(format!("{}", MegaHertz(25.0)), "25 MHz");
     }
 

@@ -12,12 +12,21 @@ fn main() {
     // --- 1. A single circuit-switched router (the paper's Fig. 4). ------
     let params = RouterParams::paper();
     let mut router = CircuitRouter::new(params);
-    println!("Router: {} ports, {} lanes/port of {} bits,", 5, params.lanes_per_port, params.lane_width);
-    println!("        crossbar {}x{}, config memory {} bits\n",
-        params.foreign_lanes(), params.total_lanes(), params.config_memory_bits());
+    println!(
+        "Router: {} ports, {} lanes/port of {} bits,",
+        5, params.lanes_per_port, params.lane_width
+    );
+    println!(
+        "        crossbar {}x{}, config memory {} bits\n",
+        params.foreign_lanes(),
+        params.total_lanes(),
+        params.config_memory_bits()
+    );
 
     // --- 2. Configure a circuit: tile lane 0 -> East lane 0. ------------
-    router.connect(Port::Tile, 0, Port::East, 0).expect("legal circuit");
+    router
+        .connect(Port::Tile, 0, Port::East, 0)
+        .expect("legal circuit");
     println!("Configured circuit: Tile.0 -> East.0 (Table 3, stream 1)");
 
     // --- 3. Stream ten words through it. ---------------------------------
@@ -40,7 +49,10 @@ fn main() {
             router.set_ack_input(Port::East, 0, false);
         }
     }
-    println!("Sent {sent} phits; first serialised nibbles on the link: {:02x?}\n", &on_wire[..10.min(on_wire.len())]);
+    println!(
+        "Sent {sent} phits; first serialised nibbles on the link: {:02x?}\n",
+        &on_wire[..10.min(on_wire.len())]
+    );
 
     // --- 4. Estimate its power, Synopsys-style. --------------------------
     let estimator = PowerEstimator::calibrated();
@@ -51,7 +63,11 @@ fn main() {
 
     // --- 5. The headline tables come from the same models. --------------
     let t4 = table4(&params, &PacketParams::paper(), &Technology::tsmc_0_13um());
-    println!("Table 4 totals: circuit {:.4} mm2 vs packet {:.4} mm2 ({:.2}x)",
-        t4.circuit.total.as_mm2(), t4.packet.total.as_mm2(), t4.area_ratio());
+    println!(
+        "Table 4 totals: circuit {:.4} mm2 vs packet {:.4} mm2 ({:.2}x)",
+        t4.circuit.total.as_mm2(),
+        t4.packet.total.as_mm2(),
+        t4.area_ratio()
+    );
     println!("Run `cargo run --release -p noc-bench --bin experiments` for everything else.");
 }

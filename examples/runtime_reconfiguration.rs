@@ -47,8 +47,10 @@ fn main() {
         .expect("plan words are legal");
     let ms = done.at(clock).as_millis();
     println!("Applied by cycle {} = {:.4} ms at {clock}.", done.0, ms);
-    println!("Paper budget: 20 ms per router; whole-application switch stayed {}x under.",
-        (20.0 / ms).round());
+    println!(
+        "Paper budget: 20 ms per router; whole-application switch stayed {}x under.",
+        (20.0 / ms).round()
+    );
 
     // Phase 4: verify the fabric now equals a fresh UMTS configuration.
     let mut reference = Soc::new(mesh, params);

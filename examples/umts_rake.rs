@@ -4,7 +4,8 @@
 //! ~320 Mbit/s of aggregate guaranteed-throughput traffic in many small
 //! streams (the opposite traffic shape to HiperLAN/2's blocks). The CCN's
 //! clustering co-locates the control/MRC processes whose fan-out exceeds
-//! the four tile-interface lanes — watch the placement output.
+//! the four tile-interface lanes — watch the placement output. Deployed
+//! through the unified builder onto the circuit-switched fabric.
 //!
 //! ```text
 //! cargo run --release --example umts_rake
@@ -22,20 +23,25 @@ fn main() {
     );
 
     let clock = MegaHertz(100.0);
-    let mut app = AppRun::deploy(&graph, Mesh::new(4, 4), RouterParams::paper(), clock, 77)
+    let mut dep = Deployment::builder(&graph)
+        .mesh(4, 4)
+        .clock(clock)
+        .seed(77)
+        .build_circuit()
         .expect("UMTS fits a 4x4 mesh");
 
     // Show where the CCN put things (clustered processes share a node).
     println!("Placement (note co-located processes):");
-    for (pid, node) in &app.mapping.placement {
-        let (x, y) = app.soc.mesh().coords(*node);
+    for (pid, node) in &dep.mapping().placement {
+        let (x, y) = dep.fabric().mesh().coords(*node);
         println!("  {:<28} -> tile ({x},{y})", graph.process(*pid).name);
     }
 
-    app.run(20_000);
+    dep.run(20_000);
+    dep.settle(5_000);
     println!("\nPer-circuit delivery:");
     let mut aggregate = 0.0;
-    for r in app.report(&graph) {
+    for r in dep.report(&graph) {
         println!(
             "  {:<60} {:>6.2} / {:>6.2} Mbit/s ({:>5.1}%)",
             r.labels.join(" + "),
@@ -48,5 +54,12 @@ fn main() {
     }
     println!("\nAggregate delivered over the NoC: {aggregate:.1} Mbit/s");
     println!("(on-tile circuits — co-located processes — add the rest for free)");
-    assert_eq!(app.total_overflows(), 0);
+    assert_eq!(dep.total_overflows(), 0, "window flow control lost data");
+
+    let model = dep.energy_model();
+    println!(
+        "Fabric power over the run: {} — {:.2} uJ total",
+        dep.power(&model),
+        dep.total_energy(&model).value() / 1e9
+    );
 }

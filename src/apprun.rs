@@ -1,20 +1,22 @@
-//! Application deployment: task graph → mapped, configured, traffic-bound
-//! SoC.
+//! Legacy application deployment: task graph → mapped, configured,
+//! traffic-bound circuit-switched SoC.
 //!
-//! This is the "run-time software" glue of the paper's Section 1 in one
-//! call: the CCN maps the application, the configuration words are
-//! delivered over the best-effort network, and each circuit's source tile
-//! is bound to a load-controlled traffic generator standing in for the
-//! producing process. Examples and integration tests then just `run()` and
-//! read back per-circuit delivery statistics.
+//! **Superseded by [`noc_mesh::deployment::Deployment`]**, the
+//! fabric-generic builder that deploys the same task graph onto either
+//! switching backend. [`AppRun::deploy`] remains as a deprecated shim: it
+//! delegates mapping and configuration to the builder, then layers the
+//! original load-controlled traffic generators and the BE-network
+//! configuration-delivery timing on top, so existing callers keep the
+//! exact semantics (per-lane receive statistics, `configured_at`) while
+//! they migrate.
 
 use noc_apps::taskgraph::TaskGraph;
 use noc_apps::traffic::DataPattern;
 use noc_core::params::RouterParams;
 use noc_mesh::be::{BeConfig, BeNetwork};
 use noc_mesh::ccn::{Ccn, Mapping, MappingError};
+use noc_mesh::deployment::{DeployError, Deployment};
 use noc_mesh::soc::Soc;
-use noc_mesh::tile::TileKind;
 use noc_mesh::topology::{Mesh, NodeId};
 use noc_sim::time::{Cycle, CycleCount};
 use noc_sim::units::{Bandwidth, MegaHertz};
@@ -31,10 +33,13 @@ pub struct AppRun {
     /// Cycle at which all configuration had arrived over the BE network.
     pub configured_at: Cycle,
     cycles_run: CycleCount,
-    /// Per-route traffic bookkeeping: (route index, src node, tx lanes,
-    /// dst node, rx lanes).
-    bindings: Vec<(usize, NodeId, Vec<usize>, NodeId, Vec<usize>)>,
+    /// Per-route traffic bookkeeping.
+    bindings: Vec<RouteBinding>,
 }
+
+/// One route's traffic bookkeeping: (route index, src node, tx lanes,
+/// dst node, rx lanes).
+type RouteBinding = (usize, NodeId, Vec<usize>, NodeId, Vec<usize>);
 
 /// Delivery statistics for one circuit (one mapped tile-to-tile demand).
 #[derive(Debug, Clone, PartialEq)]
@@ -57,6 +62,11 @@ impl AppRun {
     /// deliver the configuration over the BE network, and bind traffic
     /// sources (random data, seeded by `seed`) at every circuit's source
     /// tile at the demand's offered load.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Deployment::builder(graph).mesh(..).clock(..).seed(..).fabric(..)` — \
+                the fabric-generic entry point that runs on either backend"
+    )]
     pub fn deploy(
         graph: &TaskGraph,
         mesh: Mesh,
@@ -64,12 +74,32 @@ impl AppRun {
         clock: MegaHertz,
         seed: u64,
     ) -> Result<AppRun, MappingError> {
-        let mut soc = Soc::new(mesh, params);
-        let kinds: Vec<TileKind> = mesh.iter().map(|n| soc.tile(n).kind).collect();
-        let ccn = Ccn::new(mesh, params, clock);
-        let mapping = ccn.map(graph, &kinds)?;
+        // Mapping and router configuration are the builder's job now; this
+        // shim only re-creates the legacy traffic and BE-delivery layers.
+        let dep = Deployment::builder(graph)
+            .mesh_topology(mesh)
+            .router_params(params)
+            .clock(clock)
+            .seed(seed)
+            .build_circuit()
+            .map_err(|e| match e {
+                DeployError::Mapping(m) => m,
+                DeployError::Provision(p) => {
+                    unreachable!("CCN emits only legal configuration words: {p}")
+                }
+            })?;
+        let (mut soc, mapping) = dep.into_parts();
+        // The legacy API reads per-lane statistics, not drained payload;
+        // switch the destination tiles' capture buffers off so unbounded
+        // runs do not accumulate payload history.
+        for node in mesh.iter() {
+            soc.tile_mut(node).set_capture(false);
+        }
 
         // Configuration rides the BE network from the CCN's corner node.
+        // (The builder already configured the routers directly; the BE
+        // pass re-applies identical words and supplies the arrival time.)
+        let ccn = Ccn::new(mesh, params, clock);
         let mut be = BeNetwork::new(mesh, BeConfig::default());
         let ccn_node = mesh.node(0, 0);
         let mut latest = Cycle::ZERO;
@@ -100,8 +130,7 @@ impl AppRun {
                 .iter()
                 .map(|&id| graph.edge(id).bandwidth.value())
                 .sum();
-            let per_lane_load =
-                (demand / (route.paths.len() as f64 * capacity.value())).min(1.0);
+            let per_lane_load = (demand / (route.paths.len() as f64 * capacity.value())).min(1.0);
             let src = route.paths[0][0].node;
             let dst = route.paths[0].last().expect("non-empty path").node;
             let mut tx_lanes = Vec::new();
@@ -193,6 +222,7 @@ impl AppRun {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shim's own regression coverage
 mod tests {
     use super::*;
     use noc_apps::taskgraph::TrafficShape;
@@ -248,12 +278,13 @@ mod tests {
         for route in &app.mapping.routes {
             for path in &route.paths {
                 for hop in path {
-                    assert!(app
-                        .soc
-                        .router(hop.node)
-                        .config()
-                        .entry_of(hop.out_port, hop.out_lane)
-                        .active);
+                    assert!(
+                        app.soc
+                            .router(hop.node)
+                            .config()
+                            .entry_of(hop.out_port, hop.out_lane)
+                            .active
+                    );
                 }
             }
         }

@@ -11,29 +11,72 @@
 //! | [`noc_packet`] | the packet-switched virtual-channel baseline |
 //! | [`noc_power`] | 0.13 µm area/timing models and the Synopsys-style power estimator |
 //! | [`noc_apps`] | HiperLAN/2, UMTS, DRM workloads and the traffic-pattern test set |
-//! | [`noc_mesh`] | mesh SoC, tiles, CCN run-time mapping, BE configuration network |
-//! | [`noc_exp`] | scenario testbenches and the Fig. 9 / Fig. 10 experiments |
+//! | [`noc_mesh`] | mesh SoC, tiles, CCN mapping, BE network — and the **unified [`Fabric`] API** |
+//! | [`noc_exp`] | scenario testbenches, Fig. 9 / Fig. 10, and the fabric-generic comparison harness |
 //!
-//! This facade re-exports the common entry points and adds [`apprun`], a
-//! small deployment helper used by the examples: task graph in, configured
-//! and traffic-bound SoC out.
+//! ## The `Fabric` abstraction
+//!
+//! The paper's central result is a head-to-head energy comparison between
+//! its circuit-switched router and a packet-switched virtual-channel
+//! baseline. This workspace makes that comparison structural: both whole
+//! networks implement one trait, [`Fabric`] —
+//! `provision(&Mapping)` installs a CCN mapping, `inject`/`drain` move
+//! payload words, `total_energy(&EnergyModel)` costs the run with the
+//! calibrated activity-based flow. [`Deployment::builder`] is the
+//! documented entry point: it maps a task graph, provisions the chosen
+//! backend, and binds offered-load traffic — identically for either
+//! fabric, so every workload is automatically a circuit-vs-packet
+//! experiment.
 //!
 //! ## Quickstart
 //!
 //! ```
 //! use rcs_noc::prelude::*;
 //!
-//! // Deploy a two-stage pipeline onto a 2x2 SoC at 100 MHz.
+//! // A two-stage pipeline...
 //! let mut graph = TaskGraph::new("demo");
 //! let src = graph.add_process("producer");
 //! let dst = graph.add_process("consumer");
 //! graph.add_edge(src, dst, Bandwidth(100.0), TrafficShape::Streaming, "demo edge");
 //!
+//! // ...deployed on a 2x2 mesh at 100 MHz — on either switching fabric.
+//! for kind in FabricKind::BOTH {
+//!     let mut dep = Deployment::builder(&graph)
+//!         .mesh(2, 2)
+//!         .clock(MegaHertz(100.0))
+//!         .seed(42)
+//!         .fabric(kind)
+//!         .build()
+//!         .unwrap();
+//!     dep.run(2000);
+//!     dep.settle(2000);
+//!     let report = dep.report(&graph);
+//!     assert!(report.iter().all(|r| r.delivered_fraction > 0.9));
+//! }
+//! ```
+//!
+//! ## Migration from `AppRun::deploy`
+//!
+//! The old fixed five-positional-argument entry point still compiles (it
+//! delegates to the builder) but is deprecated:
+//!
+//! ```
+//! # #[allow(deprecated)]
+//! # fn main() {
+//! use rcs_noc::prelude::*;
+//!
+//! let mut graph = TaskGraph::new("demo");
+//! let src = graph.add_process("producer");
+//! let dst = graph.add_process("consumer");
+//! graph.add_edge(src, dst, Bandwidth(100.0), TrafficShape::Streaming, "demo edge");
+//!
+//! #[allow(deprecated)]
 //! let mut app = AppRun::deploy(&graph, Mesh::new(2, 2), RouterParams::paper(),
 //!                              MegaHertz(100.0), 42).unwrap();
 //! app.run(2000);
 //! let report = app.report(&graph);
 //! assert!(report.iter().all(|r| r.delivered_fraction > 0.9));
+//! # }
 //! ```
 
 #![warn(missing_docs)]
@@ -43,3 +86,5 @@ pub mod apprun;
 pub mod prelude;
 
 pub use apprun::{AppRun, RouteReport};
+pub use noc_mesh::deployment::{DeployError, Deployment, DeploymentBuilder, FabricRouteReport};
+pub use noc_mesh::fabric::{EnergyModel, Fabric, FabricKind, PacketFabric, ProvisionError};

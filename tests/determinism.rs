@@ -39,19 +39,30 @@ fn soc_results_independent_of_thread_count() {
         let a = soc.mesh().node(0, 0);
         let b = soc.mesh().node(3, 3);
         // A long diagonal circuit: (0,0) east x3 then south x3 to (3,3).
-        soc.router_mut(a).connect(Port::Tile, 0, Port::East, 0).unwrap();
+        soc.router_mut(a)
+            .connect(Port::Tile, 0, Port::East, 0)
+            .unwrap();
         for x in 1..3 {
             let n = soc.mesh().node(x, 0);
-            soc.router_mut(n).connect(Port::West, 0, Port::East, 0).unwrap();
+            soc.router_mut(n)
+                .connect(Port::West, 0, Port::East, 0)
+                .unwrap();
         }
         let corner = soc.mesh().node(3, 0);
-        soc.router_mut(corner).connect(Port::West, 0, Port::South, 0).unwrap();
+        soc.router_mut(corner)
+            .connect(Port::West, 0, Port::South, 0)
+            .unwrap();
         for y in 1..3 {
             let n = soc.mesh().node(3, y);
-            soc.router_mut(n).connect(Port::North, 0, Port::South, 0).unwrap();
+            soc.router_mut(n)
+                .connect(Port::North, 0, Port::South, 0)
+                .unwrap();
         }
-        soc.router_mut(b).connect(Port::North, 0, Port::Tile, 0).unwrap();
-        soc.tile_mut(a).bind_source(0, DataPattern::Random, 99, 1.0, 5);
+        soc.router_mut(b)
+            .connect(Port::North, 0, Port::Tile, 0)
+            .unwrap();
+        soc.tile_mut(a)
+            .bind_source(0, DataPattern::Random, 99, 1.0, 5);
         soc.run(3000);
         (
             soc.tile(b).rx(0).received,

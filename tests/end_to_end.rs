@@ -20,50 +20,53 @@ fn pipeline(stages: usize, bw: f64) -> TaskGraph {
     g
 }
 
-#[test]
-fn hiperlan2_end_to_end_guaranteed_throughput() {
-    let graph =
-        noc_apps::hiperlan2::task_graph(&Hiperlan2Params::standard(Modulation::Qam64));
-    let mut app = AppRun::deploy(
-        &graph,
-        Mesh::new(4, 4),
-        RouterParams::paper(),
-        MegaHertz(200.0),
-        1,
-    )
-    .expect("feasible");
-    app.run(10_000);
-    for r in app.report(&graph) {
+/// Deploy, run and check guaranteed throughput — written once over any
+/// backend, the way every new scenario should be.
+fn assert_guaranteed_throughput<F: Fabric>(
+    mut dep: Deployment<F>,
+    graph: &TaskGraph,
+    cycles: u64,
+    floor: f64,
+) -> Deployment<F> {
+    dep.run(cycles);
+    dep.settle(cycles / 2 + 1000);
+    for r in dep.report(graph) {
         assert!(
-            r.delivered_fraction > 0.95,
-            "{:?}: {:.3}",
+            r.delivered_fraction > floor,
+            "[{}] {:?}: {:.3}",
+            dep.fabric().kind(),
             r.labels,
             r.delivered_fraction
         );
     }
-    assert_eq!(app.total_overflows(), 0);
+    dep
+}
+
+#[test]
+fn hiperlan2_end_to_end_guaranteed_throughput_both_fabrics() {
+    let graph = noc_apps::hiperlan2::task_graph(&Hiperlan2Params::standard(Modulation::Qam64));
+    for kind in FabricKind::BOTH {
+        let dep = Deployment::builder(&graph)
+            .mesh(4, 4)
+            .clock(MegaHertz(200.0))
+            .seed(1)
+            .fabric(kind)
+            .build()
+            .expect("feasible");
+        assert_guaranteed_throughput(dep, &graph, 10_000, 0.95);
+    }
 }
 
 #[test]
 fn umts_end_to_end_with_clustering() {
     let graph = noc_apps::umts::task_graph(&UmtsParams::paper_example());
-    let mut app = AppRun::deploy(
-        &graph,
-        Mesh::new(4, 4),
-        RouterParams::paper(),
-        MegaHertz(100.0),
-        2,
-    )
-    .expect("feasible after clustering");
-    app.run(10_000);
-    for r in app.report(&graph) {
-        assert!(
-            r.delivered_fraction > 0.85,
-            "{:?}: {:.3}",
-            r.labels,
-            r.delivered_fraction
-        );
-    }
+    let dep = Deployment::builder(&graph)
+        .mesh(4, 4)
+        .clock(MegaHertz(100.0))
+        .seed(2)
+        .build_circuit()
+        .expect("feasible after clustering");
+    assert_guaranteed_throughput(dep, &graph, 10_000, 0.85);
 }
 
 #[test]
@@ -71,49 +74,57 @@ fn drm_end_to_end_low_rate() {
     // DRM's kbit/s-scale edges on the same fabric: loads are tiny but
     // still delivered.
     let graph = noc_apps::drm::task_graph(&DrmParams::standard());
-    let mut app = AppRun::deploy(
-        &graph,
-        Mesh::new(4, 4),
-        RouterParams::paper(),
-        MegaHertz(25.0),
-        3,
-    )
-    .expect("feasible");
-    app.run(200_000);
-    for r in app.report(&graph) {
-        assert!(
-            r.delivered_fraction > 0.5,
-            "{:?}: {:.3} (very low-rate edges need long windows)",
-            r.labels,
-            r.delivered_fraction
-        );
-    }
+    let dep = Deployment::builder(&graph)
+        .mesh(4, 4)
+        .clock(MegaHertz(25.0))
+        .seed(3)
+        .build_circuit()
+        .expect("feasible");
+    assert_guaranteed_throughput(dep, &graph, 200_000, 0.5);
 }
 
 #[test]
 fn long_pipeline_across_whole_mesh() {
     // Eight stages on a 3x3: some circuits must span multiple hops.
     let graph = pipeline(8, 50.0);
-    let mut app = AppRun::deploy(
-        &graph,
-        Mesh::new(3, 3),
-        RouterParams::paper(),
-        MegaHertz(50.0),
-        4,
-    )
-    .expect("feasible");
-    let max_hops = app
-        .mapping
+    let dep = Deployment::builder(&graph)
+        .mesh(3, 3)
+        .clock(MegaHertz(50.0))
+        .seed(4)
+        .build_circuit()
+        .expect("feasible");
+    let max_hops = dep
+        .mapping()
         .routes
         .iter()
         .map(|r| r.hops())
         .max()
         .unwrap_or(0);
     assert!(max_hops >= 2, "expected at least one multi-router circuit");
-    app.run(20_000);
+    assert_guaranteed_throughput(dep, &graph, 20_000, 0.9);
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_apprun_shim_still_deploys() {
+    // Migration coverage: the five-positional-argument entry point keeps
+    // its exact semantics (per-lane stats, BE-delivered configuration)
+    // while delegating mapping and provisioning to the builder.
+    let graph = pipeline(3, 60.0);
+    let mut app = AppRun::deploy(
+        &graph,
+        Mesh::new(3, 3),
+        RouterParams::paper(),
+        MegaHertz(100.0),
+        1,
+    )
+    .expect("feasible");
+    assert!(app.configured_at > Cycle::ZERO, "BE delivery time reported");
+    app.run(5_000);
     for r in app.report(&graph) {
         assert!(r.delivered_fraction > 0.9, "{:?}", r.labels);
     }
+    assert_eq!(app.total_overflows(), 0);
 }
 
 #[test]
@@ -127,15 +138,27 @@ fn streams_on_shared_ports_do_not_interfere() {
     let n1 = soc.mesh().node(1, 0);
     let n2 = soc.mesh().node(2, 0);
     // Stream A: tile(0) -> tile(2) via lanes 0.
-    soc.router_mut(n0).connect(Port::Tile, 0, Port::East, 0).unwrap();
-    soc.router_mut(n1).connect(Port::West, 0, Port::East, 0).unwrap();
-    soc.router_mut(n2).connect(Port::West, 0, Port::Tile, 0).unwrap();
+    soc.router_mut(n0)
+        .connect(Port::Tile, 0, Port::East, 0)
+        .unwrap();
+    soc.router_mut(n1)
+        .connect(Port::West, 0, Port::East, 0)
+        .unwrap();
+    soc.router_mut(n2)
+        .connect(Port::West, 0, Port::Tile, 0)
+        .unwrap();
     // Stream B: tile(1) -> tile(2) via lane 1 on the shared link.
-    soc.router_mut(n1).connect(Port::Tile, 0, Port::East, 1).unwrap();
-    soc.router_mut(n2).connect(Port::West, 1, Port::Tile, 1).unwrap();
+    soc.router_mut(n1)
+        .connect(Port::Tile, 0, Port::East, 1)
+        .unwrap();
+    soc.router_mut(n2)
+        .connect(Port::West, 1, Port::Tile, 1)
+        .unwrap();
 
-    soc.tile_mut(n0).bind_source(0, DataPattern::Random, 10, 1.0, 5);
-    soc.tile_mut(n1).bind_source(0, DataPattern::Random, 11, 1.0, 5);
+    soc.tile_mut(n0)
+        .bind_source(0, DataPattern::Random, 10, 1.0, 5);
+    soc.tile_mut(n1)
+        .bind_source(0, DataPattern::Random, 11, 1.0, 5);
     soc.run(5000);
 
     let a = soc.tile(n2).rx(0).received;
@@ -220,15 +243,14 @@ fn mapping_respects_affinity_when_available() {
     let mesh = Mesh::new(2, 2);
     let params = RouterParams::paper();
     let ccn = Ccn::new(mesh, params, MegaHertz(100.0));
-    let kinds = vec![
-        TileKind::Gpp,
-        TileKind::Dsrh,
-        TileKind::Asic,
-        TileKind::Dsp,
-    ];
+    let kinds = vec![TileKind::Gpp, TileKind::Dsrh, TileKind::Asic, TileKind::Dsp];
     let mapping = ccn.map(&g, &kinds).unwrap();
     let fft_node = mapping.node_of(fft).unwrap();
     let gpp_node = mapping.node_of(gpp).unwrap();
-    assert_eq!(kinds[fft_node.0], TileKind::Dsrh, "FFT on reconfigurable fabric");
+    assert_eq!(
+        kinds[fft_node.0],
+        TileKind::Dsrh,
+        "FFT on reconfigurable fabric"
+    );
     assert_eq!(kinds[gpp_node.0], TileKind::Gpp);
 }

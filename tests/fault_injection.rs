@@ -48,10 +48,7 @@ fn remap_avoids_dead_link() {
     // Kill the first used link, both directions.
     let (node, port) = used[0];
     let neighbour = mesh.neighbour(node, port).unwrap();
-    let dead = vec![
-        (node, port),
-        (neighbour, port.opposite().unwrap()),
-    ];
+    let dead = vec![(node, port), (neighbour, port.opposite().unwrap())];
     let remapped = ccn
         .map_with_faults(&graph, &kinds, &dead)
         .expect("detour exists on a 3x3 mesh");
@@ -127,10 +124,7 @@ fn isolated_node_is_unmappable_and_reported() {
     let kinds = vec![TileKind::Dsrh; 3];
     let graph = pipeline(3, 60.0);
     let mid = mesh.node(1, 0);
-    let dead = vec![
-        (mid, Port::East),
-        (mesh.node(2, 0), Port::West),
-    ];
+    let dead = vec![(mid, Port::East), (mesh.node(2, 0), Port::West)];
     match ccn.map_with_faults(&graph, &kinds, &dead) {
         Err(MappingError::NoPath { .. }) => {}
         other => panic!("expected NoPath, got {other:?}"),

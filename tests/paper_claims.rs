@@ -101,14 +101,20 @@ fn claim_collision_nonlinearity() {
     let free = fig
         .midpoint_deviation(RouterKind::Packet, Scenario::II)
         .abs();
-    assert!(coll > free, "collision {coll:.3} vs collision-free {free:.3}");
+    assert!(
+        coll > free,
+        "collision {coll:.3} vs collision-free {free:.3}"
+    );
 }
 
 /// Section 5.1: configuration sizes and timing budgets.
 #[test]
 fn claim_configuration_budgets() {
     let p = RouterParams::paper();
-    assert_eq!(p.config_word_bits(), reference::config_claims::BITS_PER_LANE);
+    assert_eq!(
+        p.config_word_bits(),
+        reference::config_claims::BITS_PER_LANE
+    );
     assert_eq!(
         p.config_memory_bits(),
         reference::config_claims::MEMORY_BITS
@@ -151,7 +157,9 @@ fn claim_applications_feasible() {
         noc_apps::drm::task_graph(&DrmParams::standard()),
     ];
     for g in &graphs {
-        let m = ccn.map(g, &kinds).unwrap_or_else(|e| panic!("{}: {e}", g.name));
+        let m = ccn
+            .map(g, &kinds)
+            .unwrap_or_else(|e| panic!("{}: {e}", g.name));
         assert!(ccn.verify(g, &m), "{} demands not covered", g.name);
     }
 }

@@ -142,7 +142,7 @@ proptest! {
         }
         let mut xbar = noc_core::crossbar::Crossbar::new(params);
         let nibbles: Vec<Nibble> = inputs.iter().map(|&v| Nibble::new(v)).collect();
-        xbar.eval(&nibbles, &vec![false; 20], &cfg);
+        xbar.eval(&nibbles, &[false; 20], &cfg);
         xbar.commit(&mut ledger);
         for o in 0..20usize {
             let idx = noc_core::lane::LaneIndex(o as u8);
@@ -183,7 +183,7 @@ proptest! {
             if let Some(p) = rx.commit(&mut scratch) {
                 received.push(p.data);
                 acked += 1;
-                if acked % 4 == 0 { ack = true; }
+                if acked.is_multiple_of(4) { ack = true; }
             }
             router.set_ack_input(Port::East, 0, ack);
             if received.len() == words.len() { break; }

@@ -1,0 +1,171 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements exactly the subset the BE network's wire framing uses —
+//! `BytesMut` as an append-only builder, `Bytes` as a cheap-to-clone
+//! immutable payload with cursor-style reads, and the `Buf`/`BufMut`
+//! traits those methods live on upstream. Backed by `Vec<u8>`/`Arc<[u8]>`;
+//! byte-for-byte compatible with the real crate for the little-endian
+//! integer accessors used here.
+
+use std::sync::Arc;
+
+/// Read side of a byte buffer (cursor semantics).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Consume and return one little-endian `u16`.
+    ///
+    /// # Panics
+    /// Panics when fewer than two bytes remain.
+    fn get_u16_le(&mut self) -> u16;
+}
+
+/// Write side of a byte buffer (append semantics).
+pub trait BufMut {
+    /// Append one little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+}
+
+/// An immutable, cheaply clonable byte payload with a read cursor.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// A payload borrowed from static data (copied here; the stand-in
+    /// does not track borrow provenance).
+    pub fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes {
+            data: bytes.into(),
+            pos: 0,
+        }
+    }
+
+    /// Total length of the payload (ignores the read cursor).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The full payload as a slice (ignores the read cursor).
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        assert!(self.remaining() >= 2, "get_u16_le past end of Bytes");
+        let v = u16::from_le_bytes([self.data[self.pos], self.data[self.pos + 1]]);
+        self.pos += 2;
+        v
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.data == other.data
+    }
+}
+
+impl Eq for Bytes {}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes {
+            data: v.into(),
+            pos: 0,
+        }
+    }
+}
+
+/// A growable byte builder.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty builder.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty builder with `cap` bytes reserved.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data.into(),
+            pos: 0,
+        }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u16_le(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u16_le() {
+        let mut b = BytesMut::with_capacity(4);
+        b.put_u16_le(0x1234);
+        b.put_u16_le(0xBEEF);
+        let mut frozen = b.freeze();
+        assert_eq!(frozen.len(), 4);
+        assert_eq!(frozen.remaining(), 4);
+        assert_eq!(frozen.get_u16_le(), 0x1234);
+        assert_eq!(frozen.get_u16_le(), 0xBEEF);
+        assert_eq!(frozen.remaining(), 0);
+    }
+
+    #[test]
+    fn clone_resets_nothing_but_shares_data() {
+        let mut b = BytesMut::with_capacity(2);
+        b.put_u16_le(7);
+        let mut a = b.freeze();
+        let c = a.clone();
+        let _ = a.get_u16_le();
+        assert_eq!(a.remaining(), 0);
+        assert_eq!(c.remaining(), 2, "clone keeps its own cursor");
+    }
+}

@@ -1,0 +1,81 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace uses exactly one item: `crossbeam::scope`, to fan
+//! per-cycle mesh evaluation across cores with borrowed (non-`'static`)
+//! closures. Since Rust 1.63 the standard library's `std::thread::scope`
+//! provides the same guarantee, so this shim maps the crossbeam API onto
+//! it: spawned threads are joined before `scope` returns, and a panic in
+//! any spawned thread propagates as `Err` exactly as crossbeam reports it.
+
+use std::any::Any;
+use std::thread;
+
+/// A scope handle passed to the `scope` closure; `spawn` launches threads
+/// that may borrow from the enclosing stack frame.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives the scope again (so it
+    /// can spawn nested work, as crossbeam allows); the join handle is
+    /// intentionally not returned — the workspace joins only via scope
+    /// exit.
+    pub fn spawn<F, T>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || {
+            let scope = Scope { inner };
+            f(&scope)
+        });
+    }
+}
+
+/// Run `f` with a [`Scope`]; all spawned threads are joined before this
+/// returns. Returns `Err` with the panic payload if any spawned thread
+/// panicked (crossbeam's contract); panics in `f` itself propagate.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    // std::thread::scope re-raises child panics at the join point inside
+    // `scope`; catch them to match crossbeam's Result-based reporting.
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        thread::scope(|s| {
+            let wrapper = Scope { inner: s };
+            f(&wrapper)
+        })
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_borrow_and_join() {
+        let mut data = vec![1u32, 2, 3, 4];
+        scope(|s| {
+            for chunk in data.chunks_mut(2) {
+                s.spawn(move |_| {
+                    for v in chunk.iter_mut() {
+                        *v *= 10;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(data, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn child_panic_reported_as_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

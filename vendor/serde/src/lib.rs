@@ -1,0 +1,24 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The container this workspace builds in has no crates.io access, and the
+//! workspace never serialises anything: `#[derive(Serialize, Deserialize)]`
+//! appears on model types purely as a statement that they are plain data.
+//! This crate therefore provides the two derive macros as no-ops — the
+//! attribute parses, the imports resolve, and no code is generated.
+//!
+//! If a future PR introduces a real data format, replace this vendored
+//! crate with the upstream `serde` dependency; no call sites change.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
