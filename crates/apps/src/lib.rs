@@ -21,6 +21,9 @@
 //!   Section 6.1), load-controlled phit sources, and word-stream helpers.
 //! * [`scenarios`] — the stream set of Table 3 and the four test scenarios
 //!   of Fig. 8.
+//! * [`synthetic`] — lane-capacity-relative synthetic workloads shared by
+//!   benches and tests (e.g. the oversubscribed two-stream line behind the
+//!   hybrid fabric's spillover comparisons).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -28,6 +31,7 @@
 pub mod drm;
 pub mod hiperlan2;
 pub mod scenarios;
+pub mod synthetic;
 pub mod taskgraph;
 pub mod traffic;
 pub mod umts;

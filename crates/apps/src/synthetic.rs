@@ -1,0 +1,60 @@
+//! Synthetic workloads shared by benches and tests.
+//!
+//! These task graphs are defined relative to the NoC's *lane capacity*
+//! instead of absolute Mbit/s, so the premise they encode ("this demand
+//! takes 3 lanes") survives clock or serialisation-width changes — every
+//! bench and test that needs, say, an oversubscribed circuit plane builds
+//! it from one place.
+
+use crate::taskgraph::{TaskGraph, TrafficShape};
+use noc_sim::units::Bandwidth;
+
+/// Two streams converging on one sink of a 3×1 line, sized so circuit
+/// lanes *cannot* admit both: the heavy demand takes ⌈2.9⌉ = 3 lanes and
+/// the light one ⌈1.9⌉ = 2, but the final eastbound link only has 4 —
+/// strict admission fails with `NoPath`, spill admission routes the heavy
+/// stream and spills the light one. This is the canonical workload behind
+/// the hybrid fabric's three-way energy comparison (the spillover plane
+/// must demonstrably carry traffic) and the `FabricKind` determinism and
+/// parity tests.
+///
+/// `lane_capacity` is the payload bandwidth of one lane at the deployment
+/// clock (`Ccn::lane_capacity`, i.e. clock ×
+/// `RouterParams::lane_payload_bits_per_cycle`).
+pub fn oversubscribed_line(lane_capacity: Bandwidth) -> TaskGraph {
+    let lane = lane_capacity.value();
+    let mut g = TaskGraph::new("oversubscribed-line");
+    let a = g.add_process("a");
+    let b = g.add_process("b");
+    let d = g.add_process("d");
+    g.add_edge(
+        a,
+        d,
+        Bandwidth(lane * 2.9),
+        TrafficShape::Streaming,
+        "heavy (3 lanes)",
+    );
+    g.add_edge(
+        b,
+        d,
+        Bandwidth(lane * 1.9),
+        TrafficShape::Streaming,
+        "light (spills)",
+    );
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demands_take_three_plus_two_lanes() {
+        let g = oversubscribed_line(Bandwidth(80.0));
+        let lanes: Vec<usize> = g
+            .edges()
+            .map(|(_, e)| (e.bandwidth.value() / 80.0).ceil() as usize)
+            .collect();
+        assert_eq!(lanes, vec![3, 2], "3 + 2 > 4 lanes of the shared link");
+    }
+}

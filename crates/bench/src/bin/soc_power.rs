@@ -5,17 +5,16 @@
 //! sixteen routers, seven live circuits — and shows what clock-gating the
 //! unused lanes (the paper's future work) buys at fabric level, where most
 //! routers are idle while the application runs.
+//!
+//! Deployment rides `Deployment::builder`: the CCN mapping, source
+//! binding at each circuit's demanded offered load, and the power readout
+//! are the same generic plumbing every other workload uses — only the
+//! `RouterParams::clock_gating` knob differs between the two rows.
 
 use noc_apps::hiperlan2::{Hiperlan2Params, Modulation};
-use noc_apps::traffic::DataPattern;
 use noc_core::params::RouterParams;
 use noc_exp::tables;
-use noc_mesh::ccn::Ccn;
-use noc_mesh::soc::Soc;
-use noc_mesh::tile::TileKind;
-use noc_mesh::topology::Mesh;
-use noc_power::area::circuit_router_area;
-use noc_power::estimator::PowerEstimator;
+use noc_mesh::deployment::Deployment;
 use noc_sim::units::MegaHertz;
 
 fn run(gating: bool) -> (f64, f64, f64) {
@@ -23,46 +22,18 @@ fn run(gating: bool) -> (f64, f64, f64) {
         clock_gating: gating,
         ..RouterParams::paper()
     };
-    let clock = MegaHertz(200.0);
-    let mesh = Mesh::new(4, 4);
     let graph = noc_apps::hiperlan2::task_graph(&Hiperlan2Params::standard(Modulation::Qam64));
-    let mut soc = Soc::new(mesh, params);
-    let kinds: Vec<TileKind> = mesh.iter().map(|n| soc.tile(n).kind).collect();
-    let ccn = Ccn::new(mesh, params, clock);
-    let mapping = ccn.map(&graph, &kinds).expect("feasible");
-    mapping.apply_direct(&mut soc).expect("legal words");
-
-    // Bind one source per circuit at the demand's offered load.
-    let capacity = ccn.lane_capacity().value();
-    for (idx, route) in mapping.routes.iter().enumerate() {
-        if route.paths.is_empty() {
-            continue;
-        }
-        let demand: f64 = route
-            .edges
-            .iter()
-            .map(|&id| graph.edge(id).bandwidth.value())
-            .sum();
-        let load = (demand / (route.paths.len() as f64 * capacity)).min(1.0);
-        for (j, path) in route.paths.iter().enumerate() {
-            let src = path[0].node;
-            soc.tile_mut(src).bind_source(
-                path[0].in_lane,
-                DataPattern::Random,
-                0x50C + (idx as u64) * 8 + j as u64,
-                load,
-                params.flits_per_phit(),
-            );
-        }
-    }
-
-    soc.clear_activity();
-    let cycles = 20_000;
-    soc.run(cycles);
-
-    let estimator = PowerEstimator::calibrated();
-    let soc_area = circuit_router_area(&params, estimator.tech()).total() * 16.0;
-    let report = estimator.estimate(&soc.activity(), cycles, clock, soc_area);
+    let mut dep = Deployment::builder(&graph)
+        .mesh(4, 4)
+        .clock(MegaHertz(200.0))
+        .router_params(params)
+        .seed(0x50C)
+        .build_circuit()
+        .expect("HiperLAN/2 fits a 4x4 mesh at 200 MHz");
+    // Measure steady-state traffic, not the provisioning burst.
+    dep.fabric_mut().clear_activity();
+    dep.run(20_000);
+    let report = dep.power(&dep.energy_model());
     (
         report.static_power.value(),
         report.dynamic_internal.value(),

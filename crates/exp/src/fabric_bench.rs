@@ -8,8 +8,16 @@
 //! [`noc_mesh::deployment::Deployment`] onto *any* backend, driven at its
 //! demanded offered load, settled, and costed with the calibrated energy
 //! model. [`compare_fabrics`] runs the identical workload (same seed, same
-//! payload words) on both backends and reports the paper's headline
-//! quantities side by side.
+//! payload words) on all three backends — circuit, hybrid, packet — and
+//! reports the paper's headline quantities side by side.
+//!
+//! Admission is spill-tolerant across the board so that oversubscribed
+//! workloads (circuits alone cannot admit every stream) compare cleanly:
+//! the circuit endpoint carries the admitted GT subset only, the hybrid
+//! carries everything (spillover on its clock-gated packet plane), the
+//! packet endpoint carries everything on ungated wormhole routers. For
+//! feasible workloads the spill set is empty and the circuit/packet
+//! numbers are identical to strict admission.
 
 use noc_apps::taskgraph::TaskGraph;
 use noc_mesh::deployment::{DeployError, Deployment};
@@ -36,6 +44,10 @@ pub struct FabricRunSummary {
     pub power: PowerReport,
     /// Total energy over the run.
     pub energy: FemtoJoules,
+    /// Streams carried on a best-effort spillover plane (hybrid only).
+    pub spilled_streams: u64,
+    /// Payload words that rode the spillover plane (hybrid only).
+    pub spilled_words: u64,
 }
 
 impl FabricRunSummary {
@@ -80,15 +92,22 @@ pub fn run_app<F: Fabric>(
         },
         power: dep.power(&model),
         energy: dep.total_energy(&model),
+        spilled_streams: dep.fabric().spilled_streams(),
+        spilled_words: dep.fabric().spilled_words(),
     }
 }
 
-/// Both backends' results for one workload.
+/// All three backends' results for one workload, pure-circuit to
+/// pure-packet.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FabricComparison {
-    /// The circuit-switched run.
+    /// The circuit-switched run (spill-admitted: GT subset only when the
+    /// workload oversubscribes the lanes).
     pub circuit: FabricRunSummary,
-    /// The packet-switched run.
+    /// The hybrid run: admitted streams on circuits, spillover on the
+    /// clock-gated packet plane.
+    pub hybrid: FabricRunSummary,
+    /// The packet-switched run (every stream, ungated baseline).
     pub packet: FabricRunSummary,
 }
 
@@ -99,17 +118,35 @@ impl FabricComparison {
         self.packet.energy.value() / self.circuit.energy.value()
     }
 
+    /// Packet-over-hybrid total-energy ratio: what profiled hybrid
+    /// switching saves while still delivering *every* stream.
+    pub fn hybrid_energy_ratio(&self) -> f64 {
+        self.packet.energy.value() / self.hybrid.energy.value()
+    }
+
+    /// Does the hybrid's energy land inside the pure endpoints
+    /// (`circuit ≤ hybrid ≤ packet`)? The expected shape of every
+    /// comparison: the circuit endpoint may do less work (spilled streams
+    /// undelivered) and the packet endpoint pays for ungated buffers.
+    pub fn hybrid_between_endpoints(&self) -> bool {
+        self.circuit.energy.value() <= self.hybrid.energy.value()
+            && self.hybrid.energy.value() <= self.packet.energy.value()
+    }
+
     /// The summary for `kind`.
     pub fn summary(&self, kind: FabricKind) -> &FabricRunSummary {
         match kind {
             FabricKind::Circuit => &self.circuit,
+            FabricKind::Hybrid => &self.hybrid,
             FabricKind::Packet => &self.packet,
         }
     }
 }
 
-/// Deploy `graph` on both backends (same mesh, clock and traffic seed)
-/// and run the identical workload through each.
+/// Deploy `graph` on all three backends (same mesh, clock and traffic
+/// seed) and run the identical workload through each. Admission is
+/// spill-tolerant (see the module docs); a feasible workload behaves
+/// exactly as under strict admission.
 pub fn compare_fabrics(
     graph: &TaskGraph,
     mesh: Mesh,
@@ -117,18 +154,19 @@ pub fn compare_fabrics(
     cycles: CycleCount,
     seed: u64,
 ) -> Result<FabricComparison, DeployError> {
-    let mut circuit = Deployment::builder(graph)
-        .mesh_topology(mesh)
-        .clock(clock)
-        .seed(seed)
-        .build_circuit()?;
-    let mut packet = Deployment::builder(graph)
-        .mesh_topology(mesh)
-        .clock(clock)
-        .seed(seed)
-        .build_packet()?;
+    let builder = |graph| {
+        Deployment::builder(graph)
+            .mesh_topology(mesh)
+            .clock(clock)
+            .seed(seed)
+            .spill(true)
+    };
+    let mut circuit = builder(graph).build_circuit()?;
+    let mut hybrid = builder(graph).build_hybrid()?;
+    let mut packet = builder(graph).build_packet()?;
     Ok(FabricComparison {
         circuit: run_app(&mut circuit, graph, cycles),
+        hybrid: run_app(&mut hybrid, graph, cycles),
         packet: run_app(&mut packet, graph, cycles),
     })
 }
@@ -176,6 +214,51 @@ mod tests {
     fn circuit_fabric_wins_on_energy() {
         let r = comparison().energy_ratio();
         assert!(r > 1.5, "fabric-level energy ratio {r:.2} too small");
+    }
+
+    #[test]
+    fn feasible_workload_hybrid_spills_nothing_and_sits_between() {
+        let cmp = comparison();
+        assert_eq!(cmp.hybrid.kind, FabricKind::Hybrid);
+        assert_eq!(cmp.hybrid.spilled_streams, 0, "HiperLAN/2 is feasible");
+        assert_eq!(cmp.hybrid.delivered, cmp.packet.delivered);
+        assert!(
+            cmp.hybrid_between_endpoints(),
+            "circuit {} <= hybrid {} <= packet {} violated",
+            cmp.circuit.energy,
+            cmp.hybrid.energy,
+            cmp.packet.energy
+        );
+        assert!(cmp.hybrid_energy_ratio() > 1.5);
+    }
+
+    #[test]
+    fn oversubscribed_workload_spills_and_keeps_the_ordering() {
+        // The canonical oversubscribed line: the light stream must spill,
+        // yet the hybrid delivers everything and still lands between the
+        // pure endpoints.
+        let clock = MegaHertz(25.0);
+        let ccn = noc_mesh::Ccn::new(
+            Mesh::new(3, 1),
+            noc_core::params::RouterParams::paper(),
+            clock,
+        );
+        let g = noc_apps::synthetic::oversubscribed_line(ccn.lane_capacity());
+        let cmp = compare_fabrics(&g, Mesh::new(3, 1), clock, 4000, 0x0B5)
+            .expect("spill admission deploys everywhere");
+        assert_eq!(cmp.hybrid.spilled_streams, 1);
+        assert!(cmp.hybrid.spilled_words > 0);
+        // The circuit endpoint only carries the admitted subset.
+        assert!(cmp.circuit.injected < cmp.hybrid.injected);
+        assert_eq!(cmp.hybrid.injected, cmp.packet.injected);
+        assert!(cmp.hybrid.min_delivered_fraction > 0.9);
+        assert!(
+            cmp.hybrid_between_endpoints(),
+            "circuit {} <= hybrid {} <= packet {} violated",
+            cmp.circuit.energy,
+            cmp.hybrid.energy,
+            cmp.packet.energy
+        );
     }
 
     #[test]

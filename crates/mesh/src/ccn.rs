@@ -91,6 +91,36 @@ impl EdgeRoute {
     }
 }
 
+/// A tile-to-tile demand the CCN could *not* admit on circuit lanes.
+///
+/// Produced only by [`Ccn::map_with_spill`]: instead of rejecting the
+/// whole application when lanes run out, the CCN records the overflow
+/// demands so a best-effort plane (the packet fabric, or the hybrid
+/// fabric's spillover plane) can carry them — profiled hybrid switching's
+/// admission story (arXiv:2005.08478).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpillStream {
+    /// The task-graph edges sharing this demand (at least one).
+    pub edges: Vec<EdgeId>,
+    /// Source tile.
+    pub src: NodeId,
+    /// Destination tile.
+    pub dst: NodeId,
+    /// Summed guaranteed-throughput demand of the edges.
+    pub demand: Bandwidth,
+    /// Why the circuit plane could not take it.
+    pub reason: SpillReason,
+}
+
+/// Why a demand spilled off the circuit plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpillReason {
+    /// The demand alone exceeds a port's parallel-lane capacity.
+    TooWide,
+    /// Heavier demands exhausted every lane path first.
+    NoFreeLanes,
+}
+
 /// A complete application mapping.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Mapping {
@@ -98,6 +128,9 @@ pub struct Mapping {
     pub placement: Vec<(ProcessId, NodeId)>,
     /// Per-edge circuits.
     pub routes: Vec<EdgeRoute>,
+    /// Demands without circuits, for a best-effort/packet plane to carry.
+    /// Always empty under [`Ccn::map`]'s strict admission.
+    pub spilled: Vec<SpillStream>,
 }
 
 impl Mapping {
@@ -324,6 +357,24 @@ impl Ccn {
         self.map_with_faults(graph, tile_kinds, &[])
     }
 
+    /// Map an application, spilling demands the circuit plane cannot admit
+    /// instead of rejecting the whole application.
+    ///
+    /// Placement and lane allocation are identical to [`Ccn::map`] (same
+    /// heaviest-first order, same BFS path search), so a feasible
+    /// application produces a bit-identical mapping with an empty
+    /// [`Mapping::spilled`]. When lanes run out, the losing demands land in
+    /// `spilled` for a best-effort plane to carry — the admission mode the
+    /// hybrid fabric provisions from. Only structural failures (more
+    /// process clusters than tiles) still error.
+    pub fn map_with_spill(
+        &self,
+        graph: &TaskGraph,
+        tile_kinds: &[TileKind],
+    ) -> Result<Mapping, MappingError> {
+        self.map_impl(graph, tile_kinds, &[], true)
+    }
+
     /// Map an application while avoiding failed links.
     ///
     /// Each `(node, port)` names one *directed* link leaving `node`; a
@@ -337,6 +388,19 @@ impl Ccn {
         graph: &TaskGraph,
         tile_kinds: &[TileKind],
         dead_links: &[(NodeId, Port)],
+    ) -> Result<Mapping, MappingError> {
+        self.map_impl(graph, tile_kinds, dead_links, false)
+    }
+
+    /// The one admission pipeline behind every `map_*` entry point:
+    /// cluster, check tile count, place, then allocate lanes (strictly or
+    /// with spill).
+    fn map_impl(
+        &self,
+        graph: &TaskGraph,
+        tile_kinds: &[TileKind],
+        dead_links: &[(NodeId, Port)],
+        spill: bool,
     ) -> Result<Mapping, MappingError> {
         assert_eq!(tile_kinds.len(), self.mesh.nodes(), "one kind per tile");
         let clusters = self.cluster(graph);
@@ -352,8 +416,13 @@ impl Ccn {
         }
 
         let placement = self.place(graph, tile_kinds, &clusters);
-        let routes = self.route_with_faults(graph, &placement, dead_links)?;
-        Ok(Mapping { placement, routes })
+        let (routes, spilled) = self.route_demands(graph, &placement, dead_links, spill)?;
+        debug_assert!(spill || spilled.is_empty(), "strict admission never spills");
+        Ok(Mapping {
+            placement,
+            routes,
+            spilled,
+        })
     }
 
     /// Reduce tile-interface lane pressure by co-locating processes.
@@ -535,15 +604,20 @@ impl Ccn {
         graph: &TaskGraph,
         placement: &[(ProcessId, NodeId)],
     ) -> Result<Vec<EdgeRoute>, MappingError> {
-        self.route_with_faults(graph, placement, &[])
+        self.route_demands(graph, placement, &[], false)
+            .map(|(routes, _)| routes)
     }
 
-    fn route_with_faults(
+    /// Allocate circuits per demand. With `spill` set, an inadmissible
+    /// demand is recorded as a [`SpillStream`] instead of failing the
+    /// whole mapping.
+    fn route_demands(
         &self,
         graph: &TaskGraph,
         placement: &[(ProcessId, NodeId)],
         dead_links: &[(NodeId, Port)],
-    ) -> Result<Vec<EdgeRoute>, MappingError> {
+        spill: bool,
+    ) -> Result<(Vec<EdgeRoute>, Vec<SpillStream>), MappingError> {
         let node_of: HashMap<ProcessId, NodeId> = placement.iter().copied().collect();
         let mut alloc = Allocator::new(&self.mesh, &self.params);
         for &(node, port) in dead_links {
@@ -569,6 +643,7 @@ impl Ccn {
         });
 
         let mut routes = Vec::with_capacity(demand_list.len());
+        let mut spilled = Vec::new();
         for ((src, dst), (mut edge_ids, total_bw)) in demand_list {
             edge_ids.sort();
             if src == dst {
@@ -579,26 +654,67 @@ impl Ccn {
                 });
                 continue;
             }
+            let mut overflow = |edge_ids: Vec<EdgeId>, reason, err| {
+                if spill {
+                    spilled.push(SpillStream {
+                        edges: edge_ids,
+                        src,
+                        dst,
+                        demand: Bandwidth(total_bw),
+                        reason,
+                    });
+                    Ok(())
+                } else {
+                    Err(err)
+                }
+            };
+            let first_edge = edge_ids[0];
             let needed = (total_bw / capacity.value()).ceil().max(1.0) as usize;
             if needed > self.params.lanes_per_port {
-                return Err(MappingError::EdgeTooWide {
-                    edge: edge_ids[0],
-                    needed,
-                    available: self.params.lanes_per_port,
-                });
+                overflow(
+                    edge_ids,
+                    SpillReason::TooWide,
+                    MappingError::EdgeTooWide {
+                        edge: first_edge,
+                        needed,
+                        available: self.params.lanes_per_port,
+                    },
+                )?;
+                continue;
             }
 
             // BFS for the shortest node path whose links all have `needed`
             // free lanes.
-            let node_path = self
-                .bfs(src, dst, needed, &alloc)
-                .ok_or(MappingError::NoPath { edge: edge_ids[0] })?;
+            let Some(node_path) = self.bfs(src, dst, needed, &alloc) else {
+                overflow(
+                    edge_ids,
+                    SpillReason::NoFreeLanes,
+                    MappingError::NoPath { edge: first_edge },
+                )?;
+                continue;
+            };
 
-            // Claim tile lanes at the endpoints.
-            let tx = Allocator::claim_tile(&mut alloc.tx_free[src.0], needed)
-                .ok_or(MappingError::TileLanesExhausted { node: src })?;
-            let rx = Allocator::claim_tile(&mut alloc.rx_free[dst.0], needed)
-                .ok_or(MappingError::TileLanesExhausted { node: dst })?;
+            // Claim tile lanes at the endpoints. Both pools are checked
+            // before either is claimed, so a spilled demand leaves the
+            // allocator untouched for the demands after it.
+            let free = |pool: &[bool]| pool.iter().filter(|&&f| f).count();
+            if free(&alloc.tx_free[src.0]) < needed || free(&alloc.rx_free[dst.0]) < needed {
+                let node = if free(&alloc.tx_free[src.0]) < needed {
+                    src
+                } else {
+                    dst
+                };
+                overflow(
+                    edge_ids,
+                    SpillReason::NoFreeLanes,
+                    MappingError::TileLanesExhausted { node },
+                )?;
+                continue;
+            }
+            let tx =
+                Allocator::claim_tile(&mut alloc.tx_free[src.0], needed).expect("checked above");
+            let rx =
+                Allocator::claim_tile(&mut alloc.rx_free[dst.0], needed).expect("checked above");
 
             // Claim link lanes hop by hop.
             let mut link_lanes: Vec<Vec<usize>> = Vec::new(); // [hop][parallel]
@@ -644,7 +760,8 @@ impl Ccn {
             });
         }
         routes.sort_by_key(|r| r.edges[0]);
-        Ok(routes)
+        spilled.sort_by_key(|s| s.edges[0]);
+        Ok((routes, spilled))
     }
 
     fn port_between(&self, from: NodeId, to: NodeId) -> Option<Port> {
@@ -907,6 +1024,93 @@ mod tests {
         let m = c.map(&g, &kinds(1)).unwrap();
         assert_eq!(m.node_of(a), Some(NodeId(0)));
         assert!(m.routes.is_empty());
+    }
+
+    #[test]
+    fn feasible_graph_spills_nothing_and_matches_strict_map() {
+        let c = ccn(3, 3);
+        let g = pipeline(5, 60.0);
+        let strict = c.map(&g, &kinds(9)).expect("feasible");
+        let spilly = c.map_with_spill(&g, &kinds(9)).expect("feasible");
+        assert!(spilly.spilled.is_empty());
+        assert_eq!(strict, spilly, "same admission path, same mapping");
+    }
+
+    #[test]
+    fn oversubscribed_line_spills_the_lighter_demand() {
+        // The `saturated_line_yields_no_path` scenario under spill
+        // admission: the heavy 3-lane demand gets its circuit, the lighter
+        // 2-lane demand spills instead of failing the mapping.
+        let c = ccn(3, 1);
+        let mut g = TaskGraph::new("line");
+        let a = g.add_process("a");
+        let b = g.add_process("b");
+        let d = g.add_process("d");
+        let heavy = g.add_edge(a, d, Bandwidth(230.0), TrafficShape::Streaming, "3 lanes");
+        let light = g.add_edge(b, d, Bandwidth(155.0), TrafficShape::Streaming, "2 lanes");
+        let mesh = c.mesh;
+        let placement = vec![
+            (a, mesh.node(0, 0)),
+            (b, mesh.node(1, 0)),
+            (d, mesh.node(2, 0)),
+        ];
+        let (routes, spilled) = c
+            .route_demands(&g, &placement, &[], true)
+            .expect("spill mode always succeeds past placement");
+        assert_eq!(routes.len(), 1);
+        assert!(routes[0].serves(heavy), "heaviest demand keeps its circuit");
+        assert_eq!(spilled.len(), 1);
+        assert_eq!(spilled[0].edges, vec![light]);
+        assert_eq!(spilled[0].src, mesh.node(1, 0));
+        assert_eq!(spilled[0].dst, mesh.node(2, 0));
+        assert_eq!(spilled[0].reason, SpillReason::NoFreeLanes);
+        assert!((spilled[0].demand.value() - 155.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn too_wide_demand_spills_with_reason() {
+        // 400 Mbit/s needs 5 lanes, a port has 4: strictly an error,
+        // spilled under hybrid admission.
+        let c = ccn(2, 1);
+        let g = pipeline(2, 400.0);
+        assert!(c.map(&g, &kinds(2)).is_err());
+        let m = c.map_with_spill(&g, &kinds(2)).unwrap();
+        assert!(m.routes.is_empty());
+        assert_eq!(m.spilled.len(), 1);
+        assert_eq!(m.spilled[0].reason, SpillReason::TooWide);
+    }
+
+    #[test]
+    fn spilled_demand_leaves_allocator_untouched() {
+        // A spilled demand must not hold lanes hostage. On a 2x2 mesh:
+        // e1 a(0,0)->d(1,0) takes all 4 of d's tile RX lanes; e2
+        // b(0,1)->d(1,0) then spills at d's receive side. e3 b->c(1,1)
+        // needs 3 of b's 4 TX lanes — it only routes if the spilled e2
+        // claimed nothing at b on its way out.
+        let c = ccn(2, 2);
+        let mut g = TaskGraph::new("untouched");
+        let a = g.add_process("a");
+        let d = g.add_process("d");
+        let b = g.add_process("b");
+        let cc = g.add_process("c");
+        let e1 = g.add_edge(a, d, Bandwidth(310.0), TrafficShape::Streaming, "4 lanes");
+        let e2 = g.add_edge(b, d, Bandwidth(310.0), TrafficShape::Streaming, "4 lanes");
+        let e3 = g.add_edge(b, cc, Bandwidth(230.0), TrafficShape::Streaming, "3 lanes");
+        let mesh = c.mesh;
+        let placement = vec![
+            (a, mesh.node(0, 0)),
+            (d, mesh.node(1, 0)),
+            (b, mesh.node(0, 1)),
+            (cc, mesh.node(1, 1)),
+        ];
+        let (routes, spilled) = c.route_demands(&g, &placement, &[], true).unwrap();
+        assert!(routes.iter().any(|r| r.serves(e1)));
+        assert_eq!(spilled.len(), 1, "only e2 spills: {spilled:?}");
+        assert!(spilled[0].edges.contains(&e2));
+        assert!(
+            routes.iter().any(|r| r.serves(e3)),
+            "e3 must still route: the spilled e2 may not claim b's TX lanes"
+        );
     }
 
     #[test]

@@ -27,6 +27,7 @@
 
 use crate::ccn::{Ccn, Mapping, MappingError};
 use crate::fabric::{EnergyModel, Fabric, FabricKind, PacketFabric, ProvisionError};
+use crate::hybrid::HybridFabric;
 use crate::soc::Soc;
 use crate::tile::{default_tile_kinds, TileKind};
 use crate::topology::{Mesh, NodeId};
@@ -84,6 +85,7 @@ pub struct DeploymentBuilder<'g> {
     packet_words: usize,
     pattern: DataPattern,
     tile_kinds: Option<Vec<TileKind>>,
+    spill: bool,
 }
 
 impl<'g> DeploymentBuilder<'g> {
@@ -99,6 +101,7 @@ impl<'g> DeploymentBuilder<'g> {
             packet_words: PacketFabric::DEFAULT_PACKET_WORDS,
             pattern: DataPattern::Random,
             tile_kinds: None,
+            spill: false,
         }
     }
 
@@ -164,20 +167,42 @@ impl<'g> DeploymentBuilder<'g> {
         self
     }
 
+    /// Spill-tolerant admission (default: strict). Under strict admission
+    /// an application the CCN cannot fully put on circuit lanes is a
+    /// [`DeployError::Mapping`]; with `spill` the overflow demands land in
+    /// [`Mapping::spilled`] instead. Packet and hybrid backends then carry
+    /// them; the circuit backend ignores them (no best-effort plane) and
+    /// binds no traffic to them — which makes a spill-admitted circuit
+    /// deployment the "GT subset only" endpoint of the three-way
+    /// comparison. The hybrid backend always uses spill admission.
+    pub fn spill(mut self, spill: bool) -> Self {
+        self.spill = spill;
+        self
+    }
+
     /// Map the application (shared by every backend).
     fn map(&self) -> Result<Mapping, MappingError> {
+        self.map_admission(self.spill)
+    }
+
+    fn map_admission(&self, spill: bool) -> Result<Mapping, MappingError> {
         let kinds = match &self.tile_kinds {
             Some(k) => k.clone(),
             None => default_tile_kinds(&self.mesh),
         };
         let ccn = Ccn::new(self.mesh, self.router_params, self.clock);
-        ccn.map(self.graph, &kinds)
+        if spill {
+            ccn.map_with_spill(self.graph, &kinds)
+        } else {
+            ccn.map(self.graph, &kinds)
+        }
     }
 
     /// Deploy onto the backend chosen with [`DeploymentBuilder::fabric`].
     pub fn build(self) -> Result<Deployment<Box<dyn Fabric>>, DeployError> {
         match self.kind {
             FabricKind::Circuit => self.build_circuit().map(Deployment::boxed),
+            FabricKind::Hybrid => self.build_hybrid().map(Deployment::boxed),
             FabricKind::Packet => self.build_packet().map(Deployment::boxed),
         }
     }
@@ -206,11 +231,38 @@ impl<'g> DeploymentBuilder<'g> {
         fabric.provision(&mapping)?;
         Ok(Deployment::assemble(fabric, mapping, &self))
     }
+
+    /// Deploy onto the hybrid fabric: circuits for the admitted streams, a
+    /// clock-gated packet plane for the spillover. Admission is always
+    /// spill-tolerant — routing heavy flows onto circuits and the rest
+    /// onto the packet plane *is* the hybrid discipline — so applications
+    /// the pure circuit backend rejects deploy here.
+    pub fn build_hybrid(self) -> Result<Deployment<HybridFabric>, DeployError> {
+        if self.mesh.width > 16 || self.mesh.height > 16 {
+            return Err(ProvisionError::MeshTooLarge {
+                width: self.mesh.width,
+                height: self.mesh.height,
+            }
+            .into());
+        }
+        let mapping = self.map_admission(true)?;
+        let mut fabric = HybridFabric::new(
+            self.mesh,
+            self.router_params,
+            self.packet_params,
+            self.packet_words,
+        );
+        fabric.provision(&mapping)?;
+        Ok(Deployment::assemble(fabric, mapping, &self))
+    }
 }
 
-/// One circuit's offered-load traffic generator.
+/// One stream's offered-load traffic generator — a provisioned circuit or
+/// a spilled best-effort demand.
 #[derive(Debug)]
 struct RouteTraffic {
+    /// Index into `mapping.routes`, or `mapping.routes.len() + i` for the
+    /// `i`-th entry of `mapping.spilled`.
     route: usize,
     src: NodeId,
     dst: NodeId,
@@ -219,13 +271,16 @@ struct RouteTraffic {
     acc: f64,
     stream: WordStream,
     injected: u64,
+    /// Rides the best-effort spillover plane instead of a circuit.
+    spilled: bool,
 }
 
 /// Per-route delivery statistics, the fabric-generic analogue of the old
 /// `RouteReport`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FabricRouteReport {
-    /// Index into `mapping.routes`.
+    /// Stream index: `mapping.routes[route]` when `!spilled`, else
+    /// `mapping.spilled[route - mapping.routes.len()]`.
     pub route: usize,
     /// Labels of the task-graph edges sharing the circuit.
     pub labels: Vec<String>,
@@ -237,6 +292,8 @@ pub struct FabricRouteReport {
     /// the same node the node's deliveries are attributed proportionally
     /// to each route's injected words.
     pub delivered_fraction: f64,
+    /// Carried on the best-effort spillover plane rather than a circuit.
+    pub spilled: bool,
 }
 
 /// A deployed application: fabric, mapping, and offered-load bindings —
@@ -294,7 +351,28 @@ impl<F: Fabric> Deployment<F> {
                 acc: 0.0,
                 stream: WordStream::new(b.pattern, b.seed ^ ((idx as u64) << 32)),
                 injected: 0,
+                spilled: false,
             });
+        }
+        // Spilled demands get offered load too — on backends that can
+        // carry them. The circuit fabric has no best-effort plane, so a
+        // spill-admitted circuit deployment runs the GT subset only
+        // (injecting at an unprovisioned node would be a contract
+        // violation, not silent loss).
+        if fabric.kind() != FabricKind::Circuit {
+            for (i, spill) in mapping.spilled.iter().enumerate() {
+                let idx = mapping.routes.len() + i;
+                traffic.push(RouteTraffic {
+                    route: idx,
+                    src: spill.src,
+                    dst: spill.dst,
+                    rate: spill.demand.value() / (b.clock.value() * 16.0),
+                    acc: 0.0,
+                    stream: WordStream::new(b.pattern, b.seed ^ ((idx as u64) << 32)),
+                    injected: 0,
+                    spilled: true,
+                });
+            }
         }
         Deployment {
             fabric,
@@ -451,10 +529,13 @@ impl<F: Fabric> Deployment<F> {
         self.traffic
             .iter()
             .map(|t| {
-                let route = &self.mapping.routes[t.route];
+                let edges = if t.spilled {
+                    &self.mapping.spilled[t.route - self.mapping.routes.len()].edges
+                } else {
+                    &self.mapping.routes[t.route].edges
+                };
                 let required = Bandwidth(
-                    route
-                        .edges
+                    edges
                         .iter()
                         .map(|&id| graph.edge(id).bandwidth.value())
                         .sum(),
@@ -473,8 +554,7 @@ impl<F: Fabric> Deployment<F> {
                 let measured = Bandwidth::from_bits_over((share * 16.0) as u64, window);
                 FabricRouteReport {
                     route: t.route,
-                    labels: route
-                        .edges
+                    labels: edges
                         .iter()
                         .map(|&id| graph.edge(id).label.clone())
                         .collect(),
@@ -485,6 +565,7 @@ impl<F: Fabric> Deployment<F> {
                     } else {
                         1.0
                     },
+                    spilled: t.spilled,
                 }
             })
             .collect()
@@ -557,10 +638,98 @@ mod tests {
         assert_eq!(circuit.total_injected(), packet.total_injected());
     }
 
+    /// The canonical oversubscribed workload on a 3x1 line at 25 MHz: the
+    /// lighter of two converging demands must spill.
+    fn oversubscribed() -> TaskGraph {
+        let ccn = Ccn::new(Mesh::new(3, 1), RouterParams::paper(), MegaHertz(25.0));
+        noc_apps::synthetic::oversubscribed_line(ccn.lane_capacity())
+    }
+
+    #[test]
+    fn hybrid_backend_builds_and_delivers() {
+        let g = pipeline(3, 60.0);
+        let dep = run_generic(
+            Deployment::builder(&g)
+                .mesh(3, 3)
+                .seed(7)
+                .build_hybrid()
+                .unwrap(),
+            &g,
+        );
+        assert!(dep.total_delivered() > 0);
+        assert_eq!(dep.fabric().kind(), FabricKind::Hybrid);
+        // A feasible pipeline spills nothing.
+        assert_eq!(dep.fabric().spilled_streams(), 0);
+        assert_eq!(dep.fabric().spilled_words(), 0);
+    }
+
+    #[test]
+    fn oversubscribed_app_rejected_strictly_but_deploys_on_hybrid() {
+        let g = oversubscribed();
+        let base = || {
+            Deployment::builder(&g)
+                .mesh(3, 1)
+                .clock(MegaHertz(25.0))
+                .seed(5)
+        };
+        // Strict circuit admission rejects it…
+        assert!(matches!(
+            base().build_circuit().unwrap_err(),
+            DeployError::Mapping(MappingError::NoPath { .. })
+        ));
+        // …the hybrid carries everything, spilling the light stream…
+        let mut hybrid = base().build_hybrid().unwrap();
+        hybrid.run(4000);
+        hybrid.settle(4000);
+        assert_eq!(hybrid.fabric().spilled_streams(), 1);
+        assert!(hybrid.fabric().spilled_words() > 0);
+        for r in hybrid.report(&g) {
+            assert!(r.delivered_fraction > 0.9, "hybrid under-delivered {r:?}");
+        }
+        // …and the spill-admitted circuit endpoint runs the GT subset only.
+        let mut circuit = base().spill(true).build_circuit().unwrap();
+        circuit.run(4000);
+        circuit.settle(4000);
+        let reports = circuit.report(&g);
+        assert_eq!(reports.len(), 1, "only the admitted stream is driven");
+        assert!(!reports[0].spilled);
+        assert!(circuit.total_injected() < hybrid.total_injected());
+    }
+
+    #[test]
+    fn spilled_streams_get_identical_offered_words_on_packet_and_hybrid() {
+        let g = oversubscribed();
+        let run = |kind| {
+            let mut dep = Deployment::builder(&g)
+                .mesh(3, 1)
+                .clock(MegaHertz(25.0))
+                .seed(42)
+                .spill(true)
+                .fabric(kind)
+                .build()
+                .unwrap();
+            dep.keep_payload(true);
+            dep.run(3000);
+            dep.settle(4000);
+            dep
+        };
+        let hybrid = run(FabricKind::Hybrid);
+        let packet = run(FabricKind::Packet);
+        assert_eq!(hybrid.total_injected(), packet.total_injected());
+        // Same words at the shared sink, order modulo plane interleaving.
+        let dst = hybrid.mapping().spilled[0].dst;
+        let mut h = hybrid.payload_at(dst).to_vec();
+        let mut p = packet.payload_at(dst).to_vec();
+        h.sort_unstable();
+        p.sort_unstable();
+        assert!(!h.is_empty());
+        assert_eq!(h, p, "same multiset through hybrid and pure packet");
+    }
+
     #[test]
     fn boxed_build_selects_backend_at_runtime() {
         let g = pipeline(2, 40.0);
-        for kind in FabricKind::BOTH {
+        for kind in FabricKind::ALL {
             let dep = Deployment::builder(&g)
                 .mesh(2, 2)
                 .fabric(kind)

@@ -47,18 +47,27 @@ use std::fmt;
 pub enum FabricKind {
     /// The paper's reconfigurable circuit-switched mesh.
     Circuit,
+    /// Profiled hybrid switching: circuits for admitted GT streams, a
+    /// clock-gated packet plane for the spillover
+    /// ([`crate::hybrid::HybridFabric`]).
+    Hybrid,
     /// The packet-switched virtual-channel wormhole baseline mesh.
     Packet,
 }
 
 impl FabricKind {
-    /// Both kinds, circuit first (the paper's presentation order).
+    /// Both pure kinds, circuit first (the paper's presentation order).
     pub const BOTH: [FabricKind; 2] = [FabricKind::Circuit, FabricKind::Packet];
+
+    /// All kinds, ordered from pure-circuit to pure-packet — the energy
+    /// ordering the hybrid is expected to land inside.
+    pub const ALL: [FabricKind; 3] = [FabricKind::Circuit, FabricKind::Hybrid, FabricKind::Packet];
 
     /// Display name.
     pub fn name(self) -> &'static str {
         match self {
             FabricKind::Circuit => "circuit-switched",
+            FabricKind::Hybrid => "hybrid-switched",
             FabricKind::Packet => "packet-switched",
         }
     }
@@ -206,6 +215,20 @@ pub trait Fabric: Clocked {
     /// Payload units lost anywhere in the fabric (0 under correct flow
     /// control — the data-loss invariant every deployment should assert).
     fn total_overflows(&self) -> u64 {
+        0
+    }
+
+    /// Streams this fabric carries on a best-effort spillover plane rather
+    /// than on provisioned circuits. Zero for the pure fabrics: the
+    /// circuit fabric simply cannot serve [`Mapping::spilled`] entries and
+    /// the packet fabric treats every stream uniformly. The hybrid fabric
+    /// reports its GT-on-circuit vs BE-on-packet split here.
+    fn spilled_streams(&self) -> u64 {
+        0
+    }
+
+    /// Payload words injected into the spillover plane so far.
+    fn spilled_words(&self) -> u64 {
         0
     }
 
@@ -519,6 +542,16 @@ impl Fabric for PacketFabric {
                 });
             }
         }
+        // A packet fabric treats spilled demands like any other stream —
+        // wormholes don't care that the CCN ran out of circuit lanes. This
+        // is what makes the pure-packet backend the all-streams reference
+        // the hybrid fabric is compared against.
+        for spill in &mapping.spilled {
+            let (x, y) = self.mesh.coords(spill.dst);
+            self.targets[spill.src.0].push(PacketTarget {
+                dest: Coords::new(x as u8, y as u8),
+            });
+        }
         Ok(())
     }
 
@@ -658,6 +691,14 @@ impl Fabric for Box<dyn Fabric> {
 
     fn total_overflows(&self) -> u64 {
         (**self).total_overflows()
+    }
+
+    fn spilled_streams(&self) -> u64 {
+        (**self).spilled_streams()
+    }
+
+    fn spilled_words(&self) -> u64 {
+        (**self).spilled_words()
     }
 
     fn area(&self, model: &EnergyModel) -> SquareMicroMeters {

@@ -1,0 +1,556 @@
+//! Profiled hybrid switching: circuits for the streams the CCN admits,
+//! a clock-gated packet plane for the spillover.
+//!
+//! The paper's circuit-switched router moves a provisioned stream for
+//! ~3.5× less energy than the packet-switched baseline — but its admission
+//! is all-or-nothing: when the lane allocator runs out, [`Ccn::map`]
+//! rejects the whole application. "Energy-Efficient On-Chip Networks
+//! through Profiled Hybrid Switching" (arXiv:2005.08478) resolves that
+//! tension by combining both disciplines in one fabric: profiled heavy
+//! flows ride circuits, the long tail of best-effort traffic rides a
+//! packet-switched plane that is mostly idle — and therefore clock-gated.
+//!
+//! [`HybridFabric`] is that design point behind the [`Fabric`] trait:
+//!
+//! * **Admission** happens in the CCN ([`Ccn::map_with_spill`]): path
+//!   search and lane allocation are identical to strict mapping, but
+//!   demands that cannot get circuit lanes are recorded in
+//!   [`Mapping::spilled`] instead of failing the application.
+//! * **`provision`** installs the admitted circuits into an owned
+//!   circuit-switched [`Soc`] and registers every spilled demand on an
+//!   owned [`PacketFabric`] over the same mesh, whose routers run with
+//!   [`noc_packet::params::PacketParams::gated`] — idle VC buffers,
+//!   output registers and arbiters hold their clocks, so the spillover
+//!   plane costs (almost) nothing while circuits carry the load.
+//! * **`inject`** fans a node's words out round-robin across its circuit
+//!   paths and spilled streams, mirroring the per-path spreading of the
+//!   pure fabrics; **`drain`**, **`activity`**, **`total_energy`** merge
+//!   both planes into one account.
+//! * The **spillover split** ([`HybridFabric::spill_stats`],
+//!   [`Fabric::spilled_streams`], [`Fabric::spilled_words`]) reports how
+//!   much of the workload went GT-on-circuit vs BE-on-packet, so benches
+//!   can show the hybrid's energy landing between the pure endpoints.
+
+use crate::ccn::Mapping;
+use crate::fabric::{EnergyModel, Fabric, FabricKind, PacketFabric, ProvisionError};
+use crate::soc::Soc;
+use crate::topology::{Mesh, NodeId};
+use noc_core::params::RouterParams;
+use noc_packet::params::PacketParams;
+use noc_sim::activity::ComponentActivity;
+use noc_sim::kernel::Clocked;
+use noc_sim::time::Cycle;
+use noc_sim::units::SquareMicroMeters;
+
+#[cfg(doc)]
+use crate::ccn::Ccn;
+
+/// The GT-on-circuit vs BE-on-packet split of a hybrid deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpillStats {
+    /// Parallel circuit paths provisioned on the circuit plane.
+    pub circuit_paths: usize,
+    /// Demands registered on the packet spillover plane.
+    pub spilled_streams: usize,
+    /// Payload words injected into the circuit plane.
+    pub words_on_circuit: u64,
+    /// Payload words injected into the packet plane.
+    pub words_spilled: u64,
+}
+
+impl SpillStats {
+    /// Fraction of injected words that spilled onto the packet plane.
+    pub fn spill_fraction(&self) -> f64 {
+        let total = self.words_on_circuit + self.words_spilled;
+        if total == 0 {
+            0.0
+        } else {
+            self.words_spilled as f64 / total as f64
+        }
+    }
+}
+
+/// Per-node injection fan-out: how many circuit paths and how many
+/// spilled streams originate at the node, plus the round-robin cursor.
+#[derive(Debug, Clone, Copy, Default)]
+struct NodeSlots {
+    circuit: usize,
+    spill: usize,
+}
+
+/// A hybrid-switched network-on-chip: an owned circuit-switched [`Soc`]
+/// and a clock-gated [`PacketFabric`] over the same mesh, provisioned
+/// together from one spill-admitted [`Mapping`].
+#[derive(Debug)]
+pub struct HybridFabric {
+    circuit: Soc,
+    packet: PacketFabric,
+    slots: Vec<NodeSlots>,
+    rr: Vec<usize>,
+    now: Cycle,
+    spilled_streams: u64,
+    words_on_circuit: u64,
+    words_spilled: u64,
+}
+
+impl HybridFabric {
+    /// A hybrid fabric over `mesh`: circuit routers with `router_params`,
+    /// a spillover plane of `packet_params` routers (clock gating is
+    /// forced on — the whole point of the hybrid router is that its
+    /// packet plane sleeps while circuits carry the profiled flows),
+    /// packing `packet_words` payload words per spillover wormhole.
+    ///
+    /// # Panics
+    /// Panics when the mesh exceeds the 16×16 packet coordinate space or
+    /// `packet_words` is zero (the packet plane's constraints).
+    pub fn new(
+        mesh: Mesh,
+        router_params: RouterParams,
+        packet_params: PacketParams,
+        packet_words: usize,
+    ) -> HybridFabric {
+        HybridFabric {
+            circuit: Soc::new(mesh, router_params),
+            packet: PacketFabric::new(mesh, packet_params.gated(), packet_words),
+            slots: vec![NodeSlots::default(); mesh.nodes()],
+            rr: vec![0; mesh.nodes()],
+            now: Cycle::ZERO,
+            spilled_streams: 0,
+            words_on_circuit: 0,
+            words_spilled: 0,
+        }
+    }
+
+    /// A hybrid fabric with the paper's router on both planes.
+    pub fn paper(mesh: Mesh) -> HybridFabric {
+        HybridFabric::new(
+            mesh,
+            RouterParams::paper(),
+            PacketParams::paper(),
+            PacketFabric::DEFAULT_PACKET_WORDS,
+        )
+    }
+
+    /// The circuit plane (testbench inspection).
+    pub fn circuit_plane(&self) -> &Soc {
+        &self.circuit
+    }
+
+    /// The packet spillover plane (testbench inspection).
+    pub fn packet_plane(&self) -> &PacketFabric {
+        &self.packet
+    }
+
+    /// The GT-on-circuit vs BE-on-packet split so far.
+    pub fn spill_stats(&self) -> SpillStats {
+        SpillStats {
+            circuit_paths: self.slots.iter().map(|s| s.circuit).sum(),
+            spilled_streams: self.spilled_streams as usize,
+            words_on_circuit: self.words_on_circuit,
+            words_spilled: self.words_spilled,
+        }
+    }
+
+    fn step_planes(&mut self) {
+        self.circuit.step();
+        Fabric::step(&mut self.packet);
+        self.now += 1;
+    }
+}
+
+impl Clocked for HybridFabric {
+    fn eval(&mut self) {
+        // Like Soc and PacketFabric: the full hybrid cycle interleaves
+        // wiring and clocking inside each plane, so the whole step lives
+        // in commit() and eval is a no-op.
+    }
+
+    fn commit(&mut self) {
+        self.step_planes();
+    }
+}
+
+impl Fabric for HybridFabric {
+    fn kind(&self) -> FabricKind {
+        FabricKind::Hybrid
+    }
+
+    fn mesh(&self) -> &Mesh {
+        Soc::mesh(&self.circuit)
+    }
+
+    fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Install `mapping`'s circuits on the circuit plane and its
+    /// [`Mapping::spilled`] demands on the packet plane. Re-provisioning
+    /// replaces both planes' plans (the [`Fabric`] idempotency contract).
+    fn provision(&mut self, mapping: &Mapping) -> Result<(), ProvisionError> {
+        // Circuit plane: the admitted routes (ignores `spilled`).
+        Soc::provision(&mut self.circuit, mapping).map_err(ProvisionError::from)?;
+        // Packet plane: only the spilled demands — the admitted streams
+        // are physically separated on circuit lanes and never touch it.
+        let spill_view = Mapping {
+            placement: mapping.placement.clone(),
+            routes: Vec::new(),
+            spilled: mapping.spilled.clone(),
+        };
+        Fabric::provision(&mut self.packet, &spill_view)?;
+        for s in &mut self.slots {
+            *s = NodeSlots::default();
+        }
+        self.rr.fill(0);
+        for route in &mapping.routes {
+            for path in &route.paths {
+                let src = path.first().expect("non-empty path").node;
+                self.slots[src.0].circuit += 1;
+            }
+        }
+        for spill in &mapping.spilled {
+            self.slots[spill.src.0].spill += 1;
+        }
+        self.spilled_streams = mapping.spilled.len() as u64;
+        // Word accounting belongs to the plan being replaced; energy
+        // ledgers (like the pure fabrics') keep accumulating.
+        self.words_on_circuit = 0;
+        self.words_spilled = 0;
+        Ok(())
+    }
+
+    /// Spread `words` round-robin over the node's outgoing streams on
+    /// *both* planes — one slot per provisioned circuit path, one per
+    /// spilled stream — so the offered load splits the same way the pure
+    /// fabrics spread theirs.
+    ///
+    /// # Panics
+    /// Panics when `node` has no outgoing stream on either plane.
+    fn inject(&mut self, node: NodeId, words: &[u16]) -> usize {
+        let slots = self.slots[node.0];
+        let total = slots.circuit + slots.spill;
+        assert!(
+            total > 0,
+            "node {node:?} has no provisioned circuit or spilled stream"
+        );
+        // Partition preserving order within each plane.
+        let mut to_circuit = Vec::new();
+        let mut to_packet = Vec::new();
+        for &word in words {
+            let slot = self.rr[node.0] % total;
+            self.rr[node.0] += 1;
+            if slot < slots.circuit {
+                to_circuit.push(word);
+            } else {
+                to_packet.push(word);
+            }
+        }
+        if !to_circuit.is_empty() {
+            self.circuit.inject_words(node, &to_circuit);
+            self.words_on_circuit += to_circuit.len() as u64;
+        }
+        if !to_packet.is_empty() {
+            Fabric::inject(&mut self.packet, node, &to_packet);
+            self.words_spilled += to_packet.len() as u64;
+        }
+        words.len()
+    }
+
+    fn drain(&mut self, node: NodeId) -> Vec<u16> {
+        let mut words = self.circuit.drain_words(node);
+        words.extend(Fabric::drain(&mut self.packet, node));
+        words
+    }
+
+    fn finish_injection(&mut self) {
+        self.packet.finish_injection();
+    }
+
+    fn step(&mut self) {
+        self.step_planes();
+    }
+
+    /// Both planes' activity merged per component kind. Energy is linear
+    /// in event counts per `(component, class)`, so the merged ledger
+    /// prices exactly like the planes priced separately.
+    fn activity(&self) -> Vec<ComponentActivity> {
+        let mut merged = self.circuit.activity();
+        for comp in Fabric::activity(&self.packet) {
+            match merged.iter_mut().find(|c| c.kind == comp.kind) {
+                Some(existing) => existing.ledger.merge(&comp.ledger),
+                None => merged.push(comp),
+            }
+        }
+        merged
+    }
+
+    fn clear_activity(&mut self) {
+        self.circuit.clear_activity();
+        Fabric::clear_activity(&mut self.packet);
+    }
+
+    fn is_quiescent(&self) -> bool {
+        Fabric::is_quiescent(&self.circuit) && Fabric::is_quiescent(&self.packet)
+    }
+
+    fn total_overflows(&self) -> u64 {
+        Fabric::total_overflows(&self.circuit) + Fabric::total_overflows(&self.packet)
+    }
+
+    fn spilled_streams(&self) -> u64 {
+        self.spilled_streams
+    }
+
+    fn spilled_words(&self) -> u64 {
+        self.words_spilled
+    }
+
+    /// A hybrid router carries both a circuit datapath and the packet
+    /// plane's buffers/arbitration, so its silicon is the sum of both —
+    /// the honest price of keeping a spillover plane around. (Leakage is
+    /// charged on all of it; the *clock* energy of the idle packet plane
+    /// is what gating removes.)
+    fn area(&self, model: &EnergyModel) -> SquareMicroMeters {
+        Fabric::area(&self.circuit, model) + Fabric::area(&self.packet, model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ccn::Ccn;
+    use crate::tile::default_tile_kinds;
+    use noc_apps::taskgraph::{TaskGraph, TrafficShape};
+    use noc_sim::units::{Bandwidth, MegaHertz};
+
+    /// The canonical oversubscribed workload
+    /// ([`noc_apps::synthetic::oversubscribed_line`]) on a 3×1 line at
+    /// 25 MHz: the heavy stream takes 3 lanes, the light one 2, the shared
+    /// link has 4 — `saturated_line_yields_no_path` turned into a working
+    /// deployment.
+    fn oversubscribed_line() -> (TaskGraph, Mesh, Ccn) {
+        let mesh = Mesh::new(3, 1);
+        let ccn = Ccn::new(mesh, RouterParams::paper(), MegaHertz(25.0));
+        let g = noc_apps::synthetic::oversubscribed_line(ccn.lane_capacity());
+        (g, mesh, ccn)
+    }
+
+    fn drive_until_quiet(fabric: &mut HybridFabric, dst: NodeId) -> Vec<u16> {
+        fabric.finish_injection();
+        let mut delivered = Vec::new();
+        let mut idle = 0;
+        let mut guard = 0;
+        while idle < 4 {
+            Fabric::run(fabric, 32);
+            let fresh = Fabric::drain(fabric, dst);
+            if fresh.is_empty() {
+                idle += 1;
+            } else {
+                idle = 0;
+                delivered.extend(fresh);
+            }
+            guard += 1;
+            assert!(guard < 500, "hybrid stream never settled");
+        }
+        delivered
+    }
+
+    #[test]
+    fn admitted_stream_rides_circuits_only() {
+        let mesh = Mesh::new(2, 1);
+        let ccn = Ccn::new(mesh, RouterParams::paper(), MegaHertz(25.0));
+        let mut g = TaskGraph::new("pair");
+        let a = g.add_process("a");
+        let b = g.add_process("b");
+        g.add_edge(a, b, Bandwidth(60.0), TrafficShape::Streaming, "e");
+        let mapping = ccn
+            .map_with_spill(&g, &default_tile_kinds(&mesh))
+            .expect("feasible");
+        assert!(mapping.spilled.is_empty());
+
+        let mut hybrid = HybridFabric::paper(mesh);
+        Fabric::provision(&mut hybrid, &mapping).unwrap();
+        let src = mapping.routes[0].paths[0][0].node;
+        let dst = mapping.routes[0].paths[0].last().unwrap().node;
+        let words: Vec<u16> = (0..50).map(|i| 0x4000 + i).collect();
+        Fabric::inject(&mut hybrid, src, &words);
+        let delivered = drive_until_quiet(&mut hybrid, dst);
+        assert_eq!(delivered, words, "in order on a single circuit");
+
+        let stats = hybrid.spill_stats();
+        assert_eq!(stats.spilled_streams, 0);
+        assert_eq!(stats.words_spilled, 0);
+        assert_eq!(stats.words_on_circuit, 50);
+        assert_eq!(
+            hybrid.packet_plane().words_injected,
+            0,
+            "nothing may touch the packet plane"
+        );
+    }
+
+    #[test]
+    fn oversubscription_spills_onto_the_packet_plane() {
+        let (g, mesh, ccn) = oversubscribed_line();
+        let mapping = ccn
+            .map_with_spill(&g, &default_tile_kinds(&mesh))
+            .expect("spill admission");
+        assert_eq!(mapping.spilled.len(), 1, "premise: the light edge spills");
+        let spilled_src = mapping.spilled[0].src;
+        let dst = mapping.spilled[0].dst;
+
+        let mut hybrid = HybridFabric::paper(mesh);
+        Fabric::provision(&mut hybrid, &mapping).unwrap();
+        // Inject on the spilled stream's source: all its words take the
+        // packet plane (it has no circuit out of that node).
+        let words: Vec<u16> = (0..40).map(|i| 0x7000 + i).collect();
+        Fabric::inject(&mut hybrid, spilled_src, &words);
+        let delivered = drive_until_quiet(&mut hybrid, dst);
+        assert_eq!(delivered, words, "spilled stream delivered intact");
+        let stats = hybrid.spill_stats();
+        assert_eq!(stats.spilled_streams, 1);
+        assert_eq!(stats.words_spilled, 40);
+        assert!(Fabric::is_quiescent(&hybrid));
+    }
+
+    #[test]
+    fn both_planes_deliver_to_a_shared_destination() {
+        let (g, mesh, ccn) = oversubscribed_line();
+        let mapping = ccn
+            .map_with_spill(&g, &default_tile_kinds(&mesh))
+            .expect("spill admission");
+        let circuit_src = mapping.routes[0].paths[0][0].node;
+        let spilled_src = mapping.spilled[0].src;
+        let dst = mapping.spilled[0].dst;
+        assert_eq!(dst, mapping.routes[0].paths[0].last().unwrap().node);
+
+        let mut hybrid = HybridFabric::paper(mesh);
+        Fabric::provision(&mut hybrid, &mapping).unwrap();
+        let gt: Vec<u16> = (0..60).map(|i| 0x1000 + i).collect();
+        let be: Vec<u16> = (0..30).map(|i| 0x2000 + i).collect();
+        Fabric::inject(&mut hybrid, circuit_src, &gt);
+        Fabric::inject(&mut hybrid, spilled_src, &be);
+        let mut delivered = drive_until_quiet(&mut hybrid, dst);
+        delivered.sort_unstable();
+        let mut expected: Vec<u16> = gt.iter().chain(&be).copied().collect();
+        expected.sort_unstable();
+        assert_eq!(delivered, expected, "both planes merge at the sink");
+        assert_eq!(hybrid.spill_stats().words_on_circuit, 60);
+        assert_eq!(hybrid.spill_stats().words_spilled, 30);
+        assert!((hybrid.spill_stats().spill_fraction() - 30.0 / 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reprovision_replaces_both_planes() {
+        let (g, mesh, ccn) = oversubscribed_line();
+        let mapping = ccn
+            .map_with_spill(&g, &default_tile_kinds(&mesh))
+            .expect("spill admission");
+        let mut hybrid = HybridFabric::paper(mesh);
+        Fabric::provision(&mut hybrid, &mapping).unwrap();
+        assert_eq!(Fabric::spilled_streams(&hybrid), 1);
+        // Traffic under the old plan, so its word accounting is nonzero.
+        let spilled_src = mapping.spilled[0].src;
+        Fabric::inject(&mut hybrid, spilled_src, &[1, 2, 3]);
+        Fabric::run(&mut hybrid, 50);
+        assert_eq!(Fabric::spilled_words(&hybrid), 3);
+
+        // Re-provision with a strictly feasible single stream: the spill
+        // registration must vanish with the old plan.
+        let mut g2 = TaskGraph::new("pair");
+        let a = g2.add_process("a");
+        let b = g2.add_process("b");
+        g2.add_edge(a, b, Bandwidth(60.0), TrafficShape::Streaming, "e");
+        let ccn2 = Ccn::new(mesh, RouterParams::paper(), MegaHertz(25.0));
+        let m2 = ccn2
+            .map_with_spill(&g2, &default_tile_kinds(&mesh))
+            .unwrap();
+        Fabric::provision(&mut hybrid, &m2).unwrap();
+        assert_eq!(Fabric::spilled_streams(&hybrid), 0);
+        // Word accounting belongs to the replaced plan and must reset too.
+        assert_eq!(Fabric::spilled_words(&hybrid), 0);
+        assert_eq!(hybrid.spill_stats().words_on_circuit, 0);
+        assert_eq!(hybrid.spill_stats().spill_fraction(), 0.0);
+        let paths: usize = hybrid.spill_stats().circuit_paths;
+        assert_eq!(
+            paths,
+            m2.routes.iter().map(|r| r.paths.len()).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn hybrid_energy_sits_between_the_pure_endpoints() {
+        // The headline ordering on the oversubscribed line, at fabric
+        // level with hand-driven injection: pure circuit (admitted subset
+        // only) <= hybrid (everything, spill gated) <= pure packet
+        // (everything, ungated baseline).
+        let (g, mesh, ccn) = oversubscribed_line();
+        let kinds = default_tile_kinds(&mesh);
+        let mapping = ccn.map_with_spill(&g, &kinds).expect("spill admission");
+        let circuit_src = mapping.routes[0].paths[0][0].node;
+        let spilled_src = mapping.spilled[0].src;
+        let dst = mapping.spilled[0].dst;
+        let model = EnergyModel::calibrated(MegaHertz(25.0));
+        let gt: Vec<u16> = (0..200u16).map(|i| i.wrapping_mul(0x9E37)).collect();
+        let be: Vec<u16> = (0..100u16).map(|i| i.wrapping_mul(0x6D2B)).collect();
+        let cycles = 2_000;
+
+        // Pure circuit: only the admitted stream exists.
+        let mut soc = Soc::new(mesh, RouterParams::paper());
+        Fabric::provision(&mut soc, &mapping).unwrap();
+        Fabric::inject(&mut soc, circuit_src, &gt);
+        Fabric::run(&mut soc, cycles);
+        let circuit_energy = soc.total_energy(&model);
+        assert_eq!(soc.drain_words(dst).len(), gt.len());
+
+        // Hybrid: both streams.
+        let mut hybrid = HybridFabric::paper(mesh);
+        Fabric::provision(&mut hybrid, &mapping).unwrap();
+        Fabric::inject(&mut hybrid, circuit_src, &gt);
+        Fabric::inject(&mut hybrid, spilled_src, &be);
+        hybrid.finish_injection();
+        Fabric::run(&mut hybrid, cycles);
+        let hybrid_energy = hybrid.total_energy(&model);
+        assert_eq!(Fabric::drain(&mut hybrid, dst).len(), gt.len() + be.len());
+
+        // Pure packet: both streams, ungated baseline.
+        let mut packet = PacketFabric::new(
+            mesh,
+            PacketParams::paper(),
+            PacketFabric::DEFAULT_PACKET_WORDS,
+        );
+        Fabric::provision(&mut packet, &mapping).unwrap();
+        Fabric::inject(&mut packet, circuit_src, &gt);
+        Fabric::inject(&mut packet, spilled_src, &be);
+        packet.finish_injection();
+        Fabric::run(&mut packet, cycles);
+        let packet_energy = packet.total_energy(&model);
+        assert_eq!(Fabric::drain(&mut packet, dst).len(), gt.len() + be.len());
+
+        assert!(
+            circuit_energy.value() <= hybrid_energy.value(),
+            "hybrid {hybrid_energy} below the pure circuit {circuit_energy} \
+             that does strictly less work"
+        );
+        assert!(
+            hybrid_energy.value() <= packet_energy.value(),
+            "hybrid {hybrid_energy} must beat pure packet {packet_energy}"
+        );
+    }
+
+    #[test]
+    fn inject_without_streams_panics() {
+        let mesh = Mesh::new(2, 1);
+        let mut hybrid = HybridFabric::paper(mesh);
+        let mut g = TaskGraph::new("pair");
+        let a = g.add_process("a");
+        let b = g.add_process("b");
+        g.add_edge(a, b, Bandwidth(60.0), TrafficShape::Streaming, "e");
+        let ccn = Ccn::new(mesh, RouterParams::paper(), MegaHertz(25.0));
+        let m = ccn.map_with_spill(&g, &default_tile_kinds(&mesh)).unwrap();
+        Fabric::provision(&mut hybrid, &m).unwrap();
+        let dst = m.routes[0].paths[0].last().unwrap().node;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Fabric::inject(&mut hybrid, dst, &[1]);
+        }));
+        assert!(result.is_err(), "destination has no outgoing stream");
+    }
+}

@@ -31,9 +31,16 @@
 //!   circuit-switched [`Soc`] and by [`fabric::PacketFabric`], a full mesh
 //!   of `noc_packet` wormhole routers. Every workload written against it
 //!   is automatically a circuit-vs-packet comparison.
+//! * [`hybrid`] — **profiled hybrid switching** (arXiv:2005.08478): the
+//!   third [`fabric::Fabric`] backend. [`hybrid::HybridFabric`] owns a
+//!   circuit-switched [`Soc`] *and* a clock-gated [`fabric::PacketFabric`]
+//!   over the same mesh; the CCN's spill-tolerant admission
+//!   ([`ccn::Ccn::map_with_spill`]) puts admitted GT streams on circuits
+//!   and the overflow on the packet plane, with per-plane spill accounting.
 //! * [`deployment`] — the [`deployment::Deployment`] builder: task graph
 //!   in, provisioned and traffic-bound fabric out, generic over the
-//!   backend.
+//!   backend (`build_circuit`/`build_hybrid`/`build_packet`, spill or
+//!   strict admission).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -42,6 +49,7 @@ pub mod be;
 pub mod ccn;
 pub mod deployment;
 pub mod fabric;
+pub mod hybrid;
 pub mod packet_mesh;
 pub mod reconfig;
 pub mod soc;
@@ -49,9 +57,10 @@ pub mod tile;
 pub mod topology;
 
 pub use be::{BeConfig, BeNetwork};
-pub use ccn::{Ccn, Mapping, MappingError, PathHop};
+pub use ccn::{Ccn, Mapping, MappingError, PathHop, SpillReason, SpillStream};
 pub use deployment::{DeployError, Deployment, DeploymentBuilder, FabricRouteReport};
 pub use fabric::{EnergyModel, Fabric, FabricKind, PacketFabric, ProvisionError};
+pub use hybrid::{HybridFabric, SpillStats};
 pub use packet_mesh::{PacketMesh, RandomTraffic};
 pub use soc::Soc;
 pub use tile::{default_tile_kinds, Tile, TileKind};

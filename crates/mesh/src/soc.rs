@@ -94,6 +94,11 @@ impl Soc {
     /// ([`crate::be`]); this is the instantaneous path, equivalent in
     /// final router state (`be_configuration_matches_direct_configuration`
     /// in the end-to-end tests).
+    ///
+    /// [`Mapping::spilled`] entries are *not* served: a circuit-only SoC
+    /// has no best-effort plane to put them on. Deploy spill-admitted
+    /// mappings on [`crate::hybrid::HybridFabric`] (or the packet fabric)
+    /// when every stream must be delivered.
     pub fn provision(&mut self, mapping: &Mapping) -> Result<(), ConfigError> {
         let params = self.params;
         // Idempotency (the Fabric contract): a re-provision replaces the

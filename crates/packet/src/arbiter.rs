@@ -70,6 +70,19 @@ impl RoundRobin {
         self.had_grant.clock(ledger);
     }
 
+    /// Latch with clock gating: the pointer registers only clock when the
+    /// decision actually changed (the enable is `grant != last grant`), so
+    /// an idle or single-stream arbiter stops paying clock energy.
+    pub fn commit_gated(&mut self, ledger: &mut ActivityLedger) {
+        let changed = self.last.d() != self.last.q() || self.had_grant.d() != self.had_grant.q();
+        if changed {
+            self.commit(ledger);
+        } else {
+            self.last.clock_gated();
+            self.had_grant.clock_gated();
+        }
+    }
+
     /// State bits held by the arbiter: the pointer register
     /// (`ceil(log2(n))` bits) plus the grant-valid flag.
     pub fn state_bits(&self) -> u32 {

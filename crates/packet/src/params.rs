@@ -82,6 +82,14 @@ pub struct PacketParams {
     pub fifo_depth: usize,
     /// This router's mesh coordinates (XY routing needs them).
     pub coords: Coords,
+    /// Clock-gate idle structures (empty FIFOs, idle VC state, parked
+    /// output registers, stable arbiter pointers). The paper's baseline is
+    /// ungated — "an ungated flop pays clock energy every cycle" is the
+    /// mechanism behind its power gap — but a hybrid router that keeps a
+    /// packet plane for spillover only (arXiv:2005.08478) gates that plane
+    /// while circuits carry the profiled heavy flows. Gating changes
+    /// activity accounting only, never functional behaviour.
+    pub clock_gating: bool,
 }
 
 impl PacketParams {
@@ -94,12 +102,22 @@ impl PacketParams {
             vcs: 4,
             fifo_depth: 4,
             coords: Coords::new(0, 0),
+            clock_gating: false,
         }
     }
 
     /// Same parameters at different coordinates.
     pub fn at(self, coords: Coords) -> PacketParams {
         PacketParams { coords, ..self }
+    }
+
+    /// Same parameters with clock gating enabled (the hybrid fabric's
+    /// spillover plane).
+    pub fn gated(self) -> PacketParams {
+        PacketParams {
+            clock_gating: true,
+            ..self
+        }
     }
 
     /// Number of ports (fixed at five).
@@ -174,5 +192,15 @@ mod tests {
         let p = PacketParams::paper().at(Coords::new(3, 2));
         assert_eq!(p.coords, Coords::new(3, 2));
         assert_eq!(p.vcs, 4);
+    }
+
+    #[test]
+    fn paper_baseline_is_ungated() {
+        // The published comparison is against an ungated flop-FIFO router;
+        // gating is opt-in (the hybrid fabric's spillover plane).
+        assert!(!PacketParams::paper().clock_gating);
+        let g = PacketParams::paper().gated();
+        assert!(g.clock_gating);
+        assert_eq!(g.vcs, PacketParams::paper().vcs);
     }
 }

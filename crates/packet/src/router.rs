@@ -354,12 +354,18 @@ impl Clocked for PacketRouter {
 
     fn commit(&mut self) {
         let vcs = self.params.vcs;
+        let gating = self.params.clock_gating;
 
         // Output registers latch and drive the links. Physical width:
-        // 16 payload + 2 kind + vc id + valid.
+        // 16 payload + 2 kind + vc id + valid. Gated: a register parked at
+        // idle (holding idle, staying idle) is not clocked.
         let out_bits = 16 + 2 + self.params.vc_bits() + 1;
         for port in 0..P {
-            self.out_regs[port].clock_bits(&mut self.led_xbar, out_bits);
+            if gating && self.out_regs[port].q() == 0 && self.out_regs[port].d() == 0 {
+                self.out_regs[port].clock_gated();
+            } else {
+                self.out_regs[port].clock_bits(&mut self.led_xbar, out_bits);
+            }
             let image = self.out_regs[port].q();
             self.out_words[port] = decode_wire(image);
             if port != PacketPort::Tile.index() {
@@ -373,33 +379,66 @@ impl Clocked for PacketRouter {
             self.flits_delivered += 1;
         }
 
-        // All buffer flops clock every cycle — the dominant offset.
+        // All buffer flops clock every cycle — the dominant offset. Gated:
+        // an empty FIFO's storage and pointers hold, so its clock is off.
         for port in 0..P {
             for vc in 0..vcs {
-                self.inputs[port][vc].fifo.clock_tick(&mut self.led_buffer);
+                let fifo = &self.inputs[port][vc].fifo;
+                if !(gating && fifo.is_empty()) {
+                    fifo.clock_tick(&mut self.led_buffer);
+                }
             }
         }
 
-        // VC state and credit-counter registers clock every cycle.
-        let state_bits = (P * vcs) as u64 * u64::from(InputVc::STATE_BITS + OutputVc::STATE_BITS);
-        self.led_arb.add(ActivityClass::RegClock, state_bits);
+        // VC state and credit-counter registers clock every cycle; gated,
+        // only VCs holding a wormhole or outstanding credits do.
+        let state_bits = if gating {
+            let mut bits = 0u64;
+            for port in 0..P {
+                for vc in 0..vcs {
+                    if !self.inputs[port][vc].is_idle() {
+                        bits += u64::from(InputVc::STATE_BITS);
+                    }
+                    let ovc = &self.outputs[port][vc];
+                    if ovc.busy || ovc.credits != ovc.max_credits {
+                        bits += u64::from(OutputVc::STATE_BITS);
+                    }
+                }
+            }
+            bits
+        } else {
+            (P * vcs) as u64 * u64::from(InputVc::STATE_BITS + OutputVc::STATE_BITS)
+        };
+        if state_bits > 0 {
+            self.led_arb.add(ActivityClass::RegClock, state_bits);
+        }
 
-        // Arbiters' pointer state.
+        // Arbiters' pointer state (gated: clocked only on decision change).
         for arb in self
             .input_arbs
             .iter_mut()
             .chain(self.output_arbs.iter_mut())
             .chain(self.vc_arbs.iter_mut())
         {
-            arb.commit(&mut self.led_arb);
+            if gating {
+                arb.commit_gated(&mut self.led_arb);
+            } else {
+                arb.commit(&mut self.led_arb);
+            }
         }
 
         // Credit outputs latch; each pulse is a handshake on the link.
+        // Gated: a pulse wire resting low stays unclocked.
         for port in 0..P {
             for vc in 0..vcs {
                 let pulse = std::mem::take(&mut self.credit_out_next[port][vc]);
-                self.credit_out_regs[port][vc].set_next(pulse);
-                self.credit_out_regs[port][vc].clock(&mut self.led_flow);
+                let reg = &mut self.credit_out_regs[port][vc];
+                reg.set_next(pulse);
+                if gating && !pulse && !reg.q() {
+                    reg.clock_gated();
+                } else {
+                    reg.clock(&mut self.led_flow);
+                }
                 if pulse && port != PacketPort::Tile.index() {
                     self.led_link.bump(ActivityClass::LinkToggle);
                 }
@@ -812,6 +851,80 @@ mod tests {
             .map(|(_, f)| f.payload)
             .collect();
         assert_eq!(tile_words, vec![0xCC], "tile packet reached the tile");
+    }
+
+    #[test]
+    fn gated_idle_router_accumulates_nothing() {
+        // With clock gating every idle structure holds: an idle router has
+        // zero recorded activity — this is what lets the hybrid fabric keep
+        // a packet plane around for spillover without paying for it.
+        let mut r = PacketRouter::new(PacketParams::paper().gated());
+        for _ in 0..100 {
+            step(&mut r);
+        }
+        let total: u64 = r.activity().iter().map(|c| c.ledger.total()).sum();
+        assert_eq!(total, 0, "gated idle router must record no activity");
+    }
+
+    #[test]
+    fn gating_changes_energy_not_behaviour() {
+        // The same packet through a gated and an ungated router: identical
+        // link outputs every cycle, strictly less activity when gated.
+        let run = |params: PacketParams| {
+            let mut r = PacketRouter::new(params);
+            let pkt = Packet::new(Coords::new(1, 0), vec![0xD1, 0xD2, 0xD3]);
+            let mut flits: VecDeque<Flit> = pkt.to_flits().into();
+            let mut outputs = Vec::new();
+            for _ in 0..30 {
+                if let Some(&f) = flits.front() {
+                    if r.tile_inject(VcId(0), f) {
+                        flits.pop_front();
+                    }
+                }
+                if let Some((vc, _)) = r.link_output(PacketPort::East).flit {
+                    r.set_credit_input(PacketPort::East, VcId(vc), true);
+                }
+                step(&mut r);
+                outputs.push(r.link_output(PacketPort::East).flit);
+            }
+            let activity: u64 = r.activity().iter().map(|c| c.ledger.total()).sum();
+            (outputs, activity)
+        };
+        let (ungated_out, ungated_act) = run(PacketParams::paper());
+        let (gated_out, gated_act) = run(PacketParams::paper().gated());
+        assert_eq!(ungated_out, gated_out, "gating must not change dataflow");
+        assert!(
+            gated_act < ungated_act / 4,
+            "gating should remove most of the mostly-idle router's \
+             activity: gated {gated_act} vs ungated {ungated_act}"
+        );
+    }
+
+    #[test]
+    fn gated_busy_structures_still_clock() {
+        // A router actively forwarding pays buffer and output clocks even
+        // when gated — gating is an idle optimisation, not an energy cheat.
+        let mut r = PacketRouter::new(PacketParams::paper().gated());
+        let mut flits: VecDeque<Flit> = Packet::new(Coords::new(1, 0), vec![0xBE; 6])
+            .to_flits()
+            .into();
+        for _ in 0..30 {
+            if let Some(&f) = flits.front() {
+                if r.tile_inject(VcId(0), f) {
+                    flits.pop_front();
+                }
+            }
+            if let Some((vc, _)) = r.link_output(PacketPort::East).flit {
+                r.set_credit_input(PacketPort::East, VcId(vc), true);
+            }
+            step(&mut r);
+        }
+        let clocks: u64 = r
+            .activity()
+            .iter()
+            .map(|c| c.ledger.get(ActivityClass::RegClock))
+            .sum();
+        assert!(clocks > 0, "live traffic must still pay clock energy");
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! The backend contract: a reusable conformance suite every [`Fabric`]
+//! implementation must pass.
+//!
+//! `conformance(mk)` takes a constructor for a *fresh, unprovisioned*
+//! fabric over a 2×2 mesh and exercises the trait's behavioural contract:
+//!
+//! 1. **Payload integrity** — words injected at a provisioned source are
+//!    delivered to the route's destination exactly, in order (single
+//!    stream, so ordering is well-defined on every discipline);
+//! 2. **Provision replacement** — `provision` is idempotent: a second call
+//!    with the same mapping must not duplicate streams, and streams flow
+//!    exactly as if provisioned once;
+//! 3. **Energy monotonicity** — `total_energy` never decreases as `step`
+//!    advances (activity only accumulates, static power only integrates);
+//! 4. **Quiescence honesty** — after the stream settles, every node drains
+//!    empty, the fabric reports quiescent, and nothing was lost
+//!    (`total_overflows() == 0`).
+//!
+//! The suite is instantiated for all three backends — the circuit-switched
+//! `Soc`, the `PacketFabric` baseline, and the `HybridFabric` — plus a
+//! boxed fabric, so a future backend only needs one new `#[test]` here.
+
+use rcs_noc::prelude::*;
+
+/// The standard conformance workload: one 60 Mbit/s stream between two
+/// processes, mapped by the CCN onto a 2×2 mesh at 100 MHz.
+fn standard_mapping(mesh: Mesh) -> Mapping {
+    let mut g = TaskGraph::new("conformance");
+    let a = g.add_process("a");
+    let b = g.add_process("b");
+    g.add_edge(a, b, Bandwidth(60.0), TrafficShape::Streaming, "a->b");
+    let ccn = Ccn::new(mesh, RouterParams::paper(), MegaHertz(100.0));
+    ccn.map(&g, &noc_mesh::tile::default_tile_kinds(&mesh))
+        .expect("a single stream maps on any mesh")
+}
+
+/// Drive the fabric until deliveries stop; returns everything the
+/// destination received.
+fn settle<F: Fabric>(fabric: &mut F, dst: NodeId) -> Vec<u16> {
+    fabric.finish_injection();
+    let mut delivered = Vec::new();
+    let mut idle = 0;
+    let mut guard = 0;
+    while idle < 8 {
+        fabric.run(32);
+        let fresh = fabric.drain(dst);
+        if fresh.is_empty() {
+            idle += 1;
+        } else {
+            idle = 0;
+            delivered.extend(fresh);
+        }
+        guard += 1;
+        assert!(guard < 1000, "stream never settled");
+    }
+    delivered
+}
+
+/// The conformance suite. `mk` builds a fresh fabric over [`Mesh::new(2, 2)`].
+fn conformance<F: Fabric>(mk: impl Fn() -> F) {
+    let mesh = Mesh::new(2, 2);
+    let mapping = standard_mapping(mesh);
+    let src = mapping.routes[0].paths[0][0].node;
+    let dst = mapping.routes[0].paths[0].last().unwrap().node;
+    let words: Vec<u16> = (0..96u16)
+        .map(|i| i.wrapping_mul(0xACE1) ^ 0x2005)
+        .collect();
+    let model = EnergyModel::calibrated(MegaHertz(100.0));
+
+    // 1. Payload integrity.
+    let mut fabric = mk();
+    assert_eq!(*fabric.mesh(), mesh, "constructor must build the 2x2 mesh");
+    fabric.provision(&mapping).expect("mapping is legal");
+    assert_eq!(
+        fabric.inject(src, &words),
+        words.len(),
+        "all words accepted"
+    );
+    let delivered = settle(&mut fabric, dst);
+    assert_eq!(delivered, words, "{}: payload integrity", fabric.kind());
+
+    // 4a. Quiescence honesty on the same run: everything already drained,
+    // every node now drains empty, nothing was lost.
+    for node in mesh.iter() {
+        assert!(
+            fabric.drain(node).is_empty(),
+            "{}: residue at {node:?} after settle",
+            fabric.kind()
+        );
+    }
+    assert!(fabric.is_quiescent(), "{}: not quiescent", fabric.kind());
+    assert_eq!(
+        fabric.total_overflows(),
+        0,
+        "{}: lost payload",
+        fabric.kind()
+    );
+
+    // 2. Provision replacement: provisioning the same mapping twice must
+    // behave exactly like provisioning it once — no duplicated circuits,
+    // no duplicated deliveries.
+    let mut twice = mk();
+    twice.provision(&mapping).unwrap();
+    twice.provision(&mapping).unwrap();
+    twice.inject(src, &words);
+    let delivered = settle(&mut twice, dst);
+    assert_eq!(
+        delivered,
+        words,
+        "{}: double provision must not duplicate or reroute",
+        twice.kind()
+    );
+
+    // 3. Energy monotonicity: sampled along a run with traffic in flight
+    // and after it drains, lifetime energy never decreases.
+    let mut fabric = mk();
+    fabric.provision(&mapping).unwrap();
+    fabric.inject(src, &words);
+    fabric.finish_injection();
+    let mut last = 0.0;
+    for window in 0..12 {
+        fabric.run(64);
+        let now = fabric.total_energy(&model).value();
+        assert!(
+            now >= last,
+            "{}: energy shrank {last} -> {now} in window {window}",
+            fabric.kind()
+        );
+        last = now;
+    }
+    assert!(
+        last > 0.0,
+        "{}: a driven fabric spends energy",
+        fabric.kind()
+    );
+}
+
+#[test]
+fn circuit_fabric_conforms() {
+    conformance(|| Soc::new(Mesh::new(2, 2), RouterParams::paper()));
+}
+
+#[test]
+fn packet_fabric_conforms() {
+    conformance(|| {
+        PacketFabric::new(
+            Mesh::new(2, 2),
+            PacketParams::paper(),
+            PacketFabric::DEFAULT_PACKET_WORDS,
+        )
+    });
+}
+
+#[test]
+fn gated_packet_fabric_conforms() {
+    // Clock gating must be energy-only: the gated packet router passes the
+    // identical behavioural contract.
+    conformance(|| {
+        PacketFabric::new(
+            Mesh::new(2, 2),
+            PacketParams::paper().gated(),
+            PacketFabric::DEFAULT_PACKET_WORDS,
+        )
+    });
+}
+
+#[test]
+fn hybrid_fabric_conforms() {
+    conformance(|| HybridFabric::paper(Mesh::new(2, 2)));
+}
+
+#[test]
+fn boxed_fabric_conforms() {
+    // The trait-object path used by runtime backend selection obeys the
+    // same contract as the concrete types it erases.
+    conformance(|| -> Box<dyn Fabric> { Box::new(HybridFabric::paper(Mesh::new(2, 2))) });
+}

@@ -1,5 +1,6 @@
 //! Property-based tests on the workspace's core invariants.
 
+use noc_apps::taskgraph::{TaskGraph, TrafficShape};
 use noc_core::config::{ConfigEntry, ConfigWord};
 use noc_core::converter::{RxDeserializer, TxSerializer};
 use noc_core::flow::{AckGenerator, FlowControlMode, WindowCounter};
@@ -189,6 +190,131 @@ proptest! {
             if received.len() == words.len() { break; }
         }
         prop_assert_eq!(received, words);
+    }
+
+    /// Hybrid switching is invisible to the workload: for random stream
+    /// sets on random mesh sizes, the `HybridFabric` delivers at every
+    /// node exactly the multiset of payload words a pure `PacketFabric`
+    /// delivers (streams split across planes interleave differently, but
+    /// nothing is lost, duplicated or misrouted), and — because admitted
+    /// streams ride cheap circuits while the spillover plane is
+    /// clock-gated — its lifetime energy never exceeds the pure-packet
+    /// fabric's over the same cycles.
+    #[test]
+    fn hybrid_matches_packet_payload_for_less_energy(
+        w in 2usize..4,
+        h in 1usize..4,
+        proc_count in 2usize..7,
+        picks in prop::collection::vec(any::<u16>(), 8),
+        bws in prop::collection::vec(30u16..300, 8),
+        counts in prop::collection::vec(4usize..24, 8),
+        seed: u16,
+    ) {
+        use noc_mesh::fabric::{EnergyModel, Fabric, PacketFabric};
+        use noc_mesh::hybrid::HybridFabric;
+        use noc_mesh::tile::default_tile_kinds;
+        use noc_mesh::topology::Mesh;
+        use noc_mesh::Ccn;
+        use noc_core::params::RouterParams;
+        use noc_packet::params::PacketParams;
+        use noc_sim::units::{Bandwidth, MegaHertz};
+
+        let mesh = Mesh::new(w, h);
+        let procs = proc_count.min(mesh.nodes());
+        let lanes_per_port = RouterParams::paper().lanes_per_port;
+        // Each process gets at most one outgoing stream (so per-node
+        // payload comparison is exact: all of a source's words go to one
+        // destination on every fabric); destinations may be shared, but a
+        // sink's distinct in-partners are capped at the tile's lane count —
+        // beyond it the CCN *clusters* processes onto one tile, turning
+        // streams into on-tile communication that never touches either
+        // fabric and breaking the node-for-node injection premise.
+        let mut g = TaskGraph::new("random");
+        let ids: Vec<_> = (0..procs).map(|i| g.add_process(format!("p{i}"))).collect();
+        let mut edges = 0;
+        let mut in_deg = vec![0usize; procs];
+        for i in 0..procs {
+            if picks[i] & 1 == 0 {
+                continue; // this process is a pure sink
+            }
+            let dst = (i + 1 + (picks[i] >> 1) as usize % (procs - 1)) % procs;
+            if in_deg[dst] >= lanes_per_port {
+                continue; // would trigger CCN clustering
+            }
+            in_deg[dst] += 1;
+            g.add_edge(
+                ids[i],
+                ids[dst],
+                Bandwidth(f64::from(bws[i])),
+                TrafficShape::Streaming,
+                format!("e{i}"),
+            );
+            edges += 1;
+        }
+        // 25 MHz: 80 Mbit/s lanes, so 30..300 Mbit/s demands take 1..4
+        // lanes and oversubscription (spill) happens regularly.
+        let ccn = Ccn::new(mesh, RouterParams::paper(), MegaHertz(25.0));
+        let mapping = ccn
+            .map_with_spill(&g, &default_tile_kinds(&mesh))
+            .expect("spill admission fails only on placement");
+
+        let mut hybrid = HybridFabric::paper(mesh);
+        let mut packet = PacketFabric::new(
+            mesh,
+            PacketParams::paper(),
+            PacketFabric::DEFAULT_PACKET_WORDS,
+        );
+        hybrid.provision(&mapping).expect("legal mapping");
+        Fabric::provision(&mut packet, &mapping).expect("legal mapping");
+
+        // The same deterministic words into both fabrics.
+        let mut injected = 0u64;
+        for i in 0..procs {
+            let Some(node) = mapping.node_of(ids[i]) else { continue };
+            let has_stream = g.edges().any(|(_, e)| e.src == ids[i]);
+            if !has_stream {
+                continue;
+            }
+            let words: Vec<u16> = (0..counts[i])
+                .map(|k| (k as u16).wrapping_mul(0x9E37) ^ seed ^ ((i as u16) << 12))
+                .collect();
+            hybrid.inject(node, &words);
+            Fabric::inject(&mut packet, node, &words);
+            injected += words.len() as u64;
+        }
+        hybrid.finish_injection();
+        packet.finish_injection();
+
+        // Same cycle count on both, long enough to drain everything.
+        let cycles = 3_000;
+        Fabric::run(&mut hybrid, cycles);
+        Fabric::run(&mut packet, cycles);
+        prop_assert!(Fabric::is_quiescent(&hybrid), "hybrid failed to drain");
+        prop_assert!(Fabric::is_quiescent(&packet), "packet failed to drain");
+
+        let mut delivered = 0u64;
+        for node in mesh.iter() {
+            let mut hw = hybrid.drain(node);
+            let mut pw = Fabric::drain(&mut packet, node);
+            hw.sort_unstable();
+            pw.sort_unstable();
+            prop_assert_eq!(
+                &hw, &pw,
+                "node {:?}: hybrid and packet multisets diverge", node
+            );
+            delivered += hw.len() as u64;
+        }
+        prop_assert_eq!(delivered, injected, "words lost ({edges} edges)");
+
+        let model = EnergyModel::calibrated(MegaHertz(25.0));
+        let he = hybrid.total_energy(&model).value();
+        let pe = packet.total_energy(&model).value();
+        prop_assert!(
+            he <= pe,
+            "hybrid energy {he} exceeds pure packet {pe} \
+             (spilled {} of {injected} words)",
+            hybrid.spilled_words()
+        );
     }
 
     /// Mesh XY step always reaches its destination in Manhattan-distance
