@@ -1,8 +1,10 @@
-//! Whole-mesh stepping rate: serial vs crossbeam-parallel evaluation for
-//! growing mesh sizes. The two-phase clocking contract makes per-cycle
-//! router evaluation embarrassingly parallel; this bench locates the
-//! crossover where threads start paying off (small meshes lose to spawn
-//! overhead — the `ParPolicy::Auto` threshold).
+//! Whole-mesh stepping rate: serial vs pooled evaluation for growing mesh
+//! sizes. The two-phase clocking contract makes per-cycle router
+//! evaluation embarrassingly parallel; this bench locates the crossover
+//! where fanning out starts paying off (small meshes lose to the
+//! `WorkerPool` dispatch round-trip — the `ParPolicy::Auto` threshold,
+//! `ParPolicy::AUTO_SEQUENTIAL_BELOW`). The `scale_bench` binary runs the
+//! same comparison fabric-generically up to 16×16 with parity checking.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use noc_apps::traffic::DataPattern;

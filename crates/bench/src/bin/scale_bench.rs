@@ -1,0 +1,200 @@
+//! Large-mesh stepping throughput: sequential vs pooled evaluation for
+//! every `FabricKind`, with cross-policy parity enforced by exit code.
+//!
+//! The paper evaluates a handful of routers; guaranteed-service NoCs are
+//! routinely dimensioned at 8×8–16×16 (Goossens et al., Æthereal, IEEE
+//! D&T 2005), and the ROADMAP's production-scale goal needs those sizes to
+//! simulate fast. This binary sweeps square meshes from 4×4 up to 16×16
+//! (the packet header's coordinate ceiling), deploys the same pipeline
+//! workload on all three backends through `Deployment::builder`, and times
+//! whole-fabric stepping under three [`ParPolicy`] variants:
+//!
+//! * `Sequential` — everything on the calling thread (the baseline);
+//! * `Threads(n)` — the persistent `noc_sim::par::WorkerPool`, one lane
+//!   per available CPU ("pooled" in the table);
+//! * `Auto` — the default policy, which must pick whichever of the above
+//!   its calibrated crossover predicts is faster.
+//!
+//! **Correctness gate:** per-node delivered payload, injected/delivered
+//! word counts, spilled words, and bit-exact total energy must be
+//! identical across all three policies for every mesh size and fabric.
+//! Any divergence exits non-zero — parallel stepping is only allowed to
+//! change wall-clock time, never simulation results. Speedup itself is
+//! reported, not asserted: it depends on the host's CPU count (CI smoke
+//! runs on whatever the runner provides; a single-core box legitimately
+//! shows ~1×).
+//!
+//! Run with `--smoke` for a seconds-scale CI pass (one small mesh, few
+//! cycles) that still exercises every backend × policy combination and
+//! the full parity gate.
+
+use noc_apps::taskgraph::{TaskGraph, TrafficShape};
+use noc_exp::tables;
+use noc_mesh::deployment::Deployment;
+use noc_mesh::fabric::FabricKind;
+use noc_sim::par::{ParPolicy, WorkerPool};
+use noc_sim::time::CycleCount;
+use noc_sim::units::{Bandwidth, MegaHertz};
+use std::time::Instant;
+
+/// A `stages`-deep streaming pipeline; one modest stream per hop so the
+/// CCN maps it on any mesh the sweep visits.
+fn pipeline(stages: usize, bw: f64) -> TaskGraph {
+    let mut g = TaskGraph::new("scale-pipeline");
+    let ids: Vec<_> = (0..stages)
+        .map(|i| g.add_process(format!("s{i}")))
+        .collect();
+    for w in ids.windows(2) {
+        g.add_edge(w[0], w[1], Bandwidth(bw), TrafficShape::Streaming, "stage");
+    }
+    g
+}
+
+/// Everything a run must reproduce bit-identically across policies.
+#[derive(PartialEq)]
+struct Outcome {
+    payload: Vec<Vec<u16>>,
+    injected: u64,
+    delivered: u64,
+    spilled_words: u64,
+    energy_bits: u64,
+}
+
+struct Timed {
+    outcome: Outcome,
+    cycles_per_sec: f64,
+}
+
+fn run(
+    graph: &TaskGraph,
+    side: usize,
+    kind: FabricKind,
+    policy: ParPolicy,
+    cycles: CycleCount,
+) -> Timed {
+    let mut dep = Deployment::builder(graph)
+        .mesh(side, side)
+        .clock(MegaHertz(100.0))
+        .seed(0x5CA1E)
+        .fabric(kind)
+        .parallelism(policy)
+        .build()
+        .unwrap_or_else(|e| panic!("{side}x{side} {kind}: {e}"));
+    dep.keep_payload(true);
+    let started = Instant::now();
+    dep.run(cycles);
+    dep.settle(4 * cycles);
+    let elapsed = started.elapsed().as_secs_f64();
+    let model = dep.energy_model();
+    let payload = dep
+        .fabric()
+        .mesh()
+        .iter()
+        .map(|n| dep.payload_at(n).to_vec())
+        .collect();
+    Timed {
+        outcome: Outcome {
+            payload,
+            injected: dep.total_injected(),
+            delivered: dep.total_delivered(),
+            spilled_words: dep.fabric().spilled_words(),
+            energy_bits: dep.total_energy(&model).value().to_bits(),
+        },
+        cycles_per_sec: dep.cycles_run() as f64 / elapsed.max(1e-9),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (sides, cycles): (&[usize], CycleCount) = if smoke {
+        (&[4], 300)
+    } else {
+        (&[4, 8, 12, 16], 1200)
+    };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let pooled_lanes = cores.max(2);
+    // Warm the lazily created global pool so the first pooled row does
+    // not pay thread spawning inside its timed region.
+    let _ = WorkerPool::global().workers();
+    println!(
+        "Fabric stepping throughput, sequential vs pooled ({} CPUs, pooled = Threads({pooled_lanes})),\n\
+         {cycles} offered-load cycles + settling per run{}.\n",
+        cores,
+        if smoke { " [smoke]" } else { "" }
+    );
+    if cores == 1 {
+        println!("note: single CPU — pooled runs measure dispatch overhead, not speedup.\n");
+    }
+
+    let mut rows = Vec::new();
+    let mut failures = 0;
+    let mut packet_16_speedup = None;
+    for &side in sides {
+        let graph = pipeline(side, 60.0);
+        for kind in FabricKind::ALL {
+            let seq = run(&graph, side, kind, ParPolicy::Sequential, cycles);
+            let pooled = run(&graph, side, kind, ParPolicy::Threads(pooled_lanes), cycles);
+            let auto = run(&graph, side, kind, ParPolicy::Auto, cycles);
+            let parity = seq.outcome == pooled.outcome && seq.outcome == auto.outcome;
+            if !parity {
+                println!("!! {side}x{side} {kind}: policies diverged (payload/energy)");
+                failures += 1;
+            }
+            if seq.outcome.delivered == 0 {
+                println!("!! {side}x{side} {kind}: delivered nothing");
+                failures += 1;
+            }
+            let speedup = pooled.cycles_per_sec / seq.cycles_per_sec;
+            if side == 16 && kind == FabricKind::Packet {
+                packet_16_speedup = Some(speedup);
+            }
+            rows.push(vec![
+                format!("{side}x{side}"),
+                kind.to_string(),
+                seq.outcome.delivered.to_string(),
+                format!("{:.1}", seq.cycles_per_sec / 1e3),
+                format!("{:.1}", pooled.cycles_per_sec / 1e3),
+                format!("{:.1}", auto.cycles_per_sec / 1e3),
+                format!("{speedup:.2}x"),
+                if parity {
+                    "ok".into()
+                } else {
+                    "DIVERGED".into()
+                },
+            ]);
+        }
+    }
+
+    println!(
+        "{}",
+        tables::render(
+            &[
+                "Mesh",
+                "Fabric",
+                "Words delivered",
+                "seq kcyc/s",
+                "pooled kcyc/s",
+                "auto kcyc/s",
+                "pooled/seq",
+                "parity",
+            ],
+            &rows
+        )
+    );
+    if let Some(speedup) = packet_16_speedup {
+        println!(
+            "\n16x16 packet-switched mesh: pooled stepping at {speedup:.2}x sequential \
+             ({cores} CPUs available)."
+        );
+    }
+    println!(
+        "\n(Every ParPolicy must produce bit-identical payload and energy; the\n\
+         persistent WorkerPool only buys wall-clock time. Divergence or an\n\
+         empty delivery exits non-zero so CI cannot rot.)"
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

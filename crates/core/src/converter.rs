@@ -1,7 +1,7 @@
 //! The data converter between the 16-bit tile interface and the 4-bit lanes.
 //!
 //! Paper Section 5.1 / Fig. 5: "The small lanes are connected to a tile
-//! interface via the data-converter. [It] converts the 16 bit data to the
+//! interface via the data-converter. \[It\] converts the 16 bit data to the
 //! width of the lanes and visa-versa. The 16 bit tile interface is compatible
 //! with the packet-switched alternative of Kavaldjiev."
 //!

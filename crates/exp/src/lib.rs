@@ -9,12 +9,12 @@
 //!   configurable load and data pattern, the surrounding network played by
 //!   the testbench (upstream serialisers with window flow control,
 //!   downstream consumers returning acks/credits).
-//! * [`fig9`] — Fig. 9: static/internal/switching power bars for
+//! * [`mod@fig9`] — Fig. 9: static/internal/switching power bars for
 //!   Scenarios I–IV on both routers (random data, 100% load, 25 MHz,
 //!   200 µs — 2 kB per stream).
-//! * [`fig10`] — Fig. 10: dynamic power [µW/MHz] versus bit-flip rate
+//! * [`mod@fig10`] — Fig. 10: dynamic power [µW/MHz] versus bit-flip rate
 //!   (0/50/100%) for all scenarios and both routers.
-//! * [`reference`] — the paper's published numbers, for paper-vs-measured
+//! * [`mod@reference`] — the paper's published numbers, for paper-vs-measured
 //!   reporting in EXPERIMENTS.md.
 //! * [`tables`] — plain-text table rendering used by every binary.
 //! * [`fabric_bench`] — the fabric-generic deployment bench: any

@@ -32,9 +32,9 @@ pub const UMTS_EXAMPLE_TOTAL_MBITS: f64 = 320.0;
 pub struct Table4Row {
     /// Component areas `(name, mm²)`; `None` = n.a. in the paper.
     pub components: [(&'static str, Option<f64>); 6],
-    /// Total area [mm²].
+    /// Total area \[mm²\].
     pub total_mm2: f64,
-    /// Maximum frequency [MHz].
+    /// Maximum frequency \[MHz\].
     pub fmax_mhz: f64,
     /// Link bandwidth [Gbit/s].
     pub bandwidth_gbps: f64,
@@ -92,7 +92,7 @@ pub const POWER_AREA_RATIO: f64 = 3.5;
 
 /// Fig. 9's measurement conditions.
 pub mod fig9_conditions {
-    /// Clock frequency [MHz]: "fixed at 25 MHz".
+    /// Clock frequency \[MHz\]: "fixed at 25 MHz".
     pub const CLOCK_MHZ: f64 = 25.0;
     /// Simulated time: "The simulation time is 200 µs".
     pub const WINDOW_US: f64 = 200.0;

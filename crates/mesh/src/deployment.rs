@@ -6,16 +6,30 @@
 //! point (`AppRun::deploy`, now a deprecated shim in the facade crate).
 //! The builder owns every knob with a sensible default:
 //!
-//! ```text
+//! ```
+//! use noc_apps::taskgraph::{TaskGraph, TrafficShape};
+//! use noc_mesh::deployment::Deployment;
+//! use noc_mesh::fabric::FabricKind;
+//! use noc_sim::par::ParPolicy;
+//! use noc_sim::units::{Bandwidth, MegaHertz};
+//!
+//! let mut graph = TaskGraph::new("demo");
+//! let producer = graph.add_process("producer");
+//! let consumer = graph.add_process("consumer");
+//! graph.add_edge(producer, consumer, Bandwidth(60.0), TrafficShape::Streaming, "feed");
+//!
 //! let mut dep = Deployment::builder(&graph)
 //!     .mesh(4, 4)
 //!     .clock(MegaHertz(100.0))
 //!     .seed(42)
 //!     .fabric(FabricKind::Circuit)
-//!     .build()?;              // -> Deployment<Box<dyn Fabric>>
-//! dep.run(10_000);
+//!     .parallelism(ParPolicy::Auto)  // pooled stepping past the crossover
+//!     .build()?;                     // -> Deployment<Box<dyn Fabric>>
+//! dep.run(2_000);
 //! dep.settle(2_000);
 //! let reports = dep.report(&graph);
+//! assert!(reports.iter().all(|r| r.delivered_fraction > 0.9));
+//! # Ok::<(), noc_mesh::deployment::DeployError>(())
 //! ```
 //!
 //! `build_circuit()` / `build_packet()` return concretely-typed
@@ -36,6 +50,7 @@ use noc_apps::traffic::{DataPattern, WordStream};
 use noc_core::params::RouterParams;
 use noc_packet::params::PacketParams;
 use noc_power::estimator::PowerReport;
+use noc_sim::par::ParPolicy;
 use noc_sim::time::CycleCount;
 use noc_sim::units::{Bandwidth, FemtoJoules, MegaHertz};
 use std::fmt;
@@ -86,6 +101,7 @@ pub struct DeploymentBuilder<'g> {
     pattern: DataPattern,
     tile_kinds: Option<Vec<TileKind>>,
     spill: bool,
+    parallelism: ParPolicy,
 }
 
 impl<'g> DeploymentBuilder<'g> {
@@ -102,6 +118,7 @@ impl<'g> DeploymentBuilder<'g> {
             pattern: DataPattern::Random,
             tile_kinds: None,
             spill: false,
+            parallelism: ParPolicy::Auto,
         }
     }
 
@@ -177,6 +194,19 @@ impl<'g> DeploymentBuilder<'g> {
     /// comparison. The hybrid backend always uses spill admission.
     pub fn spill(mut self, spill: bool) -> Self {
         self.spill = spill;
+        self
+    }
+
+    /// Per-cycle evaluation policy for the built fabric (default
+    /// [`ParPolicy::Auto`]: serial below the pool crossover, one lane per
+    /// CPU past it). Every policy produces bit-identical results — payload,
+    /// activity, energy — the knob only trades worker-pool dispatch
+    /// overhead against multi-core fan-out ([`noc_sim::par`]). Applies to
+    /// every backend: the circuit `Soc` and `PacketFabric` fan their
+    /// routers out; the hybrid additionally steps its two planes
+    /// concurrently.
+    pub fn parallelism(mut self, policy: ParPolicy) -> Self {
+        self.parallelism = policy;
         self
     }
 
@@ -328,7 +358,8 @@ impl Deployment<()> {
 }
 
 impl<F: Fabric> Deployment<F> {
-    fn assemble(fabric: F, mapping: Mapping, b: &DeploymentBuilder<'_>) -> Deployment<F> {
+    fn assemble(mut fabric: F, mapping: Mapping, b: &DeploymentBuilder<'_>) -> Deployment<F> {
+        fabric.set_parallelism(b.parallelism);
         let nodes = b.mesh.nodes();
         let mut traffic = Vec::new();
         for (idx, route) in mapping.routes.iter().enumerate() {

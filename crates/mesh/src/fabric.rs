@@ -11,7 +11,7 @@
 //!
 //! Two implementations ship here:
 //!
-//! * [`Soc`] — the paper's circuit-switched mesh. `provision` writes the
+//! * [`crate::soc::Soc`] — the paper's circuit-switched mesh. `provision` writes the
 //!   configuration words into the routers (physically separated lanes; no
 //!   run-time arbitration); `inject` queues words behind the source tiles'
 //!   serialisers.
@@ -37,6 +37,7 @@ use noc_power::area::{circuit_router_area, packet_router_area};
 use noc_power::estimator::{PowerEstimator, PowerReport};
 use noc_sim::activity::ComponentActivity;
 use noc_sim::kernel::Clocked;
+use noc_sim::par::{par_commit, par_eval, ParPolicy};
 use noc_sim::time::{Cycle, CycleCount};
 use noc_sim::units::{FemtoJoules, MegaHertz, SquareMicroMeters};
 use std::collections::VecDeque;
@@ -161,6 +162,38 @@ impl EnergyModel {
 ///
 /// The trait is object-safe: `Box<dyn Fabric>` implements it too, so a
 /// runtime-chosen backend flows through the same generic code.
+///
+/// ```
+/// use noc_apps::taskgraph::{TaskGraph, TrafficShape};
+/// use noc_core::params::RouterParams;
+/// use noc_mesh::ccn::Ccn;
+/// use noc_mesh::fabric::{EnergyModel, Fabric, PacketFabric};
+/// use noc_mesh::tile::default_tile_kinds;
+/// use noc_mesh::topology::Mesh;
+/// use noc_packet::params::PacketParams;
+/// use noc_sim::units::{Bandwidth, MegaHertz};
+///
+/// // One 60 Mbit/s stream, mapped by the CCN onto a 2x2 mesh...
+/// let mut g = TaskGraph::new("demo");
+/// let a = g.add_process("a");
+/// let b = g.add_process("b");
+/// g.add_edge(a, b, Bandwidth(60.0), TrafficShape::Streaming, "a->b");
+/// let mesh = Mesh::new(2, 2);
+/// let ccn = Ccn::new(mesh, RouterParams::paper(), MegaHertz(100.0));
+/// let mapping = ccn.map(&g, &default_tile_kinds(&mesh)).unwrap();
+///
+/// // ...driven through the trait: provision -> inject -> step -> drain.
+/// let mut fabric = PacketFabric::new(mesh, PacketParams::paper(), 16);
+/// fabric.provision(&mapping).unwrap();
+/// let src = mapping.routes[0].paths[0][0].node;
+/// let dst = mapping.routes[0].paths[0].last().unwrap().node;
+/// fabric.inject(src, &[1, 2, 3]);
+/// fabric.finish_injection();
+/// fabric.run(400);
+/// assert_eq!(fabric.drain(dst), vec![1, 2, 3]);
+/// let model = EnergyModel::calibrated(MegaHertz(100.0));
+/// assert!(fabric.total_energy(&model).value() > 0.0);
+/// ```
 pub trait Fabric: Clocked {
     /// Which switching discipline this is.
     fn kind(&self) -> FabricKind;
@@ -189,6 +222,15 @@ pub trait Fabric: Clocked {
     /// packet) so that everything injected so far will eventually be
     /// delivered. Call once after the last `inject` of a run.
     fn finish_injection(&mut self) {}
+
+    /// Choose serial or pooled per-cycle evaluation for [`Fabric::step`]
+    /// (see [`noc_sim::par::WorkerPool`]). Every policy yields bit-identical
+    /// simulation results; the knob only trades dispatch overhead against
+    /// multi-core fan-out. The default implementation ignores the policy so
+    /// that backends without internal parallelism remain trivial to write.
+    fn set_parallelism(&mut self, policy: ParPolicy) {
+        let _ = policy;
+    }
 
     /// Advance the whole fabric by one clock cycle.
     fn step(&mut self);
@@ -290,6 +332,10 @@ impl Fabric for crate::soc::Soc {
         self.drain_words(node)
     }
 
+    fn set_parallelism(&mut self, policy: ParPolicy) {
+        crate::soc::Soc::set_parallelism(self, policy)
+    }
+
     fn step(&mut self) {
         crate::soc::Soc::step(self)
     }
@@ -346,6 +392,7 @@ pub struct PacketFabric {
     mesh: Mesh,
     params: PacketParams,
     packet_words: usize,
+    policy: ParPolicy,
     routers: Vec<PacketRouter>,
     /// Per node: provisioned destinations, packet-level round-robin.
     targets: Vec<Vec<PacketTarget>>,
@@ -402,6 +449,7 @@ impl PacketFabric {
         PacketFabric {
             params,
             packet_words,
+            policy: ParPolicy::Auto,
             routers,
             targets: mesh.iter().map(|_| Vec::new()).collect(),
             rr: vec![0; mesh.nodes()],
@@ -418,6 +466,13 @@ impl PacketFabric {
     /// The router parameters.
     pub fn params(&self) -> &PacketParams {
         &self.params
+    }
+
+    /// Choose serial or pooled router evaluation (default
+    /// [`ParPolicy::Auto`]). The two-phase contract makes the choice
+    /// invisible to results; see [`noc_sim::par`].
+    pub fn set_parallelism(&mut self, policy: ParPolicy) {
+        self.policy = policy;
     }
 
     /// Immutable access to a router (testbench inspection).
@@ -472,13 +527,11 @@ impl PacketFabric {
             }
         }
 
-        // 3. Two-phase clocking of all routers.
-        for r in &mut self.routers {
-            r.eval();
-        }
-        for r in &mut self.routers {
-            r.commit();
-        }
+        // 3. Two-phase clocking of all routers, optionally fanned out over
+        //    the persistent worker pool: inputs were sampled from latched
+        //    outputs in phase 1, so router evaluation is order-free.
+        par_eval(&mut self.routers, self.policy);
+        par_commit(&mut self.routers, self.policy);
         self.now += 1;
 
         // 4. Tile deliveries: strip heads, keep payload words.
@@ -588,6 +641,10 @@ impl Fabric for PacketFabric {
         }
     }
 
+    fn set_parallelism(&mut self, policy: ParPolicy) {
+        PacketFabric::set_parallelism(self, policy)
+    }
+
     fn step(&mut self) {
         self.step_fabric();
     }
@@ -667,6 +724,10 @@ impl Fabric for Box<dyn Fabric> {
 
     fn finish_injection(&mut self) {
         (**self).finish_injection()
+    }
+
+    fn set_parallelism(&mut self, policy: ParPolicy) {
+        (**self).set_parallelism(policy)
     }
 
     fn step(&mut self) {

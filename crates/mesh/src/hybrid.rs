@@ -39,6 +39,7 @@ use noc_core::params::RouterParams;
 use noc_packet::params::PacketParams;
 use noc_sim::activity::ComponentActivity;
 use noc_sim::kernel::Clocked;
+use noc_sim::par::{par_join, ParPolicy};
 use noc_sim::time::Cycle;
 use noc_sim::units::SquareMicroMeters;
 
@@ -87,6 +88,7 @@ pub struct HybridFabric {
     packet: PacketFabric,
     slots: Vec<NodeSlots>,
     rr: Vec<usize>,
+    policy: ParPolicy,
     now: Cycle,
     spilled_streams: u64,
     words_on_circuit: u64,
@@ -114,6 +116,7 @@ impl HybridFabric {
             packet: PacketFabric::new(mesh, packet_params.gated(), packet_words),
             slots: vec![NodeSlots::default(); mesh.nodes()],
             rr: vec![0; mesh.nodes()],
+            policy: ParPolicy::Auto,
             now: Cycle::ZERO,
             spilled_streams: 0,
             words_on_circuit: 0,
@@ -151,9 +154,46 @@ impl HybridFabric {
         }
     }
 
+    /// Choose serial or pooled stepping (default [`ParPolicy::Auto`]).
+    ///
+    /// When the policy parallelises a fabric of this size but cannot fan
+    /// routers wider than two lanes, the two planes step **concurrently**
+    /// on the worker pool — they share no state until `drain`/`activity`
+    /// merge their results, so a hybrid cycle is a two-sided fork-join
+    /// ([`noc_sim::par::par_join`]; a plane stepped inside the fork
+    /// evaluates its routers inline, since nested dispatches degrade to
+    /// sequential). With more lanes available the planes step in
+    /// sequence instead, each fanning its routers across every lane —
+    /// strictly more parallelism than the 2-way fork. The policy is
+    /// propagated to both planes either way; results are bit-identical
+    /// on every path.
+    pub fn set_parallelism(&mut self, policy: ParPolicy) {
+        self.policy = policy;
+        self.circuit.set_parallelism(policy);
+        self.packet.set_parallelism(policy);
+    }
+
     fn step_planes(&mut self) {
-        self.circuit.step();
-        Fabric::step(&mut self.packet);
+        // Two ways to spend the pool on a hybrid cycle: fork the planes
+        // (2-way, each plane's router evaluation inline), or step the
+        // planes in sequence with each fanning its routers across every
+        // lane. The fork only wins while router-level fan-out could not
+        // go wider than the two planes anyway; past that, sequential
+        // planes with full fan-out strictly dominate.
+        let nodes = Soc::mesh(&self.circuit).nodes();
+        if self.policy.lanes_for(nodes) <= 2 {
+            let circuit = &mut self.circuit;
+            let packet = &mut self.packet;
+            par_join(
+                self.policy,
+                2 * nodes,
+                || circuit.step(),
+                || Fabric::step(packet),
+            );
+        } else {
+            self.circuit.step();
+            Fabric::step(&mut self.packet);
+        }
         self.now += 1;
     }
 }
@@ -263,6 +303,10 @@ impl Fabric for HybridFabric {
 
     fn finish_injection(&mut self) {
         self.packet.finish_injection();
+    }
+
+    fn set_parallelism(&mut self, policy: ParPolicy) {
+        HybridFabric::set_parallelism(self, policy)
     }
 
     fn step(&mut self) {

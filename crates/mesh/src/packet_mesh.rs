@@ -15,7 +15,7 @@ use noc_packet::params::{PacketParams, PacketPort};
 use noc_packet::router::PacketRouter;
 use noc_packet::routing::Coords;
 use noc_packet::vc::VcId;
-use noc_sim::kernel::Clocked;
+use noc_sim::par::{par_commit, par_eval, ParPolicy};
 use noc_sim::rng::SplitMix64;
 use noc_sim::stats::{Histogram, Running};
 use noc_sim::time::{Cycle, CycleCount};
@@ -45,6 +45,7 @@ pub struct RandomTraffic {
 pub struct PacketMesh {
     mesh: Mesh,
     routers: Vec<PacketRouter>,
+    policy: ParPolicy,
     /// Flits awaiting injection at each tile (unbounded source queue; its
     /// depth measures congestion).
     backlog: Vec<std::collections::VecDeque<Flit>>,
@@ -83,6 +84,7 @@ impl PacketMesh {
             .collect();
         PacketMesh {
             routers,
+            policy: ParPolicy::Auto,
             backlog: mesh.iter().map(|_| Default::default()).collect(),
             traffic,
             rng: SplitMix64::new(seed),
@@ -104,6 +106,12 @@ impl PacketMesh {
     /// Current cycle.
     pub fn now(&self) -> Cycle {
         self.now
+    }
+
+    /// Choose serial or pooled router evaluation (default
+    /// [`ParPolicy::Auto`]); results are bit-identical either way.
+    pub fn set_parallelism(&mut self, policy: ParPolicy) {
+        self.policy = policy;
     }
 
     /// Sum of all source backlogs — grows without bound past saturation.
@@ -181,13 +189,11 @@ impl PacketMesh {
             }
         }
 
-        // 3. Clock all routers.
-        for r in &mut self.routers {
-            r.eval();
-        }
-        for r in &mut self.routers {
-            r.commit();
-        }
+        // 3. Two-phase clocking of all routers, optionally on the
+        //    persistent worker pool (inputs were sampled from latched
+        //    outputs in phase 1, so evaluation is order-free).
+        par_eval(&mut self.routers, self.policy);
+        par_commit(&mut self.routers, self.policy);
         self.now += 1;
 
         // 4. Tile deliveries: reassemble per VC, record latency at the tail.

@@ -8,7 +8,8 @@
 //!    registered outputs (the values latched at the previous edge);
 //! 2. **Tiles** — sources inject, sinks drain;
 //! 3. **Evaluate** — all routers compute combinationally; order-free, so
-//!    optionally parallel across cores ([`noc_sim::par`]);
+//!    optionally fanned out over the persistent worker pool
+//!    ([`noc_sim::par`]);
 //! 4. **Commit** — all routers latch.
 //!
 //! Because sampling reads only latched outputs, the sample pass and the
@@ -170,7 +171,12 @@ impl Soc {
             .map_or(0, |p| p.ingress.iter().map(|q| q.len()).sum())
     }
 
-    /// Choose serial or parallel router evaluation.
+    /// Choose serial or pooled router evaluation (default
+    /// [`ParPolicy::Auto`]): the eval and commit phases fan out over the
+    /// persistent [`noc_sim::par::WorkerPool`]. Results are bit-identical
+    /// under every policy; fabric-generic code reaches this knob through
+    /// `Fabric::set_parallelism` or
+    /// `Deployment::builder(..).parallelism(..)`.
     pub fn set_parallelism(&mut self, policy: ParPolicy) {
         self.policy = policy;
     }

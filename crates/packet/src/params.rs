@@ -112,7 +112,22 @@ impl PacketParams {
     }
 
     /// Same parameters with clock gating enabled (the hybrid fabric's
-    /// spillover plane).
+    /// spillover plane). Gating is **energy-only**: idle FIFOs, parked VC
+    /// state, stable output registers and arbiter pointers stop logging
+    /// clock activity, but functional behaviour is bit-identical to the
+    /// ungated router.
+    ///
+    /// ```
+    /// use noc_packet::params::PacketParams;
+    ///
+    /// let baseline = PacketParams::paper();
+    /// assert!(!baseline.clock_gating);
+    /// let gated = baseline.gated();
+    /// assert!(gated.clock_gating);
+    /// // Everything else is untouched.
+    /// assert_eq!(gated.vcs, baseline.vcs);
+    /// assert_eq!(gated.fifo_depth, baseline.fifo_depth);
+    /// ```
     pub fn gated(self) -> PacketParams {
         PacketParams {
             clock_gating: true,

@@ -18,7 +18,7 @@
 //! 4. **Commit.** Output registers latch (these drive the links), all FIFO
 //!    flops and state registers pay clock energy, credit pulses latch.
 //!
-//! The contrast with [`noc_core`]'s router is deliberate and is the paper's
+//! The contrast with `noc_core`'s router is deliberate and is the paper's
 //! whole point: every one of steps 1–3 costs buffers or arbitration the
 //! circuit-switched data path simply does not have.
 

@@ -24,7 +24,7 @@ pub struct SynthesisRow {
     pub name: String,
     /// Port count.
     pub ports: usize,
-    /// Link data width per direction [bits].
+    /// Link data width per direction \[bits\].
     pub width_bits: u32,
     /// Component areas, `None` for "n.a." entries.
     pub components: Vec<(ComponentKind, Option<SquareMicroMeters>)>,

@@ -11,10 +11,10 @@ use serde::{Deserialize, Serialize};
 /// Process/library parameters used by the area, timing and power models.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Technology {
-    /// Supply voltage [V]. TCB013LVHP is a 1.2 V low-voltage library.
+    /// Supply voltage \[V\]. TCB013LVHP is a 1.2 V low-voltage library.
     pub vdd: f64,
 
-    /// Layout area of one NAND2-equivalent gate [µm²], including its share
+    /// Layout area of one NAND2-equivalent gate \[µm²\], including its share
     /// of row overhead. Typical 0.13 µm high-density libraries place
     /// 190–200 kGates/mm²; 5.1 µm²/gate ≈ 196 kGates/mm².
     pub gate_area_um2: f64,
@@ -24,13 +24,13 @@ pub struct Technology {
     /// static share stays single-digit percent as in the paper. CALIBRATED.
     pub leakage_uw_per_mm2: f64,
 
-    /// Clocking overhead per register stage [ps]: clk→Q plus setup plus
+    /// Clocking overhead per register stage \[ps\]: clk→Q plus setup plus
     /// skew margin. CALIBRATED together with `logic_level_ps` so the two
     /// published frequencies (1075 MHz / 507 MHz) are reproduced by the
     /// structural logic depths of `timing`.
     pub clock_overhead_ps: f64,
 
-    /// Delay of one logic level [ps] (≈ 2 FO4 at 0.13 µm). CALIBRATED, see
+    /// Delay of one logic level \[ps\] (≈ 2 FO4 at 0.13 µm). CALIBRATED, see
     /// `clock_overhead_ps`.
     pub logic_level_ps: f64,
 }

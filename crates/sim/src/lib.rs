@@ -24,7 +24,9 @@
 //! * [`kernel`] — the [`kernel::Clocked`] contract and [`kernel::Simulator`],
 //!   a two-phase stepping loop.
 //! * [`par`] — data-parallel stepping of many independent components per cycle
-//!   (used by `noc-mesh` for large meshes) built on `crossbeam`.
+//!   on a persistent [`par::WorkerPool`] of parked threads (used by `noc-mesh`
+//!   for large meshes; see `ARCHITECTURE.md` at the repo root for how the
+//!   two-phase contract makes this race-free).
 //! * [`rng`] — small deterministic RNG (SplitMix64) so experiments reproduce
 //!   bit-for-bit across runs and platforms.
 //! * [`stats`] — running statistics and histograms used by testbenches.

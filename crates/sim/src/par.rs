@@ -1,47 +1,100 @@
-//! Data-parallel evaluation of independent components.
+//! Data-parallel evaluation of independent components on a **persistent
+//! worker pool**.
 //!
 //! The two-phase clocking contract ([`crate::kernel`]) guarantees that during
 //! the evaluate phase no component mutates state visible to another — each
 //! router reads the *latched* outputs of its neighbours, sampled into its
 //! input ports by the wiring step. Evaluation of the components of one cycle
-//! is therefore embarrassingly parallel, and on meshes of hundreds of routers
+//! is therefore embarrassingly parallel, and on meshes of dozens of routers
 //! it pays to fan it out across cores.
 //!
-//! `crossbeam::scope` is used instead of a global thread pool: mesh stepping
-//! alternates with sequential wiring every cycle, and scoped threads let the
-//! closure borrow the component slice directly with no `Arc` plumbing. For
-//! small meshes the sequential path wins (thread spawn ≈ µs); callers choose
-//! via [`ParPolicy`], and the `mesh_step` bench quantifies the crossover.
+//! Earlier revisions spawned scoped threads *per cycle*; thread creation and
+//! join cost ~ms against the ~20 µs a 12×12 mesh needs to evaluate serially,
+//! so per-cycle threading never paid off at realistic sizes. [`WorkerPool`]
+//! replaces that: worker threads are spawned **once** and parked on a
+//! condition variable; each dispatch wakes them, hands every thread one
+//! contiguous chunk of the component slice, and acts as a barrier — the
+//! dispatching thread evaluates a chunk of its own and does not return until
+//! every chunk is done. A dispatch therefore costs wake + join on already
+//! running threads (µs, not ms), which moves the parallel crossover down to
+//! meshes the paper's workloads actually use (see [`ParPolicy::Auto`]).
+//!
+//! Mesh stepping alternates parallel evaluation with sequential wiring every
+//! cycle, so the pool's barrier semantics (nothing runs between dispatches)
+//! are exactly the clocking contract. Callers choose serial vs pooled via
+//! [`ParPolicy`]; the `mesh_step` bench and the `scale_bench` binary
+//! quantify the crossover.
+//!
+//! ```
+//! use noc_sim::par::{par_for_each_mut, ParPolicy};
+//!
+//! let mut counters = vec![0u64; 256];
+//! // Pooled evaluation: disjoint &mut access, deterministic result.
+//! par_for_each_mut(&mut counters, ParPolicy::Threads(4), |c| *c += 1);
+//! par_for_each_mut(&mut counters, ParPolicy::Sequential, |c| *c += 1);
+//! assert!(counters.iter().all(|&c| c == 2));
+//! ```
 
 use crate::kernel::Clocked;
+use std::cell::Cell;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
 
 /// How to distribute per-cycle component evaluation over threads.
+///
+/// Every policy produces **bit-identical results**: chunk boundaries depend
+/// only on the component count and the resolved lane count, and each
+/// component is touched by exactly one thread per phase, so simulation
+/// outcomes (payload, activity ledgers, energy) never depend on scheduling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ParPolicy {
     /// Always evaluate sequentially on the calling thread.
     Sequential,
-    /// Evaluate on up to `n` threads (clamped to component count).
+    /// Evaluate on up to `n` threads (clamped to the component count and
+    /// to the [`WorkerPool::global`] size).
     Threads(usize),
-    /// Pick `Sequential` below 4096 components, otherwise one thread per
-    /// available CPU. The threshold is deliberately high: the `mesh_step`
-    /// bench measures scoped-thread spawn/join per cycle at ~ms scale,
-    /// which dwarfs the ~20 µs a 12×12 mesh needs to evaluate serially —
-    /// per-cycle threading only pays for very large fabrics (or a future
-    /// persistent worker pool).
+    /// Pick `Sequential` below [`ParPolicy::AUTO_SEQUENTIAL_BELOW`]
+    /// components, otherwise one lane per available CPU. Calibrated
+    /// against *pool dispatch* cost (wake + barrier on parked threads,
+    /// ~µs), not thread spawn cost: a dispatch pays off once the serial
+    /// evaluation of the slice costs more than a few µs, which a mesh of
+    /// 64 routers already does.
     Auto,
 }
 
 impl ParPolicy {
-    /// Resolve the policy to a concrete thread count for `len` components.
-    fn threads_for(self, len: usize) -> usize {
+    /// Component count below which [`ParPolicy::Auto`] stays sequential.
+    ///
+    /// A pool dispatch costs on the order of single-digit µs (two condvar
+    /// round-trips on parked threads). An 8×8 mesh of routers needs tens
+    /// of µs per evaluate phase serially, so 64 components is where
+    /// fanning out starts to win; below that the dispatch overhead eats
+    /// the gain. (The old per-cycle `crossbeam::scope` implementation put
+    /// this threshold at 4096 because it paid ~ms per cycle to spawn.)
+    pub const AUTO_SEQUENTIAL_BELOW: usize = 64;
+
+    /// Resolve the policy to a concrete lane count for `len` components:
+    /// the number of threads (dispatcher included) that would share the
+    /// work. `1` means sequential.
+    ///
+    /// ```
+    /// use noc_sim::par::ParPolicy;
+    ///
+    /// assert_eq!(ParPolicy::Sequential.lanes_for(1_000), 1);
+    /// assert_eq!(ParPolicy::Threads(4).lanes_for(2), 2); // clamped to len
+    /// // Auto: small meshes stay serial, large ones use the machine.
+    /// assert_eq!(ParPolicy::Auto.lanes_for(16), 1);
+    /// assert!(ParPolicy::Auto.lanes_for(256) >= 1);
+    /// ```
+    pub fn lanes_for(self, len: usize) -> usize {
         match self {
             ParPolicy::Sequential => 1,
             ParPolicy::Threads(n) => n.max(1).min(len.max(1)),
             ParPolicy::Auto => {
-                if len < 4096 {
+                if len < ParPolicy::AUTO_SEQUENTIAL_BELOW {
                     1
                 } else {
-                    std::thread::available_parallelism()
+                    thread::available_parallelism()
                         .map(|n| n.get())
                         .unwrap_or(1)
                         .min(len)
@@ -51,7 +104,340 @@ impl ParPolicy {
     }
 }
 
-/// Apply `f` to every element, possibly in parallel per `policy`.
+/// A chunk-dispatch job, lifetime-erased for the worker threads. The
+/// dispatcher blocks until every worker has finished the epoch, so the
+/// pointee (a closure on the dispatcher's stack) outlives all use.
+#[derive(Clone, Copy)]
+struct Job {
+    task: *const (dyn Fn(usize) + Sync),
+    chunks: usize,
+}
+
+// SAFETY: the pointee is Sync, and the dispatch barrier guarantees it is
+// alive for as long as any worker can observe the Job.
+unsafe impl Send for Job {}
+
+struct PoolState {
+    /// Monotonic dispatch counter; workers run each epoch exactly once.
+    epoch: u64,
+    job: Option<Job>,
+    /// Workers that have not yet finished the current epoch.
+    pending: usize,
+    /// Set by a worker whose task panicked; re-raised by the dispatcher.
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Workers park here between dispatches.
+    work: Condvar,
+    /// The dispatcher parks here while workers finish (the barrier).
+    done: Condvar,
+    /// Serialises dispatchers: the pool has one job slot, so a second
+    /// thread dispatching concurrently waits its turn here.
+    gate: Mutex<()>,
+}
+
+thread_local! {
+    /// Set while this thread is executing inside a pool operation (as a
+    /// worker, or as the dispatcher running its own chunk). Nested
+    /// dispatches from such a context run inline instead of deadlocking
+    /// on the single job slot.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// A persistent pool of parked worker threads for per-cycle fan-out.
+///
+/// Workers are spawned once (at construction) and live until the pool is
+/// dropped; a dispatch wakes them, gives each a chunk id, and blocks the
+/// dispatching thread — which evaluates chunk 0 itself — until every chunk
+/// has finished. This is what makes per-cycle parallelism profitable:
+/// dispatch cost is two condvar round-trips, not thread creation.
+///
+/// Most callers never construct one: [`par_for_each_mut`] (and the fabric
+/// backends built on it) use [`WorkerPool::global`], sized to the machine.
+/// Dedicated pools are for tests and for embedding the simulator where the
+/// global sizing is wrong.
+///
+/// ```
+/// use noc_sim::par::WorkerPool;
+///
+/// let pool = WorkerPool::new(2); // two workers + the calling thread
+/// let mut items = vec![1u32; 100];
+/// pool.for_each_mut(&mut items, 3, |x| *x *= 2);
+/// assert!(items.iter().all(|&x| x == 2));
+/// // Nested dispatch from inside a task degrades to inline execution
+/// // instead of deadlocking; a two-sided join runs closures concurrently.
+/// let (mut a, mut b) = (0u64, 0u64);
+/// pool.join(|| a = 1, || b = 2);
+/// assert_eq!((a, b), (1, 2));
+/// ```
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: usize,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn a pool of `workers` parked threads (at least one). Total
+    /// parallelism of a dispatch is `workers + 1`: the dispatching thread
+    /// always participates.
+    pub fn new(workers: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                pending: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            gate: Mutex::new(()),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("noc-sim-worker-{}", i + 1))
+                    .spawn(move || worker_loop(&shared, i + 1))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers,
+            handles,
+        }
+    }
+
+    /// The process-wide pool used by [`par_for_each_mut`]: one worker per
+    /// available CPU beyond the calling thread (minimum one, so explicit
+    /// `Threads(n)` policies exercise real concurrency even on a single
+    /// CPU). Created on first use; its threads stay parked while idle.
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let cores = thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            WorkerPool::new(cores.saturating_sub(1).max(1))
+        })
+    }
+
+    /// Number of worker threads (parallelism is `workers() + 1`).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Apply `f` to every element, fanned out over up to `lanes` threads
+    /// (clamped to the pool size and the element count) in contiguous
+    /// chunks. Blocks until every element has been processed. Each
+    /// invocation gets an exclusive `&mut`, so `f` only needs to be safe
+    /// to run concurrently on *different* elements — which the type system
+    /// already enforces.
+    pub fn for_each_mut<T, F>(&self, items: &mut [T], lanes: usize, f: F)
+    where
+        T: Send,
+        F: Fn(&mut T) + Sync,
+    {
+        let lanes = lanes.max(1).min(self.workers + 1).min(items.len().max(1));
+        if lanes <= 1 || items.len() <= 1 {
+            for item in items.iter_mut() {
+                f(item);
+            }
+            return;
+        }
+        let len = items.len();
+        let chunk = len.div_ceil(lanes);
+        let base = SendPtr(items.as_mut_ptr());
+        let task = move |id: usize| {
+            let base = base;
+            let start = id * chunk;
+            if start >= len {
+                return;
+            }
+            let end = (start + chunk).min(len);
+            // SAFETY: chunk `id` covers items [start, end) and ids are
+            // distinct, so slabs are disjoint; the dispatch barrier keeps
+            // the caller's &mut [T] borrow alive until all chunks finish.
+            let slab = unsafe { std::slice::from_raw_parts_mut(base.0.add(start), end - start) };
+            for item in slab {
+                f(item);
+            }
+        };
+        self.dispatch(lanes, &task);
+    }
+
+    /// Run two closures, one on the calling thread and one on a pool
+    /// worker, and wait for both — the two-sided fork-join used to step a
+    /// hybrid fabric's circuit and packet planes concurrently. Degrades to
+    /// sequential execution (`left` then `right`) when called from inside
+    /// a pool task.
+    pub fn join<L, R>(&self, left: L, right: R)
+    where
+        L: FnOnce() + Send,
+        R: FnOnce() + Send,
+    {
+        let left = Mutex::new(Some(left));
+        let right = Mutex::new(Some(right));
+        let task = |id: usize| {
+            if id == 0 {
+                if let Some(side) = left.lock().expect("join slot").take() {
+                    side();
+                }
+            } else if let Some(side) = right.lock().expect("join slot").take() {
+                side();
+            }
+        };
+        self.dispatch(2, &task);
+    }
+
+    /// Hand `task` to the pool as `chunks` chunk ids: the dispatcher runs
+    /// id 0, workers run 1..chunks, and this returns only when all are
+    /// done. Runs inline when nested inside another pool operation or when
+    /// there is nothing to fan out.
+    fn dispatch(&self, chunks: usize, task: &(dyn Fn(usize) + Sync)) {
+        if chunks <= 1 || IN_POOL.with(|f| f.get()) {
+            for id in 0..chunks {
+                task(id);
+            }
+            return;
+        }
+        // One dispatch at a time: the job slot is shared. A panic in a
+        // previous dispatch may have poisoned the gate on its way out;
+        // the slot itself is left consistent, so the lock stays usable.
+        let _turn = self
+            .shared
+            .gate
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        // Lifetime erasure: the barrier below keeps `task` alive for as
+        // long as any worker can reach it.
+        let job = Job {
+            task: unsafe { erase(task) },
+            chunks,
+        };
+        {
+            let mut st = self.shared.state.lock().expect("pool state");
+            st.job = Some(job);
+            st.epoch += 1;
+            // Only workers with a chunk (ids 1..chunks) are barriered on;
+            // the rest wake, skip the epoch and park again off the
+            // critical path.
+            st.pending = self.workers.min(chunks - 1);
+            self.shared.work.notify_all();
+        }
+        // The dispatcher takes chunk 0; nested dispatches from inside the
+        // task fall back to inline execution via IN_POOL.
+        IN_POOL.with(|f| f.set(true));
+        let caller = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(0)));
+        IN_POOL.with(|f| f.set(false));
+        // Barrier: wait for every worker to finish the epoch before the
+        // borrowed closure (and the data it captures) can go away.
+        let worker_panicked = {
+            let mut st = self.shared.state.lock().expect("pool state");
+            while st.pending > 0 {
+                st = self.shared.done.wait(st).expect("pool state");
+            }
+            st.job = None;
+            std::mem::take(&mut st.panicked)
+        };
+        if let Err(payload) = caller {
+            std::panic::resume_unwind(payload);
+        }
+        assert!(
+            !worker_panicked,
+            "worker thread panicked during parallel evaluation"
+        );
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool state");
+            st.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+/// Erase the borrow lifetime of a dispatch task. Callers must guarantee
+/// the pointee outlives every dereference — [`WorkerPool::dispatch`] does,
+/// by not returning until all workers finished the epoch.
+unsafe fn erase<'a>(task: &'a (dyn Fn(usize) + Sync + 'a)) -> *const (dyn Fn(usize) + Sync) {
+    std::mem::transmute(task)
+}
+
+/// A raw pointer that may cross threads; used to hand each worker the base
+/// of the (disjointly chunked) component slice.
+struct SendPtr<T>(*mut T);
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+// SAFETY: the pointee elements are Send and every element is accessed by
+// exactly one thread per dispatch (disjoint chunks).
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+fn worker_loop(shared: &Shared, index: usize) {
+    // Anything this thread runs is already inside a pool operation.
+    IN_POOL.with(|f| f.set(true));
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("pool state");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen {
+                    seen = st.epoch;
+                    break st.job.expect("epoch bumped without a job");
+                }
+                st = shared.work.wait(st).expect("pool state");
+            }
+        };
+        // Workers without a chunk are not in `pending` and go straight
+        // back to parking; only participants touch the barrier.
+        if index >= job.chunks {
+            continue;
+        }
+        // SAFETY: the dispatcher blocks until `pending` hits zero, so
+        // the task outlives this call.
+        let task = unsafe { &*job.task };
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(index))).is_err() {
+            shared.state.lock().expect("pool state").panicked = true;
+        }
+        let mut st = shared.state.lock().expect("pool state");
+        st.pending -= 1;
+        if st.pending == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+/// Apply `f` to every element, possibly in parallel per `policy`, on the
+/// [`WorkerPool::global`] pool.
 ///
 /// The function must be safe to run concurrently on *different* elements —
 /// which the type system enforces: each invocation gets an exclusive `&mut`.
@@ -60,24 +446,33 @@ where
     T: Send,
     F: Fn(&mut T) + Sync,
 {
-    let threads = policy.threads_for(items.len());
-    if threads <= 1 || items.len() <= 1 {
+    let lanes = policy.lanes_for(items.len());
+    if lanes <= 1 || items.len() <= 1 {
         for item in items.iter_mut() {
             f(item);
         }
         return;
     }
-    let chunk = items.len().div_ceil(threads);
-    crossbeam::scope(|s| {
-        for slab in items.chunks_mut(chunk) {
-            s.spawn(|_| {
-                for item in slab.iter_mut() {
-                    f(item);
-                }
-            });
-        }
-    })
-    .expect("worker thread panicked during parallel evaluation");
+    WorkerPool::global().for_each_mut(items, lanes, f);
+}
+
+/// Run `left` and `right` concurrently on the global pool when `policy`
+/// resolves to more than one lane for `work_items` components, otherwise
+/// sequentially (`left` first). `work_items` should be the total component
+/// count behind both closures — e.g. the router count of both planes of a
+/// hybrid fabric — so [`ParPolicy::Auto`] can judge whether the fork is
+/// worth a dispatch.
+pub fn par_join<L, R>(policy: ParPolicy, work_items: usize, left: L, right: R)
+where
+    L: FnOnce() + Send,
+    R: FnOnce() + Send,
+{
+    if policy.lanes_for(work_items) <= 1 {
+        left();
+        right();
+    } else {
+        WorkerPool::global().join(left, right);
+    }
 }
 
 /// Evaluate phase for a slice of clocked components, possibly in parallel.
@@ -143,24 +538,32 @@ mod tests {
 
     #[test]
     fn auto_policy_small_is_sequential() {
-        assert_eq!(ParPolicy::Auto.threads_for(10), 1);
+        assert_eq!(ParPolicy::Auto.lanes_for(10), 1);
         assert_eq!(
-            ParPolicy::Auto.threads_for(144),
+            ParPolicy::Auto.lanes_for(ParPolicy::AUTO_SEQUENTIAL_BELOW - 1),
             1,
-            "12x12 mesh: serial wins"
+            "below the dispatch-cost crossover, serial wins"
         );
     }
 
     #[test]
-    fn auto_policy_large_uses_threads() {
-        let t = ParPolicy::Auto.threads_for(10_000);
-        assert!(t >= 1);
+    fn auto_policy_uses_the_machine_at_the_crossover() {
+        // At and past the crossover Auto resolves to the CPU count — which
+        // may legitimately be 1 on a single-core machine.
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(
+            ParPolicy::Auto.lanes_for(ParPolicy::AUTO_SEQUENTIAL_BELOW),
+            cores.min(ParPolicy::AUTO_SEQUENTIAL_BELOW)
+        );
+        assert_eq!(ParPolicy::Auto.lanes_for(10_000), cores);
     }
 
     #[test]
     fn threads_policy_clamps() {
-        assert_eq!(ParPolicy::Threads(16).threads_for(4), 4);
-        assert_eq!(ParPolicy::Threads(0).threads_for(4), 1);
+        assert_eq!(ParPolicy::Threads(16).lanes_for(4), 4);
+        assert_eq!(ParPolicy::Threads(0).lanes_for(4), 1);
     }
 
     #[test]
@@ -175,5 +578,104 @@ mod tests {
         run(&mut one, ParPolicy::Threads(8), 2);
         // v starts 0: cycle1 -> 1, cycle2 -> 3.
         assert_eq!(one[0].v.q(), 3);
+    }
+
+    #[test]
+    fn dedicated_pool_processes_every_chunk_shape() {
+        let pool = WorkerPool::new(3);
+        for len in [0usize, 1, 2, 3, 5, 64, 1000] {
+            for lanes in [1usize, 2, 4, 9] {
+                let mut xs = vec![0u32; len];
+                pool.for_each_mut(&mut xs, lanes, |x| *x += 1);
+                assert!(xs.iter().all(|&x| x == 1), "len={len} lanes={lanes}");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_dispatches() {
+        // The whole point of persistence: thousands of cheap dispatches on
+        // the same parked workers (one per simulated cycle in real use).
+        let pool = WorkerPool::new(2);
+        let mut xs = vec![0u64; 128];
+        for _ in 0..2_000 {
+            pool.for_each_mut(&mut xs, 3, |x| *x += 1);
+        }
+        assert!(xs.iter().all(|&x| x == 2_000));
+    }
+
+    #[test]
+    fn join_runs_both_sides() {
+        let pool = WorkerPool::new(1);
+        let mut a = 0u32;
+        let mut b = 0u32;
+        pool.join(|| a = 7, || b = 9);
+        assert_eq!((a, b), (7, 9));
+    }
+
+    #[test]
+    fn nested_dispatch_degrades_to_inline() {
+        // A pool task that itself fans out must not deadlock on the pool's
+        // single job slot; the nested call runs inline.
+        let pool = WorkerPool::new(2);
+        let mut outer = vec![vec![0u8; 100]; 4];
+        pool.for_each_mut(&mut outer, 3, |inner| {
+            par_for_each_mut(inner, ParPolicy::Threads(4), |x| *x += 1);
+        });
+        assert!(outer.iter().flatten().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn nested_join_degrades_to_inline() {
+        let pool = WorkerPool::new(1);
+        let mut results = [0u32; 2];
+        let (left, right) = results.split_at_mut(1);
+        pool.join(
+            || {
+                let mut inner = (0u32, 0u32);
+                WorkerPool::global().join(|| inner.0 = 1, || inner.1 = 2);
+                left[0] = inner.0 + inner.1;
+            },
+            || right[0] = 5,
+        );
+        assert_eq!(results, [3, 5]);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_dispatcher() {
+        let pool = WorkerPool::new(1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut xs = vec![0u32; 8];
+            pool.for_each_mut(&mut xs, 2, |x| {
+                if *x == 0 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // And the pool survives for the next dispatch.
+        let mut xs = vec![1u32; 8];
+        pool.for_each_mut(&mut xs, 2, |x| *x += 1);
+        assert!(xs.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn par_join_sequential_policy_runs_inline() {
+        let order = Mutex::new(Vec::new());
+        par_join(
+            ParPolicy::Sequential,
+            1_000,
+            || order.lock().unwrap().push(1),
+            || order.lock().unwrap().push(2),
+        );
+        assert_eq!(*order.lock().unwrap(), vec![1, 2], "left runs first");
+    }
+
+    #[test]
+    fn par_join_parallel_policy_runs_both() {
+        let mut a = 0;
+        let mut b = 0;
+        par_join(ParPolicy::Threads(2), 1_000, || a = 1, || b = 2);
+        assert_eq!((a, b), (1, 2));
     }
 }

@@ -14,6 +14,12 @@
 //! | [`noc_mesh`] | mesh SoC, tiles, CCN mapping, BE network — and the **unified [`Fabric`] API** |
 //! | [`noc_exp`] | scenario testbenches, Fig. 9 / Fig. 10, and the fabric-generic comparison harness |
 //!
+//! `ARCHITECTURE.md` at the repository root is the full map: the crate
+//! dependency graph, the two-phase clocking contract that makes stepping
+//! deterministic *and* parallelisable on the persistent
+//! [`noc_sim::par::WorkerPool`], the `provision → inject → step → drain`
+//! data flow, and which paper section or figure each crate reproduces.
+//!
 //! ## The `Fabric` abstraction
 //!
 //! The paper's central result is a head-to-head energy comparison between
@@ -24,9 +30,11 @@
 //! payload words, `total_energy(&EnergyModel)` costs the run with the
 //! calibrated activity-based flow. [`Deployment::builder`] is the
 //! documented entry point: it maps a task graph, provisions the chosen
-//! backend, and binds offered-load traffic — identically for either
-//! fabric, so every workload is automatically a circuit-vs-packet
-//! experiment.
+//! backend (circuit, packet, or the profiled hybrid), binds offered-load
+//! traffic, and selects serial or pooled stepping
+//! (`.parallelism(ParPolicy)`) — identically for every fabric, so each
+//! workload is automatically a circuit-vs-packet experiment that scales
+//! to 16×16 meshes.
 //!
 //! ## Quickstart
 //!

@@ -1,8 +1,9 @@
 //! Reproducibility: identical seeds give identical results, independent of
 //! parallelism — the property every number in EXPERIMENTS.md rests on.
+//! Parallelism here means the persistent `noc_sim::par::WorkerPool`: every
+//! [`ParPolicy`] must be invisible in payload, activity and energy.
 
 use noc_exp::testbench::CircuitScenarioBench;
-use noc_sim::par::ParPolicy;
 use rcs_noc::prelude::*;
 
 #[test]
@@ -128,6 +129,61 @@ fn all_fabric_kinds_reproducible_from_seed() {
         run(FabricKind::Hybrid).3 > 0,
         "premise: the light edge spills"
     );
+}
+
+/// The pool-correctness contract at deployment level: for every
+/// `FabricKind`, running the same seeded workload under
+/// `ParPolicy::Sequential`, `Threads(2)` and `Auto` yields bit-identical
+/// per-node delivered payload and bit-identical total energy. The workload
+/// oversubscribes the circuit lanes so the hybrid exercises its concurrent
+/// two-plane stepping (`par_join`) with real spillover traffic.
+#[test]
+fn all_policies_bit_identical_payload_and_energy() {
+    let graph = {
+        let ccn = Ccn::new(Mesh::new(3, 1), RouterParams::paper(), MegaHertz(25.0));
+        noc_apps::synthetic::oversubscribed_line(ccn.lane_capacity())
+    };
+    let run = |kind: FabricKind, policy: ParPolicy| {
+        let mut dep = Deployment::builder(&graph)
+            .mesh(3, 1)
+            .clock(MegaHertz(25.0))
+            .seed(0xB00C)
+            .spill(true)
+            .fabric(kind)
+            .parallelism(policy)
+            .build()
+            .expect("spill admission deploys on every backend");
+        dep.keep_payload(true);
+        dep.run(2000);
+        dep.settle(2500);
+        let model = dep.energy_model();
+        let payload: Vec<Vec<u16>> = dep
+            .fabric()
+            .mesh()
+            .iter()
+            .map(|n| dep.payload_at(n).to_vec())
+            .collect();
+        (
+            payload,
+            dep.total_injected(),
+            dep.total_delivered(),
+            dep.fabric().spilled_words(),
+            dep.total_energy(&model).value().to_bits(),
+        )
+    };
+    for kind in FabricKind::ALL {
+        let sequential = run(kind, ParPolicy::Sequential);
+        let pooled = run(kind, ParPolicy::Threads(2));
+        let auto = run(kind, ParPolicy::Auto);
+        assert_eq!(
+            sequential, pooled,
+            "{kind}: Threads(2) diverged from Sequential"
+        );
+        assert_eq!(sequential, auto, "{kind}: Auto diverged from Sequential");
+        if kind != FabricKind::Circuit {
+            assert!(sequential.2 > 0, "{kind} delivered nothing");
+        }
+    }
 }
 
 #[test]

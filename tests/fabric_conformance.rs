@@ -19,6 +19,10 @@
 //! The suite is instantiated for all three backends — the circuit-switched
 //! `Soc`, the `PacketFabric` baseline, and the `HybridFabric` — plus a
 //! boxed fabric, so a future backend only needs one new `#[test]` here.
+//! Each backend additionally runs the whole suite under every [`ParPolicy`]
+//! (sequential, an explicit two-lane pool, and `Auto`): pooled stepping on
+//! the persistent `noc_sim::par::WorkerPool` is part of the behavioural
+//! contract and must be invisible in results.
 
 use rcs_noc::prelude::*;
 
@@ -56,8 +60,31 @@ fn settle<F: Fabric>(fabric: &mut F, dst: NodeId) -> Vec<u16> {
     delivered
 }
 
-/// The conformance suite. `mk` builds a fresh fabric over [`Mesh::new(2, 2)`].
+/// Every policy the suite re-runs under: parallel evaluation on the
+/// persistent worker pool must never change behaviour.
+const POLICIES: [ParPolicy; 3] = [
+    ParPolicy::Sequential,
+    ParPolicy::Threads(2),
+    ParPolicy::Auto,
+];
+
+/// The conformance suite. `mk` builds a fresh fabric over
+/// [`Mesh::new(2, 2)`]; the whole contract is exercised once per
+/// [`ParPolicy`] (each constructed fabric gets the policy applied through
+/// the `Fabric::set_parallelism` knob).
 fn conformance<F: Fabric>(mk: impl Fn() -> F) {
+    for policy in POLICIES {
+        conformance_under(&mk, policy);
+    }
+}
+
+/// One pass of the behavioural contract under a fixed evaluation policy.
+fn conformance_under<F: Fabric>(mk: impl Fn() -> F, policy: ParPolicy) {
+    let mk = || {
+        let mut fabric = mk();
+        fabric.set_parallelism(policy);
+        fabric
+    };
     let mesh = Mesh::new(2, 2);
     let mapping = standard_mapping(mesh);
     let src = mapping.routes[0].paths[0][0].node;
