@@ -44,9 +44,32 @@ pub fn oversubscribed_line(lane_capacity: Bandwidth) -> TaskGraph {
     g
 }
 
+/// An `stages`-process streaming pipeline: a line of processes, each
+/// feeding the next at `per_stage` bandwidth. The generic "app-shaped"
+/// workload behind the end-to-end tests and both bench bins — one shape,
+/// scaled by stage count, so a change to pipeline semantics lands
+/// everywhere at once.
+pub fn streaming_pipeline(stages: usize, per_stage: Bandwidth) -> TaskGraph {
+    let mut g = TaskGraph::new("pipeline");
+    let ids: Vec<_> = (0..stages)
+        .map(|i| g.add_process(format!("s{i}")))
+        .collect();
+    for w in ids.windows(2) {
+        g.add_edge(w[0], w[1], per_stage, TrafficShape::Streaming, "stage");
+    }
+    g
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn streaming_pipeline_is_a_line() {
+        let g = streaming_pipeline(4, Bandwidth(60.0));
+        assert_eq!(g.edges().count(), 3, "4 stages, 3 hops");
+        assert!(g.edges().all(|(_, e)| e.bandwidth == Bandwidth(60.0)));
+    }
 
     #[test]
     fn demands_take_three_plus_two_lanes() {

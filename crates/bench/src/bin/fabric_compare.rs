@@ -19,7 +19,8 @@
 //! cycles) that still checks the headline orderings.
 
 use noc_apps::hiperlan2::{Hiperlan2Params, Modulation};
-use noc_apps::taskgraph::{TaskGraph, TrafficShape};
+use noc_apps::synthetic::streaming_pipeline;
+use noc_apps::taskgraph::TaskGraph;
 use noc_apps::umts::UmtsParams;
 use noc_core::params::RouterParams;
 use noc_exp::fabric_bench::{compare_fabrics, FabricComparison};
@@ -28,17 +29,6 @@ use noc_mesh::fabric::FabricKind;
 use noc_mesh::topology::Mesh;
 use noc_sim::time::CycleCount;
 use noc_sim::units::{Bandwidth, MegaHertz};
-
-fn pipeline(stages: usize, bw: f64) -> TaskGraph {
-    let mut g = TaskGraph::new("pipeline");
-    let ids: Vec<_> = (0..stages)
-        .map(|i| g.add_process(format!("s{i}")))
-        .collect();
-    for w in ids.windows(2) {
-        g.add_edge(w[0], w[1], Bandwidth(bw), TrafficShape::Streaming, "stage");
-    }
-    g
-}
 
 /// The canonical oversubscribed two-stream line
 /// ([`noc_apps::synthetic::oversubscribed_line`]), sized from the actual
@@ -122,7 +112,11 @@ fn main() {
             cfg.mesh,
             noc_apps::umts::task_graph(&UmtsParams::paper_example()),
         ),
-        ("4-stage pipeline @120", cfg.mesh, pipeline(4, 120.0)),
+        (
+            "4-stage pipeline @120",
+            cfg.mesh,
+            streaming_pipeline(4, Bandwidth(120.0)),
+        ),
         (
             "oversubscribed 2-stream",
             cfg.oversub_mesh,

@@ -28,7 +28,8 @@
 //! cycles) that still exercises every backend × policy combination and
 //! the full parity gate.
 
-use noc_apps::taskgraph::{TaskGraph, TrafficShape};
+use noc_apps::synthetic::streaming_pipeline;
+use noc_apps::taskgraph::TaskGraph;
 use noc_exp::tables;
 use noc_mesh::deployment::Deployment;
 use noc_mesh::fabric::FabricKind;
@@ -36,19 +37,6 @@ use noc_sim::par::{ParPolicy, WorkerPool};
 use noc_sim::time::CycleCount;
 use noc_sim::units::{Bandwidth, MegaHertz};
 use std::time::Instant;
-
-/// A `stages`-deep streaming pipeline; one modest stream per hop so the
-/// CCN maps it on any mesh the sweep visits.
-fn pipeline(stages: usize, bw: f64) -> TaskGraph {
-    let mut g = TaskGraph::new("scale-pipeline");
-    let ids: Vec<_> = (0..stages)
-        .map(|i| g.add_process(format!("s{i}")))
-        .collect();
-    for w in ids.windows(2) {
-        g.add_edge(w[0], w[1], Bandwidth(bw), TrafficShape::Streaming, "stage");
-    }
-    g
-}
 
 /// Everything a run must reproduce bit-identically across policies.
 #[derive(PartialEq)]
@@ -132,7 +120,7 @@ fn main() {
     let mut failures = 0;
     let mut packet_16_speedup = None;
     for &side in sides {
-        let graph = pipeline(side, 60.0);
+        let graph = streaming_pipeline(side, Bandwidth(60.0));
         for kind in FabricKind::ALL {
             let seq = run(&graph, side, kind, ParPolicy::Sequential, cycles);
             let pooled = run(&graph, side, kind, ParPolicy::Threads(pooled_lanes), cycles);

@@ -39,7 +39,7 @@ use noc_core::params::RouterParams;
 use noc_packet::params::PacketParams;
 use noc_sim::activity::ComponentActivity;
 use noc_sim::kernel::Clocked;
-use noc_sim::par::{par_join, ParPolicy};
+use noc_sim::par::{par_join, ParPolicy, WorkerPool};
 use noc_sim::time::Cycle;
 use noc_sim::units::SquareMicroMeters;
 
@@ -177,11 +177,19 @@ impl HybridFabric {
         // Two ways to spend the pool on a hybrid cycle: fork the planes
         // (2-way, each plane's router evaluation inline), or step the
         // planes in sequence with each fanning its routers across every
-        // lane. The fork only wins while router-level fan-out could not
-        // go wider than the two planes anyway; past that, sequential
-        // planes with full fan-out strictly dominate.
+        // lane. The fork wins while router-level fan-out could not go
+        // wider than the two planes anyway; past that, sequential planes
+        // with full fan-out do more at once — and cost two dispatches per
+        // phase instead of one fork, so the comparison must use the lanes
+        // the pool can actually deliver, not the policy's unclamped ask
+        // (Threads(8) on a two-lane pool still fans out at most 2 wide).
         let nodes = Soc::mesh(&self.circuit).nodes();
-        if self.policy.lanes_for(nodes) <= 2 {
+        let lanes = self.policy.lanes_for(nodes);
+        // Short-circuit before consulting the global pool: a sequential or
+        // two-lane policy must not lazily spawn the pool's threads just to
+        // compute a clamp it does not need (par_join runs <=1 lane inline).
+        // Past two lanes the pool is about to be used either way.
+        if lanes <= 2 || lanes.min(WorkerPool::global().workers() + 1) <= 2 {
             let circuit = &mut self.circuit;
             let packet = &mut self.packet;
             par_join(

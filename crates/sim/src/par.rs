@@ -36,9 +36,26 @@
 //! ```
 
 use crate::kernel::Clocked;
+use std::any::Any;
 use std::cell::Cell;
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
+
+/// Number of CPUs available to the process, sampled once.
+///
+/// `thread::available_parallelism` can be a syscall on some platforms, and
+/// [`ParPolicy::Auto`] resolves lanes twice per simulated cycle per fabric
+/// (eval + commit) — exactly the hot path this module exists to speed up.
+/// The value is effectively fixed per process (the global pool sizes itself
+/// from it once), so cache it.
+fn available_cpus() -> usize {
+    static CPUS: OnceLock<usize> = OnceLock::new();
+    *CPUS.get_or_init(|| {
+        thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
 
 /// How to distribute per-cycle component evaluation over threads.
 ///
@@ -50,8 +67,10 @@ use std::thread;
 pub enum ParPolicy {
     /// Always evaluate sequentially on the calling thread.
     Sequential,
-    /// Evaluate on up to `n` threads (clamped to the component count and
-    /// to the [`WorkerPool::global`] size).
+    /// Evaluate on up to `n` threads. [`lanes_for`](ParPolicy::lanes_for)
+    /// clamps this to the component count; the dispatching pool further
+    /// clamps to its own size (e.g. [`WorkerPool::global`]), so `n` is an
+    /// upper bound, not a guarantee.
     Threads(usize),
     /// Pick `Sequential` below [`ParPolicy::AUTO_SEQUENTIAL_BELOW`]
     /// components, otherwise one lane per available CPU. Calibrated
@@ -94,10 +113,7 @@ impl ParPolicy {
                 if len < ParPolicy::AUTO_SEQUENTIAL_BELOW {
                     1
                 } else {
-                    thread::available_parallelism()
-                        .map(|n| n.get())
-                        .unwrap_or(1)
-                        .min(len)
+                    available_cpus().min(len)
                 }
             }
         }
@@ -105,26 +121,35 @@ impl ParPolicy {
 }
 
 /// A chunk-dispatch job, lifetime-erased for the worker threads. The
-/// dispatcher blocks until every worker has finished the epoch, so the
-/// pointee (a closure on the dispatcher's stack) outlives all use.
+/// dispatcher blocks until every participating worker has finished the
+/// epoch, so the pointee (a closure on the dispatcher's stack) outlives
+/// every dereference.
 #[derive(Clone, Copy)]
 struct Job {
     task: *const (dyn Fn(usize) + Sync),
-    chunks: usize,
 }
 
 // SAFETY: the pointee is Sync, and the dispatch barrier guarantees it is
-// alive for as long as any worker can observe the Job.
+// alive for as long as any participating worker can observe the Job.
 unsafe impl Send for Job {}
 
 struct PoolState {
-    /// Monotonic dispatch counter; workers run each epoch exactly once.
+    /// Monotonic dispatch counter; workers run each epoch at most once.
     epoch: u64,
+    /// The current epoch's task while any participant may still need it;
+    /// cleared by the dispatcher once the barrier resolves. A worker that
+    /// wakes late (after cleanup) must therefore never read this — it
+    /// decides participation from `chunks`, which persists.
     job: Option<Job>,
-    /// Workers that have not yet finished the current epoch.
+    /// Chunk count of the most recent epoch. Lives in the state (not the
+    /// `Job`) so a worker holding the lock can tell "not a participant /
+    /// epoch already completed" apart from "work to do" without touching
+    /// the cleared job slot.
+    chunks: usize,
+    /// Participating workers that have not yet finished the current epoch.
     pending: usize,
-    /// Set by a worker whose task panicked; re-raised by the dispatcher.
-    panicked: bool,
+    /// First panic payload from a worker task; re-raised by the dispatcher.
+    panic: Option<Box<dyn Any + Send>>,
     shutdown: bool,
 }
 
@@ -189,8 +214,9 @@ impl WorkerPool {
             state: Mutex::new(PoolState {
                 epoch: 0,
                 job: None,
+                chunks: 0,
                 pending: 0,
-                panicked: false,
+                panic: None,
                 shutdown: false,
             }),
             work: Condvar::new(),
@@ -219,12 +245,7 @@ impl WorkerPool {
     /// CPU). Created on first use; its threads stay parked while idle.
     pub fn global() -> &'static WorkerPool {
         static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
-        GLOBAL.get_or_init(|| {
-            let cores = thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1);
-            WorkerPool::new(cores.saturating_sub(1).max(1))
-        })
+        GLOBAL.get_or_init(|| WorkerPool::new(available_cpus().saturating_sub(1).max(1)))
     }
 
     /// Number of worker threads (parallelism is `workers() + 1`).
@@ -315,18 +336,20 @@ impl WorkerPool {
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
         // Lifetime erasure: the barrier below keeps `task` alive for as
-        // long as any worker can reach it.
+        // long as any participating worker can reach it.
         let job = Job {
             task: unsafe { erase(task) },
-            chunks,
         };
         {
             let mut st = self.shared.state.lock().expect("pool state");
             st.job = Some(job);
+            st.chunks = chunks;
             st.epoch += 1;
             // Only workers with a chunk (ids 1..chunks) are barriered on;
-            // the rest wake, skip the epoch and park again off the
-            // critical path.
+            // the rest wake (notify_all reaches everyone), observe from
+            // `st.chunks` that the epoch does not involve them, and park
+            // again off the critical path — possibly only after this
+            // dispatch has completed and cleared the job slot.
             st.pending = self.workers.min(chunks - 1);
             self.shared.work.notify_all();
         }
@@ -335,23 +358,24 @@ impl WorkerPool {
         IN_POOL.with(|f| f.set(true));
         let caller = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(0)));
         IN_POOL.with(|f| f.set(false));
-        // Barrier: wait for every worker to finish the epoch before the
-        // borrowed closure (and the data it captures) can go away.
-        let worker_panicked = {
+        // Barrier: wait for every participant to finish the epoch before
+        // the borrowed closure (and the data it captures) can go away.
+        let worker_panic = {
             let mut st = self.shared.state.lock().expect("pool state");
             while st.pending > 0 {
                 st = self.shared.done.wait(st).expect("pool state");
             }
             st.job = None;
-            std::mem::take(&mut st.panicked)
+            st.panic.take()
         };
         if let Err(payload) = caller {
             std::panic::resume_unwind(payload);
         }
-        assert!(
-            !worker_panicked,
-            "worker thread panicked during parallel evaluation"
-        );
+        if let Some(payload) = worker_panic {
+            // Re-raise the worker's original payload so the failure reads
+            // exactly like it would have on the calling thread.
+            std::panic::resume_unwind(payload);
+        }
     }
 }
 
@@ -412,23 +436,32 @@ fn worker_loop(shared: &Shared, index: usize) {
                 }
                 if st.epoch != seen {
                     seen = st.epoch;
-                    break st.job.expect("epoch bumped without a job");
+                    // Participation is decided here, under the lock, from
+                    // `st.chunks` — NOT from the job slot. A worker without
+                    // a chunk is not in `pending`, so the dispatcher may
+                    // have finished the epoch and cleared `job` before this
+                    // worker even woke; for such a worker the epoch is
+                    // simply over and it parks again. Participants are
+                    // barriered on, so their job is always still present.
+                    if index >= st.chunks {
+                        continue;
+                    }
+                    break st.job.expect("participant woke without a job");
                 }
                 st = shared.work.wait(st).expect("pool state");
             }
         };
-        // Workers without a chunk are not in `pending` and go straight
-        // back to parking; only participants touch the barrier.
-        if index >= job.chunks {
-            continue;
-        }
         // SAFETY: the dispatcher blocks until `pending` hits zero, so
         // the task outlives this call.
         let task = unsafe { &*job.task };
-        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(index))).is_err() {
-            shared.state.lock().expect("pool state").panicked = true;
-        }
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(index)));
         let mut st = shared.state.lock().expect("pool state");
+        if let Err(payload) = result {
+            // Keep the first payload; the dispatcher re-raises it.
+            if st.panic.is_none() {
+                st.panic = Some(payload);
+            }
+        }
         st.pending -= 1;
         if st.pending == 0 {
             shared.done.notify_all();
@@ -593,6 +626,40 @@ mod tests {
     }
 
     #[test]
+    fn small_dispatches_on_a_larger_pool_do_not_race() {
+        // Regression: with chunks < workers + 1, notify_all wakes workers
+        // that hold no chunk. Such a worker may only get scheduled after
+        // the dispatcher has finished the epoch and cleared the job slot;
+        // it must treat the missed epoch as already complete and park
+        // again, not panic on the empty slot. The idle gaps give late
+        // wakers time to run after cleanup.
+        let pool = WorkerPool::new(3);
+        let mut xs = vec![0u64; 2];
+        for i in 0..500 {
+            pool.for_each_mut(&mut xs, 2, |x| *x += 1);
+            if i % 50 == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+        }
+        assert!(xs.iter().all(|&x| x == 500));
+    }
+
+    #[test]
+    fn join_on_a_larger_pool_does_not_race() {
+        // Same shape as HybridFabric's par_join: 2 chunks on a pool with
+        // more than one worker, repeated with gaps.
+        let pool = WorkerPool::new(3);
+        let (mut a, mut b) = (0u64, 0u64);
+        for i in 0..500 {
+            pool.join(|| a += 1, || b += 1);
+            if i % 50 == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+        }
+        assert_eq!((a, b), (500, 500));
+    }
+
+    #[test]
     fn pool_is_reusable_across_many_dispatches() {
         // The whole point of persistence: thousands of cheap dispatches on
         // the same parked workers (one per simulated cycle in real use).
@@ -653,6 +720,35 @@ mod tests {
             });
         }));
         assert!(result.is_err());
+        // And the pool survives for the next dispatch.
+        let mut xs = vec![1u32; 8];
+        pool.for_each_mut(&mut xs, 2, |x| *x += 1);
+        assert!(xs.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn worker_panic_payload_is_preserved() {
+        // The dispatcher must re-raise the worker's original payload, not
+        // a generic "a worker panicked" assertion, so real failures keep
+        // their message.
+        let pool = WorkerPool::new(1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // Chunk 0 (dispatcher) holds the 0, chunk 1 (worker) the 1.
+            let mut xs = vec![0u32, 1];
+            pool.for_each_mut(&mut xs, 2, |x| {
+                if *x == 1 {
+                    panic!("router 7 exploded");
+                }
+            });
+        }));
+        let payload = result.expect_err("worker panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("router 7 exploded"), "payload lost: {msg:?}");
         // And the pool survives for the next dispatch.
         let mut xs = vec![1u32; 8];
         pool.for_each_mut(&mut xs, 2, |x| *x += 1);

@@ -3,21 +3,9 @@
 
 use rcs_noc::prelude::*;
 
+/// The shared synthetic pipeline ([`noc_apps::synthetic::streaming_pipeline`]).
 fn pipeline(stages: usize, bw: f64) -> TaskGraph {
-    let mut g = TaskGraph::new("pipeline");
-    let ids: Vec<ProcessId> = (0..stages)
-        .map(|i| g.add_process(format!("stage{i}")))
-        .collect();
-    for w in ids.windows(2) {
-        g.add_edge(
-            w[0],
-            w[1],
-            Bandwidth(bw),
-            TrafficShape::Streaming,
-            format!("{:?}->{:?}", w[0], w[1]),
-        );
-    }
-    g
+    noc_apps::synthetic::streaming_pipeline(stages, Bandwidth(bw))
 }
 
 /// Deploy, run and check guaranteed throughput — written once over any
