@@ -41,7 +41,7 @@ fn main() {
         rows.push(vec![
             format!("{:.3}", rate),
             format!("{:.4}", pm.throughput()),
-            format!("{:.1}", pm.latency_stats.mean()),
+            format!("{:.1}", pm.latency.mean()),
             p50,
             p99,
             pm.total_backlog().to_string(),

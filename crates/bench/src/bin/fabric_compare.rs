@@ -23,9 +23,10 @@ use noc_apps::synthetic::streaming_pipeline;
 use noc_apps::taskgraph::TaskGraph;
 use noc_apps::umts::UmtsParams;
 use noc_core::params::RouterParams;
-use noc_exp::fabric_bench::{compare_fabrics, FabricComparison};
+use noc_exp::fabric_bench::{compare_fabrics, FabricComparison, FabricRunSummary};
 use noc_exp::tables;
 use noc_mesh::fabric::FabricKind;
+use noc_mesh::stream::StreamPlane;
 use noc_mesh::topology::Mesh;
 use noc_sim::time::CycleCount;
 use noc_sim::units::{Bandwidth, MegaHertz};
@@ -84,6 +85,47 @@ fn rows_for(name: &str, cmp: &FabricComparison, rows: &mut Vec<Vec<String>>) {
     }
 }
 
+fn fmt_p95(v: Option<u64>) -> String {
+    v.map_or_else(|| "-".into(), |c| c.to_string())
+}
+
+/// The hybrid run's per-stream GT/BE latency-gap table: one row per
+/// session, straight from `Fabric::stream_stats`.
+fn stream_gap_table(name: &str, hybrid: &FabricRunSummary) -> String {
+    let rows: Vec<Vec<String>> = hybrid
+        .streams
+        .iter()
+        .map(|s| {
+            vec![
+                s.id.to_string(),
+                s.plane.to_string(),
+                format!("{:?}->{:?}", s.src.0, s.dst.0),
+                s.delivered_words.to_string(),
+                format!("{:.1}", s.latency.mean()),
+                fmt_p95(s.latency.p50()),
+                fmt_p95(s.latency.p95()),
+                fmt_p95(s.latency.max()),
+            ]
+        })
+        .collect();
+    format!(
+        "Per-stream service latency [cycles], hybrid fabric, {name}:\n{}",
+        tables::render(
+            &[
+                "Stream",
+                "Plane",
+                "Route",
+                "Delivered",
+                "Mean",
+                "p50",
+                "p95",
+                "Max",
+            ],
+            &rows
+        )
+    )
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let cfg = if smoke {
@@ -126,6 +168,7 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut ratios = Vec::new();
+    let mut gap_tables = Vec::new();
     let mut failures = 0;
     for (name, mesh, graph) in &workloads {
         let cmp = compare_fabrics(graph, *mesh, cfg.clock, cfg.cycles, seed)
@@ -135,9 +178,26 @@ fn main() {
         if !ordered {
             failures += 1;
         }
-        if *name == "oversubscribed 2-stream" && cmp.hybrid.spilled_words == 0 {
-            println!("!! {name}: expected a nonzero spillover count");
-            failures += 1;
+        if *name == "oversubscribed 2-stream" {
+            if cmp.hybrid.spilled_words == 0 {
+                println!("!! {name}: expected a nonzero spillover count");
+                failures += 1;
+            }
+            // The per-connection QoS gate: on the workload that actually
+            // exercises both planes, every GT (circuit) stream's p95
+            // service latency must sit at or below every BE (spilled)
+            // stream's p95 — otherwise the hybrid is not delivering the
+            // guarantee its circuits exist for.
+            gap_tables.push(stream_gap_table(name, &cmp.hybrid));
+            if !cmp.hybrid.gt_no_worse_than_be() {
+                println!(
+                    "!! {name}: GT p95 {} exceeds BE p95 {} — the circuit \
+                     plane is serving worse than its own spillover",
+                    fmt_p95(cmp.hybrid.worst_p95(StreamPlane::Circuit)),
+                    fmt_p95(cmp.hybrid.best_p95(StreamPlane::Spilled)),
+                );
+                failures += 1;
+            }
         }
         ratios.push((
             name.to_string(),
@@ -145,6 +205,10 @@ fn main() {
             cmp.hybrid_energy_ratio(),
             cmp.hybrid.spilled_streams,
             ordered,
+            (
+                cmp.hybrid.worst_p95(StreamPlane::Circuit),
+                cmp.hybrid.best_p95(StreamPlane::Spilled),
+            ),
         ));
     }
 
@@ -165,11 +229,19 @@ fn main() {
         )
     );
 
-    println!("\nTotal-energy ratios per workload (vs pure circuit / vs hybrid):");
-    for (name, rc, rh, spilled, ordered) in &ratios {
+    for table in &gap_tables {
+        println!("\n{table}");
+    }
+
+    println!("\nTotal-energy ratios per workload (vs pure circuit / vs hybrid),");
+    println!("with the hybrid's GT/BE service gap (worst circuit p95 / best spilled p95):");
+    for (name, rc, rh, spilled, ordered, (gt, be)) in &ratios {
         println!(
             "  {name:<24} packet/circuit {rc:.2}x   packet/hybrid {rh:.2}x   \
-             spilled streams {spilled}   circuit<=hybrid<=packet: {}",
+             spilled streams {spilled}   GT p95 {:>4}   BE p95 {:>4}   \
+             circuit<=hybrid<=packet: {}",
+            fmt_p95(*gt),
+            fmt_p95(*be),
             if *ordered { "yes" } else { "VIOLATED" }
         );
     }
@@ -178,7 +250,10 @@ fn main() {
          The hybrid lands between the endpoints because admitted streams ride\n\
          circuits while its packet plane — clock-gated, mostly idle — only\n\
          wakes for the spillover; the circuit endpoint of an oversubscribed\n\
-         workload delivers the admitted GT subset only.)"
+         workload delivers the admitted GT subset only. On the oversubscribed\n\
+         workload the GT/BE p95 ordering is enforced by exit code: circuits\n\
+         must serve their streams no worse than the spillover plane serves\n\
+         its.)"
     );
     if failures > 0 {
         // Non-zero exit so the CI smoke step can't silently rot.

@@ -33,6 +33,7 @@ use noc_apps::taskgraph::TaskGraph;
 use noc_exp::tables;
 use noc_mesh::deployment::Deployment;
 use noc_mesh::fabric::FabricKind;
+use noc_mesh::stream::StreamStats;
 use noc_sim::par::{ParPolicy, WorkerPool};
 use noc_sim::time::CycleCount;
 use noc_sim::units::{Bandwidth, MegaHertz};
@@ -46,6 +47,9 @@ struct Outcome {
     delivered: u64,
     spilled_words: u64,
     energy_bits: u64,
+    /// Full per-stream telemetry — word counts *and* latency
+    /// distributions must be policy-invariant too.
+    streams: Vec<StreamStats>,
 }
 
 struct Timed {
@@ -87,6 +91,7 @@ fn run(
             delivered: dep.total_delivered(),
             spilled_words: dep.fabric().spilled_words(),
             energy_bits: dep.total_energy(&model).value().to_bits(),
+            streams: dep.fabric().stream_stats(),
         },
         cycles_per_sec: dep.cycles_run() as f64 / elapsed.max(1e-9),
     }
@@ -132,6 +137,15 @@ fn main() {
             }
             if seq.outcome.delivered == 0 {
                 println!("!! {side}x{side} {kind}: delivered nothing");
+                failures += 1;
+            }
+            let stream_sum: u64 = seq.outcome.streams.iter().map(|s| s.delivered_words).sum();
+            if stream_sum != seq.outcome.delivered {
+                println!(
+                    "!! {side}x{side} {kind}: per-stream delivered sum {stream_sum} \
+                     != node-level total {}",
+                    seq.outcome.delivered
+                );
                 failures += 1;
             }
             let speedup = pooled.cycles_per_sec / seq.cycles_per_sec;

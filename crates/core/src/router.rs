@@ -158,6 +158,19 @@ impl CircuitRouter {
         self.configure_lane(port, lane, ConfigEntry::INACTIVE)
     }
 
+    /// Reset one tile lane's end-to-end flow-control state — the source
+    /// window counter and the destination acknowledge generator — to
+    /// power-on values. Part of circuit teardown: a lane handed to a new
+    /// stream must not inherit the old stream's mid-window credit count
+    /// or ack phase (reconfiguring a lane resets its interface FSMs along
+    /// with the routing entry; a stale phase would let a later ack
+    /// overflow the new stream's window).
+    pub fn reset_tile_lane_flow(&mut self, lane: usize) {
+        let mode = FlowControlMode::from_params(self.params.window_size, self.params.ack_batch);
+        self.window_counters[lane] = WindowCounter::new(mode);
+        self.ack_gens[lane] = AckGenerator::new(mode);
+    }
+
     /// Convenience: configure a pass-through connection so that data entering
     /// on `(in_port, in_lane)` leaves on `(out_port, out_lane)`.
     pub fn connect(

@@ -22,6 +22,7 @@
 use noc_apps::taskgraph::TaskGraph;
 use noc_mesh::deployment::{DeployError, Deployment};
 use noc_mesh::fabric::{EnergyModel, Fabric, FabricKind};
+use noc_mesh::stream::{StreamPlane, StreamStats};
 use noc_mesh::topology::Mesh;
 use noc_power::estimator::PowerReport;
 use noc_sim::time::CycleCount;
@@ -48,6 +49,10 @@ pub struct FabricRunSummary {
     pub spilled_streams: u64,
     /// Payload words that rode the spillover plane (hybrid only).
     pub spilled_words: u64,
+    /// Per-stream telemetry straight from `Fabric::stream_stats`: word
+    /// counts, serving plane and the full service-latency distribution
+    /// for every session of the run.
+    pub streams: Vec<StreamStats>,
 }
 
 impl FabricRunSummary {
@@ -59,6 +64,30 @@ impl FabricRunSummary {
         } else {
             self.energy / (self.delivered as f64 * 16.0)
         }
+    }
+
+    /// Worst (largest) p95 service latency among streams served by
+    /// `plane`, over streams with deliveries
+    /// ([`noc_mesh::stream::worst_p95`]).
+    pub fn worst_p95(&self, plane: StreamPlane) -> Option<u64> {
+        noc_mesh::stream::worst_p95(&self.streams, plane)
+    }
+
+    /// Best (smallest) p95 service latency among streams served by
+    /// `plane`, over streams with deliveries
+    /// ([`noc_mesh::stream::best_p95`]).
+    pub fn best_p95(&self, plane: StreamPlane) -> Option<u64> {
+        noc_mesh::stream::best_p95(&self.streams, plane)
+    }
+
+    /// The hybrid QoS claim at run level, via the one shared definition
+    /// ([`noc_mesh::stream::gt_no_worse_than_be`]): every circuit-plane
+    /// stream's p95 service latency is at or below every spilled
+    /// stream's p95. This is the GT/BE service-gap ordering
+    /// `fabric_compare` enforces by exit code on the oversubscribed
+    /// workload.
+    pub fn gt_no_worse_than_be(&self) -> bool {
+        noc_mesh::stream::gt_no_worse_than_be(&self.streams)
     }
 }
 
@@ -94,6 +123,7 @@ pub fn run_app<F: Fabric>(
         energy: dep.total_energy(&model),
         spilled_streams: dep.fabric().spilled_streams(),
         spilled_words: dep.fabric().spilled_words(),
+        streams: dep.fabric().stream_stats(),
     }
 }
 
@@ -258,6 +288,46 @@ mod tests {
             cmp.circuit.energy,
             cmp.hybrid.energy,
             cmp.packet.energy
+        );
+    }
+
+    #[test]
+    fn per_stream_delivered_sums_to_run_totals() {
+        // The stream telemetry is a partition of the run: per-stream
+        // delivered words sum to the deployment's delivered total on
+        // every backend.
+        let cmp = comparison();
+        for kind in FabricKind::ALL {
+            let s = cmp.summary(kind);
+            let delivered: u64 = s.streams.iter().map(|t| t.delivered_words).sum();
+            assert_eq!(delivered, s.delivered, "{kind}: stream sums diverge");
+            let injected: u64 = s.streams.iter().map(|t| t.injected_words).sum();
+            assert_eq!(injected, s.injected, "{kind}: injected sums diverge");
+        }
+    }
+
+    #[test]
+    fn oversubscribed_hybrid_gt_p95_at_or_below_be_p95() {
+        // The GT/BE service gap under offered load: guaranteed-throughput
+        // circuits must serve at or below the spillover plane's p95 —
+        // the per-connection QoS number the hybrid discipline sells.
+        let clock = MegaHertz(25.0);
+        let ccn = noc_mesh::Ccn::new(
+            Mesh::new(3, 1),
+            noc_core::params::RouterParams::paper(),
+            clock,
+        );
+        let g = noc_apps::synthetic::oversubscribed_line(ccn.lane_capacity());
+        let cmp = compare_fabrics(&g, Mesh::new(3, 1), clock, 4000, 0x0B5)
+            .expect("spill admission deploys everywhere");
+        use noc_mesh::stream::StreamPlane;
+        let gt = cmp.hybrid.worst_p95(StreamPlane::Circuit);
+        let be = cmp.hybrid.best_p95(StreamPlane::Spilled);
+        assert!(gt.is_some(), "circuit plane delivered and was timed");
+        assert!(be.is_some(), "spillover plane delivered and was timed");
+        assert!(
+            cmp.hybrid.gt_no_worse_than_be(),
+            "GT p95 {gt:?} exceeds BE p95 {be:?}"
         );
     }
 

@@ -54,6 +54,8 @@ struct InFlight {
     delivery: Cycle,
     dst: NodeId,
     payload: Bytes,
+    /// Per-network message id, for [`BeNetwork::cancel`].
+    id: u64,
 }
 
 /// The store-and-forward BE network.
@@ -64,6 +66,7 @@ pub struct BeNetwork {
     /// Earliest cycle each directed link is free again.
     link_free: HashMap<(NodeId, noc_core::lane::Port), Cycle>,
     pending: Vec<InFlight>,
+    next_msg_id: u64,
     /// Messages delivered so far.
     pub delivered: u64,
     /// Configuration words applied so far.
@@ -104,6 +107,7 @@ impl BeNetwork {
             config,
             link_free: HashMap::new(),
             pending: Vec::new(),
+            next_msg_id: 0,
             delivered: 0,
             words_applied: 0,
         }
@@ -120,6 +124,20 @@ impl BeNetwork {
     /// accounting for XY hops, per-link serialisation and contention with
     /// earlier messages.
     pub fn send(&mut self, now: Cycle, from: NodeId, to: NodeId, words: &[ConfigWord]) -> Cycle {
+        self.send_tracked(now, from, to, words).0
+    }
+
+    /// [`BeNetwork::send`], additionally returning the message id so the
+    /// sender can [`BeNetwork::cancel`] the delivery later — the CCN
+    /// aborting a circuit setup whose stream was released while its
+    /// configuration was still in flight.
+    pub fn send_tracked(
+        &mut self,
+        now: Cycle,
+        from: NodeId,
+        to: NodeId,
+        words: &[ConfigWord],
+    ) -> (Cycle, u64) {
         let payload = encode_words(words);
         let ser = self.serialisation_cycles(&payload);
         let mut t = now;
@@ -141,12 +159,31 @@ impl BeNetwork {
         if from == to {
             t = t.after(ser);
         }
+        let id = self.next_msg_id;
+        self.next_msg_id += 1;
         self.pending.push(InFlight {
             delivery: t,
             dst: to,
             payload,
+            id,
         });
-        t
+        (t, id)
+    }
+
+    /// Void an in-flight message before it is applied. Returns `true`
+    /// when the message was still pending (link occupancy already paid is
+    /// not refunded — the bits were on the wire either way). Superseding
+    /// a configuration that must not land any more — e.g. a released
+    /// stream's setup words, whose lanes may already belong to a newer
+    /// circuit — is the one legitimate use.
+    pub fn cancel(&mut self, id: u64) -> bool {
+        match self.pending.iter().position(|m| m.id == id) {
+            Some(i) => {
+                self.pending.swap_remove(i);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Apply every message due by `now` to the SoC's routers. Returns the
@@ -171,6 +208,36 @@ impl BeNetwork {
             }
         }
         Ok(applied)
+    }
+
+    /// Decode and remove every message due by `now`, returning
+    /// `(destination router, configuration words)` batches.
+    ///
+    /// [`BeNetwork::deliver_due`] applies due words to a borrowed
+    /// [`Soc`]; this variant hands them back instead, for callers that
+    /// *are* the SoC — the fabric's runtime-admission path
+    /// (`Fabric::admit`) sends a new circuit's words over the BE network
+    /// and applies them from inside `Soc::step` when they fall due, so
+    /// reconfiguration latency (paper Section 5.1 budgets) is charged
+    /// cycle-accurately to the admitted stream. Corrupt payloads are
+    /// skipped (they cannot be applied), matching `deliver_due`'s refusal
+    /// to crash on a bad BE packet.
+    pub fn take_due(&mut self, now: Cycle) -> Vec<(NodeId, Vec<ConfigWord>)> {
+        let mut due = Vec::new();
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].delivery <= now {
+                let msg = self.pending.swap_remove(i);
+                if let Some(words) = decode_words(msg.payload) {
+                    self.delivered += 1;
+                    self.words_applied += words.len() as u64;
+                    due.push((msg.dst, words));
+                }
+            } else {
+                i += 1;
+            }
+        }
+        due
     }
 
     /// Messages still in flight.
@@ -253,6 +320,44 @@ mod tests {
         assert!(soc.router(target).config().entry_of(Port::East, 0).active);
         assert_eq!(be.in_flight(), 0);
         assert_eq!(be.delivered, 1);
+    }
+
+    #[test]
+    fn take_due_hands_back_exactly_the_due_batches() {
+        let mesh = Mesh::new(2, 1);
+        let mut be = BeNetwork::new(mesh, BeConfig::default());
+        let a = mesh.node(0, 0);
+        let b = mesh.node(1, 0);
+        let first = be.send(Cycle::ZERO, a, b, &[word()]);
+        let second = be.send(Cycle::ZERO, a, b, &[word(), word()]);
+        assert!(second > first, "same link serialises");
+
+        let early = be.take_due(Cycle(first.0 - 1));
+        assert!(early.is_empty());
+        let due = be.take_due(first);
+        assert_eq!(due, vec![(b, vec![word()])]);
+        assert_eq!(be.in_flight(), 1);
+        let rest = be.take_due(second);
+        assert_eq!(rest, vec![(b, vec![word(), word()])]);
+        assert_eq!(be.in_flight(), 0);
+        assert_eq!(be.delivered, 2);
+        assert_eq!(be.words_applied, 3);
+    }
+
+    #[test]
+    fn cancelled_message_is_never_applied() {
+        let mesh = Mesh::new(2, 1);
+        let mut soc = Soc::new(mesh, RouterParams::paper());
+        let mut be = BeNetwork::new(mesh, BeConfig::default());
+        let a = mesh.node(0, 0);
+        let b = mesh.node(1, 0);
+        let (delivery, id) = be.send_tracked(Cycle::ZERO, a, b, &[word()]);
+        assert!(be.cancel(id), "pending messages cancel");
+        assert!(!be.cancel(id), "double cancel is a no-op");
+        assert_eq!(be.in_flight(), 0);
+        let applied = be.deliver_due(delivery, &mut soc).unwrap();
+        assert_eq!(applied, 0, "a cancelled configuration must never land");
+        assert!(!soc.router(b).config().entry_of(Port::East, 0).active);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! streams are physically separated, which is the paper's core argument.
 
 use crate::soc::Soc;
+use crate::stream::{AdmitError, StreamDemand, StreamId};
 use crate::tile::TileKind;
 use crate::topology::{Mesh, NodeId};
 use noc_apps::taskgraph::{EdgeId, ProcessId, TaskGraph};
@@ -60,13 +61,20 @@ pub struct PathHop {
 /// edges between the same source and destination tile share it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EdgeRoute {
-    /// The edges served by this circuit (at least one).
+    /// The edges served by this circuit: at least one when produced by
+    /// the `Ccn::map*` pipeline, empty for circuits set up by runtime
+    /// admission ([`Ccn::admit_stream`]), which serve a [`StreamDemand`]
+    /// rather than task-graph edges.
     pub edges: Vec<EdgeId>,
     /// Parallel physical circuits (one per allocated lane). Empty when
     /// source and destination share a tile (no NoC traversal).
     pub paths: Vec<Vec<PathHop>>,
     /// Bandwidth each circuit provides.
     pub lane_capacity: Bandwidth,
+    /// Summed guaranteed-throughput demand of the edges — recorded so a
+    /// released circuit can be re-admitted at runtime with the original
+    /// ask ([`Mapping::stream_demand`]).
+    pub demand: Bandwidth,
 }
 
 impl EdgeRoute {
@@ -88,6 +96,40 @@ impl EdgeRoute {
     /// Hop count of the circuit (routers traversed).
     pub fn hops(&self) -> usize {
         self.paths.first().map_or(0, |p| p.len())
+    }
+
+    /// Source tile of the circuit (`None` for on-tile communication).
+    pub fn src(&self) -> Option<NodeId> {
+        self.paths.first().and_then(|p| p.first()).map(|h| h.node)
+    }
+
+    /// Destination tile of the circuit (`None` for on-tile communication).
+    pub fn dst(&self) -> Option<NodeId> {
+        self.paths.first().and_then(|p| p.last()).map(|h| h.node)
+    }
+
+    /// The configuration words activating this circuit, as
+    /// `(router, word)` pairs — the per-route slice of
+    /// [`Mapping::config_words`], used by runtime admission to set up one
+    /// stream without replaying the whole mapping.
+    pub fn config_words(&self, params: &RouterParams) -> Vec<(NodeId, ConfigWord)> {
+        let mut words = Vec::new();
+        for path in &self.paths {
+            for hop in path {
+                let select = params
+                    .foreign_select(hop.out_port, hop.in_port, hop.in_lane)
+                    .expect("allocator produced a legal hop");
+                let word = ConfigWord::for_lane(
+                    hop.out_port,
+                    hop.out_lane,
+                    ConfigEntry::active(select),
+                    params,
+                )
+                .expect("allocator produced a legal lane");
+                words.push((hop.node, word));
+            }
+        }
+        words
     }
 }
 
@@ -131,6 +173,37 @@ pub struct Mapping {
     /// Demands without circuits, for a best-effort/packet plane to carry.
     /// Always empty under [`Ccn::map`]'s strict admission.
     pub spilled: Vec<SpillStream>,
+    /// Payload bandwidth of one circuit lane at the mapping clock
+    /// ([`Ccn::lane_capacity`]) — recorded so fabrics can re-run lane
+    /// admission at runtime ([`crate::fabric::Fabric::admit`]) without a
+    /// CCN in hand.
+    pub lane_capacity: Bandwidth,
+}
+
+/// One NoC-crossing stream of a [`Mapping`], with its session handle.
+///
+/// This is the authoritative [`StreamId`] numbering every fabric uses at
+/// provision time: routes with lane paths first (in `Mapping::routes`
+/// order), spilled demands after — so handles are stable across backends
+/// and a hybrid deployment's circuit/spill split is visible in the id
+/// space. On-tile routes (no lane paths) never appear: they are not NoC
+/// streams.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MappedStream {
+    /// The session handle [`crate::fabric::Fabric::provision`] hands out.
+    pub id: StreamId,
+    /// Source tile.
+    pub src: NodeId,
+    /// Destination tile.
+    pub dst: NodeId,
+    /// Summed guaranteed-throughput demand of the stream's edges.
+    pub demand: Bandwidth,
+    /// `true` when the circuit plane could not admit the demand.
+    pub spilled: bool,
+    /// Index into [`Mapping::routes`] (circuit streams only).
+    pub route: Option<usize>,
+    /// Index into [`Mapping::spilled`] (spilled streams only).
+    pub spill: Option<usize>,
 }
 
 impl Mapping {
@@ -154,25 +227,58 @@ impl Mapping {
     /// pairs in teardown-safe order (setup is order-independent because
     /// each word touches one output lane).
     pub fn config_words(&self, params: &RouterParams) -> Vec<(NodeId, ConfigWord)> {
-        let mut words = Vec::new();
-        for route in &self.routes {
-            for path in &route.paths {
-                for hop in path {
-                    let select = params
-                        .foreign_select(hop.out_port, hop.in_port, hop.in_lane)
-                        .expect("allocator produced a legal hop");
-                    let word = ConfigWord::for_lane(
-                        hop.out_port,
-                        hop.out_lane,
-                        ConfigEntry::active(select),
-                        params,
-                    )
-                    .expect("allocator produced a legal lane");
-                    words.push((hop.node, word));
-                }
+        self.routes
+            .iter()
+            .flat_map(|route| route.config_words(params))
+            .collect()
+    }
+
+    /// Every NoC-crossing stream of the mapping, in [`StreamId`] order:
+    /// routes with lane paths first, spilled demands after. This numbering
+    /// is the [`crate::fabric::Fabric::provision`] contract — a backend
+    /// serves exactly these handles (the circuit-only `Soc` skips the
+    /// spilled ones, which it cannot carry).
+    pub fn streams(&self) -> Vec<MappedStream> {
+        let mut out = Vec::new();
+        for (i, route) in self.routes.iter().enumerate() {
+            if route.paths.is_empty() {
+                continue; // on-tile communication never touches the NoC
             }
+            out.push(MappedStream {
+                id: StreamId(out.len() as u32),
+                src: route.src().expect("non-empty paths"),
+                dst: route.dst().expect("non-empty paths"),
+                demand: route.demand,
+                spilled: false,
+                route: Some(i),
+                spill: None,
+            });
         }
-        words
+        for (i, spill) in self.spilled.iter().enumerate() {
+            out.push(MappedStream {
+                id: StreamId(out.len() as u32),
+                src: spill.src,
+                dst: spill.dst,
+                demand: spill.demand,
+                spilled: true,
+                route: None,
+                spill: Some(i),
+            });
+        }
+        out
+    }
+
+    /// The guaranteed-throughput ask of stream `id`, for re-admission
+    /// after a [`crate::fabric::Fabric::release`].
+    pub fn stream_demand(&self, id: StreamId) -> Option<StreamDemand> {
+        self.streams()
+            .into_iter()
+            .find(|s| s.id == id)
+            .map(|s| StreamDemand {
+                src: s.src,
+                dst: s.dst,
+                demand: s.demand,
+            })
     }
 
     /// Apply the mapping directly to a SoC's routers (the instantaneous
@@ -334,6 +440,25 @@ impl Allocator {
         }
         (out.len() == k).then_some(out)
     }
+
+    /// Mark every lane an existing circuit holds as occupied — the state
+    /// runtime admission re-runs against: the allocator starts from the
+    /// live circuits instead of an empty mesh, so freed lanes (released
+    /// streams are simply not occupied) become admissible again.
+    fn occupy_route(&mut self, route: &EdgeRoute) {
+        for path in &route.paths {
+            for hop in path {
+                if hop.in_port == Port::Tile {
+                    self.tx_free[hop.node.0][hop.in_lane] = false;
+                }
+                if hop.out_port == Port::Tile {
+                    self.rx_free[hop.node.0][hop.out_lane] = false;
+                } else if let Some(lanes) = self.link_free.get_mut(&(hop.node, hop.out_port)) {
+                    lanes[hop.out_lane] = false;
+                }
+            }
+        }
+    }
 }
 
 impl Ccn {
@@ -343,6 +468,19 @@ impl Ccn {
             mesh,
             params,
             clock,
+        }
+    }
+
+    /// A CCN whose clock is derived from a known per-lane payload
+    /// bandwidth — the inverse of [`Ccn::lane_capacity`]. This is how a
+    /// fabric re-creates its admission authority at runtime from a
+    /// provisioned [`Mapping`] alone (which records `lane_capacity` but
+    /// not the clock).
+    pub fn with_lane_capacity(mesh: Mesh, params: RouterParams, lane_capacity: Bandwidth) -> Ccn {
+        Ccn {
+            mesh,
+            params,
+            clock: MegaHertz(lane_capacity.value() / params.lane_payload_bits_per_cycle()),
         }
     }
 
@@ -422,6 +560,7 @@ impl Ccn {
             placement,
             routes,
             spilled,
+            lane_capacity: self.lane_capacity(),
         })
     }
 
@@ -651,117 +790,175 @@ impl Ccn {
                     edges: edge_ids,
                     paths: Vec::new(),
                     lane_capacity: capacity,
+                    demand: Bandwidth(total_bw),
                 });
                 continue;
             }
-            let mut overflow = |edge_ids: Vec<EdgeId>, reason, err| {
-                if spill {
-                    spilled.push(SpillStream {
-                        edges: edge_ids,
-                        src,
-                        dst,
-                        demand: Bandwidth(total_bw),
-                        reason,
-                    });
-                    Ok(())
-                } else {
-                    Err(err)
-                }
-            };
-            let first_edge = edge_ids[0];
             let needed = (total_bw / capacity.value()).ceil().max(1.0) as usize;
-            if needed > self.params.lanes_per_port {
-                overflow(
-                    edge_ids,
-                    SpillReason::TooWide,
-                    MappingError::EdgeTooWide {
-                        edge: first_edge,
-                        needed,
-                        available: self.params.lanes_per_port,
-                    },
-                )?;
-                continue;
-            }
-
-            // BFS for the shortest node path whose links all have `needed`
-            // free lanes.
-            let Some(node_path) = self.bfs(src, dst, needed, &alloc) else {
-                overflow(
-                    edge_ids,
-                    SpillReason::NoFreeLanes,
-                    MappingError::NoPath { edge: first_edge },
-                )?;
-                continue;
-            };
-
-            // Claim tile lanes at the endpoints. Both pools are checked
-            // before either is claimed, so a spilled demand leaves the
-            // allocator untouched for the demands after it.
-            let free = |pool: &[bool]| pool.iter().filter(|&&f| f).count();
-            if free(&alloc.tx_free[src.0]) < needed || free(&alloc.rx_free[dst.0]) < needed {
-                let node = if free(&alloc.tx_free[src.0]) < needed {
-                    src
-                } else {
-                    dst
-                };
-                overflow(
-                    edge_ids,
-                    SpillReason::NoFreeLanes,
-                    MappingError::TileLanesExhausted { node },
-                )?;
-                continue;
-            }
-            let tx =
-                Allocator::claim_tile(&mut alloc.tx_free[src.0], needed).expect("checked above");
-            let rx =
-                Allocator::claim_tile(&mut alloc.rx_free[dst.0], needed).expect("checked above");
-
-            // Claim link lanes hop by hop.
-            let mut link_lanes: Vec<Vec<usize>> = Vec::new(); // [hop][parallel]
-            for w in node_path.windows(2) {
-                let port = self
-                    .port_between(w[0], w[1])
-                    .expect("BFS path uses mesh links");
-                link_lanes.push(alloc.claim_link(w[0], port, needed));
-            }
-
-            // Assemble per-parallel-circuit hop lists.
-            let mut paths = Vec::with_capacity(needed);
-            for j in 0..needed {
-                let mut hops = Vec::with_capacity(node_path.len());
-                for (i, &node) in node_path.iter().enumerate() {
-                    let (in_port, in_lane) = if i == 0 {
-                        (Port::Tile, tx[j])
-                    } else {
-                        let from = node_path[i - 1];
-                        let port = self.port_between(from, node).unwrap();
-                        (port.opposite().unwrap(), link_lanes[i - 1][j])
+            match self.allocate_paths(&mut alloc, src, dst, needed) {
+                Ok(paths) => routes.push(EdgeRoute {
+                    edges: edge_ids,
+                    paths,
+                    lane_capacity: capacity,
+                    demand: Bandwidth(total_bw),
+                }),
+                Err(admit_err) => {
+                    let first_edge = edge_ids[0];
+                    let (reason, err) = match admit_err {
+                        AdmitError::TooWide { needed, available } => (
+                            SpillReason::TooWide,
+                            MappingError::EdgeTooWide {
+                                edge: first_edge,
+                                needed,
+                                available,
+                            },
+                        ),
+                        AdmitError::NoFreeLanes => (
+                            SpillReason::NoFreeLanes,
+                            MappingError::NoPath { edge: first_edge },
+                        ),
+                        AdmitError::TileLanesExhausted { node } => (
+                            SpillReason::NoFreeLanes,
+                            MappingError::TileLanesExhausted { node },
+                        ),
+                        // allocate_paths emits only the three variants above.
+                        other => unreachable!("allocation cannot fail with {other}"),
                     };
-                    let (out_port, out_lane) = if i + 1 == node_path.len() {
-                        (Port::Tile, rx[j])
+                    if spill {
+                        spilled.push(SpillStream {
+                            edges: edge_ids,
+                            src,
+                            dst,
+                            demand: Bandwidth(total_bw),
+                            reason,
+                        });
                     } else {
-                        let port = self.port_between(node, node_path[i + 1]).unwrap();
-                        (port, link_lanes[i][j])
-                    };
-                    hops.push(PathHop {
-                        node,
-                        in_port,
-                        in_lane,
-                        out_port,
-                        out_lane,
-                    });
+                        return Err(err);
+                    }
                 }
-                paths.push(hops);
             }
-            routes.push(EdgeRoute {
-                edges: edge_ids,
-                paths,
-                lane_capacity: capacity,
-            });
         }
         routes.sort_by_key(|r| r.edges[0]);
         spilled.sort_by_key(|s| s.edges[0]);
         Ok((routes, spilled))
+    }
+
+    /// Allocate `needed` parallel lane paths from `src` to `dst` against
+    /// the allocator's current occupancy: BFS for the shortest node path
+    /// whose links all have `needed` free lanes, then claim tile and link
+    /// lanes. Both tile pools are checked before either is claimed, so a
+    /// failed demand leaves the allocator untouched for the demands after
+    /// it. Shared by the whole-application pipeline
+    /// ([`Ccn::map`]/[`Ccn::map_with_spill`]) and runtime admission
+    /// ([`Ccn::admit_stream`]) — one admission algorithm, two entry
+    /// points.
+    fn allocate_paths(
+        &self,
+        alloc: &mut Allocator,
+        src: NodeId,
+        dst: NodeId,
+        needed: usize,
+    ) -> Result<Vec<Vec<PathHop>>, AdmitError> {
+        if needed > self.params.lanes_per_port {
+            return Err(AdmitError::TooWide {
+                needed,
+                available: self.params.lanes_per_port,
+            });
+        }
+
+        let Some(node_path) = self.bfs(src, dst, needed, alloc) else {
+            return Err(AdmitError::NoFreeLanes);
+        };
+
+        let free = |pool: &[bool]| pool.iter().filter(|&&f| f).count();
+        if free(&alloc.tx_free[src.0]) < needed || free(&alloc.rx_free[dst.0]) < needed {
+            let node = if free(&alloc.tx_free[src.0]) < needed {
+                src
+            } else {
+                dst
+            };
+            return Err(AdmitError::TileLanesExhausted { node });
+        }
+        let tx = Allocator::claim_tile(&mut alloc.tx_free[src.0], needed).expect("checked above");
+        let rx = Allocator::claim_tile(&mut alloc.rx_free[dst.0], needed).expect("checked above");
+
+        // Claim link lanes hop by hop.
+        let mut link_lanes: Vec<Vec<usize>> = Vec::new(); // [hop][parallel]
+        for w in node_path.windows(2) {
+            let port = self
+                .port_between(w[0], w[1])
+                .expect("BFS path uses mesh links");
+            link_lanes.push(alloc.claim_link(w[0], port, needed));
+        }
+
+        // Assemble per-parallel-circuit hop lists.
+        let mut paths = Vec::with_capacity(needed);
+        for j in 0..needed {
+            let mut hops = Vec::with_capacity(node_path.len());
+            for (i, &node) in node_path.iter().enumerate() {
+                let (in_port, in_lane) = if i == 0 {
+                    (Port::Tile, tx[j])
+                } else {
+                    let from = node_path[i - 1];
+                    let port = self.port_between(from, node).unwrap();
+                    (port.opposite().unwrap(), link_lanes[i - 1][j])
+                };
+                let (out_port, out_lane) = if i + 1 == node_path.len() {
+                    (Port::Tile, rx[j])
+                } else {
+                    let port = self.port_between(node, node_path[i + 1]).unwrap();
+                    (port, link_lanes[i][j])
+                };
+                hops.push(PathHop {
+                    node,
+                    in_port,
+                    in_lane,
+                    out_port,
+                    out_lane,
+                });
+            }
+            paths.push(hops);
+        }
+        Ok(paths)
+    }
+
+    /// Run-time admission of a single stream against the lanes the
+    /// `occupied` circuits currently hold.
+    ///
+    /// This is [`Ccn::map_with_spill`]'s lane allocation re-run at stream
+    /// granularity: the allocator is seeded with every live circuit's
+    /// lanes, then the demand takes ⌈bandwidth / lane-capacity⌉ parallel
+    /// lanes over the shortest feasible path — identical BFS order and
+    /// lane-claiming to deployment-time mapping, so releasing a circuit
+    /// and re-admitting the same demand reproduces the original route
+    /// bit-for-bit. Fabrics call this through
+    /// [`crate::fabric::Fabric::admit`] (which also charges the BE-network
+    /// configuration-delivery latency, paper §5.1, to the new stream).
+    ///
+    /// An on-tile demand (`src == dst`) is trivially admitted with no lane
+    /// paths.
+    pub fn admit_stream(
+        &self,
+        demand: &StreamDemand,
+        occupied: &[EdgeRoute],
+    ) -> Result<EdgeRoute, AdmitError> {
+        let capacity = self.lane_capacity();
+        let mut route = EdgeRoute {
+            edges: Vec::new(),
+            paths: Vec::new(),
+            lane_capacity: capacity,
+            demand: demand.demand,
+        };
+        if demand.src == demand.dst {
+            return Ok(route);
+        }
+        let mut alloc = Allocator::new(&self.mesh, &self.params);
+        for r in occupied {
+            alloc.occupy_route(r);
+        }
+        let needed = (demand.demand.value() / capacity.value()).ceil().max(1.0) as usize;
+        route.paths = self.allocate_paths(&mut alloc, demand.src, demand.dst, needed)?;
+        Ok(route)
     }
 
     fn port_between(&self, from: NodeId, to: NodeId) -> Option<Port> {
@@ -1111,6 +1308,117 @@ mod tests {
             routes.iter().any(|r| r.serves(e3)),
             "e3 must still route: the spilled e2 may not claim b's TX lanes"
         );
+    }
+
+    #[test]
+    fn streams_number_routes_then_spills() {
+        let c = ccn(3, 1);
+        let mut g = TaskGraph::new("line");
+        let a = g.add_process("a");
+        let b = g.add_process("b");
+        let d = g.add_process("d");
+        g.add_edge(a, d, Bandwidth(230.0), TrafficShape::Streaming, "heavy");
+        g.add_edge(b, d, Bandwidth(155.0), TrafficShape::Streaming, "light");
+        let m = c.map_with_spill(&g, &kinds(3)).unwrap();
+        assert_eq!(m.spilled.len(), 1, "premise: the light edge spills");
+        let streams = m.streams();
+        assert_eq!(streams.len(), 2);
+        assert_eq!(streams[0].id, StreamId(0));
+        assert!(!streams[0].spilled);
+        assert_eq!(streams[0].route, Some(0));
+        assert_eq!(streams[1].id, StreamId(1));
+        assert!(streams[1].spilled);
+        assert_eq!(streams[1].spill, Some(0));
+        assert_eq!(streams[1].src, m.spilled[0].src);
+        // Demands round-trip into re-admissible asks.
+        let ask = m.stream_demand(StreamId(1)).unwrap();
+        assert_eq!(ask.src, m.spilled[0].src);
+        assert!((ask.demand.value() - m.spilled[0].demand.value()).abs() < 1e-9);
+        assert!(m.stream_demand(StreamId(9)).is_none());
+    }
+
+    #[test]
+    fn on_tile_routes_are_not_streams() {
+        let c = ccn(1, 1);
+        let mut g = TaskGraph::new("self");
+        let _ = g.add_process("a");
+        let m = c.map(&g, &kinds(1)).unwrap();
+        assert!(m.streams().is_empty());
+    }
+
+    #[test]
+    fn admit_stream_reproduces_the_mapped_route() {
+        // Admission-at-runtime determinism: the route a freshly admitted
+        // stream gets on an empty mesh is bit-identical to the one the
+        // whole-application pipeline allocated for the same demand.
+        let c = ccn(3, 3);
+        let g = pipeline(2, 150.0);
+        let m = c.map(&g, &kinds(9)).unwrap();
+        let route = &m.routes[0];
+        let demand = m.stream_demand(StreamId(0)).unwrap();
+        let admitted = c.admit_stream(&demand, &[]).expect("empty mesh admits");
+        assert_eq!(admitted.paths, route.paths, "same BFS, same lanes");
+        assert_eq!(admitted.lane_capacity, route.lane_capacity);
+    }
+
+    #[test]
+    fn admit_stream_respects_occupied_lanes() {
+        // The oversubscribed line: with the heavy 3-lane circuit live, the
+        // 2-lane ask has no path; with it released (not occupied), the ask
+        // is admitted onto the freed lanes.
+        let c = ccn(3, 1);
+        let mesh = c.mesh;
+        let heavy = c
+            .admit_stream(
+                &StreamDemand {
+                    src: mesh.node(0, 0),
+                    dst: mesh.node(2, 0),
+                    demand: Bandwidth(230.0),
+                },
+                &[],
+            )
+            .unwrap();
+        let light = StreamDemand {
+            src: mesh.node(1, 0),
+            dst: mesh.node(2, 0),
+            demand: Bandwidth(155.0),
+        };
+        assert_eq!(
+            c.admit_stream(&light, std::slice::from_ref(&heavy)),
+            Err(AdmitError::NoFreeLanes)
+        );
+        let freed = c.admit_stream(&light, &[]).expect("freed lanes admit");
+        assert_eq!(freed.paths.len(), 2, "155 Mbit/s = 2 lanes at 80 each");
+    }
+
+    #[test]
+    fn admit_stream_rejects_too_wide() {
+        let c = ccn(2, 1);
+        let mesh = c.mesh;
+        let err = c
+            .admit_stream(
+                &StreamDemand {
+                    src: mesh.node(0, 0),
+                    dst: mesh.node(1, 0),
+                    demand: Bandwidth(400.0),
+                },
+                &[],
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            AdmitError::TooWide {
+                needed: 5,
+                available: 4
+            }
+        );
+    }
+
+    #[test]
+    fn with_lane_capacity_round_trips() {
+        let c = ccn(2, 2);
+        let rebuilt = Ccn::with_lane_capacity(c.mesh, RouterParams::paper(), c.lane_capacity());
+        assert!((rebuilt.lane_capacity().value() - c.lane_capacity().value()).abs() < 1e-6);
     }
 
     #[test]

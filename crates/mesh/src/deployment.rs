@@ -43,6 +43,7 @@ use crate::ccn::{Ccn, Mapping, MappingError};
 use crate::fabric::{EnergyModel, Fabric, FabricKind, PacketFabric, ProvisionError};
 use crate::hybrid::HybridFabric;
 use crate::soc::Soc;
+use crate::stream::StreamId;
 use crate::tile::{default_tile_kinds, TileKind};
 use crate::topology::{Mesh, NodeId};
 use noc_apps::taskgraph::TaskGraph;
@@ -288,27 +289,32 @@ impl<'g> DeploymentBuilder<'g> {
 }
 
 /// One stream's offered-load traffic generator — a provisioned circuit or
-/// a spilled best-effort demand.
+/// a spilled best-effort demand, addressed by its session handle.
 #[derive(Debug)]
 struct RouteTraffic {
+    /// The fabric session this traffic drives.
+    stream_id: StreamId,
     /// Index into `mapping.routes`, or `mapping.routes.len() + i` for the
     /// `i`-th entry of `mapping.spilled`.
     route: usize,
-    src: NodeId,
     dst: NodeId,
     /// Offered payload words per cycle.
     rate: f64,
     acc: f64,
     stream: WordStream,
     injected: u64,
+    /// Words this stream delivered (exact — drained per session).
+    delivered: u64,
     /// Rides the best-effort spillover plane instead of a circuit.
     spilled: bool,
 }
 
-/// Per-route delivery statistics, the fabric-generic analogue of the old
+/// Per-stream delivery statistics, the fabric-generic analogue of the old
 /// `RouteReport`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FabricRouteReport {
+    /// The stream's session handle on the deployed fabric.
+    pub stream: StreamId,
     /// Stream index: `mapping.routes[route]` when `!spilled`, else
     /// `mapping.spilled[route - mapping.routes.len()]`.
     pub route: usize,
@@ -316,11 +322,11 @@ pub struct FabricRouteReport {
     pub labels: Vec<String>,
     /// Required bandwidth (sum over the edges).
     pub required: Bandwidth,
-    /// Measured delivered bandwidth over the run.
+    /// Measured delivered bandwidth over the run — exact per stream,
+    /// counted by `drain_stream` (shared destinations no longer blur the
+    /// account).
     pub measured: Bandwidth,
-    /// `measured` relative to `required`. When several routes terminate at
-    /// the same node the node's deliveries are attributed proportionally
-    /// to each route's injected words.
+    /// `measured` relative to `required`.
     pub delivered_fraction: f64,
     /// Carried on the best-effort spillover plane rather than a circuit.
     pub spilled: bool,
@@ -362,48 +368,34 @@ impl<F: Fabric> Deployment<F> {
         fabric.set_parallelism(b.parallelism);
         let nodes = b.mesh.nodes();
         let mut traffic = Vec::new();
-        for (idx, route) in mapping.routes.iter().enumerate() {
-            if route.paths.is_empty() {
-                continue; // on-tile communication, nothing on the NoC
-            }
-            let demand: f64 = route
-                .edges
-                .iter()
-                .map(|&id| b.graph.edge(id).bandwidth.value())
-                .sum();
-            let src = route.paths[0][0].node;
-            let dst = route.paths[0].last().expect("non-empty path").node;
-            traffic.push(RouteTraffic {
-                route: idx,
-                src,
-                dst,
-                // Mbit/s over (MHz × 16 bit/word) = words/cycle.
-                rate: demand / (b.clock.value() * 16.0),
-                acc: 0.0,
-                stream: WordStream::new(b.pattern, b.seed ^ ((idx as u64) << 32)),
-                injected: 0,
-                spilled: false,
-            });
-        }
+        // One traffic generator per stream session, addressed by the
+        // mapping's StreamId numbering (what `provision` handed out).
         // Spilled demands get offered load too — on backends that can
         // carry them. The circuit fabric has no best-effort plane, so a
         // spill-admitted circuit deployment runs the GT subset only
-        // (injecting at an unprovisioned node would be a contract
+        // (injecting on an unserved session would be a contract
         // violation, not silent loss).
-        if fabric.kind() != FabricKind::Circuit {
-            for (i, spill) in mapping.spilled.iter().enumerate() {
-                let idx = mapping.routes.len() + i;
-                traffic.push(RouteTraffic {
-                    route: idx,
-                    src: spill.src,
-                    dst: spill.dst,
-                    rate: spill.demand.value() / (b.clock.value() * 16.0),
-                    acc: 0.0,
-                    stream: WordStream::new(b.pattern, b.seed ^ ((idx as u64) << 32)),
-                    injected: 0,
-                    spilled: true,
-                });
+        for ms in mapping.streams() {
+            if ms.spilled && fabric.kind() == FabricKind::Circuit {
+                continue;
             }
+            let idx = match (ms.route, ms.spill) {
+                (Some(r), _) => r,
+                (None, Some(s)) => mapping.routes.len() + s,
+                (None, None) => unreachable!("a stream is a route or a spill"),
+            };
+            traffic.push(RouteTraffic {
+                stream_id: ms.id,
+                route: idx,
+                dst: ms.dst,
+                // Mbit/s over (MHz × 16 bit/word) = words/cycle.
+                rate: ms.demand.value() / (b.clock.value() * 16.0),
+                acc: 0.0,
+                stream: WordStream::new(b.pattern, b.seed ^ ((idx as u64) << 32)),
+                injected: 0,
+                delivered: 0,
+                spilled: ms.spilled,
+            });
         }
         Deployment {
             fabric,
@@ -479,11 +471,16 @@ impl<F: Fabric> Deployment<F> {
     }
 
     fn collect(&mut self) {
-        for node in 0..self.delivered_at.len() {
-            let words = self.fabric.drain(NodeId(node));
-            self.delivered_at[node] += words.len() as u64;
+        // Stream-exact collection: each session is drained by handle, so
+        // shared destinations attribute every word to the stream that
+        // carried it (the per-stream drain accounting the node-level API
+        // could only approximate).
+        for t in &mut self.traffic {
+            let words = self.fabric.drain_stream(t.stream_id);
+            t.delivered += words.len() as u64;
+            self.delivered_at[t.dst.0] += words.len() as u64;
             if self.keep_payload {
-                self.payload_at[node].extend(words);
+                self.payload_at[t.dst.0].extend(words);
             }
         }
     }
@@ -498,7 +495,7 @@ impl<F: Fabric> Deployment<F> {
                 while t.acc + 1e-9 >= 1.0 {
                     t.acc -= 1.0;
                     let word = t.stream.next_word();
-                    self.fabric.inject(t.src, &[word]);
+                    self.fabric.inject_stream(t.stream_id, &[word]);
                     t.injected += 1;
                 }
             }
@@ -571,19 +568,12 @@ impl<F: Fabric> Deployment<F> {
                         .map(|&id| graph.edge(id).bandwidth.value())
                         .sum(),
                 );
-                // Attribute the destination node's deliveries to this
-                // route, proportionally when routes share a destination.
-                let at_dst: u64 = self.delivered_at[t.dst.0];
-                let injected_here = t.injected.max(1);
-                let injected_at_dst: u64 = self
-                    .traffic
-                    .iter()
-                    .filter(|o| o.dst == t.dst)
-                    .map(|o| o.injected.max(1))
-                    .sum();
-                let share = at_dst as f64 * injected_here as f64 / injected_at_dst as f64;
-                let measured = Bandwidth::from_bits_over((share * 16.0) as u64, window);
+                // Exact per-stream accounting: collect() drains by
+                // session handle, so this stream's deliveries are its
+                // own even at a shared destination.
+                let measured = Bandwidth::from_bits_over(t.delivered * 16, window);
                 FabricRouteReport {
+                    stream: t.stream_id,
                     route: t.route,
                     labels: edges
                         .iter()

@@ -26,11 +26,17 @@
 //! * [`reconfig`] — run-time reconfiguration: stream teardown/setup diffs
 //!   delivered over the BE network, with the paper's <20 ms full-router
 //!   budget checked.
+//! * [`stream`] — **stream sessions**: [`stream::StreamId`] handles,
+//!   per-stream telemetry ([`stream::StreamStats`] with a full latency
+//!   histogram), and the runtime lifecycle vocabulary
+//!   ([`stream::StreamDemand`], [`stream::AdmitError`]) — the paper's
+//!   per-connection guarantees as API objects.
 //! * [`fabric`] — **the unified backend API**: the [`fabric::Fabric`]
 //!   trait over whole networks-on-chip, implemented by the
 //!   circuit-switched [`Soc`] and by [`fabric::PacketFabric`], a full mesh
-//!   of `noc_packet` wormhole routers. Every workload written against it
-//!   is automatically a circuit-vs-packet comparison.
+//!   of `noc_packet` wormhole routers. Streams are provisioned, injected,
+//!   drained, costed and re-admitted per session; every workload written
+//!   against it is automatically a circuit-vs-packet comparison.
 //! * [`hybrid`] — **profiled hybrid switching** (arXiv:2005.08478): the
 //!   third [`fabric::Fabric`] backend. [`hybrid::HybridFabric`] owns a
 //!   circuit-switched [`Soc`] *and* a clock-gated [`fabric::PacketFabric`]
@@ -53,15 +59,17 @@ pub mod hybrid;
 pub mod packet_mesh;
 pub mod reconfig;
 pub mod soc;
+pub mod stream;
 pub mod tile;
 pub mod topology;
 
 pub use be::{BeConfig, BeNetwork};
-pub use ccn::{Ccn, Mapping, MappingError, PathHop, SpillReason, SpillStream};
+pub use ccn::{Ccn, MappedStream, Mapping, MappingError, PathHop, SpillReason, SpillStream};
 pub use deployment::{DeployError, Deployment, DeploymentBuilder, FabricRouteReport};
 pub use fabric::{EnergyModel, Fabric, FabricKind, PacketFabric, ProvisionError};
 pub use hybrid::{HybridFabric, SpillStats};
 pub use packet_mesh::{PacketMesh, RandomTraffic};
 pub use soc::Soc;
+pub use stream::{AdmitError, StreamDemand, StreamId, StreamPlane, StreamStats};
 pub use tile::{default_tile_kinds, Tile, TileKind};
 pub use topology::{Mesh, NodeId};

@@ -17,7 +17,7 @@ use noc_packet::routing::Coords;
 use noc_packet::vc::VcId;
 use noc_sim::par::{par_commit, par_eval, ParPolicy};
 use noc_sim::rng::SplitMix64;
-use noc_sim::stats::{Histogram, Running};
+use noc_sim::stats::LatencyHistogram;
 use noc_sim::time::{Cycle, CycleCount};
 
 /// Map a mesh port to the packet router's port type.
@@ -52,11 +52,11 @@ pub struct PacketMesh {
     traffic: RandomTraffic,
     rng: SplitMix64,
     now: Cycle,
-    /// Packet delivery latency in cycles (head injection → tail delivery),
-    /// bucketed.
-    pub latency: Histogram,
-    /// Running latency statistics.
-    pub latency_stats: Running,
+    /// Packet delivery latency in cycles (head injection → tail delivery):
+    /// min/mean/p50/p95/max plus arbitrary quantiles — the same
+    /// [`LatencyHistogram`] unit the `Fabric` API's per-stream telemetry
+    /// reports, so BE-plane numbers compare directly.
+    pub latency: LatencyHistogram,
     /// Packets fully delivered.
     pub packets_delivered: u64,
     /// Packets generated.
@@ -89,8 +89,7 @@ impl PacketMesh {
             traffic,
             rng: SplitMix64::new(seed),
             now: Cycle::ZERO,
-            latency: Histogram::new(4, 256),
-            latency_stats: Running::new(),
+            latency: LatencyHistogram::new(),
             packets_delivered: 0,
             packets_generated: 0,
             rx_inject_ts: mesh.iter().map(|_| [None; 4]).collect(),
@@ -212,7 +211,6 @@ impl PacketMesh {
                             if let Some(ts) = slot.take() {
                                 let lat = (self.now.0 as u16).wrapping_sub(ts);
                                 self.latency.record(u64::from(lat));
-                                self.latency_stats.push(f64::from(lat));
                             }
                             self.packets_delivered += 1;
                         }
@@ -262,7 +260,7 @@ mod tests {
         );
         // Latency near the zero-load floor: a few cycles per hop plus
         // serialisation.
-        let mean = pm.latency_stats.mean();
+        let mean = pm.latency.mean();
         assert!(
             mean < 40.0,
             "mean latency {mean:.1} too high for light load"
@@ -274,7 +272,7 @@ mod tests {
         let mean_at = |rate: f64| {
             let mut pm = PacketMesh::new(Mesh::new(3, 3), PacketParams::paper(), traffic(rate), 7);
             pm.run(3000);
-            pm.latency_stats.mean()
+            pm.latency.mean()
         };
         let light = mean_at(0.01);
         let heavy = mean_at(0.12);
@@ -300,7 +298,7 @@ mod tests {
         let mut pm = PacketMesh::new(Mesh::new(2, 2), PacketParams::paper(), traffic(0.0), 9);
         pm.run(500);
         assert_eq!(pm.packets_generated, 0);
-        assert_eq!(pm.latency_stats.count(), 0);
+        assert_eq!(pm.latency.count(), 0);
     }
 
     #[test]
@@ -309,7 +307,7 @@ mod tests {
             let mut pm =
                 PacketMesh::new(Mesh::new(3, 3), PacketParams::paper(), traffic(0.05), seed);
             pm.run(1500);
-            (pm.packets_delivered, pm.latency_stats.mean())
+            (pm.packets_delivered, pm.latency.mean())
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));

@@ -10,7 +10,7 @@
 //! like any other configuration traffic.
 
 use crate::be::BeNetwork;
-use crate::ccn::Mapping;
+use crate::ccn::{EdgeRoute, Mapping};
 use crate::soc::Soc;
 use crate::topology::NodeId;
 use noc_core::config::{ConfigEntry, ConfigWord};
@@ -55,6 +55,43 @@ fn used_lanes(mapping: &Mapping, params: &RouterParams) -> HashSet<(NodeId, u16)
         // the same lane with different entries still refer to one lane.
         .map(|(node, w)| (node, w.0 >> params.entry_bits()))
         .collect()
+}
+
+/// The configuration words activating one circuit — the setup half of a
+/// single-stream reconfiguration. Runtime admission
+/// (`Fabric::admit`) ships exactly these over the BE network, so a
+/// stream set up mid-run pays the same §5.1 delivery budget as an
+/// application switch.
+pub fn setup_words_for_route(
+    route: &EdgeRoute,
+    params: &RouterParams,
+) -> Vec<(NodeId, ConfigWord)> {
+    route.config_words(params)
+}
+
+/// The deactivation words tearing one circuit down — the teardown half of
+/// a single-stream reconfiguration (`Fabric::release`). One word per
+/// output lane the route holds, deduplicated and sorted for deterministic
+/// delivery order.
+pub fn teardown_words_for_route(
+    route: &EdgeRoute,
+    params: &RouterParams,
+) -> Vec<(NodeId, ConfigWord)> {
+    let lanes: HashSet<(NodeId, u16)> = route
+        .config_words(params)
+        .into_iter()
+        .map(|(node, w)| (node, w.0 >> params.entry_bits()))
+        .collect();
+    let mut words: Vec<(NodeId, ConfigWord)> = lanes
+        .into_iter()
+        .map(|(node, lane_addr)| {
+            let word =
+                ConfigWord((lane_addr << params.entry_bits()) | ConfigEntry::INACTIVE.pack(params));
+            (node, word)
+        })
+        .collect();
+    words.sort_by_key(|&(n, w)| (n, w.0));
+    words
 }
 
 /// Compute the diff taking the SoC from `old` to `new`.
@@ -211,6 +248,38 @@ mod tests {
         let done = execute(&p, &mut be, &mut soc, mesh.node(0, 0), Cycle::ZERO).unwrap();
         let ms = done.at(MegaHertz(25.0)).as_millis();
         assert!(ms < 1.0, "application switch took {ms} ms");
+    }
+
+    #[test]
+    fn route_setup_and_teardown_words_cancel() {
+        // Applying a route's setup words then its teardown words leaves a
+        // fresh SoC's configuration untouched — the invariant behind
+        // `Fabric::release` + `Fabric::admit` round-tripping.
+        let (ccn, kinds, mesh) = setup();
+        let params = RouterParams::paper();
+        let m = ccn.map(&pipeline("a", 3, 150.0), &kinds).unwrap();
+        let route = &m.routes[0];
+        let mut soc = crate::soc::Soc::new(mesh, params);
+        let pristine: Vec<_> = mesh
+            .iter()
+            .map(|n| soc.router(n).config().snapshot_words())
+            .collect();
+        for (node, word) in setup_words_for_route(route, &params) {
+            soc.router_mut(node).apply_config_word(word).unwrap();
+        }
+        let configured: Vec<_> = mesh
+            .iter()
+            .map(|n| soc.router(n).config().snapshot_words())
+            .collect();
+        assert_ne!(pristine, configured, "setup must change configuration");
+        for (node, word) in teardown_words_for_route(route, &params) {
+            soc.router_mut(node).apply_config_word(word).unwrap();
+        }
+        let torn: Vec<_> = mesh
+            .iter()
+            .map(|n| soc.router(n).config().snapshot_words())
+            .collect();
+        assert_eq!(pristine, torn, "teardown must cancel setup exactly");
     }
 
     #[test]

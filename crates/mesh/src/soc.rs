@@ -16,7 +16,9 @@
 //! evaluate pass never race — this is the property that makes big-mesh
 //! simulation embarrassingly parallel (see the `mesh_step` bench).
 
-use crate::ccn::Mapping;
+use crate::be::{BeConfig, BeNetwork};
+use crate::ccn::{Ccn, EdgeRoute, Mapping};
+use crate::stream::{AdmitError, StreamDemand, StreamId, StreamPlane, StreamStats};
 use crate::tile::{default_tile_kinds, Tile, TileKind};
 use crate::topology::{Mesh, NodeId};
 use noc_core::error::ConfigError;
@@ -27,19 +29,136 @@ use noc_core::router::CircuitRouter;
 use noc_sim::activity::{ActivityLedger, ComponentActivity};
 use noc_sim::kernel::Clocked;
 use noc_sim::par::{par_commit, par_eval, ParPolicy};
+use noc_sim::stats::LatencyHistogram;
 use noc_sim::time::{Cycle, CycleCount};
-use std::collections::VecDeque;
+use noc_sim::units::Bandwidth;
+use std::collections::{HashMap, VecDeque};
 
-/// The provisioned word-level injection plan behind the [`crate::fabric`]
-/// API: for every node, the tile transmit lanes of the circuits that
-/// originate there, and the queue of payload words awaiting injection.
-#[derive(Debug, Clone, Default)]
-struct CircuitPlan {
-    /// Per node: tile TX lanes of provisioned circuits, in route order.
-    tx_lanes: Vec<Vec<usize>>,
-    /// Per node: payload words queued by `inject`, drained onto the tile
-    /// lanes one phit per free lane per cycle.
-    ingress: Vec<VecDeque<u16>>,
+/// One provisioned circuit stream: the session state behind a
+/// [`StreamId`] on the circuit plane.
+#[derive(Debug, Clone)]
+struct SocStream {
+    id: StreamId,
+    src: NodeId,
+    dst: NodeId,
+    /// The allocated circuit (kept whole so release can tear it down and
+    /// runtime admission can count its lanes as occupied).
+    route: EdgeRoute,
+    /// Tile TX lane per parallel path (at `src`).
+    tx_lanes: Vec<usize>,
+    /// Tile RX lane per parallel path (at `dst`).
+    rx_lanes: Vec<usize>,
+    /// Words queued by `inject_stream`, tagged with their inject cycle.
+    ingress: VecDeque<(u16, u64)>,
+    /// Inject timestamps of words in flight, per parallel path (circuit
+    /// delivery is FIFO per lane, so front-of-queue pairs with the next
+    /// word captured on the path's RX lane).
+    pending_ts: Vec<VecDeque<u64>>,
+    /// Delivered words awaiting `drain_stream`.
+    egress: Vec<u16>,
+    injected: u64,
+    delivered: u64,
+    /// BE-network configuration-delivery wait charged to this stream
+    /// (zero for provision-time circuits).
+    reconfig_cycles: u64,
+    /// First cycle the circuit is configured and may carry traffic.
+    ready_at: u64,
+    /// BE message ids of in-flight setup words (runtime-admitted
+    /// circuits only). Release cancels them: a dead stream's setup words
+    /// must never land on lanes a newer circuit may hold by then.
+    setup_msgs: Vec<u64>,
+    latency: LatencyHistogram,
+    active: bool,
+}
+
+/// The provisioned stream table behind the [`crate::fabric`] API: every
+/// circuit session with its lanes, queues and telemetry, plus the
+/// node-level indexes the deprecated node-addressed shims fan out over.
+#[derive(Debug)]
+struct StreamPlan {
+    streams: Vec<SocStream>,
+    /// StreamId -> index into `streams`.
+    by_id: HashMap<u32, usize>,
+    /// Per node: indices of *active* streams originating there.
+    by_src: Vec<Vec<usize>>,
+    /// Per node, per tile RX lane: which (stream, path) terminates there.
+    rx_map: Vec<Vec<Option<(usize, usize)>>>,
+    /// Nodes with at least one entry ever in `rx_map` (collection skips
+    /// the rest on the per-cycle hot path).
+    rx_nodes: Vec<usize>,
+    /// Per node: round-robin cursor of the node-level inject shim.
+    rr: Vec<usize>,
+    /// One lane's payload bandwidth, recorded from the mapping so runtime
+    /// admission can re-run CCN lane allocation without a clock in hand.
+    lane_capacity: Bandwidth,
+    /// Next session id (continues the mapping's numbering across
+    /// runtime admissions).
+    next_id: u32,
+}
+
+impl StreamPlan {
+    fn new(mesh: &Mesh, lanes_per_port: usize, lane_capacity: Bandwidth) -> StreamPlan {
+        StreamPlan {
+            streams: Vec::new(),
+            by_id: HashMap::new(),
+            by_src: vec![Vec::new(); mesh.nodes()],
+            rx_map: vec![vec![None; lanes_per_port]; mesh.nodes()],
+            rx_nodes: Vec::new(),
+            rr: vec![0; mesh.nodes()],
+            lane_capacity,
+            next_id: 0,
+        }
+    }
+
+    /// Register one circuit session and index its lanes. The route must
+    /// have at least one path.
+    fn register(
+        &mut self,
+        id: StreamId,
+        route: EdgeRoute,
+        ready_at: u64,
+        reconfig_cycles: u64,
+        setup_msgs: Vec<u64>,
+    ) -> usize {
+        let src = route.src().expect("circuit streams have paths");
+        let dst = route.dst().expect("circuit streams have paths");
+        let tx_lanes: Vec<usize> = route.paths.iter().map(|p| p[0].in_lane).collect();
+        let rx_lanes: Vec<usize> = route
+            .paths
+            .iter()
+            .map(|p| p.last().expect("non-empty path").out_lane)
+            .collect();
+        let idx = self.streams.len();
+        for (j, &lane) in rx_lanes.iter().enumerate() {
+            debug_assert!(self.rx_map[dst.0][lane].is_none(), "rx lane double-booked");
+            self.rx_map[dst.0][lane] = Some((idx, j));
+        }
+        if !self.rx_nodes.contains(&dst.0) {
+            self.rx_nodes.push(dst.0);
+        }
+        self.by_src[src.0].push(idx);
+        self.by_id.insert(id.0, idx);
+        let paths = route.paths.len();
+        self.streams.push(SocStream {
+            id,
+            src,
+            dst,
+            route,
+            tx_lanes,
+            rx_lanes,
+            ingress: VecDeque::new(),
+            pending_ts: vec![VecDeque::new(); paths],
+            egress: Vec::new(),
+            injected: 0,
+            delivered: 0,
+            reconfig_cycles,
+            ready_at,
+            setup_msgs,
+            latency: LatencyHistogram::new(),
+            active: true,
+        });
+        idx
+    }
 }
 
 /// A mesh SoC of circuit-switched routers with one tile per router.
@@ -55,8 +174,12 @@ pub struct Soc {
     sample_data: Vec<Vec<noc_sim::bits::Nibble>>,
     /// Scratch: sampled reverse acks per node per flat lane.
     sample_ack: Vec<Vec<bool>>,
-    /// Set by [`Soc::provision`]; drives the fabric-level inject/drain.
-    plan: Option<CircuitPlan>,
+    /// Set by [`Soc::provision`]; drives the fabric-level stream API.
+    plan: Option<StreamPlan>,
+    /// The BE configuration network runtime admission sends its circuit
+    /// setup words over; [`Soc::step`] applies them when they fall due,
+    /// so reconfiguration latency (paper §5.1) is cycle-accurate.
+    be: BeNetwork,
 }
 
 impl Soc {
@@ -82,25 +205,32 @@ impl Soc {
                 .collect(),
             sample_ack: (0..mesh.nodes()).map(|_| vec![false; lanes]).collect(),
             plan: None,
+            be: BeNetwork::new(mesh, BeConfig::default()),
         }
     }
 
     /// Configure every circuit of `mapping` directly into the routers and
-    /// set up the word-level injection plan the [`crate::fabric::Fabric`]
-    /// API drives: source tiles get their provisioned TX lanes recorded,
-    /// destination tiles get payload capture enabled so `drain` can
-    /// return delivered words.
+    /// set up the per-stream session table the [`crate::fabric::Fabric`]
+    /// API drives: one [`StreamId`] per NoC-crossing route (the mapping's
+    /// [`Mapping::streams`] numbering), each with its provisioned TX/RX
+    /// lanes, word queues and latency telemetry; destination tiles get
+    /// per-lane payload capture enabled so `drain_stream` can return
+    /// delivered words stream-exactly.
     ///
     /// Production configuration delivery rides the BE network
     /// ([`crate::be`]); this is the instantaneous path, equivalent in
     /// final router state (`be_configuration_matches_direct_configuration`
-    /// in the end-to-end tests).
+    /// in the end-to-end tests). Circuits admitted later at runtime
+    /// ([`Soc::admit_stream`]) *do* pay BE delivery latency.
     ///
     /// [`Mapping::spilled`] entries are *not* served: a circuit-only SoC
-    /// has no best-effort plane to put them on. Deploy spill-admitted
+    /// has no best-effort plane to put them on (their [`StreamId`]s stay
+    /// reserved so handles agree across backends). Deploy spill-admitted
     /// mappings on [`crate::hybrid::HybridFabric`] (or the packet fabric)
     /// when every stream must be delivered.
-    pub fn provision(&mut self, mapping: &Mapping) -> Result<(), ConfigError> {
+    ///
+    /// Returns the handles of the streams this fabric serves.
+    pub fn provision(&mut self, mapping: &Mapping) -> Result<Vec<StreamId>, ConfigError> {
         let params = self.params;
         // Idempotency (the Fabric contract): a re-provision replaces the
         // previous plan entirely — tear down every configured lane and
@@ -113,62 +243,286 @@ impl Soc {
                         self.routers[node.0].deactivate_lane(port, lane)?;
                     }
                 }
+                for lane in 0..params.lanes_per_port {
+                    // A replaced plan's mid-window credit counts and ack
+                    // phases must not leak into the new plan's circuits.
+                    self.routers[node.0].reset_tile_lane_flow(lane);
+                }
                 self.tiles[node.0].set_capture(false);
             }
         }
         for (node, word) in mapping.config_words(&params) {
             self.routers[node.0].apply_config_word(word)?;
         }
-        let mut plan = CircuitPlan {
-            tx_lanes: vec![Vec::new(); self.mesh.nodes()],
-            ingress: vec![VecDeque::new(); self.mesh.nodes()],
-        };
-        for route in &mapping.routes {
-            for path in &route.paths {
-                let first = path.first().expect("non-empty path");
-                let last = path.last().expect("non-empty path");
-                plan.tx_lanes[first.node.0].push(first.in_lane);
-                self.tiles[last.node.0].set_capture(true);
-            }
+        // In-flight configuration of a replaced plan is void.
+        self.be = BeNetwork::new(self.mesh, BeConfig::default());
+
+        let mut plan = StreamPlan::new(&self.mesh, params.lanes_per_port, mapping.lane_capacity);
+        let mut served = Vec::new();
+        let streams = mapping.streams();
+        plan.next_id = streams.len() as u32;
+        for ms in streams {
+            let Some(route_idx) = ms.route else {
+                continue; // spilled: no circuit to serve it with
+            };
+            let route = mapping.routes[route_idx].clone();
+            plan.register(ms.id, route, 0, 0, Vec::new());
+            self.tiles[ms.dst.0].set_capture(true);
+            served.push(ms.id);
         }
         self.plan = Some(plan);
+        Ok(served)
+    }
+
+    /// Queue payload words on stream `id`. Words are tagged with the
+    /// current cycle (the latency clock starts at injection, so
+    /// serialisation backlog counts as service time) and drained onto the
+    /// stream's provisioned TX lanes, one phit per free lane per cycle.
+    /// Returns the number of words accepted (all of them — the ingress
+    /// queue is unbounded; its depth measures offered-load backlog).
+    ///
+    /// # Panics
+    /// Panics before [`Soc::provision`], on a handle this fabric does not
+    /// serve, or on a released stream.
+    pub fn inject_stream_words(&mut self, id: StreamId, words: &[u16]) -> usize {
+        let now = self.now.0;
+        let plan = self
+            .plan
+            .as_mut()
+            .expect("Soc::inject_stream_words before Soc::provision");
+        let &idx = plan
+            .by_id
+            .get(&id.0)
+            .unwrap_or_else(|| panic!("{id} is not served by this circuit fabric"));
+        let s = &mut plan.streams[idx];
+        assert!(s.active, "{id} was released");
+        s.ingress.extend(words.iter().map(|&w| (w, now)));
+        s.injected += words.len() as u64;
+        words.len()
+    }
+
+    /// Take the payload words stream `id` delivered since the last call
+    /// (in order — circuits are FIFO). Valid on released streams, whose
+    /// last deliveries may arrive after the release.
+    ///
+    /// # Panics
+    /// Panics before [`Soc::provision`] or on a handle this fabric does
+    /// not serve.
+    pub fn drain_stream_words(&mut self, id: StreamId) -> Vec<u16> {
+        let plan = self
+            .plan
+            .as_mut()
+            .expect("Soc::drain_stream_words before Soc::provision");
+        let &idx = plan
+            .by_id
+            .get(&id.0)
+            .unwrap_or_else(|| panic!("{id} is not served by this circuit fabric"));
+        std::mem::take(&mut plan.streams[idx].egress)
+    }
+
+    /// Parallel circuit paths (lanes) stream `id` holds; `None` for
+    /// handles this fabric does not serve. The authoritative lane count
+    /// behind the hybrid's GT/BE split accounting.
+    pub fn stream_path_count(&self, id: StreamId) -> Option<usize> {
+        let plan = self.plan.as_ref()?;
+        let &idx = plan.by_id.get(&id.0)?;
+        Some(plan.streams[idx].route.paths.len())
+    }
+
+    /// Per-stream telemetry for every session the fabric has served since
+    /// the last [`Soc::provision`], released ones included.
+    pub fn stream_stats(&self) -> Vec<StreamStats> {
+        let Some(plan) = &self.plan else {
+            return Vec::new();
+        };
+        plan.streams
+            .iter()
+            .map(|s| StreamStats {
+                id: s.id,
+                src: s.src,
+                dst: s.dst,
+                plane: StreamPlane::Circuit,
+                active: s.active,
+                injected_words: s.injected,
+                delivered_words: s.delivered,
+                reconfig_cycles: s.reconfig_cycles,
+                latency: s.latency.clone(),
+            })
+            .collect()
+    }
+
+    /// Tear stream `id`'s circuit down: its lanes are deactivated (one
+    /// inactive configuration word per held output lane) and returned to
+    /// the free pool runtime admission allocates from. The handle stays
+    /// valid for [`Soc::drain_stream_words`] / [`Soc::stream_stats`];
+    /// undelivered ingress backlog is discarded and words mid-circuit are
+    /// dropped with the lanes — settle the stream before releasing it
+    /// when every word matters.
+    pub fn release_stream(&mut self, id: StreamId) -> Result<(), AdmitError> {
+        let params = self.params;
+        let Some(plan) = &mut self.plan else {
+            return Err(AdmitError::UnknownStream(id));
+        };
+        let Some(&idx) = plan.by_id.get(&id.0) else {
+            return Err(AdmitError::UnknownStream(id));
+        };
+        if !plan.streams[idx].active {
+            return Err(AdmitError::UnknownStream(id));
+        }
+        let (src, dst, tx_lanes, rx_lanes, setup_msgs) = {
+            let s = &mut plan.streams[idx];
+            s.active = false;
+            s.ingress.clear();
+            for q in &mut s.pending_ts {
+                q.clear();
+            }
+            (
+                s.src,
+                s.dst,
+                s.tx_lanes.clone(),
+                s.rx_lanes.clone(),
+                std::mem::take(&mut s.setup_msgs),
+            )
+        };
+        // Void setup words still in flight on the BE network: once the
+        // stream is dead its lanes may be re-admitted to a newer circuit,
+        // and a late-landing stale configuration would clobber it.
+        for msg in setup_msgs {
+            self.be.cancel(msg);
+        }
+        for (node, word) in
+            crate::reconfig::teardown_words_for_route(&plan.streams[idx].route, &params)
+        {
+            self.routers[node.0]
+                .apply_config_word(word)
+                .expect("teardown words are legal by construction");
+        }
+        plan.by_src[src.0].retain(|&i| i != idx);
+        // Teardown resets the endpoints' flow-control FSMs with the lane
+        // configuration: the freed lanes hand a *clean* window and ack
+        // phase to whatever stream is admitted onto them next.
+        for lane in tx_lanes {
+            self.routers[src.0].reset_tile_lane_flow(lane);
+        }
+        for lane in rx_lanes {
+            self.routers[dst.0].reset_tile_lane_flow(lane);
+            plan.rx_map[dst.0][lane] = None;
+            // Drop in-flight residue already captured on the lane.
+            let _ = self.tiles[dst.0].take_captured_lane(lane);
+        }
+        if plan.rx_map[dst.0].iter().all(Option::is_none) {
+            self.tiles[dst.0].set_capture(false);
+        }
         Ok(())
     }
 
-    /// Queue payload words for injection at `node`'s tile. Words are
-    /// drained onto the node's provisioned TX lanes (round-robin across
-    /// parallel lanes, one phit per free lane per cycle). Returns the
-    /// number of words accepted (all of them — the ingress queue is
-    /// unbounded; its depth measures offered-load backlog).
+    /// Run-time admission: re-run CCN lane allocation for `demand`
+    /// against the lanes the live circuits hold (freed lanes of released
+    /// streams are admissible again), ship the new circuit's
+    /// configuration words over the BE network, and charge the delivery
+    /// wait (paper §5.1 budgets) to the new stream — words injected
+    /// before the configuration lands queue up and pay the wait in their
+    /// measured latency. Returns the new session handle.
+    pub fn admit_stream(&mut self, demand: &StreamDemand) -> Result<StreamId, AdmitError> {
+        let mesh = self.mesh;
+        let params = self.params;
+        let now = self.now;
+        let Some(plan) = &mut self.plan else {
+            return Err(AdmitError::Unsupported(
+                "admit needs a provisioned fabric (lane capacity comes from the mapping)",
+            ));
+        };
+        let occupied: Vec<EdgeRoute> = plan
+            .streams
+            .iter()
+            .filter(|s| s.active)
+            .map(|s| s.route.clone())
+            .collect();
+        let ccn = Ccn::with_lane_capacity(mesh, params, plan.lane_capacity);
+        let route = ccn.admit_stream(demand, &occupied)?;
+        if route.paths.is_empty() {
+            return Err(AdmitError::Unsupported(
+                "on-tile demands need no NoC stream",
+            ));
+        }
+
+        // The new circuit's configuration rides the BE network from the
+        // CCN's corner node; `step` applies each batch when it falls due.
+        let mut by_node: std::collections::BTreeMap<NodeId, Vec<_>> =
+            std::collections::BTreeMap::new();
+        for (node, word) in crate::reconfig::setup_words_for_route(&route, &params) {
+            by_node.entry(node).or_default().push(word);
+        }
+        let ccn_node = mesh.node(0, 0);
+        let mut ready = now;
+        let mut setup_msgs = Vec::new();
+        for (node, words) in by_node {
+            let (delivery, msg) = self.be.send_tracked(now, ccn_node, node, &words);
+            ready = Cycle(ready.0.max(delivery.0));
+            setup_msgs.push(msg);
+        }
+
+        let id = StreamId(plan.next_id);
+        plan.next_id += 1;
+        let dst = route.dst().expect("paths checked non-empty");
+        plan.register(id, route, ready.0, ready.0 - now.0, setup_msgs);
+        self.tiles[dst.0].set_capture(true);
+        Ok(id)
+    }
+
+    /// Take the payload words delivered to `node`'s tile since the last
+    /// call, merged across every stream terminating there (stream-id
+    /// order). Prefer [`Soc::drain_stream_words`]: per-stream drain is
+    /// exact where the node-level merge loses per-connection identity.
+    pub fn drain_words(&mut self, node: NodeId) -> Vec<u16> {
+        match &mut self.plan {
+            None => self.tiles[node.0].take_captured(),
+            Some(plan) => {
+                let mut out = Vec::new();
+                for s in &mut plan.streams {
+                    if s.dst == node {
+                        out.append(&mut s.egress);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Queue payload words at `node`, fanned out word-round-robin over
+    /// the active streams originating there — the node-level shim behind
+    /// the deprecated `Fabric::inject`; prefer
+    /// [`Soc::inject_stream_words`].
     ///
     /// # Panics
     /// Panics when called before [`Soc::provision`] or at a node with no
-    /// outgoing circuit.
+    /// active outgoing circuit.
     pub fn inject_words(&mut self, node: NodeId, words: &[u16]) -> usize {
+        let now = self.now.0;
         let plan = self
             .plan
             .as_mut()
             .expect("Soc::inject_words before Soc::provision");
         assert!(
-            !plan.tx_lanes[node.0].is_empty(),
+            !plan.by_src[node.0].is_empty(),
             "node {node:?} has no provisioned outgoing circuit"
         );
-        plan.ingress[node.0].extend(words.iter().copied());
+        for &word in words {
+            let list = &plan.by_src[node.0];
+            let idx = list[plan.rr[node.0] % list.len()];
+            plan.rr[node.0] += 1;
+            let s = &mut plan.streams[idx];
+            s.ingress.push_back((word, now));
+            s.injected += 1;
+        }
         words.len()
-    }
-
-    /// Take the payload words delivered to `node`'s tile since the last
-    /// call (requires capture, which [`Soc::provision`] enables at every
-    /// circuit destination).
-    pub fn drain_words(&mut self, node: NodeId) -> Vec<u16> {
-        self.tiles[node.0].take_captured()
     }
 
     /// Total words queued for injection but not yet on the wire.
     pub fn ingress_backlog(&self) -> usize {
         self.plan
             .as_ref()
-            .map_or(0, |p| p.ingress.iter().map(|q| q.len()).sum())
+            .map_or(0, |p| p.streams.iter().map(|s| s.ingress.len()).sum())
     }
 
     /// Choose serial or pooled router evaluation (default
@@ -223,6 +577,19 @@ impl Soc {
 
     /// Advance the whole SoC by one clock cycle.
     pub fn step(&mut self) {
+        // 0. Apply BE-delivered configuration that fell due this cycle:
+        //    runtime-admitted circuits materialise here, charging their
+        //    §5.1 reconfiguration wait cycle-accurately.
+        if self.be.in_flight() > 0 {
+            for (node, words) in self.be.take_due(self.now) {
+                for word in words {
+                    self.routers[node.0]
+                        .apply_config_word(word)
+                        .expect("admission emits only legal words");
+                }
+            }
+        }
+
         // 1. Sample neighbour outputs into scratch (reads only latched Qs).
         let lanes = self.params.lanes_per_port;
         for node in self.mesh.iter() {
@@ -254,25 +621,60 @@ impl Soc {
             }
         }
 
-        // 2. Tiles inject and drain. Provisioned ingress queues go first:
-        //    one word per free TX lane per cycle, round-robin over the
-        //    node's parallel circuits.
+        // 2. Tiles inject and drain. Provisioned stream ingress queues go
+        //    first: one word per free TX lane per cycle, each stream
+        //    spreading over its own parallel circuits. Streams whose
+        //    configuration is still in flight on the BE network
+        //    (`ready_at`) wait — that wait is the reconfiguration latency
+        //    their words' timestamps charge.
         if let Some(plan) = &mut self.plan {
+            let now = self.now.0;
             for node in self.mesh.iter() {
-                for &lane in &plan.tx_lanes[node.0] {
-                    if plan.ingress[node.0].is_empty() {
-                        break;
+                for &si in &plan.by_src[node.0] {
+                    let s = &mut plan.streams[si];
+                    if s.ready_at > now {
+                        continue;
                     }
-                    if self.routers[node.0].tile_can_send(lane) {
-                        let word = plan.ingress[node.0].pop_front().expect("non-empty");
-                        let ok = self.routers[node.0].tile_send(lane, Phit::data(word));
-                        debug_assert!(ok, "tile_can_send implies acceptance");
+                    for (j, &lane) in s.tx_lanes.iter().enumerate() {
+                        let Some(&(word, ts)) = s.ingress.front() else {
+                            break;
+                        };
+                        if self.routers[node.0].tile_can_send(lane) {
+                            s.ingress.pop_front();
+                            let ok = self.routers[node.0].tile_send(lane, Phit::data(word));
+                            debug_assert!(ok, "tile_can_send implies acceptance");
+                            s.pending_ts[j].push_back(ts);
+                        }
                     }
                 }
             }
         }
         for node in self.mesh.iter() {
             self.tiles[node.0].step(&mut self.routers[node.0]);
+        }
+
+        // 2b. Collect per-lane captures into their streams' egress, pairing
+        //     each word with its inject timestamp (FIFO per lane) for the
+        //     latency ledger.
+        if let Some(plan) = &mut self.plan {
+            let now = self.now.0;
+            for &n in &plan.rx_nodes {
+                for (lane, slot) in plan.rx_map[n].iter().enumerate() {
+                    let Some((si, pj)) = *slot else { continue };
+                    let words = self.tiles[n].take_captured_lane(lane);
+                    if words.is_empty() {
+                        continue;
+                    }
+                    let s = &mut plan.streams[si];
+                    for word in words {
+                        if let Some(ts) = s.pending_ts[pj].pop_front() {
+                            s.latency.record(now - ts);
+                        }
+                        s.egress.push(word);
+                        s.delivered += 1;
+                    }
+                }
+            }
         }
 
         // 3+4. Two-phase clocking over all routers, optionally parallel.
@@ -480,5 +882,92 @@ mod tests {
         soc.run(12);
         assert_eq!(soc.tile(b).rx(1).received, 1);
         assert_eq!(soc.tile(b).rx(1).last_word, Some(0xD00D));
+    }
+
+    #[test]
+    fn releasing_an_unready_admission_voids_its_in_flight_setup_words() {
+        // Admit A (setup words in flight on the BE network), release it
+        // before they land, then admit B onto the freed lanes. A's stale
+        // configuration must never be applied: once B's circuit is ready,
+        // the router state equals B's plan exactly and B delivers.
+        use crate::ccn::Ccn;
+        use crate::stream::StreamDemand;
+        use crate::tile::default_tile_kinds;
+        use noc_sim::units::{Bandwidth, MegaHertz};
+
+        let mesh = Mesh::new(3, 1);
+        let ccn = Ccn::new(mesh, RouterParams::paper(), MegaHertz(25.0));
+        let mut g = noc_apps::taskgraph::TaskGraph::new("seed");
+        let a = g.add_process("a");
+        let b = g.add_process("b");
+        g.add_edge(
+            a,
+            b,
+            Bandwidth(60.0),
+            noc_apps::taskgraph::TrafficShape::Streaming,
+            "seed",
+        );
+        let mapping = ccn.map(&g, &default_tile_kinds(&mesh)).unwrap();
+
+        let mut soc = Soc::new(mesh, RouterParams::paper());
+        let ids = soc.provision(&mapping).unwrap();
+        // Clear the seed stream so the interesting lanes start free.
+        soc.release_stream(ids[0]).unwrap();
+
+        let demand_a = StreamDemand {
+            src: mesh.node(0, 0),
+            dst: mesh.node(2, 0),
+            demand: Bandwidth(150.0), // 2 lanes
+        };
+        let id_a = soc.admit_stream(&demand_a).unwrap();
+        let a_ready = soc
+            .stream_stats()
+            .iter()
+            .find(|s| s.id == id_a)
+            .unwrap()
+            .reconfig_cycles;
+        assert!(a_ready > 0, "premise: A's setup is in flight");
+        // Release A before its configuration lands; its lanes are free
+        // again and its BE messages must be voided.
+        soc.release_stream(id_a).unwrap();
+
+        let demand_b = StreamDemand {
+            src: mesh.node(1, 0),
+            dst: mesh.node(2, 0),
+            demand: Bandwidth(150.0), // 2 lanes, overlapping A's claims
+        };
+        let id_b = soc.admit_stream(&demand_b).unwrap();
+        let b_ready = soc
+            .stream_stats()
+            .iter()
+            .find(|s| s.id == id_b)
+            .unwrap()
+            .reconfig_cycles;
+
+        // Run far past both delivery times: only B's words may land.
+        soc.run(a_ready + b_ready + 64);
+        let mut reference = Soc::new(mesh, RouterParams::paper());
+        let ref_ids = reference.provision(&mapping).unwrap();
+        reference.release_stream(ref_ids[0]).unwrap();
+        let ref_b = reference.admit_stream(&demand_b).unwrap();
+        let ref_ready = reference
+            .stream_stats()
+            .iter()
+            .find(|s| s.id == ref_b)
+            .unwrap()
+            .reconfig_cycles;
+        reference.run(ref_ready + 1);
+        for node in mesh.iter() {
+            assert_eq!(
+                soc.router(node).config().snapshot_words(),
+                reference.router(node).config().snapshot_words(),
+                "stale setup words of the released A corrupted {node:?}"
+            );
+        }
+
+        // And B actually carries traffic on the cleanly configured lanes.
+        soc.inject_stream_words(id_b, &[0xB0, 0xB1, 0xB2]);
+        soc.run(400);
+        assert_eq!(soc.drain_stream_words(id_b), vec![0xB0, 0xB1, 0xB2]);
     }
 }

@@ -98,11 +98,13 @@ pub struct Tile {
     pub kind: TileKind,
     tx: Vec<TxBinding>,
     rx_stats: Vec<RxStats>,
-    /// When set, every received payload word is also kept (in arrival
-    /// order, lane-major within a cycle) for [`Tile::take_captured`] —
-    /// the fabric API's `drain` path.
+    /// When set, every received payload word is also kept **per receive
+    /// lane** (in arrival order) for [`Tile::take_captured_lane`] — the
+    /// fabric API's stream-addressed `drain` path. The circuit fabric
+    /// maps each receive lane to the stream whose circuit terminates on
+    /// it, so per-lane buffers are exactly per-stream delivery.
     capture: bool,
-    captured: Vec<u16>,
+    captured: Vec<Vec<u16>>,
 }
 
 impl Tile {
@@ -114,7 +116,7 @@ impl Tile {
             tx: Vec::new(),
             rx_stats: vec![RxStats::default(); lanes],
             capture: false,
-            captured: Vec::new(),
+            captured: vec![Vec::new(); lanes],
         }
     }
 
@@ -125,7 +127,9 @@ impl Tile {
     pub fn set_capture(&mut self, on: bool) {
         self.capture = on;
         if !on {
-            self.captured.clear();
+            for lane in &mut self.captured {
+                lane.clear();
+            }
         }
     }
 
@@ -134,9 +138,22 @@ impl Tile {
         self.capture
     }
 
-    /// Take all payload words captured since the last call.
+    /// Take all payload words captured since the last call, merged in
+    /// lane order (the node-level legacy view; stream-exact callers use
+    /// [`Tile::take_captured_lane`]).
     pub fn take_captured(&mut self) -> Vec<u16> {
-        std::mem::take(&mut self.captured)
+        let mut out = Vec::new();
+        for lane in &mut self.captured {
+            out.append(lane);
+        }
+        out
+    }
+
+    /// Take the payload words captured on one receive lane since the last
+    /// call — per-stream delivery for the fabric layer, which knows which
+    /// stream's circuit terminates on the lane.
+    pub fn take_captured_lane(&mut self, lane: usize) -> Vec<u16> {
+        std::mem::take(&mut self.captured[lane])
     }
 
     /// Bind a load-controlled source to transmit lane `lane`.
@@ -190,7 +207,7 @@ impl Tile {
         stats.payload_bits += 16;
         stats.last_word = Some(phit.data);
         if self.capture {
-            self.captured.push(phit.data);
+            self.captured[lane].push(phit.data);
         }
     }
 

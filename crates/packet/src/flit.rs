@@ -57,11 +57,35 @@ impl Flit {
     /// Bits a flit occupies in a buffer entry (payload + kind).
     pub const STORE_BITS: u32 = 18;
 
-    /// A head flit addressed to `dest`.
+    /// A head flit addressed to `dest` (stream tag 0).
     pub fn head(dest: Coords) -> Flit {
+        Flit::head_tagged(dest, 0)
+    }
+
+    /// A head flit addressed to `dest`, carrying an 8-bit stream tag in
+    /// the coordinate bytes' spare high nibbles.
+    ///
+    /// The wormhole fabrics run on meshes of at most 16×16 (asserted at
+    /// construction), so each coordinate byte of [`Coords::encode`] only
+    /// uses its low nibble. The two high nibbles ride free on the wire and
+    /// carry the source fabric's stream identity end-to-end: routing reads
+    /// the masked coordinates ([`Flit::dest`]), the receiving tile
+    /// interface reads the tag ([`Flit::stream_tag`]) to attribute the
+    /// wormhole's payload words to their stream — per-stream delivery and
+    /// latency accounting without a single extra wire.
+    ///
+    /// # Panics
+    /// Panics when a coordinate exceeds the 16×16 space (its high nibble
+    /// is the tag's).
+    pub fn head_tagged(dest: Coords, tag: u8) -> Flit {
+        assert!(
+            dest.x < 16 && dest.y < 16,
+            "tagged heads need the 16x16 coordinate space, got {dest}"
+        );
+        let tag = u16::from(tag);
         Flit {
             kind: FlitKind::Head,
-            payload: dest.encode(),
+            payload: dest.encode() | ((tag & 0xF0) << 8) | ((tag & 0x0F) << 4),
         }
     }
 
@@ -81,9 +105,18 @@ impl Flit {
         }
     }
 
-    /// Destination coordinates, when this is a head flit.
+    /// Destination coordinates, when this is a head flit. The spare high
+    /// nibbles of the coordinate bytes are masked off: they carry the
+    /// stream tag ([`Flit::head_tagged`]), not position.
     pub fn dest(&self) -> Option<Coords> {
-        (self.kind == FlitKind::Head).then(|| Coords::decode(self.payload))
+        (self.kind == FlitKind::Head).then(|| Coords::decode(self.payload & 0x0F0F))
+    }
+
+    /// The 8-bit stream tag of a head flit ([`Flit::head_tagged`]); `None`
+    /// on body/tail flits.
+    pub fn stream_tag(&self) -> Option<u8> {
+        (self.kind == FlitKind::Head)
+            .then_some((((self.payload >> 8) & 0xF0) | ((self.payload >> 4) & 0x0F)) as u8)
     }
 
     /// `true` when this flit closes its packet.
@@ -259,7 +292,26 @@ mod tests {
     fn head_carries_destination() {
         let f = Flit::head(Coords::new(3, 2));
         assert_eq!(f.dest(), Some(Coords::new(3, 2)));
+        assert_eq!(f.stream_tag(), Some(0));
         assert_eq!(Flit::body(9).dest(), None);
+        assert_eq!(Flit::body(9).stream_tag(), None);
+    }
+
+    #[test]
+    fn tagged_head_keeps_destination_and_tag() {
+        for tag in [0u8, 1, 0x0F, 0x2A, 0xF0, 0xFF] {
+            for (x, y) in [(0u8, 0u8), (3, 2), (15, 15)] {
+                let f = Flit::head_tagged(Coords::new(x, y), tag);
+                assert_eq!(f.dest(), Some(Coords::new(x, y)), "tag {tag:#x}");
+                assert_eq!(f.stream_tag(), Some(tag), "at ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "16x16 coordinate space")]
+    fn tagged_head_rejects_wide_coords() {
+        let _ = Flit::head_tagged(Coords::new(16, 0), 1);
     }
 
     #[test]

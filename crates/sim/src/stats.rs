@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Streaming mean / variance / extrema via Welford's algorithm.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Running {
     n: u64,
     mean: f64,
@@ -115,7 +115,7 @@ impl fmt::Display for Running {
 
 /// Fixed-width histogram over `[0, bucket_width * buckets)` with an overflow
 /// bucket; used for latency distributions.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Histogram {
     bucket_width: u64,
     counts: Vec<u64>,
@@ -183,6 +183,131 @@ impl Histogram {
             }
         }
         None
+    }
+}
+
+/// A latency distribution in cycles: O(1) per sample, allocation-free on
+/// the hot path, summarised as min / mean / p50 / p95 / max.
+///
+/// This is the telemetry unit behind per-stream service accounting (the
+/// `Fabric` API's `StreamStats`): a [`Running`] accumulator supplies exact
+/// min/mean/max while a fixed-width [`Histogram`] resolves quantiles.
+/// Samples beyond the histogram's covered range land in its overflow
+/// bucket; quantiles that fall there are conservatively reported as the
+/// exact maximum, so p95 never silently under-reports a congested stream.
+///
+/// ```
+/// use noc_sim::stats::LatencyHistogram;
+///
+/// let mut lat = LatencyHistogram::new();
+/// for cycles in [4u64, 6, 6, 8, 120] {
+///     lat.record(cycles);
+/// }
+/// assert_eq!(lat.count(), 5);
+/// assert_eq!(lat.min(), Some(4));
+/// assert_eq!(lat.max(), Some(120));
+/// assert!(lat.p50().unwrap() <= lat.p95().unwrap());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    running: Running,
+    hist: Histogram,
+}
+
+impl LatencyHistogram {
+    /// Bucket width (cycles) of the default quantile resolution.
+    pub const BUCKET_WIDTH: u64 = 4;
+    /// In-range buckets of the default histogram (covers
+    /// `BUCKET_WIDTH * BUCKETS` cycles before overflowing).
+    pub const BUCKETS: usize = 512;
+
+    /// An empty latency accumulator with the default resolution
+    /// (4-cycle buckets covering 2048 cycles, overflow beyond).
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            running: Running::new(),
+            hist: Histogram::new(Self::BUCKET_WIDTH, Self::BUCKETS),
+        }
+    }
+
+    /// Record one latency sample in cycles.
+    #[inline]
+    pub fn record(&mut self, cycles: u64) {
+        self.running.push(cycles as f64);
+        self.hist.record(cycles);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.running.count()
+    }
+
+    /// Exact smallest sample; `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        self.running.min().map(|v| v as u64)
+    }
+
+    /// Exact largest sample; `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        self.running.max().map(|v| v as u64)
+    }
+
+    /// Exact mean in cycles; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        self.running.mean()
+    }
+
+    /// Median latency resolved to bucket bounds; `None` when empty.
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.5)
+    }
+
+    /// 95th-percentile latency resolved to bucket bounds; `None` when
+    /// empty.
+    pub fn p95(&self) -> Option<u64> {
+        self.quantile(0.95)
+    }
+
+    /// Any quantile `q` in `0..=1`. Quantiles falling in the overflow
+    /// bucket report the exact maximum; in-range quantiles are clamped to
+    /// it (a bucket's upper bound can exceed the largest sample in it).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let max = self.max()?;
+        Some(self.hist.quantile(q).map_or(max, |v| v.min(max)))
+    }
+
+    /// Merge another accumulator (parallel or per-plane reduction).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        self.running.merge(&other.running);
+        for (i, &c) in other.hist.counts.iter().enumerate() {
+            self.hist.counts[i] += c;
+        }
+        self.hist.overflow += other.hist.overflow;
+        self.hist.total += other.hist.total;
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram::new()
+    }
+}
+
+impl fmt::Display for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.min() {
+            None => write!(f, "n=0"),
+            Some(min) => write!(
+                f,
+                "n={} min={} mean={:.1} p50={} p95={} max={}",
+                self.count(),
+                min,
+                self.mean(),
+                self.p50().unwrap_or(0),
+                self.p95().unwrap_or(0),
+                self.max().unwrap_or(0),
+            ),
+        }
     }
 }
 
@@ -311,6 +436,62 @@ mod tests {
     #[should_panic(expected = "bucket width")]
     fn histogram_zero_width_panics() {
         let _ = Histogram::new(0, 10);
+    }
+
+    #[test]
+    fn latency_histogram_summary() {
+        let mut lat = LatencyHistogram::new();
+        for v in 1..=100u64 {
+            lat.record(v);
+        }
+        assert_eq!(lat.count(), 100);
+        assert_eq!(lat.min(), Some(1));
+        assert_eq!(lat.max(), Some(100));
+        assert!((lat.mean() - 50.5).abs() < 1e-9);
+        // Quantiles resolve to 4-cycle bucket bounds.
+        let p50 = lat.p50().unwrap();
+        assert!((48..=52).contains(&p50), "p50 {p50}");
+        let p95 = lat.p95().unwrap();
+        assert!((94..=98).contains(&p95), "p95 {p95}");
+    }
+
+    #[test]
+    fn latency_histogram_overflow_reports_max() {
+        let mut lat = LatencyHistogram::new();
+        lat.record(1);
+        lat.record(1_000_000); // far past the covered range
+        assert_eq!(lat.p95(), Some(1_000_000), "overflow quantile = exact max");
+        assert_eq!(lat.max(), Some(1_000_000));
+    }
+
+    #[test]
+    fn latency_histogram_empty() {
+        let lat = LatencyHistogram::new();
+        assert_eq!(lat.count(), 0);
+        assert_eq!(lat.p50(), None);
+        assert_eq!(lat.p95(), None);
+        assert_eq!(lat.to_string(), "n=0");
+    }
+
+    #[test]
+    fn latency_histogram_merge_matches_sequential() {
+        let mut whole = LatencyHistogram::new();
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for v in 0..200u64 {
+            whole.record(v * 3);
+            if v < 77 {
+                a.record(v * 3);
+            } else {
+                b.record(v * 3);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.p50(), whole.p50());
+        assert_eq!(a.p95(), whole.p95());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
     }
 
     #[test]

@@ -17,21 +17,30 @@
 //! `ARCHITECTURE.md` at the repository root is the full map: the crate
 //! dependency graph, the two-phase clocking contract that makes stepping
 //! deterministic *and* parallelisable on the persistent
-//! [`noc_sim::par::WorkerPool`], the `provision → inject → step → drain`
-//! data flow, and which paper section or figure each crate reproduces.
+//! [`noc_sim::par::WorkerPool`], the stream lifecycle
+//! (`provision → admit/release → inject_stream → step → drain_stream →
+//! stream_stats`), and which paper section or figure each crate
+//! reproduces.
 //!
 //! ## The `Fabric` abstraction
 //!
 //! The paper's central result is a head-to-head energy comparison between
 //! its circuit-switched router and a packet-switched virtual-channel
-//! baseline. This workspace makes that comparison structural: both whole
-//! networks implement one trait, [`Fabric`] —
-//! `provision(&Mapping)` installs a CCN mapping, `inject`/`drain` move
-//! payload words, `total_energy(&EnergyModel)` costs the run with the
-//! calibrated activity-based flow. [`Deployment::builder`] is the
+//! baseline — and its guarantees are **per connection**. This workspace
+//! makes both structural: whole networks implement one trait, [`Fabric`],
+//! whose unit of addressing is the stream session —
+//! `provision(&Mapping)` installs a CCN mapping and returns one
+//! [`StreamId`] handle per stream, `inject_stream`/`drain_stream` move
+//! payload words per session, `stream_stats` reports per-stream word
+//! counts and latency distributions (the hybrid's GT/BE service gap),
+//! `release`/`admit` tear circuits down and re-admit demands against the
+//! freed lanes at runtime (BE-network reconfiguration latency charged to
+//! the stream), and `total_energy(&EnergyModel)` costs the run with the
+//! calibrated activity-based flow. The node-addressed `inject`/`drain`
+//! survive as deprecated shims. [`Deployment::builder`] is the
 //! documented entry point: it maps a task graph, provisions the chosen
 //! backend (circuit, packet, or the profiled hybrid), binds offered-load
-//! traffic, and selects serial or pooled stepping
+//! traffic per stream, and selects serial or pooled stepping
 //! (`.parallelism(ParPolicy)`) — identically for every fabric, so each
 //! workload is automatically a circuit-vs-packet experiment that scales
 //! to 16×16 meshes.
@@ -96,3 +105,4 @@ pub mod prelude;
 pub use apprun::{AppRun, RouteReport};
 pub use noc_mesh::deployment::{DeployError, Deployment, DeploymentBuilder, FabricRouteReport};
 pub use noc_mesh::fabric::{EnergyModel, Fabric, FabricKind, PacketFabric, ProvisionError};
+pub use noc_mesh::stream::{AdmitError, StreamDemand, StreamId, StreamPlane, StreamStats};

@@ -114,6 +114,9 @@ fn all_fabric_kinds_reproducible_from_seed() {
             dep.total_delivered(),
             dep.fabric().spilled_words(),
             dep.total_energy(&model).value().to_bits(),
+            // Per-stream telemetry — word counts *and* full latency
+            // distributions — is inside the reproducibility contract.
+            dep.fabric().stream_stats(),
         )
     };
     for kind in FabricKind::ALL {
@@ -123,6 +126,9 @@ fn all_fabric_kinds_reproducible_from_seed() {
         if kind != FabricKind::Circuit {
             assert!(a.2 > 0, "{kind} delivered nothing");
         }
+        // Stream sums must bit-match the node-level totals.
+        let stream_sum: u64 = a.5.iter().map(|s| s.delivered_words).sum();
+        assert_eq!(stream_sum, a.2, "{kind}: stream accounting diverges");
     }
     // And the hybrid actually exercised its spillover plane here.
     assert!(
@@ -169,6 +175,9 @@ fn all_policies_bit_identical_payload_and_energy() {
             dep.total_delivered(),
             dep.fabric().spilled_words(),
             dep.total_energy(&model).value().to_bits(),
+            // Per-stream latency histograms must be policy-invariant too:
+            // pooled stepping may never shift a single word's timing.
+            dep.fabric().stream_stats(),
         )
     };
     for kind in FabricKind::ALL {

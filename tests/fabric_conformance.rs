@@ -4,17 +4,24 @@
 //! `conformance(mk)` takes a constructor for a *fresh, unprovisioned*
 //! fabric over a 2×2 mesh and exercises the trait's behavioural contract:
 //!
-//! 1. **Payload integrity** — words injected at a provisioned source are
-//!    delivered to the route's destination exactly, in order (single
-//!    stream, so ordering is well-defined on every discipline);
+//! 1. **Payload integrity** — words injected on a provisioned stream
+//!    session are delivered through `drain_stream` exactly, in order
+//!    (single stream, so ordering is well-defined on every discipline);
 //! 2. **Provision replacement** — `provision` is idempotent: a second call
-//!    with the same mapping must not duplicate streams, and streams flow
-//!    exactly as if provisioned once;
+//!    with the same mapping must not duplicate streams, returns the same
+//!    handles, and streams flow exactly as if provisioned once;
 //! 3. **Energy monotonicity** — `total_energy` never decreases as `step`
 //!    advances (activity only accumulates, static power only integrates);
 //! 4. **Quiescence honesty** — after the stream settles, every node drains
 //!    empty, the fabric reports quiescent, and nothing was lost
-//!    (`total_overflows() == 0`).
+//!    (`total_overflows() == 0`);
+//! 5. **Stream telemetry** — `stream_stats` accounts every word: per-stream
+//!    delivered sums bit-match the node-level `drain` shim's totals, every
+//!    delivered word carries a latency sample, and the telemetry survives
+//!    `clear_activity` (which windows energy, not service accounting);
+//! 6. **Stream lifecycle** — `release` + `admit` round-trips: a released
+//!    session's demand is re-admitted onto an equivalent route and the new
+//!    session delivers; injecting on the released handle panics.
 //!
 //! The suite is instantiated for all three backends — the circuit-switched
 //! `Soc`, the `PacketFabric` baseline, and the `HybridFabric` — plus a
@@ -23,7 +30,18 @@
 //! (sequential, an explicit two-lane pool, and `Auto`): pooled stepping on
 //! the persistent `noc_sim::par::WorkerPool` is part of the behavioural
 //! contract and must be invisible in results.
+//!
+//! `hybrid_releases_a_circuit_and_readmits_the_spilled_stream` goes
+//! further: on the oversubscribed workload it frees a circuit mid-run and
+//! re-admits the previously spilled stream onto the circuit plane, with
+//! the BE-network reconfiguration wait visibly charged to the stream's
+//! measured latency.
 
+// The node-addressed `inject`/`drain` shims are deprecated but remain part
+// of the contract this suite locks down (shim parity with the stream API).
+#![allow(deprecated)]
+
+use noc_mesh::stream::{StreamPlane, StreamStats};
 use rcs_noc::prelude::*;
 
 /// The standard conformance workload: one 60 Mbit/s stream between two
@@ -38,8 +56,29 @@ fn standard_mapping(mesh: Mesh) -> Mapping {
         .expect("a single stream maps on any mesh")
 }
 
-/// Drive the fabric until deliveries stop; returns everything the
-/// destination received.
+/// Drive the fabric until stream `id` stops delivering; returns everything
+/// it received, in order.
+fn settle_stream<F: Fabric>(fabric: &mut F, id: StreamId) -> Vec<u16> {
+    fabric.finish_injection();
+    let mut delivered = Vec::new();
+    let mut idle = 0;
+    let mut guard = 0;
+    while idle < 8 {
+        fabric.run(32);
+        let fresh = fabric.drain_stream(id);
+        if fresh.is_empty() {
+            idle += 1;
+        } else {
+            idle = 0;
+            delivered.extend(fresh);
+        }
+        guard += 1;
+        assert!(guard < 1000, "stream never settled");
+    }
+    delivered
+}
+
+/// Drive the fabric until deliveries at `dst` stop (node-level view).
 fn settle<F: Fabric>(fabric: &mut F, dst: NodeId) -> Vec<u16> {
     fabric.finish_injection();
     let mut delivered = Vec::new();
@@ -58,6 +97,15 @@ fn settle<F: Fabric>(fabric: &mut F, dst: NodeId) -> Vec<u16> {
         assert!(guard < 1000, "stream never settled");
     }
     delivered
+}
+
+/// The telemetry entry for `id`.
+fn stats_of<F: Fabric>(fabric: &F, id: StreamId) -> StreamStats {
+    fabric
+        .stream_stats()
+        .into_iter()
+        .find(|s| s.id == id)
+        .expect("served streams appear in stream_stats")
 }
 
 /// Every policy the suite re-runs under: parallel evaluation on the
@@ -94,16 +142,18 @@ fn conformance_under<F: Fabric>(mk: impl Fn() -> F, policy: ParPolicy) {
         .collect();
     let model = EnergyModel::calibrated(MegaHertz(100.0));
 
-    // 1. Payload integrity.
+    // 1. Payload integrity, stream-addressed end to end.
     let mut fabric = mk();
     assert_eq!(*fabric.mesh(), mesh, "constructor must build the 2x2 mesh");
-    fabric.provision(&mapping).expect("mapping is legal");
+    let ids = fabric.provision(&mapping).expect("mapping is legal");
+    assert_eq!(ids.len(), 1, "one NoC stream in the standard mapping");
+    let id = ids[0];
     assert_eq!(
-        fabric.inject(src, &words),
+        fabric.inject_stream(id, &words),
         words.len(),
         "all words accepted"
     );
-    let delivered = settle(&mut fabric, dst);
+    let delivered = settle_stream(&mut fabric, id);
     assert_eq!(delivered, words, "{}: payload integrity", fabric.kind());
 
     // 4a. Quiescence honesty on the same run: everything already drained,
@@ -123,14 +173,59 @@ fn conformance_under<F: Fabric>(mk: impl Fn() -> F, policy: ParPolicy) {
         fabric.kind()
     );
 
+    // 5a. Stream telemetry accounts every word, with a latency sample per
+    // delivered word — and survives clear_activity (energy windows must
+    // not erase service accounting).
+    let stats = stats_of(&fabric, id);
+    assert_eq!(stats.injected_words, words.len() as u64);
+    assert_eq!(stats.delivered_words, words.len() as u64);
+    assert_eq!(stats.latency.count(), words.len() as u64);
+    assert!(stats.active);
+    assert!(
+        stats.latency.min().unwrap() > 0,
+        "delivery is never instant"
+    );
+    assert!(stats.latency.p50() <= stats.latency.p95());
+    fabric.clear_activity();
+    assert_eq!(
+        stats_of(&fabric, id),
+        stats,
+        "{}: clear_activity must not touch stream telemetry",
+        fabric.kind()
+    );
+
+    // 5b. Shim parity: injecting through the node-level shim, per-stream
+    // delivered sums bit-match the node-level drain totals.
+    let mut shim = mk();
+    let shim_ids = shim.provision(&mapping).unwrap();
+    shim.inject(src, &words);
+    let node_view = settle(&mut shim, dst);
+    assert_eq!(node_view, words, "{}: node shim delivers", shim.kind());
+    let per_stream: u64 = shim.stream_stats().iter().map(|s| s.delivered_words).sum();
+    assert_eq!(
+        per_stream,
+        node_view.len() as u64,
+        "{}: stream sums must bit-match the node-level drain total",
+        shim.kind()
+    );
+    let injected: u64 = shim.stream_stats().iter().map(|s| s.injected_words).sum();
+    assert_eq!(
+        injected,
+        words.len() as u64,
+        "{}: shim fans out",
+        shim.kind()
+    );
+    assert_eq!(shim_ids, ids, "same mapping, same handles");
+
     // 2. Provision replacement: provisioning the same mapping twice must
-    // behave exactly like provisioning it once — no duplicated circuits,
-    // no duplicated deliveries.
+    // behave exactly like provisioning it once — no duplicated streams,
+    // no duplicated deliveries, same handles.
     let mut twice = mk();
-    twice.provision(&mapping).unwrap();
-    twice.provision(&mapping).unwrap();
-    twice.inject(src, &words);
-    let delivered = settle(&mut twice, dst);
+    let first = twice.provision(&mapping).unwrap();
+    let second = twice.provision(&mapping).unwrap();
+    assert_eq!(first, second, "re-provision must hand out the same ids");
+    twice.inject_stream(second[0], &words);
+    let delivered = settle_stream(&mut twice, second[0]);
     assert_eq!(
         delivered,
         words,
@@ -138,11 +233,52 @@ fn conformance_under<F: Fabric>(mk: impl Fn() -> F, policy: ParPolicy) {
         twice.kind()
     );
 
+    // 6. Stream lifecycle: release the session, verify the handle is
+    // closed for injection but open for telemetry, then re-admit the
+    // recorded demand and deliver on the new session.
+    let mut live = mk();
+    let ids = live.provision(&mapping).unwrap();
+    let id = ids[0];
+    live.inject_stream(id, &words[..16]);
+    let got = settle_stream(&mut live, id);
+    assert_eq!(got, &words[..16]);
+    live.release(id).expect("live streams release");
+    assert!(
+        !stats_of(&live, id).active,
+        "{}: released stream must report inactive",
+        live.kind()
+    );
+    assert!(
+        live.release(id).is_err(),
+        "{}: double release must fail",
+        live.kind()
+    );
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        live.inject_stream(id, &[1]);
+    }));
+    assert!(
+        result.is_err(),
+        "{}: injecting on a released stream must panic",
+        live.kind()
+    );
+    let demand = mapping.stream_demand(id).expect("demand recorded");
+    let readmitted = live.admit(&demand).expect("freed resources re-admit");
+    assert_ne!(readmitted, id, "a new session gets a new handle");
+    live.inject_stream(readmitted, &words[..16]);
+    let got = settle_stream(&mut live, readmitted);
+    assert_eq!(
+        got,
+        &words[..16],
+        "{}: the re-admitted session must deliver",
+        live.kind()
+    );
+    assert_eq!(stats_of(&live, readmitted).delivered_words, 16);
+
     // 3. Energy monotonicity: sampled along a run with traffic in flight
     // and after it drains, lifetime energy never decreases.
     let mut fabric = mk();
-    fabric.provision(&mapping).unwrap();
-    fabric.inject(src, &words);
+    let ids = fabric.provision(&mapping).unwrap();
+    fabric.inject_stream(ids[0], &words);
     fabric.finish_injection();
     let mut last = 0.0;
     for window in 0..12 {
@@ -201,4 +337,101 @@ fn boxed_fabric_conforms() {
     // The trait-object path used by runtime backend selection obeys the
     // same contract as the concrete types it erases.
     conformance(|| -> Box<dyn Fabric> { Box::new(HybridFabric::paper(Mesh::new(2, 2))) });
+}
+
+/// The live re-admission acceptance case, under every policy: the
+/// oversubscribed line spills its light stream; freeing the heavy circuit
+/// mid-run lets `admit` put the previously spilled demand on the circuit
+/// plane, and the BE-network reconfiguration wait is charged to the
+/// stream's measured word latency.
+#[test]
+fn hybrid_releases_a_circuit_and_readmits_the_spilled_stream() {
+    for policy in POLICIES {
+        let mesh = Mesh::new(3, 1);
+        let ccn = Ccn::new(mesh, RouterParams::paper(), MegaHertz(25.0));
+        let g = noc_apps::synthetic::oversubscribed_line(ccn.lane_capacity());
+        let mapping = ccn
+            .map_with_spill(&g, &noc_mesh::tile::default_tile_kinds(&mesh))
+            .expect("spill admission");
+        assert_eq!(mapping.spilled.len(), 1, "premise: the light edge spills");
+
+        let mut hybrid = HybridFabric::paper(mesh);
+        hybrid.set_parallelism(policy);
+        let ids = Fabric::provision(&mut hybrid, &mapping).unwrap();
+        let (gt_id, be_id) = (ids[0], ids[1]);
+
+        // Mid-run: both sessions carry traffic first.
+        Fabric::inject_stream(&mut hybrid, gt_id, &[1, 2, 3, 4]);
+        Fabric::inject_stream(&mut hybrid, be_id, &[5, 6, 7]);
+        hybrid.finish_injection();
+        Fabric::run(&mut hybrid, 400);
+        assert_eq!(Fabric::drain_stream(&mut hybrid, gt_id), vec![1, 2, 3, 4]);
+        assert_eq!(Fabric::drain_stream(&mut hybrid, be_id), vec![5, 6, 7]);
+        assert_eq!(
+            stats_of(&hybrid, be_id).plane,
+            StreamPlane::Spilled,
+            "the light stream started as spillover"
+        );
+
+        // Free the circuit, retire the spilled session, re-admit its
+        // demand: it must land on the circuit plane now.
+        Fabric::release(&mut hybrid, be_id).unwrap();
+        Fabric::release(&mut hybrid, gt_id).unwrap();
+        let demand = mapping.stream_demand(be_id).unwrap();
+        let readmitted = Fabric::admit(&mut hybrid, &demand).expect("freed lanes admit");
+        let s = stats_of(&hybrid, readmitted);
+        assert_eq!(s.plane, StreamPlane::Circuit, "re-admitted onto circuit");
+        assert!(s.reconfig_cycles > 0, "BE delivery charged");
+
+        // Words injected before the configuration lands pay the wait.
+        let words: Vec<u16> = (0..12).map(|i| 0x6100 + i).collect();
+        Fabric::inject_stream(&mut hybrid, readmitted, &words);
+        Fabric::run(&mut hybrid, 1_500);
+        assert_eq!(Fabric::drain_stream(&mut hybrid, readmitted), words);
+        let s = stats_of(&hybrid, readmitted);
+        assert!(
+            s.latency.min().unwrap() >= s.reconfig_cycles,
+            "reconfiguration cycles ({}) must show in measured latency \
+             ({:?}) under {policy:?}",
+            s.reconfig_cycles,
+            s.latency.min()
+        );
+    }
+}
+
+/// Releasing a circuit and re-admitting the identical demand must
+/// reproduce the identical router configuration — admission is
+/// deterministic, so the round-trip is bit-exact.
+#[test]
+fn release_admit_round_trips_to_an_identical_configuration() {
+    let mesh = Mesh::new(2, 2);
+    let mapping = standard_mapping(mesh);
+    let mut soc = Soc::new(mesh, RouterParams::paper());
+    let ids = Fabric::provision(&mut soc, &mapping).unwrap();
+    let snapshot = |soc: &Soc| -> Vec<_> {
+        mesh.iter()
+            .map(|n| soc.router(n).config().snapshot_words())
+            .collect()
+    };
+    let provisioned = snapshot(&soc);
+
+    Fabric::release(&mut soc, ids[0]).unwrap();
+    let torn = snapshot(&soc);
+    assert_ne!(provisioned, torn, "release must deactivate the lanes");
+
+    let demand = mapping.stream_demand(ids[0]).unwrap();
+    let readmitted = Fabric::admit(&mut soc, &demand).unwrap();
+    // The configuration rides the BE network: step until it lands.
+    let ready = soc
+        .stream_stats()
+        .iter()
+        .find(|s| s.id == readmitted)
+        .unwrap()
+        .reconfig_cycles;
+    Fabric::run(&mut soc, ready + 1);
+    assert_eq!(
+        snapshot(&soc),
+        provisioned,
+        "re-admitting the same demand must reproduce the same circuit"
+    );
 }

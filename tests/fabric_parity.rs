@@ -57,11 +57,20 @@ fn identical_payload_and_lower_circuit_energy() {
         let injected = dep.total_injected();
         let delivered = dep.total_delivered();
         assert_eq!(dep.total_overflows(), 0, "{kind}: flow control lost data");
-        per_fabric.push((kind, payloads, energy, injected, delivered));
+        // Stream-level parity: both backends serve the same session
+        // handles and deliver the same word count per session.
+        let streams: Vec<(StreamId, u64, u64)> = dep
+            .fabric()
+            .stream_stats()
+            .iter()
+            .map(|s| (s.id, s.injected_words, s.delivered_words))
+            .collect();
+        per_fabric.push((kind, payloads, energy, injected, delivered, streams));
     }
 
-    let (_, circuit_payload, circuit_energy, circuit_inj, circuit_del) = &per_fabric[0];
-    let (_, packet_payload, packet_energy, packet_inj, packet_del) = &per_fabric[1];
+    let (_, circuit_payload, circuit_energy, circuit_inj, circuit_del, circuit_streams) =
+        &per_fabric[0];
+    let (_, packet_payload, packet_energy, packet_inj, packet_del, packet_streams) = &per_fabric[1];
 
     // (a) Identical delivered payload: same destinations, same words, same
     //     order — the traffic seed makes the offered streams bit-identical
@@ -78,6 +87,17 @@ fn identical_payload_and_lower_circuit_energy() {
     );
     // Nothing lost in flight on either backend.
     assert_eq!(circuit_del, circuit_inj, "circuit fabric dropped words");
+    // Same sessions, same per-stream word accounting — the stream handles
+    // of `provision` are backend-independent (the mapping's numbering).
+    assert_eq!(
+        circuit_streams, packet_streams,
+        "per-stream accounting diverges between fabrics"
+    );
+    assert_eq!(
+        circuit_streams.iter().map(|s| s.2).sum::<u64>(),
+        *circuit_del,
+        "per-stream delivered sums must bit-match the node-level total"
+    );
 
     // (b) The paper's headline claim at fabric level: the circuit-switched
     //     network moves the same payload for strictly less energy.
