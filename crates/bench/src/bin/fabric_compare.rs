@@ -25,8 +25,11 @@ use noc_apps::umts::UmtsParams;
 use noc_core::params::RouterParams;
 use noc_exp::fabric_bench::{compare_fabrics, FabricComparison, FabricRunSummary};
 use noc_exp::tables;
-use noc_mesh::fabric::FabricKind;
-use noc_mesh::stream::StreamPlane;
+use noc_mesh::ccn::Ccn;
+use noc_mesh::controller::{FabricController, ProfiledPromotion};
+use noc_mesh::fabric::{Fabric, FabricKind};
+use noc_mesh::hybrid::HybridFabric;
+use noc_mesh::stream::{ProvisionMode, ReleaseMode, StreamId, StreamPlane, StreamStats};
 use noc_mesh::topology::Mesh;
 use noc_sim::time::CycleCount;
 use noc_sim::units::{Bandwidth, MegaHertz};
@@ -124,6 +127,182 @@ fn stream_gap_table(name: &str, hybrid: &FabricRunSummary) -> String {
             &rows
         )
     )
+}
+
+/// One stream's offered-load word generator for the hand-driven policy
+/// gate (per-cycle accumulator, like `Deployment`'s traffic loop).
+struct Offered {
+    id: StreamId,
+    rate: f64,
+    acc: f64,
+    seq: u16,
+    salt: u16,
+}
+
+impl Offered {
+    fn new(id: StreamId, demand: Bandwidth, clock: MegaHertz, salt: u16) -> Offered {
+        Offered {
+            id,
+            // Mbit/s over (MHz × 16 bit/word) = words/cycle.
+            rate: demand.value() / (clock.value() * 16.0),
+            acc: 0.0,
+            seq: 0,
+            salt,
+        }
+    }
+
+    fn cycle<F: Fabric>(&mut self, fabric: &mut F) {
+        self.acc += self.rate;
+        while self.acc + 1e-9 >= 1.0 {
+            self.acc -= 1.0;
+            let word = self.seq.wrapping_mul(0x9E37) ^ self.salt;
+            self.seq = self.seq.wrapping_add(1);
+            fabric.inject_stream(self.id, &[word]);
+        }
+    }
+}
+
+fn stats_of(ctl: &FabricController, id: StreamId) -> StreamStats {
+    ctl.stream_stats()
+        .into_iter()
+        .find(|s| s.id == id)
+        .expect("served sessions appear in stream_stats")
+}
+
+/// The control-plane gate: the oversubscribed workload under a
+/// `FabricController` with `ProfiledPromotion`, cold-started over the BE
+/// network. Mid-run the GT circuit is retired with a **draining** release
+/// — zero word loss required — and the controller must promote the worst
+/// spilled stream onto the freed lanes, charging the §5.1 reconfiguration
+/// wait to the promoted session, whose post-promotion p95 service latency
+/// must then beat its spilled-phase p95. Every violated clause counts one
+/// failure (non-zero exit, so the control plane cannot silently rot).
+fn policy_gate(cfg: &BenchConfig) -> usize {
+    let mesh = cfg.oversub_mesh;
+    let ccn = Ccn::new(mesh, RouterParams::paper(), cfg.clock);
+    let g = oversubscribed(cfg.clock);
+    let kinds = noc_mesh::tile::default_tile_kinds(&mesh);
+    let mapping = ccn.map_with_spill(&g, &kinds).expect("spill admission");
+    let mut ctl = FabricController::new(
+        Box::new(HybridFabric::paper(mesh)),
+        Box::new(ProfiledPromotion),
+    )
+    .with_window(128);
+    let ids = ctl
+        .provision_with(&mapping, ProvisionMode::BeDelivered)
+        .expect("legal mapping");
+    let (gt, be) = (ids[0], ids[1]);
+    let streams = mapping.streams();
+    let mut gt_gen = Offered::new(gt, streams[0].demand, cfg.clock, 0x1111);
+    let mut be_gen = Offered::new(be, streams[1].demand, cfg.clock, 0x2222);
+
+    let mut failures = 0;
+    let mut fail = |cond: bool, msg: &str| {
+        if !cond {
+            println!("!! policy gate: {msg}");
+            failures += 1;
+        }
+    };
+
+    // Phase 1: both streams at offered load — the spilled baseline.
+    for _ in 0..cfg.cycles {
+        gt_gen.cycle(&mut ctl);
+        be_gen.cycle(&mut ctl);
+        ctl.step();
+    }
+    let spilled_phase = stats_of(&ctl, be);
+    fail(
+        spilled_phase.plane == StreamPlane::Spilled,
+        "the light stream must start as spillover",
+    );
+    let spilled_p95 = spilled_phase.latency.p95();
+    fail(spilled_p95.is_some(), "the spilled phase must be measured");
+    let _ = ctl.take_reports(); // phase 1 must not have promoted anything
+
+    // Phase 2: drain-release the GT circuit (loss-free by contract) and
+    // keep offering the spilled stream's load; the controller's next tick
+    // promotes it onto the freed lanes. The driver follows the hand-over
+    // through the tick reports.
+    ctl.release(gt, ReleaseMode::Drain)
+        .expect("live streams drain");
+    let gt_injected = stats_of(&ctl, gt).injected_words;
+    let mut current = be;
+    let mut promoted_to: Option<StreamId> = None;
+    for _ in 0..cfg.cycles {
+        be_gen.id = current;
+        be_gen.cycle(&mut ctl);
+        ctl.step();
+        if promoted_to.is_none() {
+            if let Some(p) = ctl
+                .take_reports()
+                .iter()
+                .flat_map(|t| t.promoted.clone())
+                .next()
+            {
+                assert_eq!(p.from, be, "only one spilled candidate exists");
+                current = p.to;
+                promoted_to = Some(p.to);
+            }
+        }
+    }
+    ctl.finish_injection();
+    let mut guard = 0;
+    while !ctl.is_quiescent() && guard < 400 {
+        ctl.run(32);
+        guard += 1;
+    }
+
+    let gt_final = stats_of(&ctl, gt);
+    fail(
+        !gt_final.active,
+        "the drained release must finalise its teardown",
+    );
+    fail(
+        gt_final.delivered_words == gt_injected,
+        "the draining release must lose nothing",
+    );
+    let Some(to) = promoted_to else {
+        fail(false, "the controller never promoted the spilled stream");
+        println!("\nControl-plane gate: FAILED (no promotion)\n");
+        return failures;
+    };
+    let post = stats_of(&ctl, to);
+    fail(
+        post.plane == StreamPlane::Circuit,
+        "the promotion must land on circuit lanes",
+    );
+    fail(
+        post.reconfig_cycles > 0,
+        "the promotion must pay BE configuration delivery",
+    );
+    fail(
+        stats_of(&ctl, be).delivered_words == stats_of(&ctl, be).injected_words,
+        "the promotion hand-over must lose no best-effort word",
+    );
+    let post_p95 = post.latency.p95();
+    let ordered = match (post_p95, spilled_p95) {
+        (Some(after), Some(before)) => after < before,
+        _ => false,
+    };
+    fail(
+        ordered,
+        "post-promotion p95 must beat the spilled-phase p95",
+    );
+
+    println!(
+        "\nControl-plane gate ({} on the oversubscribed workload):\n  \
+         drained GT release: {} words, zero loss  |  promotion {} -> {} \
+         (reconfig {} cycles)  |  spilled p95 {} -> circuit p95 {}  [{}]\n",
+        ctl.policy_name(),
+        gt_final.delivered_words,
+        be,
+        to,
+        post.reconfig_cycles,
+        fmt_p95(spilled_p95),
+        fmt_p95(post_p95),
+        if failures == 0 { "ok" } else { "VIOLATED" },
+    );
+    failures
 }
 
 fn main() {
@@ -245,6 +424,8 @@ fn main() {
             if *ordered { "yes" } else { "VIOLATED" }
         );
     }
+    failures += policy_gate(&cfg);
+
     println!(
         "\n(The paper's single-router Fig. 9 headline is ~3.5x for Scenario IV.\n\
          The hybrid lands between the endpoints because admitted streams ride\n\

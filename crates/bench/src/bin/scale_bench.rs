@@ -31,9 +31,10 @@
 use noc_apps::synthetic::streaming_pipeline;
 use noc_apps::taskgraph::TaskGraph;
 use noc_exp::tables;
-use noc_mesh::deployment::Deployment;
+use noc_mesh::controller::ProfiledPromotion;
+use noc_mesh::deployment::{Deployment, DeploymentBuilder};
 use noc_mesh::fabric::FabricKind;
-use noc_mesh::stream::StreamStats;
+use noc_mesh::stream::{ProvisionMode, StreamPlane, StreamStats};
 use noc_sim::par::{ParPolicy, WorkerPool};
 use noc_sim::time::CycleCount;
 use noc_sim::units::{Bandwidth, MegaHertz};
@@ -64,14 +65,30 @@ fn run(
     policy: ParPolicy,
     cycles: CycleCount,
 ) -> Timed {
-    let mut dep = Deployment::builder(graph)
-        .mesh(side, side)
-        .clock(MegaHertz(100.0))
-        .seed(0x5CA1E)
-        .fabric(kind)
-        .parallelism(policy)
-        .build()
-        .unwrap_or_else(|e| panic!("{side}x{side} {kind}: {e}"));
+    run_with(graph, side, kind, policy, cycles, |b| b)
+}
+
+/// [`run`] with extra builder knobs (the control-plane configuration
+/// wraps the fabric in a `FabricController` and cold-starts over the BE
+/// network; everything else — timing, parity fingerprint — is identical).
+fn run_with(
+    graph: &TaskGraph,
+    side: usize,
+    kind: FabricKind,
+    policy: ParPolicy,
+    cycles: CycleCount,
+    configure: impl FnOnce(DeploymentBuilder<'_>) -> DeploymentBuilder<'_>,
+) -> Timed {
+    let mut dep = configure(
+        Deployment::builder(graph)
+            .mesh(side, side)
+            .clock(MegaHertz(100.0))
+            .seed(0x5CA1E)
+            .fabric(kind)
+            .parallelism(policy),
+    )
+    .build()
+    .unwrap_or_else(|e| panic!("{side}x{side} {kind}: {e}"));
     dep.keep_payload(true);
     let started = Instant::now();
     dep.run(cycles);
@@ -167,6 +184,72 @@ fn main() {
                 },
             ]);
         }
+    }
+
+    // Control-plane configuration: the hybrid backend wrapped in a
+    // FabricController (ProfiledPromotion policy loop ticking throughout)
+    // with BE-delivered cold-start provisioning — the same bit-exact
+    // payload/energy/stream-telemetry parity gate across policies, plus
+    // every circuit stream must carry a nonzero §5.1 reconfiguration
+    // charge from the cold start.
+    {
+        let side = 4;
+        let graph = streaming_pipeline(side, Bandwidth(60.0));
+        let controlled = |policy| {
+            run_with(&graph, side, FabricKind::Hybrid, policy, cycles, |b| {
+                b.provisioning(ProvisionMode::BeDelivered)
+                    .policy(Box::new(ProfiledPromotion))
+                    .tick_window(64)
+            })
+        };
+        let seq = controlled(ParPolicy::Sequential);
+        let pooled = controlled(ParPolicy::Threads(pooled_lanes));
+        let auto = controlled(ParPolicy::Auto);
+        let parity = seq.outcome == pooled.outcome && seq.outcome == auto.outcome;
+        if !parity {
+            println!("!! controlled {side}x{side}: policies diverged");
+            failures += 1;
+        }
+        if seq.outcome.delivered == 0 {
+            println!("!! controlled {side}x{side}: delivered nothing");
+            failures += 1;
+        }
+        let stream_sum: u64 = seq.outcome.streams.iter().map(|s| s.delivered_words).sum();
+        if stream_sum != seq.outcome.delivered {
+            println!(
+                "!! controlled {side}x{side}: per-stream sum {stream_sum} != \
+                 total {}",
+                seq.outcome.delivered
+            );
+            failures += 1;
+        }
+        let uncharged = seq
+            .outcome
+            .streams
+            .iter()
+            .filter(|s| s.plane == StreamPlane::Circuit && s.reconfig_cycles == 0)
+            .count();
+        if uncharged > 0 {
+            println!(
+                "!! controlled {side}x{side}: {uncharged} circuit stream(s) \
+                 missing the BE-delivered cold-start charge"
+            );
+            failures += 1;
+        }
+        rows.push(vec![
+            format!("{side}x{side} ctl"),
+            "hybrid+BeDelivered".into(),
+            seq.outcome.delivered.to_string(),
+            format!("{:.1}", seq.cycles_per_sec / 1e3),
+            format!("{:.1}", pooled.cycles_per_sec / 1e3),
+            format!("{:.1}", auto.cycles_per_sec / 1e3),
+            format!("{:.2}x", pooled.cycles_per_sec / seq.cycles_per_sec),
+            if parity {
+                "ok".into()
+            } else {
+                "DIVERGED".into()
+            },
+        ]);
     }
 
     println!(

@@ -131,6 +131,23 @@ impl EdgeRoute {
         }
         words
     }
+
+    /// [`EdgeRoute::config_words`] batched per destination router, in
+    /// deterministic node order — the message granularity the BE network
+    /// delivers at. Shared by runtime admission and BE-delivered initial
+    /// provisioning ([`crate::stream::ProvisionMode::BeDelivered`]) so
+    /// both phases serialise identically on the configuration plane.
+    pub fn config_words_by_node(
+        &self,
+        params: &RouterParams,
+    ) -> std::collections::BTreeMap<NodeId, Vec<ConfigWord>> {
+        let mut by_node: std::collections::BTreeMap<NodeId, Vec<ConfigWord>> =
+            std::collections::BTreeMap::new();
+        for (node, word) in self.config_words(params) {
+            by_node.entry(node).or_default().push(word);
+        }
+        by_node
+    }
 }
 
 /// A tile-to-tile demand the CCN could *not* admit on circuit lanes.

@@ -40,10 +40,11 @@
 //! here.
 
 use crate::ccn::{Ccn, Mapping, MappingError};
+use crate::controller::{AdmissionPolicy, FabricController};
 use crate::fabric::{EnergyModel, Fabric, FabricKind, PacketFabric, ProvisionError};
 use crate::hybrid::HybridFabric;
 use crate::soc::Soc;
-use crate::stream::StreamId;
+use crate::stream::{ProvisionMode, StreamId};
 use crate::tile::{default_tile_kinds, TileKind};
 use crate::topology::{Mesh, NodeId};
 use noc_apps::taskgraph::TaskGraph;
@@ -89,7 +90,7 @@ impl From<ProvisionError> for DeployError {
 }
 
 /// Builder for [`Deployment`]s. Construct with [`Deployment::builder`].
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DeploymentBuilder<'g> {
     graph: &'g TaskGraph,
     mesh: Mesh,
@@ -103,6 +104,9 @@ pub struct DeploymentBuilder<'g> {
     tile_kinds: Option<Vec<TileKind>>,
     spill: bool,
     parallelism: ParPolicy,
+    provisioning: ProvisionMode,
+    policy: Option<Box<dyn AdmissionPolicy>>,
+    tick_window: CycleCount,
 }
 
 impl<'g> DeploymentBuilder<'g> {
@@ -120,6 +124,9 @@ impl<'g> DeploymentBuilder<'g> {
             tile_kinds: None,
             spill: false,
             parallelism: ParPolicy::Auto,
+            provisioning: ProvisionMode::Instant,
+            policy: None,
+            tick_window: FabricController::DEFAULT_WINDOW,
         }
     }
 
@@ -211,6 +218,40 @@ impl<'g> DeploymentBuilder<'g> {
         self
     }
 
+    /// How the initial configuration reaches the routers (default
+    /// [`ProvisionMode::Instant`]). With [`ProvisionMode::BeDelivered`]
+    /// the cold-start configuration rides the BE network exactly like a
+    /// runtime `admit` — each circuit stream's §5.1 delivery wait is
+    /// charged to its `reconfig_cycles` and to the measured latency of
+    /// words offered before the circuit is ready. Backends without router
+    /// configuration (the pure packet fabric) are ready immediately in
+    /// both modes.
+    pub fn provisioning(mut self, mode: ProvisionMode) -> Self {
+        self.provisioning = mode;
+        self
+    }
+
+    /// Wrap the built fabric in a [`FabricController`] running `policy`
+    /// (see [`crate::controller`]): the policy loop ticks every
+    /// [`DeploymentBuilder::tick_window`] cycles of stepping, promoting
+    /// spilled streams onto freed circuits and demoting idle ones through
+    /// the ordinary `release`/`admit` verbs. Only
+    /// [`DeploymentBuilder::build`] honours this knob — the control plane
+    /// is backend-erased by construction; the concretely-typed
+    /// `build_circuit`/`build_hybrid`/`build_packet` ignore it.
+    pub fn policy(mut self, policy: Box<dyn AdmissionPolicy>) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Cycles between control-plane ticks when a
+    /// [`DeploymentBuilder::policy`] is set (default
+    /// [`FabricController::DEFAULT_WINDOW`]).
+    pub fn tick_window(mut self, cycles: CycleCount) -> Self {
+        self.tick_window = cycles;
+        self
+    }
+
     /// Map the application (shared by every backend).
     fn map(&self) -> Result<Mapping, MappingError> {
         self.map_admission(self.spill)
@@ -229,27 +270,9 @@ impl<'g> DeploymentBuilder<'g> {
         }
     }
 
-    /// Deploy onto the backend chosen with [`DeploymentBuilder::fabric`].
-    pub fn build(self) -> Result<Deployment<Box<dyn Fabric>>, DeployError> {
-        match self.kind {
-            FabricKind::Circuit => self.build_circuit().map(Deployment::boxed),
-            FabricKind::Hybrid => self.build_hybrid().map(Deployment::boxed),
-            FabricKind::Packet => self.build_packet().map(Deployment::boxed),
-        }
-    }
-
-    /// Deploy onto the circuit-switched mesh.
-    pub fn build_circuit(self) -> Result<Deployment<Soc>, DeployError> {
-        let mapping = self.map()?;
-        let mut fabric = Soc::new(self.mesh, self.router_params);
-        fabric.provision(&mapping).map_err(ProvisionError::from)?;
-        Ok(Deployment::assemble(fabric, mapping, &self))
-    }
-
-    /// Deploy onto the packet-switched mesh.
-    pub fn build_packet(self) -> Result<Deployment<PacketFabric>, DeployError> {
-        // Pre-check the packet header's coordinate space so the size limit
-        // surfaces as an error, not as `PacketFabric::new`'s panic.
+    /// Pre-check the packet header's coordinate space so the size limit
+    /// surfaces as an error, not as `PacketFabric::new`'s panic.
+    fn check_packet_mesh(&self) -> Result<(), DeployError> {
         if self.mesh.width > 16 || self.mesh.height > 16 {
             return Err(ProvisionError::MeshTooLarge {
                 width: self.mesh.width,
@@ -257,9 +280,70 @@ impl<'g> DeploymentBuilder<'g> {
             }
             .into());
         }
+        Ok(())
+    }
+
+    /// Deploy onto the backend chosen with [`DeploymentBuilder::fabric`].
+    /// This backend-erased path is also where the control plane plugs in:
+    /// with a [`DeploymentBuilder::policy`], the fabric is wrapped in a
+    /// [`FabricController`] *before* provisioning, so the controller
+    /// learns every stream's declared demand and its policy loop runs
+    /// inside ordinary [`Fabric::step`]s.
+    pub fn build(mut self) -> Result<Deployment<Box<dyn Fabric>>, DeployError> {
+        let policy = self.policy.take();
+        let (fabric, mapping): (Box<dyn Fabric>, Mapping) = match self.kind {
+            FabricKind::Circuit => (
+                Box::new(Soc::new(self.mesh, self.router_params)),
+                self.map()?,
+            ),
+            FabricKind::Hybrid => {
+                self.check_packet_mesh()?;
+                (
+                    Box::new(HybridFabric::new(
+                        self.mesh,
+                        self.router_params,
+                        self.packet_params,
+                        self.packet_words,
+                    )),
+                    self.map_admission(true)?,
+                )
+            }
+            FabricKind::Packet => {
+                self.check_packet_mesh()?;
+                (
+                    Box::new(PacketFabric::new(
+                        self.mesh,
+                        self.packet_params,
+                        self.packet_words,
+                    )),
+                    self.map()?,
+                )
+            }
+        };
+        let mut fabric: Box<dyn Fabric> = match policy {
+            Some(p) => Box::new(FabricController::new(fabric, p).with_window(self.tick_window)),
+            None => fabric,
+        };
+        fabric.provision_with(&mapping, self.provisioning)?;
+        Ok(Deployment::assemble(fabric, mapping, &self))
+    }
+
+    /// Deploy onto the circuit-switched mesh.
+    pub fn build_circuit(self) -> Result<Deployment<Soc>, DeployError> {
+        let mapping = self.map()?;
+        let mut fabric = Soc::new(self.mesh, self.router_params);
+        fabric
+            .provision_with(&mapping, self.provisioning)
+            .map_err(ProvisionError::from)?;
+        Ok(Deployment::assemble(fabric, mapping, &self))
+    }
+
+    /// Deploy onto the packet-switched mesh.
+    pub fn build_packet(self) -> Result<Deployment<PacketFabric>, DeployError> {
+        self.check_packet_mesh()?;
         let mapping = self.map()?;
         let mut fabric = PacketFabric::new(self.mesh, self.packet_params, self.packet_words);
-        fabric.provision(&mapping)?;
+        fabric.provision_with(&mapping, self.provisioning)?;
         Ok(Deployment::assemble(fabric, mapping, &self))
     }
 
@@ -269,13 +353,7 @@ impl<'g> DeploymentBuilder<'g> {
     /// onto the packet plane *is* the hybrid discipline — so applications
     /// the pure circuit backend rejects deploy here.
     pub fn build_hybrid(self) -> Result<Deployment<HybridFabric>, DeployError> {
-        if self.mesh.width > 16 || self.mesh.height > 16 {
-            return Err(ProvisionError::MeshTooLarge {
-                width: self.mesh.width,
-                height: self.mesh.height,
-            }
-            .into());
-        }
+        self.check_packet_mesh()?;
         let mapping = self.map_admission(true)?;
         let mut fabric = HybridFabric::new(
             self.mesh,
@@ -283,7 +361,7 @@ impl<'g> DeploymentBuilder<'g> {
             self.packet_params,
             self.packet_words,
         );
-        fabric.provision(&mapping)?;
+        fabric.provision_with(&mapping, self.provisioning)?;
         Ok(Deployment::assemble(fabric, mapping, &self))
     }
 }
@@ -307,6 +385,17 @@ struct RouteTraffic {
     delivered: u64,
     /// Rides the best-effort spillover plane instead of a circuit.
     spilled: bool,
+    /// Offered load switched off ([`Deployment::stop_traffic`]); the
+    /// generator stays registered so deliveries keep being collected.
+    stopped: bool,
+    /// Offered load suspended by the control plane: the fabric reported
+    /// (via [`Fabric::take_handle_moves`]) that this session is being
+    /// retired with no replacement named yet; a later move resumes it.
+    paused: bool,
+    /// Earlier session handles of this generator (retired by control-
+    /// plane hand-overs); their residual deliveries are still collected
+    /// and credited here.
+    retired: Vec<StreamId>,
 }
 
 /// Per-stream delivery statistics, the fabric-generic analogue of the old
@@ -395,6 +484,9 @@ impl<F: Fabric> Deployment<F> {
                 injected: 0,
                 delivered: 0,
                 spilled: ms.spilled,
+                stopped: false,
+                paused: false,
+                retired: Vec::new(),
             });
         }
         Deployment {
@@ -465,6 +557,17 @@ impl<F: Fabric> Deployment<F> {
         self.keep_payload = on;
     }
 
+    /// Stop offering load on `stream`. The generator stays registered, so
+    /// words already accepted keep being collected and reported — this is
+    /// the traffic-side half of a phased retirement: stop the offered
+    /// load, then `fabric_mut().release(stream, ReleaseMode::Drain)` for
+    /// a loss-free teardown. Unknown handles are ignored.
+    pub fn stop_traffic(&mut self, stream: StreamId) {
+        if let Some(t) = self.traffic.iter_mut().find(|t| t.stream_id == stream) {
+            t.stopped = true;
+        }
+    }
+
     /// The [`EnergyModel`] matching this deployment's clock.
     pub fn energy_model(&self) -> EnergyModel {
         EnergyModel::calibrated(self.clock)
@@ -474,13 +577,38 @@ impl<F: Fabric> Deployment<F> {
         // Stream-exact collection: each session is drained by handle, so
         // shared destinations attribute every word to the stream that
         // carried it (the per-stream drain accounting the node-level API
-        // could only approximate).
+        // could only approximate). Handles retired by control-plane
+        // hand-overs are still drained — their last words may land after
+        // the hand-over and belong to this generator's account.
         for t in &mut self.traffic {
-            let words = self.fabric.drain_stream(t.stream_id);
-            t.delivered += words.len() as u64;
-            self.delivered_at[t.dst.0] += words.len() as u64;
-            if self.keep_payload {
-                self.payload_at[t.dst.0].extend(words);
+            for id in t.retired.iter().copied().chain([t.stream_id]) {
+                let words = self.fabric.drain_stream(id);
+                t.delivered += words.len() as u64;
+                self.delivered_at[t.dst.0] += words.len() as u64;
+                if self.keep_payload {
+                    self.payload_at[t.dst.0].extend(words);
+                }
+            }
+        }
+    }
+
+    /// Follow the control plane's session hand-overs
+    /// ([`Fabric::take_handle_moves`]): a retired handle's generator is
+    /// paused, and resumed on its replacement the moment one is named —
+    /// so offered-load traffic survives promotions and demotions without
+    /// ever injecting on a draining session.
+    fn follow_handle_moves(&mut self) {
+        for (from, to) in self.fabric.take_handle_moves() {
+            let Some(t) = self.traffic.iter_mut().find(|t| t.stream_id == from) else {
+                continue;
+            };
+            match to {
+                Some(new) => {
+                    t.retired.push(t.stream_id);
+                    t.stream_id = new;
+                    t.paused = false;
+                }
+                None => t.paused = true,
             }
         }
     }
@@ -491,6 +619,9 @@ impl<F: Fabric> Deployment<F> {
     pub fn run(&mut self, cycles: CycleCount) {
         for _ in 0..cycles {
             for t in &mut self.traffic {
+                if t.stopped || t.paused {
+                    continue;
+                }
                 t.acc += t.rate;
                 while t.acc + 1e-9 >= 1.0 {
                     t.acc -= 1.0;
@@ -500,6 +631,7 @@ impl<F: Fabric> Deployment<F> {
                 }
             }
             self.fabric.step();
+            self.follow_handle_moves();
         }
         self.cycles_run += cycles;
         self.offered_cycles += cycles;
@@ -520,6 +652,7 @@ impl<F: Fabric> Deployment<F> {
             let before: u64 = self.delivered_at.iter().sum();
             self.fabric.run(CHUNK);
             spent += CHUNK;
+            self.follow_handle_moves();
             self.collect();
             let after: u64 = self.delivered_at.iter().sum();
             idle = if after > before { 0 } else { idle + 1 };
@@ -816,6 +949,91 @@ mod tests {
         let packet = run(FabricKind::Packet);
         assert!(!circuit.is_empty());
         assert_eq!(circuit, packet, "identical payload through both fabrics");
+    }
+
+    #[test]
+    fn deployment_traffic_follows_a_controller_promotion() {
+        // The advertised integration: a policy-driven deployment keeps
+        // its offered-load traffic alive through a promotion. Retire the
+        // GT circuit with the documented phased pattern (stop_traffic +
+        // drain release); the controller promotes the spilled stream and
+        // the deployment's generator follows the hand-over instead of
+        // panicking on the drained handle.
+        use crate::controller::ProfiledPromotion;
+        use crate::stream::{ReleaseMode, StreamPlane};
+        let g = oversubscribed();
+        let mut dep = Deployment::builder(&g)
+            .mesh(3, 1)
+            .clock(MegaHertz(25.0))
+            .seed(9)
+            .spill(true)
+            .fabric(FabricKind::Hybrid)
+            .policy(Box::new(ProfiledPromotion))
+            .tick_window(64)
+            .build()
+            .unwrap();
+        dep.run(1500);
+        let gt = dep.fabric().stream_stats()[0].id;
+        dep.stop_traffic(gt);
+        dep.fabric_mut()
+            .release(gt, ReleaseMode::Drain)
+            .expect("live streams drain");
+        dep.run(1500); // the tick promotes; traffic must survive it
+        dep.settle(3000);
+        let stats = dep.fabric().stream_stats();
+        let promoted = stats
+            .iter()
+            .find(|s| s.active && s.plane == StreamPlane::Circuit)
+            .expect("the spilled stream was promoted onto the freed lanes");
+        assert!(promoted.reconfig_cycles > 0, "§5.1 wait charged");
+        assert!(
+            promoted.injected_words > 0,
+            "the deployment kept offering load on the promoted session"
+        );
+        // Nothing was lost anywhere: the drained GT stream and both
+        // phases of the promoted stream delivered everything accepted.
+        for s in &stats {
+            assert_eq!(
+                s.delivered_words, s.injected_words,
+                "{}: words lost across the hand-over",
+                s.id
+            );
+        }
+        // And the deployment's ledger agrees (collected across retired
+        // and replacement handles alike).
+        assert_eq!(dep.total_delivered(), dep.total_injected());
+    }
+
+    #[test]
+    fn drained_release_blocks_quiescence_until_teardown() {
+        // is_quiescent must count a pending drain as outstanding work:
+        // stepping "until quiescent" has to carry the deferred teardown
+        // over the ack-flush hold, leaving the lanes actually free.
+        let g = pipeline(2, 80.0);
+        let mut dep = Deployment::builder(&g).mesh(2, 1).seed(3).build().unwrap();
+        dep.run(200);
+        let id = dep.fabric().stream_stats()[0].id;
+        dep.stop_traffic(id);
+        dep.fabric_mut()
+            .release(id, crate::stream::ReleaseMode::Drain)
+            .unwrap();
+        let mut guard = 0;
+        while !dep.fabric().is_quiescent() {
+            dep.fabric_mut().step();
+            guard += 1;
+            assert!(guard < 5000, "drain never quiesced");
+        }
+        let stats = &dep.fabric().stream_stats()[0];
+        assert!(
+            !stats.active,
+            "quiescence implies the deferred teardown ran"
+        );
+        assert_eq!(stats.delivered_words, stats.injected_words);
+        let demand = dep.mapping().stream_demand(id).unwrap();
+        assert!(
+            dep.fabric().can_admit_circuit(&demand),
+            "the drained stream's lanes must be free again"
+        );
     }
 
     #[test]

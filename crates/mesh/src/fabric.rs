@@ -26,7 +26,9 @@
 //! written once, over `F: Fabric`.
 
 use crate::ccn::Mapping;
-use crate::stream::{AdmitError, StreamDemand, StreamId, StreamPlane, StreamStats};
+use crate::stream::{
+    AdmitError, ProvisionMode, ReleaseMode, StreamDemand, StreamId, StreamPlane, StreamStats,
+};
 use crate::topology::{Mesh, NodeId};
 use noc_core::error::ConfigError;
 use noc_packet::flit::{Flit, FlitKind};
@@ -177,14 +179,21 @@ impl EnergyModel {
 ///    counts, serving plane, and the full service-latency distribution
 ///    ([`StreamStats`]) — the data behind the hybrid's GT/BE service gap;
 /// 5. [`Fabric::release`] / [`Fabric::admit`] are the runtime lifecycle:
-///    tear a circuit down, then re-run CCN admission against the freed
-///    lanes — with reconfiguration latency (BE-network configuration
-///    delivery, paper §5.1) charged to the admitted stream;
+///    tear a circuit down — immediately ([`ReleaseMode::Drop`]) or
+///    loss-free once the pipeline empties ([`ReleaseMode::Drain`]) — then
+///    re-run CCN admission against the freed lanes, with reconfiguration
+///    latency (BE-network configuration delivery, paper §5.1) charged to
+///    the admitted stream. [`Fabric::provision_with`] threads the same
+///    BE-delivery path through *initial* provisioning
+///    ([`ProvisionMode::BeDelivered`]), so cold-start setup time shows up
+///    fabric-generically in stream latency;
 /// 6. [`Fabric::activity`] / [`Fabric::total_energy`] cost the run with
 ///    the same Synopsys-style flow as the paper's Fig. 9.
 ///
-/// The node-addressed [`Fabric::inject`] / [`Fabric::drain`] survive as
-/// deprecated shims that fan out over / merge across a node's streams.
+/// The policy loop that drives the lifecycle automatically — draining
+/// releases, profiled promotion of spilled streams onto freed circuits,
+/// demotion of under-used circuits — is
+/// [`crate::controller::FabricController`], itself a `Fabric`.
 ///
 /// The trait is object-safe: `Box<dyn Fabric>` implements it too, so a
 /// runtime-chosen backend flows through the same generic code.
@@ -194,7 +203,7 @@ impl EnergyModel {
 /// use noc_core::params::RouterParams;
 /// use noc_mesh::ccn::Ccn;
 /// use noc_mesh::fabric::{EnergyModel, Fabric, PacketFabric};
-/// use noc_mesh::stream::StreamPlane;
+/// use noc_mesh::stream::{ReleaseMode, StreamPlane};
 /// use noc_mesh::tile::default_tile_kinds;
 /// use noc_mesh::topology::Mesh;
 /// use noc_packet::params::PacketParams;
@@ -225,10 +234,11 @@ impl EnergyModel {
 /// assert_eq!(stats.delivered_words, 3);
 /// assert!(stats.latency.p95().unwrap() >= stats.latency.min().unwrap());
 ///
-/// // The stream lifecycle: release the session, then re-admit the same
-/// // demand at runtime and keep going under a fresh handle.
+/// // The stream lifecycle: release the session (a drained release is
+/// // loss-free; here the stream is already empty), then re-admit the
+/// // same demand at runtime and keep going under a fresh handle.
 /// let demand = mapping.stream_demand(ids[0]).unwrap();
-/// fabric.release(ids[0]).unwrap();
+/// fabric.release(ids[0], ReleaseMode::Drain).unwrap();
 /// let readmitted = fabric.admit(&demand).unwrap();
 /// assert_ne!(readmitted, ids[0], "a new session, a new handle");
 /// fabric.inject_stream(readmitted, &[4, 5]);
@@ -267,6 +277,28 @@ pub trait Fabric: Clocked {
     /// of the contract.
     fn provision(&mut self, mapping: &Mapping) -> Result<Vec<StreamId>, ProvisionError>;
 
+    /// [`Fabric::provision`] with an explicit [`ProvisionMode`].
+    ///
+    /// Under [`ProvisionMode::BeDelivered`], a backend with configuration
+    /// state (circuit routers) ships each stream's setup words over the
+    /// BE network instead of writing them instantly — the same delivery
+    /// path as a runtime [`Fabric::admit`] — so the cold-start wait
+    /// (paper §5.1 budgets) appears in `reconfig_cycles` and in the
+    /// measured latency of words injected before the circuit is ready.
+    ///
+    /// The default ignores the mode and provisions instantly, which is
+    /// exact for backends with no configuration to deliver (wormhole
+    /// destinations are registrations, not router state); backends that
+    /// configure routers MUST override.
+    fn provision_with(
+        &mut self,
+        mapping: &Mapping,
+        mode: ProvisionMode,
+    ) -> Result<Vec<StreamId>, ProvisionError> {
+        let _ = mode;
+        self.provision(mapping)
+    }
+
     /// Queue payload words on stream `stream`. Returns the number of
     /// words accepted. The latency clock of every word starts here:
     /// serialisation backlog, staging and (for runtime-admitted circuits)
@@ -294,16 +326,22 @@ pub trait Fabric: Clocked {
     /// only.
     fn stream_stats(&self) -> Vec<StreamStats>;
 
-    /// Tear stream `stream` down and return its resources (circuit lanes,
-    /// wormhole destination slots) to the admission pool. The handle
-    /// stays valid for [`Fabric::drain_stream`] / [`Fabric::stream_stats`];
-    /// injecting on it panics. Undelivered backlog is discarded — settle
-    /// first when every word matters.
+    /// Retire stream `stream` and return its resources (circuit lanes,
+    /// wormhole destination slots) to the admission pool — immediately
+    /// under [`ReleaseMode::Drop`] (undelivered backlog is discarded,
+    /// words mid-circuit are dropped with the lanes), or loss-free under
+    /// [`ReleaseMode::Drain`]: admission stops at once, the resources are
+    /// held until every accepted word has been delivered, and only then
+    /// does the fabric tear the stream down (its telemetry stays `active`
+    /// until that deferred teardown runs; a drain cannot be released
+    /// again — [`AdmitError::Draining`]). Either way the handle stays
+    /// valid for [`Fabric::drain_stream`] / [`Fabric::stream_stats`];
+    /// injecting on it panics.
     ///
     /// The default refuses: a backend without a runtime lifecycle simply
     /// keeps its provisioned streams.
-    fn release(&mut self, stream: StreamId) -> Result<(), AdmitError> {
-        let _ = stream;
+    fn release(&mut self, stream: StreamId, mode: ReleaseMode) -> Result<(), AdmitError> {
+        let _ = (stream, mode);
         Err(AdmitError::Unsupported(
             "this backend has no runtime stream lifecycle",
         ))
@@ -326,27 +364,33 @@ pub trait Fabric: Clocked {
         ))
     }
 
-    /// Queue payload words for transmission from `node`, fanned out
-    /// word-round-robin over the node's active outgoing streams — a thin
-    /// shim kept for node-addressed callers; per-stream accounting and
-    /// telemetry need [`Fabric::inject_stream`].
-    #[deprecated(
-        since = "0.3.0",
-        note = "streams are first-class sessions now — use `inject_stream` \
-                with the handles `provision`/`admit` return"
-    )]
-    fn inject(&mut self, node: NodeId, words: &[u16]) -> usize;
+    /// Drain the control-plane hand-over log: `(retired, replacement)`
+    /// pairs recorded since the last call. `Some(to)` means session
+    /// `from` was retired (drained loss-free) and its demand is now
+    /// served by session `to` — traffic drivers should retarget;
+    /// `None` means `from` is being retired with no replacement yet
+    /// (an eviction drain in progress — pause its offered load; a later
+    /// move may name the replacement). Always empty for plain backends:
+    /// only a control plane ([`crate::controller::FabricController`])
+    /// replaces handles on its own initiative. `Deployment::run` polls
+    /// this every cycle and follows the moves, so offered-load traffic
+    /// survives promotions and demotions.
+    fn take_handle_moves(&mut self) -> Vec<(StreamId, Option<StreamId>)> {
+        Vec::new()
+    }
 
-    /// Take the payload words delivered to `node` since the last call,
-    /// merged across every stream terminating there (stream-id order) — a
-    /// thin shim kept for node-addressed callers; shared-destination
-    /// workloads report exactly only through [`Fabric::drain_stream`].
-    #[deprecated(
-        since = "0.3.0",
-        note = "streams are first-class sessions now — use `drain_stream` \
-                with the handles `provision`/`admit` return"
-    )]
-    fn drain(&mut self, node: NodeId) -> Vec<u16>;
+    /// Would [`Fabric::admit`] put `demand` on *circuit* lanes right now?
+    /// A side-effect-free feasibility probe — the CCN's lane allocation is
+    /// re-run against the live circuits without claiming anything — used
+    /// by control-plane policies ([`crate::controller`]) to promote a
+    /// spilled stream only when a circuit is actually free, instead of
+    /// churning sessions on hopeless attempts. `false` for backends with
+    /// no circuit plane (the pure packet fabric admits, but never onto
+    /// circuits) and for unprovisioned fabrics.
+    fn can_admit_circuit(&self, demand: &StreamDemand) -> bool {
+        let _ = demand;
+        false
+    }
 
     /// Flush any internal staging (e.g. a partially filled wormhole
     /// packet) so that everything injected so far will eventually be
@@ -463,6 +507,14 @@ impl Fabric for crate::soc::Soc {
         crate::soc::Soc::provision(self, mapping).map_err(ProvisionError::from)
     }
 
+    fn provision_with(
+        &mut self,
+        mapping: &Mapping,
+        mode: ProvisionMode,
+    ) -> Result<Vec<StreamId>, ProvisionError> {
+        crate::soc::Soc::provision_with(self, mapping, mode).map_err(ProvisionError::from)
+    }
+
     fn inject_stream(&mut self, stream: StreamId, words: &[u16]) -> usize {
         self.inject_stream_words(stream, words)
     }
@@ -475,20 +527,16 @@ impl Fabric for crate::soc::Soc {
         crate::soc::Soc::stream_stats(self)
     }
 
-    fn release(&mut self, stream: StreamId) -> Result<(), AdmitError> {
-        self.release_stream(stream)
+    fn release(&mut self, stream: StreamId, mode: ReleaseMode) -> Result<(), AdmitError> {
+        self.release_stream(stream, mode)
     }
 
     fn admit(&mut self, demand: &StreamDemand) -> Result<StreamId, AdmitError> {
         crate::soc::Soc::admit_stream(self, demand)
     }
 
-    fn inject(&mut self, node: NodeId, words: &[u16]) -> usize {
-        self.inject_words(node, words)
-    }
-
-    fn drain(&mut self, node: NodeId) -> Vec<u16> {
-        self.drain_words(node)
+    fn can_admit_circuit(&self, demand: &StreamDemand) -> bool {
+        crate::soc::Soc::can_admit_circuit(self, demand)
     }
 
     fn set_parallelism(&mut self, policy: ParPolicy) {
@@ -509,7 +557,12 @@ impl Fabric for crate::soc::Soc {
 
     fn is_quiescent(&self) -> bool {
         let lanes = self.params().lanes_per_port;
-        self.ingress_backlog() == 0
+        // A pending drain is outstanding work even after its last word
+        // was captured: the teardown (deferred one ack-flush window)
+        // still has to run inside `step`, so "run until quiescent"
+        // drivers must keep stepping.
+        self.pending_drains() == 0
+            && self.ingress_backlog() == 0
             && crate::soc::Soc::mesh(self)
                 .iter()
                 .all(|n| (0..lanes).all(|l| self.router(n).tile_rx_pending(l) == 0))
@@ -552,6 +605,9 @@ struct PacketStream {
     delivered: u64,
     latency: LatencyHistogram,
     active: bool,
+    /// Released with [`ReleaseMode::Drain`]: no further injection, slot
+    /// retired once every accepted word has been delivered.
+    draining: bool,
 }
 
 /// The packet-switched baseline as a whole mesh: `noc_packet` routers on
@@ -578,12 +634,8 @@ pub struct PacketFabric {
     streams: Vec<PacketStream>,
     /// StreamId -> index into `streams`.
     by_id: HashMap<u32, usize>,
-    /// Per node: indices of active streams originating there.
-    by_src: Vec<Vec<usize>>,
-    /// Per node: the node-level inject shim's current stream (advances
-    /// when a packet closes — the historical packet-granular
-    /// round-robin).
-    shim_cursor: Vec<usize>,
+    /// Stream indices mid-drain, polled each cycle for completion.
+    draining: Vec<usize>,
     /// Per node, per VC: stream tag of the wormhole being delivered.
     rx_stream: Vec<Vec<Option<u32>>>,
     /// Per node: flits awaiting injection at the tile port.
@@ -644,8 +696,7 @@ impl PacketFabric {
             routers,
             streams: Vec::new(),
             by_id: HashMap::new(),
-            by_src: mesh.iter().map(|_| Vec::new()).collect(),
-            shim_cursor: vec![0; mesh.nodes()],
+            draining: Vec::new(),
             rx_stream: mesh.iter().map(|_| vec![None; vcs]).collect(),
             ingress: mesh.iter().map(|_| Default::default()).collect(),
             now: Cycle::ZERO,
@@ -683,7 +734,6 @@ impl PacketFabric {
     fn register(&mut self, id: StreamId, src: NodeId, dst: NodeId, plane: StreamPlane) {
         let (x, y) = self.mesh.coords(dst);
         let idx = self.streams.len();
-        self.by_src[src.0].push(idx);
         self.by_id.insert(id.0, idx);
         self.streams.push(PacketStream {
             id,
@@ -698,7 +748,15 @@ impl PacketFabric {
             delivered: 0,
             latency: LatencyHistogram::new(),
             active: true,
+            draining: false,
         });
+    }
+
+    /// Is stream `id` still an open session (`true` until a release —
+    /// including a [`ReleaseMode::Drain`]'s deferred retirement — has
+    /// completed)? `None` for handles this fabric does not serve.
+    pub fn stream_is_active(&self, id: StreamId) -> Option<bool> {
+        self.by_id.get(&id.0).map(|&si| self.streams[si].active)
     }
 
     /// Stage one word on stream `si` (timestamped for the latency
@@ -811,6 +869,22 @@ impl PacketFabric {
                 }
             }
         }
+
+        // 5. Finalise draining releases: a session retired with
+        //    `ReleaseMode::Drain` stays registered until its last accepted
+        //    word was delivered above, then closes loss-free.
+        if !self.draining.is_empty() {
+            self.draining.retain(|&si| {
+                let s = &mut self.streams[si];
+                if s.pending_ts.is_empty() {
+                    s.active = false;
+                    s.draining = false;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
     }
 }
 
@@ -859,10 +933,7 @@ impl Fabric for PacketFabric {
         }
         self.streams.clear();
         self.by_id.clear();
-        for list in &mut self.by_src {
-            list.clear();
-        }
-        self.shim_cursor.fill(0);
+        self.draining.clear();
         for slots in &mut self.rx_stream {
             slots.fill(None);
         }
@@ -887,6 +958,10 @@ impl Fabric for PacketFabric {
             .get(&stream.0)
             .unwrap_or_else(|| panic!("{stream} is not served by this packet fabric"));
         assert!(self.streams[si].active, "{stream} was released");
+        assert!(
+            !self.streams[si].draining,
+            "{stream} is draining — admission is stopped"
+        );
         for &word in words {
             self.push_word(si, word);
         }
@@ -918,25 +993,42 @@ impl Fabric for PacketFabric {
             .collect()
     }
 
-    fn release(&mut self, stream: StreamId) -> Result<(), AdmitError> {
+    fn release(&mut self, stream: StreamId, mode: ReleaseMode) -> Result<(), AdmitError> {
         let Some(&si) = self.by_id.get(&stream.0) else {
             return Err(AdmitError::UnknownStream(stream));
         };
         if !self.streams[si].active {
             return Err(AdmitError::UnknownStream(stream));
         }
-        let src = self.streams[si].src;
-        let s = &mut self.streams[si];
-        s.active = false;
-        // Discard the staged (never-launched) words and exactly their
-        // timestamps — the tail of the FIFO. Words already on the wire
-        // keep theirs: they may still land after the release and must
-        // stay paired for the latency ledger.
-        let staged = s.open.len();
-        s.open.clear();
-        let keep = s.pending_ts.len() - staged;
-        s.pending_ts.truncate(keep);
-        self.by_src[src.0].retain(|&i| i != si);
+        if self.streams[si].draining {
+            return Err(AdmitError::Draining(stream));
+        }
+        match mode {
+            ReleaseMode::Drop => {
+                let s = &mut self.streams[si];
+                s.active = false;
+                // Discard the staged (never-launched) words and exactly
+                // their timestamps — the tail of the FIFO. Words already
+                // on the wire keep theirs: they may still land after the
+                // release and must stay paired for the latency ledger.
+                let staged = s.open.len();
+                s.open.clear();
+                let keep = s.pending_ts.len() - staged;
+                s.pending_ts.truncate(keep);
+            }
+            ReleaseMode::Drain => {
+                // Launch the partially filled packet — a drain delivers
+                // everything accepted so far — and let `step_fabric`
+                // retire the session once the last word lands.
+                self.close_stream(si);
+                if self.streams[si].pending_ts.is_empty() {
+                    self.streams[si].active = false;
+                } else {
+                    self.streams[si].draining = true;
+                    self.draining.push(si);
+                }
+            }
+        }
         Ok(())
     }
 
@@ -956,36 +1048,6 @@ impl Fabric for PacketFabric {
         self.next_id += 1;
         self.register(id, demand.src, demand.dst, StreamPlane::Packet);
         Ok(id)
-    }
-
-    fn inject(&mut self, node: NodeId, words: &[u16]) -> usize {
-        assert!(
-            !self.by_src[node.0].is_empty(),
-            "node {node:?} has no provisioned destination"
-        );
-        for &word in words {
-            // Packet-granular round-robin across the node's streams: the
-            // cursor advances when a packet closes, so whole wormholes
-            // alternate between destinations (the historical node-level
-            // behaviour).
-            let list = &self.by_src[node.0];
-            let si = list[self.shim_cursor[node.0] % list.len()];
-            self.push_word(si, word);
-            if self.streams[si].open.is_empty() {
-                self.shim_cursor[node.0] += 1;
-            }
-        }
-        words.len()
-    }
-
-    fn drain(&mut self, node: NodeId) -> Vec<u16> {
-        let mut out = Vec::new();
-        for s in &mut self.streams {
-            if s.dst == node {
-                out.append(&mut s.egress);
-            }
-        }
-        out
     }
 
     fn finish_injection(&mut self) {
@@ -1022,7 +1084,8 @@ impl Fabric for PacketFabric {
     }
 
     fn is_quiescent(&self) -> bool {
-        self.streams.iter().all(|s| s.open.is_empty())
+        self.draining.is_empty()
+            && self.streams.iter().all(|s| s.open.is_empty())
             && self.ingress.iter().all(|q| q.is_empty())
             && self
                 .routers
@@ -1067,6 +1130,14 @@ impl Fabric for Box<dyn Fabric> {
         (**self).provision(mapping)
     }
 
+    fn provision_with(
+        &mut self,
+        mapping: &Mapping,
+        mode: ProvisionMode,
+    ) -> Result<Vec<StreamId>, ProvisionError> {
+        (**self).provision_with(mapping, mode)
+    }
+
     fn inject_stream(&mut self, stream: StreamId, words: &[u16]) -> usize {
         (**self).inject_stream(stream, words)
     }
@@ -1079,22 +1150,20 @@ impl Fabric for Box<dyn Fabric> {
         (**self).stream_stats()
     }
 
-    fn release(&mut self, stream: StreamId) -> Result<(), AdmitError> {
-        (**self).release(stream)
+    fn release(&mut self, stream: StreamId, mode: ReleaseMode) -> Result<(), AdmitError> {
+        (**self).release(stream, mode)
     }
 
     fn admit(&mut self, demand: &StreamDemand) -> Result<StreamId, AdmitError> {
         (**self).admit(demand)
     }
 
-    #[allow(deprecated)]
-    fn inject(&mut self, node: NodeId, words: &[u16]) -> usize {
-        (**self).inject(node, words)
+    fn can_admit_circuit(&self, demand: &StreamDemand) -> bool {
+        (**self).can_admit_circuit(demand)
     }
 
-    #[allow(deprecated)]
-    fn drain(&mut self, node: NodeId) -> Vec<u16> {
-        (**self).drain(node)
+    fn take_handle_moves(&mut self) -> Vec<(StreamId, Option<StreamId>)> {
+        (**self).take_handle_moves()
     }
 
     fn finish_injection(&mut self) {
@@ -1151,7 +1220,6 @@ impl Fabric for Box<dyn Fabric> {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the node-level shims are part of the coverage here
 mod tests {
     use super::*;
     use crate::ccn::Ccn;
@@ -1177,21 +1245,19 @@ mod tests {
     }
 
     /// Drive the same provisioned stream through any fabric and return
-    /// the words delivered at the route's destination — written once,
-    /// exercised against both implementations below.
+    /// the words the session delivered — written once, exercised against
+    /// both implementations below.
     fn pump<F: Fabric>(fabric: &mut F, mapping: &Mapping, words: &[u16]) -> Vec<u16> {
-        fabric.provision(mapping).expect("provision");
-        let route = &mapping.routes[0];
-        let src = route.paths[0][0].node;
-        let dst = route.paths[0].last().expect("path").node;
-        fabric.inject(src, words);
+        let ids = fabric.provision(mapping).expect("provision");
+        let id = ids[0];
+        fabric.inject_stream(id, words);
         fabric.finish_injection();
         let mut delivered = Vec::new();
         let mut idle = 0;
         let mut guard = 0;
         while idle < 64 {
             fabric.run(16);
-            let fresh = fabric.drain(dst);
+            let fresh = fabric.drain_stream(id);
             if fresh.is_empty() {
                 idle += 16;
             } else {
@@ -1272,20 +1338,17 @@ mod tests {
         let mesh = Mesh::new(2, 1);
         let mapping = mapped(mesh);
         let mut pf = PacketFabric::new(mesh, PacketParams::paper(), 16);
-        pf.provision(&mapping).unwrap();
-        let route = &mapping.routes[0];
-        let src = route.paths[0][0].node;
-        let dst = route.paths[0].last().unwrap().node;
-        pf.inject(src, &[1, 2, 3]); // less than a packet: stays staged
+        let ids = pf.provision(&mapping).unwrap();
+        pf.inject_stream(ids[0], &[1, 2, 3]); // less than a packet: stays staged
         assert!(!Fabric::is_quiescent(&pf));
         pf.run(100);
         assert!(
-            pf.drain(dst).is_empty(),
+            pf.drain_stream(ids[0]).is_empty(),
             "unflushed partial packet must not leak"
         );
         pf.finish_injection();
         pf.run(100);
-        assert_eq!(pf.drain(dst), vec![1, 2, 3]);
+        assert_eq!(pf.drain_stream(ids[0]), vec![1, 2, 3]);
     }
 
     #[test]
@@ -1315,14 +1378,19 @@ mod tests {
         assert_ne!(dst_a, dst_b, "test premise: remap moves the circuit");
 
         Fabric::provision(&mut soc, &map_a).unwrap();
-        Fabric::provision(&mut soc, &map_b).unwrap();
-        let src_b = map_b.routes[0].paths[0][0].node;
-        Fabric::inject(&mut soc, src_b, &[0xAB, 0xCD]);
+        let ids_b = Fabric::provision(&mut soc, &map_b).unwrap();
+        Fabric::inject_stream(&mut soc, ids_b[0], &[0xAB, 0xCD]);
         Fabric::run(&mut soc, 200);
-        assert_eq!(soc.drain_words(dst_b), vec![0xAB, 0xCD]);
-        assert!(
-            soc.drain_words(dst_a).is_empty(),
-            "stale destination still capturing after re-provision"
+        assert_eq!(
+            Fabric::drain_stream(&mut soc, ids_b[0]),
+            vec![0xAB, 0xCD],
+            "the remapped circuit delivers"
+        );
+        let _ = dst_b;
+        assert_eq!(
+            soc.tile(dst_a).total_received(),
+            0,
+            "stale destination still receiving after re-provision"
         );
         assert!(
             !soc.tile(dst_a).capture_enabled(),
@@ -1335,8 +1403,87 @@ mod tests {
         let mesh = Mesh::new(2, 1);
         let mut soc = Soc::new(mesh, RouterParams::paper());
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            Fabric::inject(&mut soc, NodeId(0), &[1]);
+            Fabric::inject_stream(&mut soc, StreamId(0), &[1]);
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn drain_release_under_backlog_loses_nothing() {
+        // Release with words still queued and in flight: Drain must
+        // deliver every accepted word before tearing the circuit down,
+        // where Drop discards the backlog.
+        let mesh = Mesh::new(2, 2);
+        let mapping = mapped(mesh);
+        let words: Vec<u16> = (0..64).map(|i| 0x3000 + i).collect();
+        for kind_drop in [false, true] {
+            let mut soc = Soc::new(mesh, RouterParams::paper());
+            let ids = Fabric::provision(&mut soc, &mapping).unwrap();
+            Fabric::inject_stream(&mut soc, ids[0], &words);
+            Fabric::run(&mut soc, 5); // a few words on the wire, most queued
+            let mode = if kind_drop {
+                ReleaseMode::Drop
+            } else {
+                ReleaseMode::Drain
+            };
+            Fabric::release(&mut soc, ids[0], mode).unwrap();
+            // Injection is refused either way.
+            let denied = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                Fabric::inject_stream(&mut soc, ids[0], &[1]);
+            }));
+            assert!(denied.is_err(), "injection after release must panic");
+            Fabric::run(&mut soc, 2_000);
+            let stats = Fabric::stream_stats(&soc).remove(0);
+            assert!(!stats.active, "teardown must eventually run");
+            if kind_drop {
+                assert!(
+                    stats.delivered_words < words.len() as u64,
+                    "premise: Drop really had backlog to discard"
+                );
+            } else {
+                assert_eq!(
+                    Fabric::drain_stream(&mut soc, ids[0]),
+                    words,
+                    "a drained release delivers every accepted word"
+                );
+                assert_eq!(stats.delivered_words, words.len() as u64);
+                // The freed lanes are re-admissible afterwards.
+                let demand = mapping.stream_demand(ids[0]).unwrap();
+                assert!(Fabric::can_admit_circuit(&soc, &demand));
+            }
+        }
+    }
+
+    #[test]
+    fn be_delivered_provision_charges_cold_start_to_latency() {
+        let mesh = Mesh::new(2, 2);
+        let mapping = mapped(mesh);
+        let mut soc = Soc::new(mesh, RouterParams::paper());
+        let ids = Fabric::provision_with(&mut soc, &mapping, ProvisionMode::BeDelivered).unwrap();
+        let stats = Fabric::stream_stats(&soc).remove(0);
+        assert!(
+            stats.reconfig_cycles > 0,
+            "cold-start configuration rides the BE network"
+        );
+        // Words injected before the configuration lands pay the wait.
+        Fabric::inject_stream(&mut soc, ids[0], &[7, 8, 9]);
+        Fabric::run(&mut soc, 2_000);
+        assert_eq!(Fabric::drain_stream(&mut soc, ids[0]), vec![7, 8, 9]);
+        let stats = Fabric::stream_stats(&soc).remove(0);
+        assert!(
+            stats.latency.min().unwrap() >= stats.reconfig_cycles,
+            "delivery wait must appear in measured latency"
+        );
+        // Final router state equals instant provisioning of the same
+        // mapping (the §5.1 path is equivalent, only later).
+        let mut reference = Soc::new(mesh, RouterParams::paper());
+        Fabric::provision(&mut reference, &mapping).unwrap();
+        for node in mesh.iter() {
+            assert_eq!(
+                soc.router(node).config().snapshot_words(),
+                reference.router(node).config().snapshot_words(),
+                "BE-delivered and instant provisioning must converge"
+            );
+        }
     }
 }

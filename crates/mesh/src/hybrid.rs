@@ -45,8 +45,10 @@
 use crate::ccn::Mapping;
 use crate::fabric::{EnergyModel, Fabric, FabricKind, PacketFabric, ProvisionError};
 use crate::soc::Soc;
-use crate::stream::{AdmitError, StreamDemand, StreamId, StreamPlane, StreamStats};
-use crate::topology::{Mesh, NodeId};
+use crate::stream::{
+    AdmitError, ProvisionMode, ReleaseMode, StreamDemand, StreamId, StreamPlane, StreamStats,
+};
+use crate::topology::Mesh;
 use noc_core::params::RouterParams;
 use noc_packet::params::PacketParams;
 use noc_sim::activity::ComponentActivity;
@@ -114,10 +116,12 @@ enum PlaneSlot {
 #[derive(Debug, Clone, Copy)]
 struct HybridStream {
     slot: PlaneSlot,
-    src: NodeId,
     /// Parallel circuit paths (0 for packet-plane sessions).
     paths: usize,
     active: bool,
+    /// Released with [`ReleaseMode::Drain`]; the serving plane finalises
+    /// the teardown, and `step_planes` mirrors the result up here.
+    draining: bool,
 }
 
 /// A hybrid-switched network-on-chip: an owned circuit-switched [`Soc`]
@@ -130,10 +134,8 @@ pub struct HybridFabric {
     /// Global session table; [`StreamId`] -> index via `by_id`.
     table: Vec<HybridStream>,
     by_id: HashMap<u32, usize>,
-    /// Per node: table indices of active streams originating there (the
-    /// node-level inject shim's fan-out set).
-    by_src: Vec<Vec<usize>>,
-    rr: Vec<usize>,
+    /// Table indices mid-drain, polled each cycle against their plane.
+    draining: Vec<usize>,
     policy: ParPolicy,
     now: Cycle,
     next_id: u32,
@@ -162,8 +164,7 @@ impl HybridFabric {
             packet: PacketFabric::new(mesh, packet_params.gated(), packet_words),
             table: Vec::new(),
             by_id: HashMap::new(),
-            by_src: mesh.iter().map(|_| Vec::new()).collect(),
-            rr: vec![0; mesh.nodes()],
+            draining: Vec::new(),
             policy: ParPolicy::Auto,
             now: Cycle::ZERO,
             next_id: 0,
@@ -281,6 +282,25 @@ impl HybridFabric {
             Fabric::step(&mut self.packet);
         }
         self.now += 1;
+
+        // Mirror plane-finalised drains into the global session table: a
+        // `ReleaseMode::Drain` hands the teardown to the serving plane,
+        // which completes it loss-free once the stream's words are out.
+        if !self.draining.is_empty() {
+            let table = &mut self.table;
+            let (circuit, packet) = (&self.circuit, &self.packet);
+            self.draining.retain(|&idx| {
+                let done = match table[idx].slot {
+                    PlaneSlot::Circuit(local) => circuit.stream_is_active(local) == Some(false),
+                    PlaneSlot::Packet(local) => packet.stream_is_active(local) == Some(false),
+                };
+                if done {
+                    table[idx].active = false;
+                    table[idx].draining = false;
+                }
+                !done
+            });
+        }
     }
 
     fn entry(&self, stream: StreamId) -> &HybridStream {
@@ -323,10 +343,23 @@ impl Fabric for HybridFabric {
     /// whichever plane serves it). Re-provisioning replaces both planes'
     /// plans and the session table (the [`Fabric`] idempotency contract).
     fn provision(&mut self, mapping: &Mapping) -> Result<Vec<StreamId>, ProvisionError> {
+        Fabric::provision_with(self, mapping, ProvisionMode::Instant)
+    }
+
+    /// [`HybridFabric::provision`] with an explicit [`ProvisionMode`]:
+    /// under [`ProvisionMode::BeDelivered`] the circuit plane's cold-start
+    /// configuration rides the BE network (each admitted stream pays its
+    /// §5.1 delivery wait); the packet spillover plane has no router
+    /// configuration to deliver and is ready immediately either way.
+    fn provision_with(
+        &mut self,
+        mapping: &Mapping,
+        mode: ProvisionMode,
+    ) -> Result<Vec<StreamId>, ProvisionError> {
         // Circuit plane: the admitted routes (ignores `spilled`; ids come
         // out in the mapping's numbering).
         let circuit_ids =
-            Soc::provision(&mut self.circuit, mapping).map_err(ProvisionError::from)?;
+            Soc::provision_with(&mut self.circuit, mapping, mode).map_err(ProvisionError::from)?;
         // Packet plane: only the spilled demands — the admitted streams
         // are physically separated on circuit lanes and never touch it.
         // Its local numbering restarts at 0; the table maps global ids.
@@ -340,10 +373,7 @@ impl Fabric for HybridFabric {
 
         self.table.clear();
         self.by_id.clear();
-        for list in &mut self.by_src {
-            list.clear();
-        }
-        self.rr.fill(0);
+        self.draining.clear();
         let streams = mapping.streams();
         self.next_id = streams.len() as u32;
         let mut served = Vec::with_capacity(streams.len());
@@ -360,12 +390,11 @@ impl Fabric for HybridFabric {
             };
             let idx = self.table.len();
             self.by_id.insert(ms.id.0, idx);
-            self.by_src[ms.src.0].push(idx);
             self.table.push(HybridStream {
                 slot,
-                src: ms.src,
                 paths,
                 active: true,
+                draining: false,
             });
             served.push(ms.id);
         }
@@ -379,6 +408,10 @@ impl Fabric for HybridFabric {
     fn inject_stream(&mut self, stream: StreamId, words: &[u16]) -> usize {
         let entry = *self.entry(stream);
         assert!(entry.active, "{stream} was released");
+        assert!(
+            !entry.draining,
+            "{stream} is draining — admission is stopped"
+        );
         match entry.slot {
             PlaneSlot::Circuit(local) => {
                 self.circuit.inject_stream_words(local, words);
@@ -433,20 +466,34 @@ impl Fabric for HybridFabric {
             .collect()
     }
 
-    fn release(&mut self, stream: StreamId) -> Result<(), AdmitError> {
+    fn release(&mut self, stream: StreamId, mode: ReleaseMode) -> Result<(), AdmitError> {
         let Some(&idx) = self.by_id.get(&stream.0) else {
             return Err(AdmitError::UnknownStream(stream));
         };
         if !self.table[idx].active {
             return Err(AdmitError::UnknownStream(stream));
         }
-        match self.table[idx].slot {
-            PlaneSlot::Circuit(local) => self.circuit.release_stream(local)?,
-            PlaneSlot::Packet(local) => Fabric::release(&mut self.packet, local)?,
+        if self.table[idx].draining {
+            return Err(AdmitError::Draining(stream));
         }
-        self.table[idx].active = false;
-        let src = self.table[idx].src;
-        self.by_src[src.0].retain(|&i| i != idx);
+        let finalised = match self.table[idx].slot {
+            PlaneSlot::Circuit(local) => {
+                self.circuit.release_stream(local, mode)?;
+                self.circuit.stream_is_active(local) == Some(false)
+            }
+            PlaneSlot::Packet(local) => {
+                Fabric::release(&mut self.packet, local, mode)?;
+                self.packet.stream_is_active(local) == Some(false)
+            }
+        };
+        if finalised {
+            self.table[idx].active = false;
+        } else {
+            // The plane accepted a drain and holds the stream until its
+            // words are out; mirror completion in `step_planes`.
+            self.table[idx].draining = true;
+            self.draining.push(idx);
+        }
         Ok(())
     }
 
@@ -474,50 +521,21 @@ impl Fabric for HybridFabric {
         self.next_id += 1;
         let idx = self.table.len();
         self.by_id.insert(id.0, idx);
-        self.by_src[demand.src.0].push(idx);
         self.table.push(HybridStream {
             slot,
-            src: demand.src,
             paths,
             active: true,
+            draining: false,
         });
         Ok(id)
     }
 
-    /// Spread `words` word-round-robin over the node's active outgoing
-    /// streams on *both* planes, so the offered load splits the way the
-    /// per-stream sessions would see it.
-    ///
-    /// # Panics
-    /// Panics when `node` has no active outgoing stream on either plane.
-    fn inject(&mut self, node: NodeId, words: &[u16]) -> usize {
-        assert!(
-            !self.by_src[node.0].is_empty(),
-            "node {node:?} has no provisioned circuit or spilled stream"
-        );
-        for &word in words {
-            let list = &self.by_src[node.0];
-            let idx = list[self.rr[node.0] % list.len()];
-            self.rr[node.0] += 1;
-            match self.table[idx].slot {
-                PlaneSlot::Circuit(local) => {
-                    self.circuit.inject_stream_words(local, &[word]);
-                    self.words_on_circuit += 1;
-                }
-                PlaneSlot::Packet(local) => {
-                    Fabric::inject_stream(&mut self.packet, local, &[word]);
-                    self.words_spilled += 1;
-                }
-            }
-        }
-        words.len()
-    }
-
-    fn drain(&mut self, node: NodeId) -> Vec<u16> {
-        let mut words = self.circuit.drain_words(node);
-        #[allow(deprecated)]
-        words.extend(Fabric::drain(&mut self.packet, node));
-        words
+    /// The circuit plane's side-effect-free admission probe: `true` when
+    /// the CCN's lane allocation would put `demand` on circuit lanes
+    /// against the live circuits right now — the feasibility check a
+    /// promotion policy runs before churning a spilled session.
+    fn can_admit_circuit(&self, demand: &StreamDemand) -> bool {
+        self.circuit.can_admit_circuit(demand)
     }
 
     /// Forwarded to **both** planes: the packet plane flushes its open
@@ -583,7 +601,6 @@ impl Fabric for HybridFabric {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // node-level shims are part of the coverage here
 mod tests {
     use super::*;
     use crate::ccn::Ccn;
@@ -604,14 +621,16 @@ mod tests {
         (g, mesh, ccn)
     }
 
-    fn drive_until_quiet(fabric: &mut HybridFabric, dst: NodeId) -> Vec<u16> {
+    /// Flush staging and run until stream `id` stops delivering; returns
+    /// everything the session received, in order.
+    fn drive_until_quiet(fabric: &mut HybridFabric, id: StreamId) -> Vec<u16> {
         fabric.finish_injection();
         let mut delivered = Vec::new();
         let mut idle = 0;
         let mut guard = 0;
         while idle < 4 {
             Fabric::run(fabric, 32);
-            let fresh = Fabric::drain(fabric, dst);
+            let fresh = Fabric::drain_stream(fabric, id);
             if fresh.is_empty() {
                 idle += 1;
             } else {
@@ -638,12 +657,10 @@ mod tests {
         assert!(mapping.spilled.is_empty());
 
         let mut hybrid = HybridFabric::paper(mesh);
-        Fabric::provision(&mut hybrid, &mapping).unwrap();
-        let src = mapping.routes[0].paths[0][0].node;
-        let dst = mapping.routes[0].paths[0].last().unwrap().node;
+        let ids = Fabric::provision(&mut hybrid, &mapping).unwrap();
         let words: Vec<u16> = (0..50).map(|i| 0x4000 + i).collect();
-        Fabric::inject(&mut hybrid, src, &words);
-        let delivered = drive_until_quiet(&mut hybrid, dst);
+        Fabric::inject_stream(&mut hybrid, ids[0], &words);
+        let delivered = drive_until_quiet(&mut hybrid, ids[0]);
         assert_eq!(delivered, words, "in order on a single circuit");
 
         let stats = hybrid.spill_stats();
@@ -670,17 +687,15 @@ mod tests {
             .map_with_spill(&g, &default_tile_kinds(&mesh))
             .expect("spill admission");
         assert_eq!(mapping.spilled.len(), 1, "premise: the light edge spills");
-        let spilled_src = mapping.spilled[0].src;
-        let dst = mapping.spilled[0].dst;
 
         let mut hybrid = HybridFabric::paper(mesh);
         let ids = Fabric::provision(&mut hybrid, &mapping).unwrap();
         assert_eq!(ids.len(), 2, "one circuit + one spilled session");
-        // Inject on the spilled stream's source: all its words take the
-        // packet plane (it has no circuit out of that node).
+        // Inject on the spilled session: all its words take the packet
+        // plane (it has no circuit).
         let words: Vec<u16> = (0..40).map(|i| 0x7000 + i).collect();
-        Fabric::inject(&mut hybrid, spilled_src, &words);
-        let delivered = drive_until_quiet(&mut hybrid, dst);
+        Fabric::inject_stream(&mut hybrid, ids[1], &words);
+        let delivered = drive_until_quiet(&mut hybrid, ids[1]);
         assert_eq!(delivered, words, "spilled stream delivered intact");
         let stats = hybrid.spill_stats();
         assert_eq!(stats.spilled_streams, 1);
@@ -700,22 +715,22 @@ mod tests {
         let mapping = ccn
             .map_with_spill(&g, &default_tile_kinds(&mesh))
             .expect("spill admission");
-        let circuit_src = mapping.routes[0].paths[0][0].node;
-        let spilled_src = mapping.spilled[0].src;
-        let dst = mapping.spilled[0].dst;
-        assert_eq!(dst, mapping.routes[0].paths[0].last().unwrap().node);
+        assert_eq!(
+            mapping.spilled[0].dst,
+            mapping.routes[0].paths[0].last().unwrap().node,
+            "premise: both streams share one sink"
+        );
 
         let mut hybrid = HybridFabric::paper(mesh);
-        Fabric::provision(&mut hybrid, &mapping).unwrap();
+        let ids = Fabric::provision(&mut hybrid, &mapping).unwrap();
         let gt: Vec<u16> = (0..60).map(|i| 0x1000 + i).collect();
         let be: Vec<u16> = (0..30).map(|i| 0x2000 + i).collect();
-        Fabric::inject(&mut hybrid, circuit_src, &gt);
-        Fabric::inject(&mut hybrid, spilled_src, &be);
-        let mut delivered = drive_until_quiet(&mut hybrid, dst);
-        delivered.sort_unstable();
-        let mut expected: Vec<u16> = gt.iter().chain(&be).copied().collect();
-        expected.sort_unstable();
-        assert_eq!(delivered, expected, "both planes merge at the sink");
+        Fabric::inject_stream(&mut hybrid, ids[0], &gt);
+        Fabric::inject_stream(&mut hybrid, ids[1], &be);
+        let gt_got = drive_until_quiet(&mut hybrid, ids[0]);
+        let be_got = drive_until_quiet(&mut hybrid, ids[1]);
+        assert_eq!(gt_got, gt, "circuit session exact at the shared sink");
+        assert_eq!(be_got, be, "spilled session exact at the shared sink");
         assert_eq!(hybrid.spill_stats().words_on_circuit, 60);
         assert_eq!(hybrid.spill_stats().words_spilled, 30);
         assert!((hybrid.spill_stats().spill_fraction() - 30.0 / 90.0).abs() < 1e-12);
@@ -781,8 +796,8 @@ mod tests {
         assert_eq!(Fabric::spilled_streams(&hybrid), 1);
 
         // Retire the spilled session and the heavy circuit.
-        Fabric::release(&mut hybrid, be_id).unwrap();
-        Fabric::release(&mut hybrid, gt_id).unwrap();
+        Fabric::release(&mut hybrid, be_id, ReleaseMode::Drop).unwrap();
+        Fabric::release(&mut hybrid, gt_id, ReleaseMode::Drop).unwrap();
         assert_eq!(Fabric::spilled_streams(&hybrid), 0);
 
         // Re-admit the previously spilled demand: the freed lanes take it.
@@ -824,11 +839,10 @@ mod tests {
             .map_with_spill(&g, &default_tile_kinds(&mesh))
             .expect("spill admission");
         let mut hybrid = HybridFabric::paper(mesh);
-        Fabric::provision(&mut hybrid, &mapping).unwrap();
+        let ids = Fabric::provision(&mut hybrid, &mapping).unwrap();
         assert_eq!(Fabric::spilled_streams(&hybrid), 1);
         // Traffic under the old plan, so its word accounting is nonzero.
-        let spilled_src = mapping.spilled[0].src;
-        Fabric::inject(&mut hybrid, spilled_src, &[1, 2, 3]);
+        Fabric::inject_stream(&mut hybrid, ids[1], &[1, 2, 3]);
         Fabric::run(&mut hybrid, 50);
         assert_eq!(Fabric::spilled_words(&hybrid), 3);
 
@@ -864,9 +878,6 @@ mod tests {
         let (g, mesh, ccn) = oversubscribed_line();
         let kinds = default_tile_kinds(&mesh);
         let mapping = ccn.map_with_spill(&g, &kinds).expect("spill admission");
-        let circuit_src = mapping.routes[0].paths[0][0].node;
-        let spilled_src = mapping.spilled[0].src;
-        let dst = mapping.spilled[0].dst;
         let model = EnergyModel::calibrated(MegaHertz(25.0));
         let gt: Vec<u16> = (0..200u16).map(|i| i.wrapping_mul(0x9E37)).collect();
         let be: Vec<u16> = (0..100u16).map(|i| i.wrapping_mul(0x6D2B)).collect();
@@ -874,21 +885,23 @@ mod tests {
 
         // Pure circuit: only the admitted stream exists.
         let mut soc = SocPlane::new(mesh, RouterParams::paper());
-        Fabric::provision(&mut soc, &mapping).unwrap();
-        Fabric::inject(&mut soc, circuit_src, &gt);
+        let ids = Fabric::provision(&mut soc, &mapping).unwrap();
+        Fabric::inject_stream(&mut soc, ids[0], &gt);
         Fabric::run(&mut soc, cycles);
         let circuit_energy = soc.total_energy(&model);
-        assert_eq!(soc.drain_words(dst).len(), gt.len());
+        assert_eq!(Fabric::drain_stream(&mut soc, ids[0]).len(), gt.len());
 
         // Hybrid: both streams.
         let mut hybrid = HybridFabric::paper(mesh);
-        Fabric::provision(&mut hybrid, &mapping).unwrap();
-        Fabric::inject(&mut hybrid, circuit_src, &gt);
-        Fabric::inject(&mut hybrid, spilled_src, &be);
+        let ids = Fabric::provision(&mut hybrid, &mapping).unwrap();
+        Fabric::inject_stream(&mut hybrid, ids[0], &gt);
+        Fabric::inject_stream(&mut hybrid, ids[1], &be);
         hybrid.finish_injection();
         Fabric::run(&mut hybrid, cycles);
         let hybrid_energy = hybrid.total_energy(&model);
-        assert_eq!(Fabric::drain(&mut hybrid, dst).len(), gt.len() + be.len());
+        let delivered = Fabric::drain_stream(&mut hybrid, ids[0]).len()
+            + Fabric::drain_stream(&mut hybrid, ids[1]).len();
+        assert_eq!(delivered, gt.len() + be.len());
 
         // Pure packet: both streams, ungated baseline.
         let mut packet = PacketFabric::new(
@@ -896,13 +909,15 @@ mod tests {
             PacketParams::paper(),
             PacketFabric::DEFAULT_PACKET_WORDS,
         );
-        Fabric::provision(&mut packet, &mapping).unwrap();
-        Fabric::inject(&mut packet, circuit_src, &gt);
-        Fabric::inject(&mut packet, spilled_src, &be);
+        let ids = Fabric::provision(&mut packet, &mapping).unwrap();
+        Fabric::inject_stream(&mut packet, ids[0], &gt);
+        Fabric::inject_stream(&mut packet, ids[1], &be);
         packet.finish_injection();
         Fabric::run(&mut packet, cycles);
         let packet_energy = packet.total_energy(&model);
-        assert_eq!(Fabric::drain(&mut packet, dst).len(), gt.len() + be.len());
+        let delivered = Fabric::drain_stream(&mut packet, ids[0]).len()
+            + Fabric::drain_stream(&mut packet, ids[1]).len();
+        assert_eq!(delivered, gt.len() + be.len());
 
         assert!(
             circuit_energy.value() <= hybrid_energy.value(),
@@ -916,7 +931,7 @@ mod tests {
     }
 
     #[test]
-    fn inject_without_streams_panics() {
+    fn inject_on_unknown_stream_panics() {
         let mesh = Mesh::new(2, 1);
         let mut hybrid = HybridFabric::paper(mesh);
         let mut g = TaskGraph::new("pair");
@@ -925,11 +940,49 @@ mod tests {
         g.add_edge(a, b, Bandwidth(60.0), TrafficShape::Streaming, "e");
         let ccn = Ccn::new(mesh, RouterParams::paper(), MegaHertz(25.0));
         let m = ccn.map_with_spill(&g, &default_tile_kinds(&mesh)).unwrap();
-        Fabric::provision(&mut hybrid, &m).unwrap();
-        let dst = m.routes[0].paths[0].last().unwrap().node;
+        let ids = Fabric::provision(&mut hybrid, &m).unwrap();
+        let bogus = StreamId(ids.len() as u32 + 41);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            Fabric::inject(&mut hybrid, dst, &[1]);
+            Fabric::inject_stream(&mut hybrid, bogus, &[1]);
         }));
-        assert!(result.is_err(), "destination has no outgoing stream");
+        assert!(result.is_err(), "no such session handle");
+    }
+
+    #[test]
+    fn drained_release_spans_both_planes_without_loss() {
+        // Drain-release both sessions of the oversubscribed line while
+        // words are still queued and in flight on *both* planes: every
+        // accepted word must land, then both teardowns finalise and the
+        // freed circuit lanes are re-admissible.
+        let (g, mesh, ccn) = oversubscribed_line();
+        let mapping = ccn
+            .map_with_spill(&g, &default_tile_kinds(&mesh))
+            .expect("spill admission");
+        let mut hybrid = HybridFabric::paper(mesh);
+        let ids = Fabric::provision(&mut hybrid, &mapping).unwrap();
+        let gt: Vec<u16> = (0..80).map(|i| 0x1100 + i).collect();
+        let be: Vec<u16> = (0..40).map(|i| 0x2200 + i).collect();
+        Fabric::inject_stream(&mut hybrid, ids[0], &gt);
+        Fabric::inject_stream(&mut hybrid, ids[1], &be);
+        Fabric::run(&mut hybrid, 8); // backlog mostly still queued
+        Fabric::release(&mut hybrid, ids[0], ReleaseMode::Drain).unwrap();
+        Fabric::release(&mut hybrid, ids[1], ReleaseMode::Drain).unwrap();
+        assert_eq!(
+            Fabric::release(&mut hybrid, ids[0], ReleaseMode::Drain),
+            Err(AdmitError::Draining(ids[0])),
+            "a drain in progress cannot be released again"
+        );
+        Fabric::run(&mut hybrid, 4_000);
+        assert_eq!(Fabric::drain_stream(&mut hybrid, ids[0]), gt);
+        assert_eq!(Fabric::drain_stream(&mut hybrid, ids[1]), be);
+        let stats = Fabric::stream_stats(&hybrid);
+        assert!(
+            stats.iter().all(|s| !s.active),
+            "both drains must finalise: {stats:?}"
+        );
+        assert!(Fabric::is_quiescent(&hybrid));
+        // The heavy circuit's lanes are free again.
+        let demand = mapping.stream_demand(ids[0]).unwrap();
+        assert!(Fabric::can_admit_circuit(&hybrid, &demand));
     }
 }

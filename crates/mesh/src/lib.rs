@@ -43,16 +43,24 @@
 //!   over the same mesh; the CCN's spill-tolerant admission
 //!   ([`ccn::Ccn::map_with_spill`]) puts admitted GT streams on circuits
 //!   and the overflow on the packet plane, with per-plane spill accounting.
+//! * [`controller`] — **the control plane**: a policy-driven
+//!   [`controller::FabricController`] (itself a [`fabric::Fabric`]) that
+//!   runs a pluggable [`controller::AdmissionPolicy`] every window —
+//!   profiled promotion of spilled streams onto freed circuits, load-based
+//!   demotion of under-used circuits, loss-free draining releases and
+//!   BE-delivered cold-start provisioning as one phased lifecycle.
 //! * [`deployment`] — the [`deployment::Deployment`] builder: task graph
 //!   in, provisioned and traffic-bound fabric out, generic over the
 //!   backend (`build_circuit`/`build_hybrid`/`build_packet`, spill or
-//!   strict admission).
+//!   strict admission, `.provisioning(ProvisionMode)` cold-start,
+//!   `.policy(...)` control plane).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod be;
 pub mod ccn;
+pub mod controller;
 pub mod deployment;
 pub mod fabric;
 pub mod hybrid;
@@ -65,11 +73,17 @@ pub mod topology;
 
 pub use be::{BeConfig, BeNetwork};
 pub use ccn::{Ccn, MappedStream, Mapping, MappingError, PathHop, SpillReason, SpillStream};
+pub use controller::{
+    AdmissionPolicy, FabricController, FirstFit, LoadDemotion, PolicyAction, PolicyStream,
+    PolicyView, ProfiledPromotion, Promotion, TickReport,
+};
 pub use deployment::{DeployError, Deployment, DeploymentBuilder, FabricRouteReport};
 pub use fabric::{EnergyModel, Fabric, FabricKind, PacketFabric, ProvisionError};
 pub use hybrid::{HybridFabric, SpillStats};
 pub use packet_mesh::{PacketMesh, RandomTraffic};
 pub use soc::Soc;
-pub use stream::{AdmitError, StreamDemand, StreamId, StreamPlane, StreamStats};
+pub use stream::{
+    AdmitError, ProvisionMode, ReleaseMode, StreamDemand, StreamId, StreamPlane, StreamStats,
+};
 pub use tile::{default_tile_kinds, Tile, TileKind};
 pub use topology::{Mesh, NodeId};

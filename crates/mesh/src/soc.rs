@@ -18,7 +18,9 @@
 
 use crate::be::{BeConfig, BeNetwork};
 use crate::ccn::{Ccn, EdgeRoute, Mapping};
-use crate::stream::{AdmitError, StreamDemand, StreamId, StreamPlane, StreamStats};
+use crate::stream::{
+    AdmitError, ProvisionMode, ReleaseMode, StreamDemand, StreamId, StreamPlane, StreamStats,
+};
 use crate::tile::{default_tile_kinds, Tile, TileKind};
 use crate::topology::{Mesh, NodeId};
 use noc_core::error::ConfigError;
@@ -69,11 +71,20 @@ struct SocStream {
     setup_msgs: Vec<u64>,
     latency: LatencyHistogram,
     active: bool,
+    /// Released with [`ReleaseMode::Drain`]: admission is stopped but the
+    /// lanes are held until the last accepted word is captured, at which
+    /// point [`Soc::step`] finalises the teardown.
+    draining: bool,
+    /// Earliest teardown cycle of a drain whose words are all captured:
+    /// the lanes are held one ack-flush window longer, because
+    /// acknowledge pulses lag the last consumption by up to the circuit's
+    /// hop count and must not hit a freshly reset window counter.
+    quiesce_at: Option<u64>,
 }
 
 /// The provisioned stream table behind the [`crate::fabric`] API: every
 /// circuit session with its lanes, queues and telemetry, plus the
-/// node-level indexes the deprecated node-addressed shims fan out over.
+/// per-node source index the per-cycle TX pump walks.
 #[derive(Debug)]
 struct StreamPlan {
     streams: Vec<SocStream>,
@@ -86,8 +97,8 @@ struct StreamPlan {
     /// Nodes with at least one entry ever in `rx_map` (collection skips
     /// the rest on the per-cycle hot path).
     rx_nodes: Vec<usize>,
-    /// Per node: round-robin cursor of the node-level inject shim.
-    rr: Vec<usize>,
+    /// Stream indices mid-drain, polled each cycle for completion.
+    draining: Vec<usize>,
     /// One lane's payload bandwidth, recorded from the mapping so runtime
     /// admission can re-run CCN lane allocation without a clock in hand.
     lane_capacity: Bandwidth,
@@ -104,7 +115,7 @@ impl StreamPlan {
             by_src: vec![Vec::new(); mesh.nodes()],
             rx_map: vec![vec![None; lanes_per_port]; mesh.nodes()],
             rx_nodes: Vec::new(),
-            rr: vec![0; mesh.nodes()],
+            draining: Vec::new(),
             lane_capacity,
             next_id: 0,
         }
@@ -156,6 +167,8 @@ impl StreamPlan {
             setup_msgs,
             latency: LatencyHistogram::new(),
             active: true,
+            draining: false,
+            quiesce_at: None,
         });
         idx
     }
@@ -231,6 +244,26 @@ impl Soc {
     ///
     /// Returns the handles of the streams this fabric serves.
     pub fn provision(&mut self, mapping: &Mapping) -> Result<Vec<StreamId>, ConfigError> {
+        self.provision_with(mapping, ProvisionMode::Instant)
+    }
+
+    /// [`Soc::provision`] with an explicit [`ProvisionMode`].
+    ///
+    /// Under [`ProvisionMode::BeDelivered`] no configuration word touches
+    /// a router here: each stream's setup words are batched per router
+    /// ([`EdgeRoute::config_words_by_node`]) and sent over the BE network
+    /// from the CCN's corner node — exactly the runtime-admission path
+    /// ([`Soc::admit_stream`]) — so the cold-start delivery wait (paper
+    /// §5.1 budgets) is charged to each stream's `reconfig_cycles` and,
+    /// through `ready_at`, to the measured latency of every word injected
+    /// before the circuit materialises. Streams are sent in [`StreamId`]
+    /// order, so BE-link contention (and therefore each stream's charge)
+    /// is deterministic.
+    pub fn provision_with(
+        &mut self,
+        mapping: &Mapping,
+        mode: ProvisionMode,
+    ) -> Result<Vec<StreamId>, ConfigError> {
         let params = self.params;
         // Idempotency (the Fabric contract): a re-provision replaces the
         // previous plan entirely — tear down every configured lane and
@@ -251,8 +284,10 @@ impl Soc {
                 self.tiles[node.0].set_capture(false);
             }
         }
-        for (node, word) in mapping.config_words(&params) {
-            self.routers[node.0].apply_config_word(word)?;
+        if mode == ProvisionMode::Instant {
+            for (node, word) in mapping.config_words(&params) {
+                self.routers[node.0].apply_config_word(word)?;
+            }
         }
         // In-flight configuration of a replaced plan is void.
         self.be = BeNetwork::new(self.mesh, BeConfig::default());
@@ -261,12 +296,29 @@ impl Soc {
         let mut served = Vec::new();
         let streams = mapping.streams();
         plan.next_id = streams.len() as u32;
+        let now = self.now;
+        let ccn_node = self.mesh.node(0, 0);
         for ms in streams {
             let Some(route_idx) = ms.route else {
                 continue; // spilled: no circuit to serve it with
             };
             let route = mapping.routes[route_idx].clone();
-            plan.register(ms.id, route, 0, 0, Vec::new());
+            match mode {
+                ProvisionMode::Instant => {
+                    plan.register(ms.id, route, 0, 0, Vec::new());
+                }
+                ProvisionMode::BeDelivered => {
+                    let by_node = route.config_words_by_node(&params);
+                    let mut ready = now;
+                    let mut setup_msgs = Vec::new();
+                    for (node, words) in by_node {
+                        let (delivery, msg) = self.be.send_tracked(now, ccn_node, node, &words);
+                        ready = Cycle(ready.0.max(delivery.0));
+                        setup_msgs.push(msg);
+                    }
+                    plan.register(ms.id, route, ready.0, ready.0 - now.0, setup_msgs);
+                }
+            }
             self.tiles[ms.dst.0].set_capture(true);
             served.push(ms.id);
         }
@@ -296,6 +348,7 @@ impl Soc {
             .unwrap_or_else(|| panic!("{id} is not served by this circuit fabric"));
         let s = &mut plan.streams[idx];
         assert!(s.active, "{id} was released");
+        assert!(!s.draining, "{id} is draining — admission is stopped");
         s.ingress.extend(words.iter().map(|&w| (w, now)));
         s.injected += words.len() as u64;
         words.len()
@@ -351,27 +404,58 @@ impl Soc {
             .collect()
     }
 
-    /// Tear stream `id`'s circuit down: its lanes are deactivated (one
-    /// inactive configuration word per held output lane) and returned to
-    /// the free pool runtime admission allocates from. The handle stays
-    /// valid for [`Soc::drain_stream_words`] / [`Soc::stream_stats`];
-    /// undelivered ingress backlog is discarded and words mid-circuit are
-    /// dropped with the lanes — settle the stream before releasing it
-    /// when every word matters.
-    pub fn release_stream(&mut self, id: StreamId) -> Result<(), AdmitError> {
-        let params = self.params;
+    /// Retire stream `id` per `mode`. [`ReleaseMode::Drop`] tears the
+    /// circuit down now: its lanes are deactivated (one inactive
+    /// configuration word per held output lane) and returned to the free
+    /// pool runtime admission allocates from; undelivered ingress backlog
+    /// is discarded and words mid-circuit are dropped with the lanes.
+    /// [`ReleaseMode::Drain`] stops admission immediately but holds the
+    /// lanes until every accepted word has been captured — [`Soc::step`]
+    /// finalises the teardown loss-free once the pipeline is empty (a
+    /// stream with nothing in flight tears down at once). Either way the
+    /// handle stays valid for [`Soc::drain_stream_words`] /
+    /// [`Soc::stream_stats`], and the stream's telemetry reports
+    /// `active` until its teardown actually ran.
+    pub fn release_stream(&mut self, id: StreamId, mode: ReleaseMode) -> Result<(), AdmitError> {
         let Some(plan) = &mut self.plan else {
             return Err(AdmitError::UnknownStream(id));
         };
         let Some(&idx) = plan.by_id.get(&id.0) else {
             return Err(AdmitError::UnknownStream(id));
         };
-        if !plan.streams[idx].active {
+        let s = &plan.streams[idx];
+        if !s.active {
             return Err(AdmitError::UnknownStream(id));
         }
+        if s.draining {
+            return Err(AdmitError::Draining(id));
+        }
+        let empty = s.ingress.is_empty() && s.pending_ts.iter().all(VecDeque::is_empty);
+        let never_carried = s.delivered == 0;
+        match mode {
+            ReleaseMode::Drop => self.teardown_stream_at(idx),
+            // A drain on a stream that never moved a word is already
+            // complete — no capture happened, so no acknowledge can be in
+            // flight on the reverse wires.
+            ReleaseMode::Drain if empty && never_carried => self.teardown_stream_at(idx),
+            ReleaseMode::Drain => {
+                plan.streams[idx].draining = true;
+                plan.draining.push(idx);
+            }
+        }
+        Ok(())
+    }
+
+    /// Tear the circuit of stream index `idx` down and free its lanes —
+    /// the shared endpoint of the immediate [`ReleaseMode::Drop`] path and
+    /// the deferred drain finalisation in [`Soc::step`].
+    fn teardown_stream_at(&mut self, idx: usize) {
+        let params = self.params;
+        let plan = self.plan.as_mut().expect("teardown needs a plan");
         let (src, dst, tx_lanes, rx_lanes, setup_msgs) = {
             let s = &mut plan.streams[idx];
             s.active = false;
+            s.draining = false;
             s.ingress.clear();
             for q in &mut s.pending_ts {
                 q.clear();
@@ -413,7 +497,35 @@ impl Soc {
         if plan.rx_map[dst.0].iter().all(Option::is_none) {
             self.tiles[dst.0].set_capture(false);
         }
-        Ok(())
+    }
+
+    /// Is stream `id` still holding its circuit (`true` until a release
+    /// — including a [`ReleaseMode::Drain`]'s deferred teardown — has
+    /// actually run)? `None` for handles this fabric does not serve. A
+    /// cheap per-cycle poll for drain supervisors: no telemetry clones.
+    pub fn stream_is_active(&self, id: StreamId) -> Option<bool> {
+        let plan = self.plan.as_ref()?;
+        let &idx = plan.by_id.get(&id.0)?;
+        Some(plan.streams[idx].active)
+    }
+
+    /// Would [`Soc::admit_stream`] put `demand` on circuit lanes right
+    /// now? A side-effect-free probe: the CCN's lane allocation is re-run
+    /// against the live circuits (draining streams still hold theirs)
+    /// without claiming anything — the feasibility check control-plane
+    /// policies use to avoid churning sessions on hopeless promotions.
+    pub fn can_admit_circuit(&self, demand: &StreamDemand) -> bool {
+        let Some(plan) = &self.plan else {
+            return false;
+        };
+        let occupied: Vec<EdgeRoute> = plan
+            .streams
+            .iter()
+            .filter(|s| s.active)
+            .map(|s| s.route.clone())
+            .collect();
+        let ccn = Ccn::with_lane_capacity(self.mesh, self.params, plan.lane_capacity);
+        matches!(ccn.admit_stream(demand, &occupied), Ok(route) if !route.paths.is_empty())
     }
 
     /// Run-time admission: re-run CCN lane allocation for `demand`
@@ -448,11 +560,7 @@ impl Soc {
 
         // The new circuit's configuration rides the BE network from the
         // CCN's corner node; `step` applies each batch when it falls due.
-        let mut by_node: std::collections::BTreeMap<NodeId, Vec<_>> =
-            std::collections::BTreeMap::new();
-        for (node, word) in crate::reconfig::setup_words_for_route(&route, &params) {
-            by_node.entry(node).or_default().push(word);
-        }
+        let by_node = route.config_words_by_node(&params);
         let ccn_node = mesh.node(0, 0);
         let mut ready = now;
         let mut setup_msgs = Vec::new();
@@ -470,52 +578,12 @@ impl Soc {
         Ok(id)
     }
 
-    /// Take the payload words delivered to `node`'s tile since the last
-    /// call, merged across every stream terminating there (stream-id
-    /// order). Prefer [`Soc::drain_stream_words`]: per-stream drain is
-    /// exact where the node-level merge loses per-connection identity.
-    pub fn drain_words(&mut self, node: NodeId) -> Vec<u16> {
-        match &mut self.plan {
-            None => self.tiles[node.0].take_captured(),
-            Some(plan) => {
-                let mut out = Vec::new();
-                for s in &mut plan.streams {
-                    if s.dst == node {
-                        out.append(&mut s.egress);
-                    }
-                }
-                out
-            }
-        }
-    }
-
-    /// Queue payload words at `node`, fanned out word-round-robin over
-    /// the active streams originating there — the node-level shim behind
-    /// the deprecated `Fabric::inject`; prefer
-    /// [`Soc::inject_stream_words`].
-    ///
-    /// # Panics
-    /// Panics when called before [`Soc::provision`] or at a node with no
-    /// active outgoing circuit.
-    pub fn inject_words(&mut self, node: NodeId, words: &[u16]) -> usize {
-        let now = self.now.0;
-        let plan = self
-            .plan
-            .as_mut()
-            .expect("Soc::inject_words before Soc::provision");
-        assert!(
-            !plan.by_src[node.0].is_empty(),
-            "node {node:?} has no provisioned outgoing circuit"
-        );
-        for &word in words {
-            let list = &plan.by_src[node.0];
-            let idx = list[plan.rr[node.0] % list.len()];
-            plan.rr[node.0] += 1;
-            let s = &mut plan.streams[idx];
-            s.ingress.push_back((word, now));
-            s.injected += 1;
-        }
-        words.len()
+    /// Streams whose [`ReleaseMode::Drain`] teardown has not finalised
+    /// yet (words still in flight, or lanes held for the ack-flush
+    /// window). Outstanding work: a fabric with pending drains is not
+    /// quiescent — their teardown still has to run inside `step`.
+    pub fn pending_drains(&self) -> usize {
+        self.plan.as_ref().map_or(0, |p| p.draining.len())
     }
 
     /// Total words queued for injection but not yet on the wire.
@@ -674,6 +742,44 @@ impl Soc {
                         s.delivered += 1;
                     }
                 }
+            }
+        }
+
+        // 2c. Finalise draining releases: a stream retired with
+        //     `ReleaseMode::Drain` holds its lanes until its last accepted
+        //     word was captured above, then tears down loss-free. This
+        //     runs in the serial section of the cycle, so drain timing is
+        //     bit-identical under every `ParPolicy`.
+        if self
+            .plan
+            .as_ref()
+            .is_some_and(|plan| !plan.draining.is_empty())
+        {
+            let mut done = Vec::new();
+            {
+                let plan = self.plan.as_mut().expect("checked above");
+                let now = self.now.0;
+                for i in 0..plan.draining.len() {
+                    let idx = plan.draining[i];
+                    let s = &mut plan.streams[idx];
+                    if !(s.ingress.is_empty() && s.pending_ts.iter().all(VecDeque::is_empty)) {
+                        continue;
+                    }
+                    // All words captured — hold the lanes one ack-flush
+                    // window longer: acknowledge pulses lag the last
+                    // consumption by up to the circuit's hop count, and a
+                    // late ack must never hit a freshly reset window
+                    // counter.
+                    let margin = s.route.hops() as u64 + 4;
+                    let at = *s.quiesce_at.get_or_insert(now + margin);
+                    if now >= at {
+                        done.push(idx);
+                    }
+                }
+                plan.draining.retain(|idx| !done.contains(idx));
+            }
+            for idx in done {
+                self.teardown_stream_at(idx);
             }
         }
 
@@ -912,7 +1018,7 @@ mod tests {
         let mut soc = Soc::new(mesh, RouterParams::paper());
         let ids = soc.provision(&mapping).unwrap();
         // Clear the seed stream so the interesting lanes start free.
-        soc.release_stream(ids[0]).unwrap();
+        soc.release_stream(ids[0], ReleaseMode::Drop).unwrap();
 
         let demand_a = StreamDemand {
             src: mesh.node(0, 0),
@@ -929,7 +1035,7 @@ mod tests {
         assert!(a_ready > 0, "premise: A's setup is in flight");
         // Release A before its configuration lands; its lanes are free
         // again and its BE messages must be voided.
-        soc.release_stream(id_a).unwrap();
+        soc.release_stream(id_a, ReleaseMode::Drop).unwrap();
 
         let demand_b = StreamDemand {
             src: mesh.node(1, 0),
@@ -948,7 +1054,9 @@ mod tests {
         soc.run(a_ready + b_ready + 64);
         let mut reference = Soc::new(mesh, RouterParams::paper());
         let ref_ids = reference.provision(&mapping).unwrap();
-        reference.release_stream(ref_ids[0]).unwrap();
+        reference
+            .release_stream(ref_ids[0], ReleaseMode::Drop)
+            .unwrap();
         let ref_b = reference.admit_stream(&demand_b).unwrap();
         let ref_ready = reference
             .stream_stats()

@@ -18,6 +18,13 @@
 //!   freed lanes, the re-admission move of profiled hybrid switching
 //!   (arXiv:2005.08478) over the reconfigurable circuit routing of
 //!   arXiv:cs/0503066.
+//! * [`ReleaseMode`] + [`ProvisionMode`] — the *phased* lifecycle verbs:
+//!   teardown can drain loss-free instead of dropping mid-circuit words,
+//!   and initial provisioning can ride the BE configuration network so
+//!   cold-start setup time (paper §5.1 budgets) shows up in every
+//!   stream's measured latency exactly like a runtime
+//!   [`crate::fabric::Fabric::admit`]'s does. The policy loop that drives
+//!   these verbs automatically lives in [`crate::controller`].
 
 use crate::topology::NodeId;
 use noc_sim::stats::LatencyHistogram;
@@ -142,6 +149,72 @@ pub fn gt_no_worse_than_be(stats: &[StreamStats]) -> bool {
     }
 }
 
+/// How [`crate::fabric::Fabric::release`] retires a stream session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReleaseMode {
+    /// Immediate teardown: undelivered ingress backlog is discarded and
+    /// words mid-circuit are dropped with the lanes — the historical
+    /// behaviour, right when the stream's data no longer matters.
+    Drop,
+    /// Draining teardown: admission stops at once (further injection on
+    /// the handle panics), but the lanes are held until every word
+    /// already accepted has been delivered; only then does the fabric
+    /// tear the circuit down and return the lanes to the admission pool.
+    /// Loss-free under active injection — the stream's telemetry stays
+    /// `active` until the deferred teardown completes.
+    Drain,
+}
+
+impl ReleaseMode {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReleaseMode::Drop => "drop",
+            ReleaseMode::Drain => "drain",
+        }
+    }
+}
+
+impl fmt::Display for ReleaseMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How [`crate::fabric::Fabric::provision_with`] installs the initial
+/// configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProvisionMode {
+    /// Configuration words are written straight into the routers — the
+    /// zero-cost testbench path (equivalent in final router state to BE
+    /// delivery, but cold-start time is invisible).
+    Instant,
+    /// Configuration rides the best-effort network from the CCN's corner
+    /// node, exactly like a runtime [`crate::fabric::Fabric::admit`]:
+    /// each stream's circuit materialises when its words land, the §5.1
+    /// delivery wait is charged to the stream's `reconfig_cycles`, and
+    /// words injected before readiness pay the wait in their measured
+    /// latency. Backends without configuration state to deliver (the pure
+    /// packet fabric's wormhole plane) are ready immediately either way.
+    BeDelivered,
+}
+
+impl ProvisionMode {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProvisionMode::Instant => "instant",
+            ProvisionMode::BeDelivered => "be-delivered",
+        }
+    }
+}
+
+impl fmt::Display for ProvisionMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A stream's guaranteed-throughput ask, the input to runtime admission
 /// ([`crate::fabric::Fabric::admit`]).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -156,6 +229,16 @@ pub struct StreamDemand {
 
 impl From<&crate::ccn::SpillStream> for StreamDemand {
     fn from(s: &crate::ccn::SpillStream) -> StreamDemand {
+        StreamDemand {
+            src: s.src,
+            dst: s.dst,
+            demand: s.demand,
+        }
+    }
+}
+
+impl From<&crate::ccn::MappedStream> for StreamDemand {
+    fn from(s: &crate::ccn::MappedStream) -> StreamDemand {
         StreamDemand {
             src: s.src,
             dst: s.dst,
@@ -183,6 +266,9 @@ pub enum AdmitError {
     },
     /// The handle names no live stream of this fabric.
     UnknownStream(StreamId),
+    /// The stream is already draining ([`ReleaseMode::Drain`]); a drain
+    /// in progress cannot be released again or aborted.
+    Draining(StreamId),
     /// The backend cannot serve this request at all.
     Unsupported(&'static str),
 }
@@ -198,6 +284,7 @@ impl fmt::Display for AdmitError {
                 write!(f, "tile {node:?} has no free interface lanes")
             }
             AdmitError::UnknownStream(id) => write!(f, "{id} is not a live stream"),
+            AdmitError::Draining(id) => write!(f, "{id} is already draining"),
             AdmitError::Unsupported(why) => write!(f, "unsupported: {why}"),
         }
     }
@@ -214,9 +301,14 @@ mod tests {
         assert_eq!(StreamId(3).to_string(), "stream#3");
         assert_eq!(StreamPlane::Circuit.to_string(), "circuit");
         assert_eq!(StreamPlane::Spilled.to_string(), "spilled");
+        assert_eq!(ReleaseMode::Drain.to_string(), "drain");
+        assert_eq!(ProvisionMode::BeDelivered.to_string(), "be-delivered");
         assert!(AdmitError::NoFreeLanes.to_string().contains("lane path"));
         assert!(AdmitError::UnknownStream(StreamId(7))
             .to_string()
             .contains("stream#7"));
+        assert!(AdmitError::Draining(StreamId(2))
+            .to_string()
+            .contains("draining"));
     }
 }

@@ -33,17 +33,24 @@
 //! [`StreamId`] handle per stream, `inject_stream`/`drain_stream` move
 //! payload words per session, `stream_stats` reports per-stream word
 //! counts and latency distributions (the hybrid's GT/BE service gap),
-//! `release`/`admit` tear circuits down and re-admit demands against the
-//! freed lanes at runtime (BE-network reconfiguration latency charged to
-//! the stream), and `total_energy(&EnergyModel)` costs the run with the
-//! calibrated activity-based flow. The node-addressed `inject`/`drain`
-//! survive as deprecated shims. [`Deployment::builder`] is the
+//! `release(.., ReleaseMode::{Drop, Drain})`/`admit` tear circuits down —
+//! immediately or loss-free after the pipeline empties — and re-admit
+//! demands against the freed lanes at runtime (BE-network reconfiguration
+//! latency charged to the stream), `provision_with(..,
+//! ProvisionMode::BeDelivered)` threads the same §5.1 delivery path
+//! through cold-start provisioning, and `total_energy(&EnergyModel)`
+//! costs the run with the calibrated activity-based flow. The **control
+//! plane** over those verbs is `noc_mesh::controller::FabricController` —
+//! itself a `Fabric` — whose pluggable `AdmissionPolicy` promotes spilled
+//! streams onto freed circuits from measured telemetry and demotes idle
+//! circuits, every policy window. [`Deployment::builder`] is the
 //! documented entry point: it maps a task graph, provisions the chosen
-//! backend (circuit, packet, or the profiled hybrid), binds offered-load
-//! traffic per stream, and selects serial or pooled stepping
-//! (`.parallelism(ParPolicy)`) — identically for every fabric, so each
-//! workload is automatically a circuit-vs-packet experiment that scales
-//! to 16×16 meshes.
+//! backend (circuit, packet, or the profiled hybrid; instantly or
+//! BE-delivered), optionally wraps it in a controller (`.policy(..)`),
+//! binds offered-load traffic per stream, and selects serial or pooled
+//! stepping (`.parallelism(ParPolicy)`) — identically for every fabric,
+//! so each workload is automatically a circuit-vs-packet experiment that
+//! scales to 16×16 meshes.
 //!
 //! ## Quickstart
 //!

@@ -195,6 +195,93 @@ fn all_policies_bit_identical_payload_and_energy() {
     }
 }
 
+/// The phased lifecycle is inside the reproducibility contract: for every
+/// `FabricKind` × [`ProvisionMode`], a deployment that cold-starts, runs
+/// offered load, drain-releases one stream mid-run and keeps going yields
+/// bit-identical payload, telemetry and energy across `ParPolicy`s and
+/// across identically seeded repeat runs. (Cold-start reconfiguration
+/// charges and drain completion timing must never depend on the worker
+/// pool.)
+#[test]
+fn provision_modes_and_drain_release_are_policy_invariant() {
+    let graph = {
+        let ccn = Ccn::new(Mesh::new(3, 1), RouterParams::paper(), MegaHertz(25.0));
+        noc_apps::synthetic::oversubscribed_line(ccn.lane_capacity())
+    };
+    let run = |kind: FabricKind, mode: ProvisionMode, policy: ParPolicy| {
+        let mut dep = Deployment::builder(&graph)
+            .mesh(3, 1)
+            .clock(MegaHertz(25.0))
+            .seed(0xDA1)
+            .spill(true)
+            .fabric(kind)
+            .provisioning(mode)
+            .parallelism(policy)
+            .build()
+            .expect("spill admission deploys on every backend");
+        dep.run(1200);
+        // Mid-run: drain-release the first stream loss-free, stop
+        // offering it traffic, and run the rest of the window.
+        let id = dep.fabric().stream_stats()[0].id;
+        dep.stop_traffic(id);
+        dep.fabric_mut()
+            .release(id, ReleaseMode::Drain)
+            .expect("live streams drain");
+        dep.run(1200);
+        dep.settle(2500);
+        let model = dep.energy_model();
+        (
+            dep.total_injected(),
+            dep.total_delivered(),
+            dep.total_energy(&model).value().to_bits(),
+            dep.fabric().stream_stats(),
+        )
+    };
+    for kind in FabricKind::ALL {
+        for mode in [ProvisionMode::Instant, ProvisionMode::BeDelivered] {
+            let sequential = run(kind, mode, ParPolicy::Sequential);
+            let pooled = run(kind, mode, ParPolicy::Threads(2));
+            let auto = run(kind, mode, ParPolicy::Auto);
+            assert_eq!(
+                sequential, pooled,
+                "{kind}/{mode}: Threads(2) diverged from Sequential"
+            );
+            assert_eq!(sequential, auto, "{kind}/{mode}: Auto diverged");
+            let repeat = run(kind, mode, ParPolicy::Sequential);
+            assert_eq!(sequential, repeat, "{kind}/{mode}: seeded rerun diverged");
+            // The drained stream lost nothing and its teardown finalised.
+            let drained = &sequential.3[0];
+            assert_eq!(
+                drained.delivered_words, drained.injected_words,
+                "{kind}/{mode}: drain lost words"
+            );
+            assert!(!drained.active, "{kind}/{mode}: drain never finalised");
+            // Cold starts charge reconfiguration on circuit streams only.
+            let circuit_streams = sequential
+                .3
+                .iter()
+                .filter(|s| s.plane == StreamPlane::Circuit)
+                .count();
+            if mode == ProvisionMode::BeDelivered && circuit_streams > 0 {
+                assert!(
+                    sequential
+                        .3
+                        .iter()
+                        .filter(|s| s.plane == StreamPlane::Circuit)
+                        .all(|s| s.reconfig_cycles > 0),
+                    "{kind}: BeDelivered must charge every circuit stream"
+                );
+            }
+            if mode == ProvisionMode::Instant {
+                assert!(
+                    sequential.3.iter().all(|s| s.reconfig_cycles == 0),
+                    "{kind}: Instant provisioning charges nothing"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn mapping_is_deterministic() {
     let graph = noc_apps::umts::task_graph(&UmtsParams::paper_example());

@@ -16,30 +16,39 @@
 //!    empty, the fabric reports quiescent, and nothing was lost
 //!    (`total_overflows() == 0`);
 //! 5. **Stream telemetry** — `stream_stats` accounts every word: per-stream
-//!    delivered sums bit-match the node-level `drain` shim's totals, every
-//!    delivered word carries a latency sample, and the telemetry survives
+//!    injected/delivered sums cover everything offered, every delivered
+//!    word carries a latency sample, and the telemetry survives
 //!    `clear_activity` (which windows energy, not service accounting);
-//! 6. **Stream lifecycle** — `release` + `admit` round-trips: a released
-//!    session's demand is re-admitted onto an equivalent route and the new
-//!    session delivers; injecting on the released handle panics.
+//! 6. **Stream lifecycle** — `release(.., ReleaseMode::Drop)` + `admit`
+//!    round-trips: a released session's demand is re-admitted onto an
+//!    equivalent route and the new session delivers; injecting on the
+//!    released handle panics;
+//! 7. **Draining release** — `release(.., ReleaseMode::Drain)` under
+//!    active injection loses nothing: every accepted word is delivered,
+//!    injection is refused the moment the drain starts, and the teardown
+//!    finalises (the stream reports inactive) once the pipeline is empty;
+//! 8. **BE-delivered cold start** — `provision_with(..,
+//!    ProvisionMode::BeDelivered)` charges the §5.1 configuration
+//!    delivery to each circuit stream's `reconfig_cycles` and to the
+//!    measured latency of words injected before readiness (backends with
+//!    no router configuration — the pure packet fabric — charge zero).
 //!
 //! The suite is instantiated for all three backends — the circuit-switched
 //! `Soc`, the `PacketFabric` baseline, and the `HybridFabric` — plus a
-//! boxed fabric, so a future backend only needs one new `#[test]` here.
+//! boxed fabric and a policy-driven `FabricController` wrapping the
+//! hybrid, so a future backend only needs one new `#[test]` here.
 //! Each backend additionally runs the whole suite under every [`ParPolicy`]
 //! (sequential, an explicit two-lane pool, and `Auto`): pooled stepping on
 //! the persistent `noc_sim::par::WorkerPool` is part of the behavioural
-//! contract and must be invisible in results.
+//! contract and must be invisible in results — the drain and cold-start
+//! phases return their delivered words and full telemetry, and the suite
+//! asserts they are **bit-identical across policies**.
 //!
 //! `hybrid_releases_a_circuit_and_readmits_the_spilled_stream` goes
 //! further: on the oversubscribed workload it frees a circuit mid-run and
 //! re-admits the previously spilled stream onto the circuit plane, with
 //! the BE-network reconfiguration wait visibly charged to the stream's
 //! measured latency.
-
-// The node-addressed `inject`/`drain` shims are deprecated but remain part
-// of the contract this suite locks down (shim parity with the stream API).
-#![allow(deprecated)]
 
 use noc_mesh::stream::{StreamPlane, StreamStats};
 use rcs_noc::prelude::*;
@@ -78,27 +87,6 @@ fn settle_stream<F: Fabric>(fabric: &mut F, id: StreamId) -> Vec<u16> {
     delivered
 }
 
-/// Drive the fabric until deliveries at `dst` stop (node-level view).
-fn settle<F: Fabric>(fabric: &mut F, dst: NodeId) -> Vec<u16> {
-    fabric.finish_injection();
-    let mut delivered = Vec::new();
-    let mut idle = 0;
-    let mut guard = 0;
-    while idle < 8 {
-        fabric.run(32);
-        let fresh = fabric.drain(dst);
-        if fresh.is_empty() {
-            idle += 1;
-        } else {
-            idle = 0;
-            delivered.extend(fresh);
-        }
-        guard += 1;
-        assert!(guard < 1000, "stream never settled");
-    }
-    delivered
-}
-
 /// The telemetry entry for `id`.
 fn stats_of<F: Fabric>(fabric: &F, id: StreamId) -> StreamStats {
     fabric
@@ -116,18 +104,40 @@ const POLICIES: [ParPolicy; 3] = [
     ParPolicy::Auto,
 ];
 
+/// Everything the phased-lifecycle sections of one conformance pass
+/// produce — delivered words plus full telemetry — compared bit-for-bit
+/// across evaluation policies: pooled stepping may never shift a drain's
+/// completion or a cold start's delivery by a single cycle.
+#[derive(Debug, PartialEq)]
+struct LifecycleFingerprint {
+    drain_delivered: Vec<u16>,
+    drain_stats: StreamStats,
+    cold_delivered: Vec<u16>,
+    cold_stats: StreamStats,
+}
+
 /// The conformance suite. `mk` builds a fresh fabric over
 /// [`Mesh::new(2, 2)`]; the whole contract is exercised once per
 /// [`ParPolicy`] (each constructed fabric gets the policy applied through
-/// the `Fabric::set_parallelism` knob).
+/// the `Fabric::set_parallelism` knob), and the phased-lifecycle results
+/// must be bit-identical across policies.
 fn conformance<F: Fabric>(mk: impl Fn() -> F) {
+    let mut fingerprints: Vec<(ParPolicy, LifecycleFingerprint)> = Vec::new();
     for policy in POLICIES {
-        conformance_under(&mk, policy);
+        fingerprints.push((policy, conformance_under(&mk, policy)));
+    }
+    let (reference_policy, reference) = &fingerprints[0];
+    for (policy, fp) in &fingerprints[1..] {
+        assert_eq!(
+            fp, reference,
+            "drain/cold-start lifecycle diverged between {policy:?} and \
+             {reference_policy:?}"
+        );
     }
 }
 
 /// One pass of the behavioural contract under a fixed evaluation policy.
-fn conformance_under<F: Fabric>(mk: impl Fn() -> F, policy: ParPolicy) {
+fn conformance_under<F: Fabric>(mk: impl Fn() -> F, policy: ParPolicy) -> LifecycleFingerprint {
     let mk = || {
         let mut fabric = mk();
         fabric.set_parallelism(policy);
@@ -135,8 +145,6 @@ fn conformance_under<F: Fabric>(mk: impl Fn() -> F, policy: ParPolicy) {
     };
     let mesh = Mesh::new(2, 2);
     let mapping = standard_mapping(mesh);
-    let src = mapping.routes[0].paths[0][0].node;
-    let dst = mapping.routes[0].paths[0].last().unwrap().node;
     let words: Vec<u16> = (0..96u16)
         .map(|i| i.wrapping_mul(0xACE1) ^ 0x2005)
         .collect();
@@ -157,14 +165,12 @@ fn conformance_under<F: Fabric>(mk: impl Fn() -> F, policy: ParPolicy) {
     assert_eq!(delivered, words, "{}: payload integrity", fabric.kind());
 
     // 4a. Quiescence honesty on the same run: everything already drained,
-    // every node now drains empty, nothing was lost.
-    for node in mesh.iter() {
-        assert!(
-            fabric.drain(node).is_empty(),
-            "{}: residue at {node:?} after settle",
-            fabric.kind()
-        );
-    }
+    // the session drains empty, nothing was lost.
+    assert!(
+        fabric.drain_stream(id).is_empty(),
+        "{}: residue on the session after settle",
+        fabric.kind()
+    );
     assert!(fabric.is_quiescent(), "{}: not quiescent", fabric.kind());
     assert_eq!(
         fabric.total_overflows(),
@@ -194,28 +200,27 @@ fn conformance_under<F: Fabric>(mk: impl Fn() -> F, policy: ParPolicy) {
         fabric.kind()
     );
 
-    // 5b. Shim parity: injecting through the node-level shim, per-stream
-    // delivered sums bit-match the node-level drain totals.
-    let mut shim = mk();
-    let shim_ids = shim.provision(&mapping).unwrap();
-    shim.inject(src, &words);
-    let node_view = settle(&mut shim, dst);
-    assert_eq!(node_view, words, "{}: node shim delivers", shim.kind());
-    let per_stream: u64 = shim.stream_stats().iter().map(|s| s.delivered_words).sum();
+    // 5b. Accounting closure: per-stream injected/delivered sums cover
+    // exactly what the run offered — telemetry is a partition of the
+    // traffic, with nothing double-counted and nothing missing.
+    let per_stream: u64 = fabric
+        .stream_stats()
+        .iter()
+        .map(|s| s.delivered_words)
+        .sum();
     assert_eq!(
         per_stream,
-        node_view.len() as u64,
-        "{}: stream sums must bit-match the node-level drain total",
-        shim.kind()
+        words.len() as u64,
+        "{}: stream delivered sums must cover the run",
+        fabric.kind()
     );
-    let injected: u64 = shim.stream_stats().iter().map(|s| s.injected_words).sum();
+    let injected: u64 = fabric.stream_stats().iter().map(|s| s.injected_words).sum();
     assert_eq!(
         injected,
         words.len() as u64,
-        "{}: shim fans out",
-        shim.kind()
+        "{}: stream injected sums must cover the run",
+        fabric.kind()
     );
-    assert_eq!(shim_ids, ids, "same mapping, same handles");
 
     // 2. Provision replacement: provisioning the same mapping twice must
     // behave exactly like provisioning it once — no duplicated streams,
@@ -242,14 +247,15 @@ fn conformance_under<F: Fabric>(mk: impl Fn() -> F, policy: ParPolicy) {
     live.inject_stream(id, &words[..16]);
     let got = settle_stream(&mut live, id);
     assert_eq!(got, &words[..16]);
-    live.release(id).expect("live streams release");
+    live.release(id, ReleaseMode::Drop)
+        .expect("live streams release");
     assert!(
         !stats_of(&live, id).active,
         "{}: released stream must report inactive",
         live.kind()
     );
     assert!(
-        live.release(id).is_err(),
+        live.release(id, ReleaseMode::Drop).is_err(),
         "{}: double release must fail",
         live.kind()
     );
@@ -296,6 +302,89 @@ fn conformance_under<F: Fabric>(mk: impl Fn() -> F, policy: ParPolicy) {
         "{}: a driven fabric spends energy",
         fabric.kind()
     );
+
+    // 7. Draining release under active injection: zero word loss. The
+    // backlog is mostly still queued when the drain starts; every
+    // accepted word must land, injection is refused immediately, and the
+    // teardown finalises once the pipeline is empty.
+    let mut draining = mk();
+    let ids = draining.provision(&mapping).unwrap();
+    let id = ids[0];
+    draining.inject_stream(id, &words);
+    draining.run(6); // a few words on the wire, the rest queued
+    draining
+        .release(id, ReleaseMode::Drain)
+        .expect("live streams drain");
+    let refused = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        draining.inject_stream(id, &[1]);
+    }));
+    assert!(
+        refused.is_err(),
+        "{}: injection during a drain must panic",
+        draining.kind()
+    );
+    let drain_delivered = settle_stream(&mut draining, id);
+    assert_eq!(
+        drain_delivered,
+        words,
+        "{}: a drained release must lose nothing",
+        draining.kind()
+    );
+    let drain_stats = stats_of(&draining, id);
+    assert!(
+        !drain_stats.active,
+        "{}: the deferred teardown must finalise",
+        draining.kind()
+    );
+    assert_eq!(drain_stats.delivered_words, words.len() as u64);
+    assert!(
+        draining.is_quiescent(),
+        "{}: quiescent after the drain",
+        draining.kind()
+    );
+    assert_eq!(draining.total_overflows(), 0);
+
+    // 8. BE-delivered cold start: initial provisioning rides the BE
+    // network, so the §5.1 configuration-delivery wait is charged to the
+    // stream and to the latency of words injected before readiness.
+    let mut cold = mk();
+    let ids = cold
+        .provision_with(&mapping, ProvisionMode::BeDelivered)
+        .expect("BeDelivered provisioning");
+    let id = ids[0];
+    cold.inject_stream(id, &words[..32]);
+    let cold_delivered = settle_stream(&mut cold, id);
+    assert_eq!(
+        cold_delivered,
+        &words[..32],
+        "{}: cold start must deliver once configured",
+        cold.kind()
+    );
+    let cold_stats = stats_of(&cold, id);
+    if cold.kind() == FabricKind::Packet {
+        assert_eq!(
+            cold_stats.reconfig_cycles, 0,
+            "a wormhole plane has no router configuration to deliver"
+        );
+    } else {
+        assert!(
+            cold_stats.reconfig_cycles > 0,
+            "{}: circuit cold start pays BE delivery",
+            cold.kind()
+        );
+        assert!(
+            cold_stats.latency.min().unwrap() >= cold_stats.reconfig_cycles,
+            "{}: the delivery wait must appear in measured latency",
+            cold.kind()
+        );
+    }
+
+    LifecycleFingerprint {
+        drain_delivered,
+        drain_stats,
+        cold_delivered,
+        cold_stats,
+    }
 }
 
 #[test]
@@ -339,6 +428,20 @@ fn boxed_fabric_conforms() {
     conformance(|| -> Box<dyn Fabric> { Box::new(HybridFabric::paper(Mesh::new(2, 2))) });
 }
 
+#[test]
+fn controlled_fabric_conforms() {
+    // The control plane is a Fabric too: wrapping the hybrid in a
+    // FabricController (policy loop ticking away during every run) must
+    // not bend a single clause of the behavioural contract.
+    conformance(|| {
+        FabricController::new(
+            Box::new(HybridFabric::paper(Mesh::new(2, 2))),
+            Box::new(ProfiledPromotion),
+        )
+        .with_window(64)
+    });
+}
+
 /// The live re-admission acceptance case, under every policy: the
 /// oversubscribed line spills its light stream; freeing the heavy circuit
 /// mid-run lets `admit` put the previously spilled demand on the circuit
@@ -375,8 +478,8 @@ fn hybrid_releases_a_circuit_and_readmits_the_spilled_stream() {
 
         // Free the circuit, retire the spilled session, re-admit its
         // demand: it must land on the circuit plane now.
-        Fabric::release(&mut hybrid, be_id).unwrap();
-        Fabric::release(&mut hybrid, gt_id).unwrap();
+        Fabric::release(&mut hybrid, be_id, ReleaseMode::Drop).unwrap();
+        Fabric::release(&mut hybrid, gt_id, ReleaseMode::Drop).unwrap();
         let demand = mapping.stream_demand(be_id).unwrap();
         let readmitted = Fabric::admit(&mut hybrid, &demand).expect("freed lanes admit");
         let s = stats_of(&hybrid, readmitted);
@@ -415,7 +518,7 @@ fn release_admit_round_trips_to_an_identical_configuration() {
     };
     let provisioned = snapshot(&soc);
 
-    Fabric::release(&mut soc, ids[0]).unwrap();
+    Fabric::release(&mut soc, ids[0], ReleaseMode::Drop).unwrap();
     let torn = snapshot(&soc);
     assert_ne!(provisioned, torn, "release must deactivate the lanes");
 

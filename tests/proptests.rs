@@ -1,10 +1,5 @@
 //! Property-based tests on the workspace's core invariants.
 
-// The hybrid-vs-packet property drives both fabrics through the
-// node-addressed `inject`/`drain` shims on purpose: node-for-node multiset
-// equality is exactly the contract those deprecated shims keep.
-#![allow(deprecated)]
-
 use noc_apps::taskgraph::{TaskGraph, TrafficShape};
 use noc_core::config::{ConfigEntry, ConfigWord};
 use noc_core::converter::{RxDeserializer, TxSerializer};
@@ -198,13 +193,12 @@ proptest! {
     }
 
     /// Hybrid switching is invisible to the workload: for random stream
-    /// sets on random mesh sizes, the `HybridFabric` delivers at every
-    /// node exactly the multiset of payload words a pure `PacketFabric`
-    /// delivers (streams split across planes interleave differently, but
-    /// nothing is lost, duplicated or misrouted), and — because admitted
-    /// streams ride cheap circuits while the spillover plane is
-    /// clock-gated — its lifetime energy never exceeds the pure-packet
-    /// fabric's over the same cycles.
+    /// sets on random mesh sizes, the `HybridFabric` delivers on every
+    /// stream session exactly the words a pure `PacketFabric` delivers,
+    /// in order (nothing is lost, duplicated or misrouted across the
+    /// plane split), and — because admitted streams ride cheap circuits
+    /// while the spillover plane is clock-gated — its lifetime energy
+    /// never exceeds the pure-packet fabric's over the same cycles.
     #[test]
     fn hybrid_matches_packet_payload_for_less_energy(
         w in 2usize..4,
@@ -269,22 +263,25 @@ proptest! {
             PacketParams::paper(),
             PacketFabric::DEFAULT_PACKET_WORDS,
         );
-        hybrid.provision(&mapping).expect("legal mapping");
-        Fabric::provision(&mut packet, &mapping).expect("legal mapping");
+        let h_ids = hybrid.provision(&mapping).expect("legal mapping");
+        let p_ids = Fabric::provision(&mut packet, &mapping).expect("legal mapping");
+        prop_assert_eq!(&h_ids, &p_ids, "identical handles on every backend");
 
-        // The same deterministic words into both fabrics.
+        // The same deterministic words into both fabrics, stream by
+        // stream (each source process has at most one outgoing stream, so
+        // its placement node identifies its session).
+        let streams = mapping.streams();
         let mut injected = 0u64;
         for i in 0..procs {
             let Some(node) = mapping.node_of(ids[i]) else { continue };
-            let has_stream = g.edges().any(|(_, e)| e.src == ids[i]);
-            if !has_stream {
-                continue;
-            }
+            let Some(ms) = streams.iter().find(|s| s.src == node) else {
+                continue; // no NoC-crossing stream out of this process
+            };
             let words: Vec<u16> = (0..counts[i])
                 .map(|k| (k as u16).wrapping_mul(0x9E37) ^ seed ^ ((i as u16) << 12))
                 .collect();
-            hybrid.inject(node, &words);
-            Fabric::inject(&mut packet, node, &words);
+            Fabric::inject_stream(&mut hybrid, ms.id, &words);
+            Fabric::inject_stream(&mut packet, ms.id, &words);
             injected += words.len() as u64;
         }
         hybrid.finish_injection();
@@ -298,14 +295,12 @@ proptest! {
         prop_assert!(Fabric::is_quiescent(&packet), "packet failed to drain");
 
         let mut delivered = 0u64;
-        for node in mesh.iter() {
-            let mut hw = hybrid.drain(node);
-            let mut pw = Fabric::drain(&mut packet, node);
-            hw.sort_unstable();
-            pw.sort_unstable();
+        for ms in &streams {
+            let hw = Fabric::drain_stream(&mut hybrid, ms.id);
+            let pw = Fabric::drain_stream(&mut packet, ms.id);
             prop_assert_eq!(
                 &hw, &pw,
-                "node {:?}: hybrid and packet multisets diverge", node
+                "{}: hybrid and packet sessions diverge", ms.id
             );
             delivered += hw.len() as u64;
         }
