@@ -24,6 +24,10 @@
 //! * [`synthetic`] — lane-capacity-relative synthetic workloads shared by
 //!   benches and tests (e.g. the oversubscribed two-stream line behind the
 //!   hybrid fabric's spillover comparisons).
+//! * [`workload`] — phase-shifting offered-load profiles
+//!   ([`workload::PhaseProfile`]): bursty on/off duty cycling, diurnal
+//!   ramps and rotating hotspots, as pure functions of the cycle counter
+//!   so fleet replays are deterministic.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -35,7 +39,9 @@ pub mod synthetic;
 pub mod taskgraph;
 pub mod traffic;
 pub mod umts;
+pub mod workload;
 
 pub use scenarios::{Scenario, StreamDef, StreamId};
 pub use taskgraph::{EdgeId, ProcessId, TaskGraph, TrafficShape};
 pub use traffic::{DataPattern, PhitSource, WordStream};
+pub use workload::PhaseProfile;

@@ -1,0 +1,346 @@
+//! Multi-tenant fleet soak: hundreds of concurrent deployments with
+//! snapshot/restore replay, adversarial workloads and an aggregate SLO
+//! gate — the fleet engine's end-to-end exercise.
+//!
+//! The binary admits a mixed tenant population (every `FabricKind`,
+//! every [`PhaseProfile`] — steady, bursty on/off, diurnal ramp, rotating
+//! hotspot), steps it in lockstep batches over the shared worker pool,
+//! checkpoints the whole fleet mid-run, then drains everything to
+//! quiescence and reports the aggregate SLO. Four gates decide the exit
+//! code — any failure exits non-zero so CI cannot rot:
+//!
+//! 1. **Zero payload loss** — every word accepted anywhere in the fleet
+//!    is delivered (`injected == delivered`, zero overflows) and every
+//!    tenant retires.
+//! 2. **Replay determinism** — a fresh fleet built from the same specs,
+//!    restored from the mid-run snapshot and run to the end, produces a
+//!    [`FleetSloReport`] that compares `==` (integer-for-integer) with
+//!    the uninterrupted run's.
+//! 3. **Eviction-flap hardening** — [`noc_exp::fleet::flap_probe`]: the
+//!    bursty oversubscribed tenant flaps under raw single-window
+//!    `LoadDemotion` and must show *zero* flaps (indeed zero demotions)
+//!    under the EWMA + minimum-dwell hardened policy, in the same run.
+//! 4. **GT service** — circuit (GT) p95 latency is measured fleet-wide;
+//!    every tenant's report row carries its GT/BE service gap.
+//!
+//! Every run writes the machine-readable `BENCH_fleet.json` (hand-rolled
+//! [`noc_exp::json`]). `--smoke` runs 200 tenants for a seconds-scale CI
+//! pass; the full run scales the population up. `--tenants N` /
+//! `--batches B` override either.
+
+use noc_apps::synthetic::{oversubscribed_line, streaming_pipeline};
+use noc_apps::workload::PhaseProfile;
+use noc_core::params::RouterParams;
+use noc_exp::fleet::{flap_probe, Fleet, FleetSloReport, TenantSpec, TenantState};
+use noc_exp::json::Json;
+use noc_mesh::ccn::Ccn;
+use noc_mesh::fabric::FabricKind;
+use noc_mesh::stream::ProvisionMode;
+use noc_mesh::topology::Mesh;
+use noc_sim::par::WorkerPool;
+use noc_sim::units::{Bandwidth, MegaHertz};
+use std::time::Instant;
+
+/// The adversarial workload rotation tenants are assigned from.
+const PROFILES: [PhaseProfile; 4] = [
+    PhaseProfile::Steady,
+    PhaseProfile::BurstyOnOff {
+        period: 256,
+        on: 192,
+    },
+    PhaseProfile::DiurnalRamp {
+        period: 512,
+        floor: 0.3,
+    },
+    PhaseProfile::HotspotFlip {
+        period: 128,
+        background: 0.2,
+    },
+];
+
+const BATCH_CYCLES: u64 = 64;
+/// Batches allowed for the final drain-to-quiescence sweep.
+const RETIRE_BUDGET: u64 = 400;
+
+/// The mixed tenant population: backends and workload profiles rotate
+/// independently, seeds and pipeline depths vary per tenant. Every tenth
+/// tenant is the canonical *oversubscribed* 3×1 line on the hybrid fabric
+/// with BE-delivered cold start — its light stream rides the spilled
+/// (BE) plane and its circuits pay a §5.1 admission latency, so the
+/// fleet-wide GT/BE service gap and admission-latency SLOs are exercised,
+/// not vacuous.
+fn specs(tenants: usize) -> Vec<TenantSpec> {
+    let lane = Ccn::new(Mesh::new(3, 1), RouterParams::paper(), MegaHertz(25.0)).lane_capacity();
+    (0..tenants)
+        .map(|i| {
+            let profile = PROFILES[(i / FabricKind::ALL.len()) % PROFILES.len()];
+            if i % 10 == 9 {
+                return TenantSpec::new(format!("tenant-{i:04}"), oversubscribed_line(lane))
+                    .mesh(3, 1)
+                    .clock(MegaHertz(25.0))
+                    .seed(0xF1EE7 ^ i as u64)
+                    .fabric(FabricKind::Hybrid)
+                    .provisioning(ProvisionMode::BeDelivered)
+                    .workload(profile);
+            }
+            let kind = FabricKind::ALL[i % FabricKind::ALL.len()];
+            let stages = 2 + i % 3;
+            TenantSpec::new(
+                format!("tenant-{i:04}"),
+                streaming_pipeline(stages, Bandwidth(40.0 + 10.0 * (i % 4) as f64)),
+            )
+            .mesh(3, 3)
+            .seed(0xF1EE7 ^ i as u64)
+            .fabric(kind)
+            .workload(profile)
+        })
+        .collect()
+}
+
+fn build_fleet(specs: &[TenantSpec]) -> Fleet {
+    let mut fleet = Fleet::new(BATCH_CYCLES);
+    for spec in specs {
+        fleet
+            .admit(spec)
+            .unwrap_or_else(|e| panic!("{} failed to admit: {e}", spec.name));
+    }
+    fleet
+}
+
+/// Run `fleet` from its current position to the end of the experiment:
+/// the remaining offered-load batches, then drain everything to
+/// quiescence. Returns the final report and whether everything retired.
+fn finish(fleet: &mut Fleet, total_batches: u64) -> (FleetSloReport, bool) {
+    let remaining = total_batches.saturating_sub(fleet.batches_run());
+    fleet.run_batches(remaining);
+    let retired = fleet.retire_all(RETIRE_BUDGET);
+    (fleet.slo_report(), retired)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .map(|v| v.parse::<u64>().unwrap_or_else(|_| panic!("bad {name}")))
+    };
+    let tenants = flag("--tenants").unwrap_or(if smoke { 200 } else { 600 }) as usize;
+    let batches = flag("--batches").unwrap_or(if smoke { 8 } else { 24 });
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let _ = WorkerPool::global().workers();
+    println!(
+        "Fleet soak: {tenants} tenants x {batches} batches of {BATCH_CYCLES} cycles \
+         ({cores} CPUs){}.\n",
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    let mut failures = 0;
+    let specs = specs(tenants);
+
+    // The uninterrupted run, checkpointed halfway.
+    let started = Instant::now();
+    let mut fleet = build_fleet(&specs);
+    let admit_elapsed = started.elapsed().as_secs_f64();
+    fleet.run_batches(batches / 2);
+    let checkpoint = fleet.snapshot();
+    let (report, all_retired) = finish(&mut fleet, batches);
+    let elapsed = started.elapsed().as_secs_f64();
+
+    // Gate 1: zero payload loss, everything retired.
+    if !all_retired {
+        println!(
+            "!! {} tenants failed to retire",
+            tenants as u64 - report.retired
+        );
+        failures += 1;
+    }
+    if !report.loss_free() {
+        println!(
+            "!! payload lost: injected {} delivered {} overflows {}",
+            report.injected, report.delivered, report.overflows
+        );
+        failures += 1;
+    }
+    if report.injected == 0 {
+        println!("!! the fleet injected nothing");
+        failures += 1;
+    }
+
+    // Gate 2: replay determinism. A fresh fleet from the same specs,
+    // restored from the mid-run checkpoint, must reproduce the final SLO
+    // report integer-for-integer.
+    let mut replay = build_fleet(&specs);
+    replay
+        .restore(&checkpoint)
+        .expect("a same-census fleet accepts the checkpoint");
+    let (replay_report, _) = finish(&mut replay, batches);
+    let replay_identical = replay_report == report;
+    if !replay_identical {
+        println!("!! replay from the mid-run snapshot diverged from the uninterrupted run");
+        failures += 1;
+    }
+
+    // Gate 3: eviction-flap hardening, baseline and hardened in one run.
+    let probe = flap_probe(40);
+    if probe.baseline_flaps == 0 {
+        println!("!! probe premise broken: the unhardened baseline never flapped");
+        failures += 1;
+    }
+    if probe.hardened_flaps != 0 || probe.hardened_demotions != 0 {
+        println!(
+            "!! hardened LoadDemotion flapped: {} flaps, {} demotions",
+            probe.hardened_flaps, probe.hardened_demotions
+        );
+        failures += 1;
+    }
+
+    // Gate 4: the SLO surface was actually measured fleet-wide — GT and
+    // BE p95s both present (the oversubscribed tenants put words on the
+    // spilled plane) and the BE-delivered cold starts charged a nonzero
+    // admission latency.
+    if report.worst_gt_p95.is_none() {
+        println!("!! no circuit stream delivered anything — GT p95 unmeasured");
+        failures += 1;
+    }
+    if report.worst_be_p95.is_none() {
+        println!("!! no spilled stream delivered anything — BE p95 unmeasured");
+        failures += 1;
+    }
+    if report.max_admission_latency == 0 {
+        println!("!! no tenant paid a cold-start admission latency");
+        failures += 1;
+    }
+
+    let tenant_cycles = tenants as u64 * fleet.cycles_run();
+    println!(
+        "{tenants} tenants, {} batches + drain: {:.2}s wall ({:.0} tenant-cycles/s, \
+         admit {:.2}s)",
+        report.batches,
+        elapsed,
+        tenant_cycles as f64 / elapsed.max(1e-9),
+        admit_elapsed,
+    );
+    println!(
+        "payload: {} injected = {} delivered, {} overflows; census retired {}/{}",
+        report.injected, report.delivered, report.overflows, report.retired, tenants
+    );
+    println!(
+        "SLO: worst GT p95 {:?}, worst BE p95 {:?}, max admission latency {}, \
+         eviction flaps {}",
+        report.worst_gt_p95,
+        report.worst_be_p95,
+        report.max_admission_latency,
+        report.eviction_flaps
+    );
+    println!(
+        "replay: {}; flap probe: baseline {} flaps ({} suppressed), hardened {}",
+        if replay_identical {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        },
+        probe.baseline_flaps,
+        probe.baseline_suppressed,
+        probe.hardened_flaps
+    );
+
+    // Per-profile rollup for the artefact: the census is built
+    // round-robin, so recover each tenant's profile from its index.
+    let mut rollup: Vec<Json> = Vec::new();
+    for profile in PROFILES {
+        let label = profile.label();
+        let mine: Vec<_> = report
+            .tenants
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| {
+                PROFILES[(i / FabricKind::ALL.len()) % PROFILES.len()].label() == label
+            })
+            .map(|(_, t)| t)
+            .collect();
+        rollup.push(
+            Json::obj()
+                .with("workload", label)
+                .with("tenants", mine.len())
+                .with("injected", mine.iter().map(|t| t.injected).sum::<u64>())
+                .with("delivered", mine.iter().map(|t| t.delivered).sum::<u64>())
+                .with("overflows", mine.iter().map(|t| t.overflows).sum::<u64>())
+                .with(
+                    "eviction_flaps",
+                    mine.iter()
+                        .map(|t| t.controller.pointless_evictions)
+                        .sum::<u64>(),
+                )
+                .with("worst_gt_p95", mine.iter().filter_map(|t| t.gt_p95).max()),
+        );
+    }
+
+    let retired_census = report
+        .tenants
+        .iter()
+        .filter(|t| t.state == TenantState::Retired)
+        .count();
+    let artefact = Json::obj()
+        .with("bench", "fleet_bench")
+        .with("mode", if smoke { "smoke" } else { "full" })
+        .with(
+            "config",
+            Json::obj()
+                .with("tenants", tenants)
+                .with("batches", batches)
+                .with("batch_cycles", BATCH_CYCLES)
+                .with("cores", cores),
+        )
+        .with(
+            "timing",
+            Json::obj()
+                .with("wall_seconds", elapsed)
+                .with("admit_seconds", admit_elapsed)
+                .with(
+                    "tenant_cycles_per_sec",
+                    tenant_cycles as f64 / elapsed.max(1e-9),
+                ),
+        )
+        .with(
+            "slo",
+            Json::obj()
+                .with("injected", report.injected)
+                .with("delivered", report.delivered)
+                .with("overflows", report.overflows)
+                .with("loss_free", report.loss_free())
+                .with("retired", retired_census)
+                .with("worst_gt_p95", report.worst_gt_p95)
+                .with("worst_be_p95", report.worst_be_p95)
+                .with("max_admission_latency", report.max_admission_latency)
+                .with("eviction_flaps", report.eviction_flaps)
+                .with(
+                    "controller",
+                    Json::obj()
+                        .with("ticks", report.controller.ticks)
+                        .with("promotions", report.controller.promotions)
+                        .with("demotions", report.controller.demotions)
+                        .with("readmissions", report.controller.readmissions)
+                        .with("lost", report.controller.lost),
+                ),
+        )
+        .with("workload_rollup", Json::Array(rollup))
+        .with("replay_identical", replay_identical)
+        .with("flap_probe", probe.to_json())
+        .with("failures", failures as u64);
+    let out = "BENCH_fleet.json";
+    match std::fs::write(out, artefact.pretty()) {
+        Ok(()) => println!("\nwrote {out}"),
+        Err(e) => {
+            println!("!! could not write {out}: {e}");
+            failures += 1;
+        }
+    }
+
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

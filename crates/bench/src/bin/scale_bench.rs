@@ -27,9 +27,15 @@
 //! Run with `--smoke` for a seconds-scale CI pass (one small mesh, few
 //! cycles) that still exercises every backend × policy combination and
 //! the full parity gate.
+//!
+//! Besides the rendered table, every run writes the machine-readable
+//! `BENCH_scale.json` (hand-rolled [`noc_exp::json`] — the vendored serde
+//! is a no-op): one row per mesh × fabric with the raw throughput
+//! numbers, so CI can validate the artefact and reviews can diff it.
 
 use noc_apps::synthetic::streaming_pipeline;
 use noc_apps::taskgraph::TaskGraph;
+use noc_exp::json::Json;
 use noc_exp::tables;
 use noc_mesh::controller::ProfiledPromotion;
 use noc_mesh::deployment::{Deployment, DeploymentBuilder};
@@ -139,6 +145,7 @@ fn main() {
     }
 
     let mut rows = Vec::new();
+    let mut json_rows: Vec<Json> = Vec::new();
     let mut failures = 0;
     let mut packet_16_speedup = None;
     for &side in sides {
@@ -169,6 +176,18 @@ fn main() {
             if side == 16 && kind == FabricKind::Packet {
                 packet_16_speedup = Some(speedup);
             }
+            json_rows.push(
+                Json::obj()
+                    .with("mesh", format!("{side}x{side}"))
+                    .with("fabric", kind.to_string())
+                    .with("delivered", seq.outcome.delivered)
+                    .with("injected", seq.outcome.injected)
+                    .with("seq_cycles_per_sec", seq.cycles_per_sec)
+                    .with("pooled_cycles_per_sec", pooled.cycles_per_sec)
+                    .with("auto_cycles_per_sec", auto.cycles_per_sec)
+                    .with("pooled_speedup", speedup)
+                    .with("parity", parity),
+            );
             rows.push(vec![
                 format!("{side}x{side}"),
                 kind.to_string(),
@@ -236,6 +255,18 @@ fn main() {
             );
             failures += 1;
         }
+        json_rows.push(
+            Json::obj()
+                .with("mesh", format!("{side}x{side} ctl"))
+                .with("fabric", "hybrid+BeDelivered")
+                .with("delivered", seq.outcome.delivered)
+                .with("injected", seq.outcome.injected)
+                .with("seq_cycles_per_sec", seq.cycles_per_sec)
+                .with("pooled_cycles_per_sec", pooled.cycles_per_sec)
+                .with("auto_cycles_per_sec", auto.cycles_per_sec)
+                .with("pooled_speedup", pooled.cycles_per_sec / seq.cycles_per_sec)
+                .with("parity", parity),
+        );
         rows.push(vec![
             format!("{side}x{side} ctl"),
             "hybrid+BeDelivered".into(),
@@ -279,6 +310,23 @@ fn main() {
          persistent WorkerPool only buys wall-clock time. Divergence or an\n\
          empty delivery exits non-zero so CI cannot rot.)"
     );
+
+    let artefact = Json::obj()
+        .with("bench", "scale_bench")
+        .with("mode", if smoke { "smoke" } else { "full" })
+        .with("cycles", cycles)
+        .with("cores", cores)
+        .with("pooled_lanes", pooled_lanes)
+        .with("failures", failures as u64)
+        .with("rows", Json::Array(json_rows));
+    let out = "BENCH_scale.json";
+    match std::fs::write(out, artefact.pretty()) {
+        Ok(()) => println!("\nwrote {out}"),
+        Err(e) => {
+            println!("!! could not write {out}: {e}");
+            failures += 1;
+        }
+    }
     if failures > 0 {
         std::process::exit(1);
     }

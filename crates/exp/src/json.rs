@@ -1,0 +1,264 @@
+//! A minimal JSON document model with a hand-rolled serialiser.
+//!
+//! The container vendors a no-op `serde`, so machine-readable bench
+//! artefacts (`BENCH_scale.json`, `BENCH_fleet.json`) are emitted through
+//! this module instead: a [`Json`] tree built by hand, printed compact via
+//! [`fmt::Display`] or indented via [`Json::pretty`]. Objects keep their
+//! insertion order (a `Vec` of pairs, not a map), so serialised output is
+//! stable across runs — which matters because the checked-in bench
+//! artefacts are diffed in review.
+
+use std::fmt;
+
+/// A JSON value. Build with the `From` impls and [`Json::obj`] /
+/// [`Json::push`]; serialise with `to_string()` (compact) or
+/// [`Json::pretty`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer (kept apart from [`Json::Int`] so `u64`
+    /// counters above `i64::MAX` survive).
+    UInt(u64),
+    /// A finite float. Non-finite values serialise as `null` (JSON has no
+    /// `NaN`/`inf`).
+    Float(f64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An ordered array.
+    Array(Vec<Json>),
+    /// An object, in insertion order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object, ready for [`Json::push`].
+    pub fn obj() -> Json {
+        Json::Object(Vec::new())
+    }
+
+    /// Append `key: value` to an object.
+    ///
+    /// # Panics
+    /// Panics when `self` is not [`Json::Object`].
+    pub fn push(&mut self, key: &str, value: impl Into<Json>) {
+        match self {
+            Json::Object(pairs) => pairs.push((key.to_string(), value.into())),
+            other => panic!("Json::push on a non-object: {other:?}"),
+        }
+    }
+
+    /// Builder-style [`Json::push`].
+    pub fn with(mut self, key: &str, value: impl Into<Json>) -> Json {
+        self.push(key, value);
+        self
+    }
+
+    /// The document serialised with two-space indentation and a trailing
+    /// newline — the format the checked-in `BENCH_*.json` artefacts use.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Array(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Object(pairs) if !pairs.is_empty() => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    out.push_str(&format!("{}: ", Json::Str(key.clone())));
+                    value.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            leaf => out.push_str(&leaf.to_string()),
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => write!(f, "null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Int(i) => write!(f, "{i}"),
+            Json::UInt(u) => write!(f, "{u}"),
+            Json::Float(x) if x.is_finite() => write!(f, "{x}"),
+            Json::Float(_) => write!(f, "null"),
+            Json::Str(s) => {
+                write!(f, "\"")?;
+                for c in s.chars() {
+                    match c {
+                        '"' => write!(f, "\\\"")?,
+                        '\\' => write!(f, "\\\\")?,
+                        '\n' => write!(f, "\\n")?,
+                        '\r' => write!(f, "\\r")?,
+                        '\t' => write!(f, "\\t")?,
+                        c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                        c => write!(f, "{c}")?,
+                    }
+                }
+                write!(f, "\"")
+            }
+            Json::Array(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Json::Object(pairs) => {
+                write!(f, "{{")?;
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{}:{value}", Json::Str(key.clone()))?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(i: i64) -> Json {
+        Json::Int(i)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(u: u64) -> Json {
+        Json::UInt(u)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(u: usize) -> Json {
+        Json::UInt(u as u64)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(u: u32) -> Json {
+        Json::UInt(u64::from(u))
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Float(x)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(v: Option<T>) -> Json {
+        match v {
+            Some(x) => x.into(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Json {
+        Json::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_output_is_valid_json() {
+        let doc = Json::obj()
+            .with("name", "fleet")
+            .with("tenants", 200u64)
+            .with("loss", 0u64)
+            .with("rate", 1.5)
+            .with("gap", Option::<u64>::None)
+            .with("tags", vec!["a", "b"]);
+        assert_eq!(
+            doc.to_string(),
+            r#"{"name":"fleet","tenants":200,"loss":0,"rate":1.5,"gap":null,"tags":["a","b"]}"#
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = Json::Str("a\"b\\c\nd\u{1}".to_string());
+        assert_eq!(s.to_string(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::Float(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn pretty_output_indents_and_terminates() {
+        let doc = Json::obj()
+            .with("xs", vec![1u64, 2])
+            .with("empty", Json::obj());
+        let text = doc.pretty();
+        assert!(text.ends_with("}\n"));
+        assert!(text.contains("  \"xs\": [\n    1,\n    2\n  ]"));
+        assert!(text.contains("\"empty\": {}"));
+    }
+}

@@ -20,6 +20,13 @@
 //! * [`fabric_bench`] — the fabric-generic deployment bench: any
 //!   application task graph, either backend, one code path
 //!   ([`fabric_bench::run_app`] is written once over `F: Fabric`).
+//! * [`fleet`] — the multi-tenant fleet engine: populations of concurrent
+//!   deployments stepped in lockstep batches over the shared worker pool,
+//!   with snapshot/restore, phase-shifting workloads and aggregate SLO
+//!   reporting ([`fleet::Fleet`], [`fleet::FleetSloReport`],
+//!   [`fleet::flap_probe`]).
+//! * [`json`] — the hand-rolled JSON document model behind the
+//!   machine-readable `BENCH_*.json` bench artefacts.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -27,6 +34,8 @@
 pub mod fabric_bench;
 pub mod fig10;
 pub mod fig9;
+pub mod fleet;
+pub mod json;
 pub mod reference;
 pub mod tables;
 pub mod testbench;
@@ -34,4 +43,9 @@ pub mod testbench;
 pub use fabric_bench::{compare_fabrics, run_app, FabricComparison, FabricRunSummary};
 pub use fig10::{fig10, Fig10, Fig10Point};
 pub use fig9::{fig9, Fig9, Fig9Bar};
+pub use fleet::{
+    flap_probe, FlapProbe, Fleet, FleetRestoreError, FleetSloReport, FleetSnapshot, Tenant,
+    TenantSlo, TenantSpec, TenantState,
+};
+pub use json::Json;
 pub use testbench::{CircuitScenarioBench, PacketScenarioBench, ScenarioOutcome};

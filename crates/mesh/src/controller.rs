@@ -37,7 +37,9 @@
 //! lanes (on a hybrid it then lands on the packet plane as spillover).
 
 use crate::ccn::Mapping;
-use crate::fabric::{EnergyModel, Fabric, FabricKind, ProvisionError};
+use crate::fabric::{
+    EnergyModel, Fabric, FabricKind, FabricSnapshot, ProvisionError, SnapshotError,
+};
 use crate::stream::{
     AdmitError, ProvisionMode, ReleaseMode, StreamDemand, StreamId, StreamPlane, StreamStats,
 };
@@ -117,7 +119,7 @@ pub enum PolicyAction {
 ///
 /// /// Promote every spilled stream, in id order (the controller still
 /// /// probes lane feasibility before acting).
-/// #[derive(Debug)]
+/// #[derive(Debug, Clone)]
 /// struct PromoteAll;
 ///
 /// impl AdmissionPolicy for PromoteAll {
@@ -129,11 +131,14 @@ pub enum PolicyAction {
 ///             .map(|s| PolicyAction::Promote(s.stats.id))
 ///             .collect()
 ///     }
+///     fn box_clone(&self) -> Box<dyn AdmissionPolicy> {
+///         Box::new(self.clone())
+///     }
 /// }
 ///
 /// assert_eq!(PromoteAll.name(), "promote-all");
 /// ```
-pub trait AdmissionPolicy: fmt::Debug {
+pub trait AdmissionPolicy: fmt::Debug + Send {
     /// Short policy name (benches print it).
     fn name(&self) -> &'static str;
 
@@ -141,6 +146,13 @@ pub trait AdmissionPolicy: fmt::Debug {
     /// Infeasible proposals are dropped by the controller, so a policy
     /// may freely rank every candidate.
     fn decide(&mut self, view: &PolicyView<'_>) -> Vec<PolicyAction>;
+
+    /// An owned copy of this policy, *including* any accumulated
+    /// measurement state (EWMA estimates, dwell counters). Controller
+    /// snapshots carry the policy through this, so a restored replay
+    /// makes bit-identical decisions; fleet specs use it to stamp out
+    /// one configured policy per tenant.
+    fn box_clone(&self) -> Box<dyn AdmissionPolicy>;
 }
 
 /// The naive baseline: whenever circuit lanes are free, promote the
@@ -157,6 +169,10 @@ impl AdmissionPolicy for FirstFit {
         view.spilled()
             .map(|s| PolicyAction::Promote(s.stats.id))
             .collect()
+    }
+
+    fn box_clone(&self) -> Box<dyn AdmissionPolicy> {
+        Box::new(*self)
     }
 }
 
@@ -186,6 +202,10 @@ impl AdmissionPolicy for ProfiledPromotion {
             .map(|s| PolicyAction::Promote(s.stats.id))
             .collect()
     }
+
+    fn box_clone(&self) -> Box<dyn AdmissionPolicy> {
+        Box::new(*self)
+    }
 }
 
 /// Load-based demotion: evict circuits whose *measured* delivered
@@ -193,6 +213,17 @@ impl AdmissionPolicy for ProfiledPromotion {
 /// for a full window — but only while spilled streams are waiting for
 /// lanes (eviction without pressure would only flap). Pair it with a
 /// promotion policy via [`LoadDemotion::then`] to complete the loop.
+///
+/// The raw single-window measurement is fragile under *bursty* traffic:
+/// a stream with a 75% duty cycle reads as dead every off-window, gets
+/// evicted, and is re-admitted straight back — an eviction flap. The
+/// hardened form ([`LoadDemotion::hardened`], or [`LoadDemotion::with_ewma`]
+/// / [`LoadDemotion::with_min_dwell`] individually) fixes both failure
+/// modes: an exponentially weighted moving average smooths the load
+/// estimate over several windows (so the off-phase of a burst no longer
+/// looks like abandonment), and a per-circuit minimum dwell time keeps
+/// freshly admitted circuits safe until enough windows of evidence have
+/// accumulated.
 #[derive(Debug)]
 pub struct LoadDemotion {
     /// The controller clock, to convert words/window into bandwidth.
@@ -202,18 +233,72 @@ pub struct LoadDemotion {
     /// Promotion policy run on the same view (demotions are pointless
     /// without someone to hand the lanes to).
     promote: Option<Box<dyn AdmissionPolicy>>,
+    /// EWMA smoothing factor α (`estimate = α·window + (1−α)·previous`);
+    /// `None` measures each window raw — the unhardened baseline.
+    ewma_alpha: Option<f64>,
+    /// Windows a circuit must have been observed before it is eligible
+    /// for eviction.
+    min_dwell: u32,
+    /// Per-circuit smoothed bandwidth estimate (Mbit/s), keyed by
+    /// session id. A re-admission gets a fresh session id and therefore
+    /// a fresh estimate.
+    ewma: HashMap<u32, f64>,
+    /// Per-circuit count of observed windows (dwell), keyed likewise.
+    dwell: HashMap<u32, u32>,
 }
 
 impl LoadDemotion {
+    /// [`LoadDemotion::hardened`]'s EWMA smoothing factor: ~3 windows of
+    /// memory, enough to ride out single off-windows of a bursty phase.
+    pub const DEFAULT_EWMA_ALPHA: f64 = 0.3;
+
+    /// [`LoadDemotion::hardened`]'s minimum dwell in policy windows.
+    pub const DEFAULT_MIN_DWELL: u32 = 4;
+
     /// Demote circuits measured below `floor` (a fraction in `0.0..1.0`)
-    /// of their declared demand at SoC clock `clock`.
+    /// of their declared demand at SoC clock `clock`. Raw per-window
+    /// measurement, no dwell protection — the baseline that flaps under
+    /// bursty load.
     pub fn new(clock: MegaHertz, floor: f64) -> LoadDemotion {
         assert!((0.0..=1.0).contains(&floor), "floor is a fraction");
         LoadDemotion {
             clock,
             floor,
             promote: None,
+            ewma_alpha: None,
+            min_dwell: 0,
+            ewma: HashMap::new(),
+            dwell: HashMap::new(),
         }
+    }
+
+    /// The fleet-hardened variant: [`LoadDemotion::new`] plus EWMA
+    /// smoothing ([`LoadDemotion::DEFAULT_EWMA_ALPHA`]) and a minimum
+    /// dwell ([`LoadDemotion::DEFAULT_MIN_DWELL`]).
+    pub fn hardened(clock: MegaHertz, floor: f64) -> LoadDemotion {
+        LoadDemotion::new(clock, floor)
+            .with_ewma(Self::DEFAULT_EWMA_ALPHA)
+            .with_min_dwell(Self::DEFAULT_MIN_DWELL)
+    }
+
+    /// Smooth the load estimate with an EWMA of factor `alpha` in
+    /// `(0.0, 1.0]` (1.0 degenerates to the raw window measurement).
+    ///
+    /// # Panics
+    /// Panics on an `alpha` outside `(0.0, 1.0]`.
+    pub fn with_ewma(mut self, alpha: f64) -> LoadDemotion {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "EWMA alpha is a weight in (0, 1]"
+        );
+        self.ewma_alpha = Some(alpha);
+        self
+    }
+
+    /// Protect circuits for their first `windows` policy windows.
+    pub fn with_min_dwell(mut self, windows: u32) -> LoadDemotion {
+        self.min_dwell = windows;
+        self
     }
 
     /// Also run `promote` each tick (its actions follow the demotions).
@@ -231,11 +316,41 @@ impl LoadDemotion {
 
 impl AdmissionPolicy for LoadDemotion {
     fn name(&self) -> &'static str {
-        "load-demotion"
+        if self.ewma_alpha.is_some() || self.min_dwell > 0 {
+            "load-demotion-hardened"
+        } else {
+            "load-demotion"
+        }
     }
 
     fn decide(&mut self, view: &PolicyView<'_>) -> Vec<PolicyAction> {
         let mut actions = Vec::new();
+        // Advance every circuit's estimator each window, pressure or
+        // not: a stream's measured history must not depend on whether
+        // anyone happened to be waiting for its lanes at the time.
+        let mut estimates: Vec<(StreamId, f64, u32)> = Vec::new();
+        for s in view.circuits() {
+            let id = s.stats.id;
+            let raw = self.measured(s, view.window).value();
+            let smoothed = match self.ewma_alpha {
+                Some(alpha) => {
+                    let e = self.ewma.entry(id.0).or_insert(raw);
+                    *e = alpha * raw + (1.0 - alpha) * *e;
+                    *e
+                }
+                None => raw,
+            };
+            let dwell = self.dwell.entry(id.0).or_insert(0);
+            *dwell = dwell.saturating_add(1);
+            estimates.push((id, smoothed, *dwell));
+        }
+        // Forget estimator state of sessions no longer on circuit lanes
+        // (demoted, promoted away or released): a later re-admission is
+        // a new session with a new id and starts fresh.
+        self.ewma
+            .retain(|id, _| estimates.iter().any(|(e, _, _)| e.0 == *id));
+        self.dwell
+            .retain(|id, _| estimates.iter().any(|(e, _, _)| e.0 == *id));
         // Demote only under *active* pressure: a spilled stream that
         // actually moved words this window wants the lanes. (A merely
         // existing spilled stream is not enough — evicting for an idle
@@ -245,8 +360,12 @@ impl AdmissionPolicy for LoadDemotion {
             .any(|s| s.window_injected > 0 || s.window_delivered > 0);
         if pressure {
             for s in view.circuits() {
-                let measured = self.measured(s, view.window);
-                if measured.value() < self.floor * s.demand.demand.value() {
+                let Some(&(_, estimate, dwell)) =
+                    estimates.iter().find(|(id, _, _)| *id == s.stats.id)
+                else {
+                    continue;
+                };
+                if dwell > self.min_dwell && estimate < self.floor * s.demand.demand.value() {
                     actions.push(PolicyAction::Demote(s.stats.id));
                 }
             }
@@ -255,6 +374,18 @@ impl AdmissionPolicy for LoadDemotion {
             actions.extend(promote.decide(view));
         }
         actions
+    }
+
+    fn box_clone(&self) -> Box<dyn AdmissionPolicy> {
+        Box::new(LoadDemotion {
+            clock: self.clock,
+            floor: self.floor,
+            promote: self.promote.as_ref().map(|p| p.box_clone()),
+            ewma_alpha: self.ewma_alpha,
+            min_dwell: self.min_dwell,
+            ewma: self.ewma.clone(),
+            dwell: self.dwell.clone(),
+        })
     }
 }
 
@@ -294,6 +425,32 @@ impl TickReport {
             && self.readmitted.is_empty()
             && self.lost.is_empty()
     }
+}
+
+/// Cumulative control-plane counters since the last provision: what the
+/// policy loop *did*, fabric-generically, without replaying
+/// [`TickReport`]s. The fleet SLO report aggregates these per tenant;
+/// `pointless_evictions` is the eviction-flap metric the hardened
+/// [`LoadDemotion`] is gated on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ControllerStats {
+    /// Policy ticks run (automatic and hand-driven).
+    pub ticks: u64,
+    /// Spilled sessions promoted onto circuit lanes.
+    pub promotions: u64,
+    /// Eviction drains started.
+    pub demotions: u64,
+    /// Demoted demands re-admitted after their drain completed.
+    pub readmissions: u64,
+    /// Demoted demands whose re-admission failed outright (stream gone).
+    pub lost: u64,
+    /// Demote actions the controller refused because the demand was in
+    /// its post-flap cooldown.
+    pub suppressed_evictions: u64,
+    /// Evictions that turned out pointless — the demoted demand's
+    /// re-admission landed straight back on circuit lanes because no
+    /// promotion wanted them. Each one is a demote/readmit flap.
+    pub pointless_evictions: u64,
 }
 
 /// The policy-driven control plane over any [`Fabric`] — and itself a
@@ -379,6 +536,8 @@ pub struct FabricController {
     /// eviction turned out pointless (its re-admission landed straight
     /// back on circuit lanes because no promotion claimed them).
     cooldown: HashMap<(usize, usize), u32>,
+    /// Cumulative action counters since the last provision.
+    stats: ControllerStats,
 }
 
 impl fmt::Debug for FabricController {
@@ -418,6 +577,7 @@ impl FabricController {
             reports: Vec::new(),
             pending_moves: Vec::new(),
             cooldown: HashMap::new(),
+            stats: ControllerStats::default(),
         }
     }
 
@@ -439,6 +599,15 @@ impl FabricController {
     /// The active policy's name.
     pub fn policy_name(&self) -> &'static str {
         self.policy.name()
+    }
+
+    /// Cumulative control-plane action counters since the last
+    /// provision: ticks run, promotions, demotions, re-admissions,
+    /// losses, and the two eviction-hygiene counters (suppressed and
+    /// pointless evictions). Cheap — a `Copy` of live counters, no
+    /// [`TickReport`] replay.
+    pub fn controller_stats(&self) -> ControllerStats {
+        self.stats
     }
 
     /// The declared demand the controller recorded for `stream` (live
@@ -499,6 +668,7 @@ impl FabricController {
     /// rigs. Returns what changed.
     pub fn tick(&mut self) -> TickReport {
         let mut report = TickReport::default();
+        self.stats.ticks += 1;
         self.cooldown.retain(|_, ticks| {
             *ticks -= 1;
             *ticks > 0
@@ -563,6 +733,7 @@ impl FabricController {
                         .iter()
                         .any(|s| s.id == new && s.plane == StreamPlane::Circuit)
                     {
+                        self.stats.pointless_evictions += 1;
                         self.cooldown
                             .insert((demand.src.0, demand.dst.0), Self::DEMOTION_COOLDOWN);
                     }
@@ -580,6 +751,7 @@ impl FabricController {
                 continue;
             };
             if self.cooldown.contains_key(&(demand.src.0, demand.dst.0)) {
+                self.stats.suppressed_evictions += 1;
                 continue; // recently evicted for nothing — hold off
             }
             let live = streams
@@ -607,6 +779,10 @@ impl FabricController {
             snapshot(&self.fabric.stream_stats())
         };
 
+        self.stats.promotions += report.promoted.len() as u64;
+        self.stats.demotions += report.demotion_started.len() as u64;
+        self.stats.readmissions += report.readmitted.len() as u64;
+        self.stats.lost += report.lost.len() as u64;
         if !report.is_empty() {
             self.reports.push(report.clone());
         }
@@ -621,6 +797,7 @@ impl FabricController {
         self.reports.clear();
         self.pending_moves.clear();
         self.cooldown.clear();
+        self.stats = ControllerStats::default();
         self.since_tick = 0;
         for ms in mapping.streams() {
             if served.contains(&ms.id) {
@@ -640,9 +817,68 @@ impl Clocked for FabricController {
     }
 }
 
+/// Backend label of [`FabricController`] in
+/// [`crate::fabric::FabricSnapshot`]s.
+pub(crate) const CONTROLLER_BACKEND: &str = "controlled";
+
+/// The boxed state of a controller snapshot: the inner fabric's own
+/// snapshot plus the whole control-plane bookkeeping — policy state
+/// included, so a restored replay repeats the same decisions.
+#[derive(Debug)]
+struct ControllerState {
+    fabric: FabricSnapshot,
+    policy: Box<dyn AdmissionPolicy>,
+    window: CycleCount,
+    since_tick: CycleCount,
+    demands: HashMap<u32, StreamDemand>,
+    last_counts: HashMap<u32, (u64, u64)>,
+    demoting: Vec<StreamId>,
+    reports: Vec<TickReport>,
+    pending_moves: Vec<(StreamId, Option<StreamId>)>,
+    cooldown: HashMap<(usize, usize), u32>,
+    stats: ControllerStats,
+}
+
 impl Fabric for FabricController {
     fn kind(&self) -> FabricKind {
         self.fabric.kind()
+    }
+
+    fn snapshot(&self) -> FabricSnapshot {
+        FabricSnapshot::new(
+            CONTROLLER_BACKEND,
+            ControllerState {
+                fabric: self.fabric.snapshot(),
+                policy: self.policy.box_clone(),
+                window: self.window,
+                since_tick: self.since_tick,
+                demands: self.demands.clone(),
+                last_counts: self.last_counts.clone(),
+                demoting: self.demoting.clone(),
+                reports: self.reports.clone(),
+                pending_moves: self.pending_moves.clone(),
+                cooldown: self.cooldown.clone(),
+                stats: self.stats,
+            },
+        )
+    }
+
+    fn restore(&mut self, snapshot: &FabricSnapshot) -> Result<(), SnapshotError> {
+        let state = snapshot.downcast::<ControllerState>(CONTROLLER_BACKEND)?;
+        // Restore the data plane first: if the inner backends mismatch,
+        // the whole controller is left untouched.
+        self.fabric.restore(&state.fabric)?;
+        self.policy = state.policy.box_clone();
+        self.window = state.window;
+        self.since_tick = state.since_tick;
+        self.demands = state.demands.clone();
+        self.last_counts = state.last_counts.clone();
+        self.demoting = state.demoting.clone();
+        self.reports = state.reports.clone();
+        self.pending_moves = state.pending_moves.clone();
+        self.cooldown = state.cooldown.clone();
+        self.stats = state.stats;
+        Ok(())
     }
 
     fn mesh(&self) -> &Mesh {
@@ -936,6 +1172,71 @@ mod tests {
         // Every readmission went straight back to circuit (pointless),
         // and nothing was ever lost.
         assert!(reports.iter().all(|t| t.lost.is_empty()));
+    }
+
+    #[test]
+    fn controller_stats_count_the_policy_loop() {
+        // The pointless-eviction scenario again, but observed through the
+        // fabric-generic counters instead of TickReport replay: ticks,
+        // demotions, readmissions, and both eviction-hygiene counters.
+        let policy = LoadDemotion::new(MegaHertz(25.0), 0.25);
+        let (mut ctl, ids, _) = controlled(Box::new(policy));
+        for _ in 0..40 {
+            ctl.inject_stream(ids[1], &[1, 2]);
+            ctl.run(64); // one window per iteration
+        }
+        let stats = ctl.controller_stats();
+        let reports = ctl.take_reports();
+        assert_eq!(stats.ticks, 40);
+        assert_eq!(
+            stats.demotions as usize,
+            reports
+                .iter()
+                .map(|t| t.demotion_started.len())
+                .sum::<usize>()
+        );
+        assert_eq!(
+            stats.readmissions as usize,
+            reports.iter().map(|t| t.readmitted.len()).sum::<usize>()
+        );
+        assert_eq!(stats.promotions, 0);
+        assert_eq!(stats.lost, 0);
+        assert!(
+            stats.pointless_evictions > 0,
+            "every re-admission lands back on circuit lanes here"
+        );
+        assert!(
+            stats.suppressed_evictions > 0,
+            "the cooldown must have refused repeat demote actions"
+        );
+    }
+
+    #[test]
+    fn hardened_load_demotion_rides_out_bursty_circuits() {
+        // The heavy circuit bursts 3 windows on, 1 window off, while the
+        // spilled stream keeps the demotion pressure alive. The raw
+        // per-window measurement would read the off-window as
+        // abandonment; EWMA smoothing plus the minimum dwell must keep
+        // the circuit owned throughout — zero demotions, zero flaps.
+        let policy = LoadDemotion::hardened(MegaHertz(25.0), 0.25);
+        let (mut ctl, ids, _) = controlled(Box::new(policy));
+        // ~demand-rate words for the heavy stream during on-windows:
+        // 2.9 lanes × 80 Mbit/s at 25 MHz × 16 bit ≈ 0.58 words/cycle.
+        let burst: Vec<u16> = (0..37).collect();
+        for w in 0..40 {
+            ctl.inject_stream(ids[1], &[1, 2]);
+            if w % 4 != 3 {
+                ctl.inject_stream(ids[0], &burst);
+            }
+            ctl.run(64); // one window per iteration
+        }
+        let stats = ctl.controller_stats();
+        assert_eq!(stats.ticks, 40);
+        assert_eq!(
+            stats.demotions, 0,
+            "hardened demotion must not flap a bursty circuit"
+        );
+        assert_eq!(stats.pointless_evictions, 0);
     }
 
     #[test]

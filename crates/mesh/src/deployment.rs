@@ -40,8 +40,10 @@
 //! here.
 
 use crate::ccn::{Ccn, Mapping, MappingError};
-use crate::controller::{AdmissionPolicy, FabricController};
-use crate::fabric::{EnergyModel, Fabric, FabricKind, PacketFabric, ProvisionError};
+use crate::controller::{AdmissionPolicy, FabricController, FirstFit};
+use crate::fabric::{
+    EnergyModel, Fabric, FabricKind, FabricSnapshot, PacketFabric, ProvisionError, SnapshotError,
+};
 use crate::hybrid::HybridFabric;
 use crate::soc::Soc;
 use crate::stream::{ProvisionMode, StreamId};
@@ -328,6 +330,50 @@ impl<'g> DeploymentBuilder<'g> {
         Ok(Deployment::assemble(fabric, mapping, &self))
     }
 
+    /// Deploy like [`DeploymentBuilder::build`], but always wrapped in a
+    /// concretely-typed [`FabricController`] — running the configured
+    /// [`DeploymentBuilder::policy`], or [`FirstFit`] when none was set.
+    /// This is the fleet engine's entry point: a
+    /// `Deployment<FabricController>` exposes
+    /// [`FabricController::controller_stats`] directly, so per-tenant SLO
+    /// reporting needs no downcasting through `Box<dyn Fabric>`.
+    pub fn build_controlled(mut self) -> Result<Deployment<FabricController>, DeployError> {
+        let policy = self.policy.take().unwrap_or_else(|| Box::new(FirstFit));
+        let window = self.tick_window;
+        let (fabric, mapping): (Box<dyn Fabric>, Mapping) = match self.kind {
+            FabricKind::Circuit => (
+                Box::new(Soc::new(self.mesh, self.router_params)),
+                self.map()?,
+            ),
+            FabricKind::Hybrid => {
+                self.check_packet_mesh()?;
+                (
+                    Box::new(HybridFabric::new(
+                        self.mesh,
+                        self.router_params,
+                        self.packet_params,
+                        self.packet_words,
+                    )),
+                    self.map_admission(true)?,
+                )
+            }
+            FabricKind::Packet => {
+                self.check_packet_mesh()?;
+                (
+                    Box::new(PacketFabric::new(
+                        self.mesh,
+                        self.packet_params,
+                        self.packet_words,
+                    )),
+                    self.map()?,
+                )
+            }
+        };
+        let mut controller = FabricController::new(fabric, policy).with_window(window);
+        controller.provision_with(&mapping, self.provisioning)?;
+        Ok(Deployment::assemble(controller, mapping, &self))
+    }
+
     /// Deploy onto the circuit-switched mesh.
     pub fn build_circuit(self) -> Result<Deployment<Soc>, DeployError> {
         let mapping = self.map()?;
@@ -368,7 +414,7 @@ impl<'g> DeploymentBuilder<'g> {
 
 /// One stream's offered-load traffic generator — a provisioned circuit or
 /// a spilled best-effort demand, addressed by its session handle.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct RouteTraffic {
     /// The fabric session this traffic drives.
     stream_id: StreamId,
@@ -378,6 +424,11 @@ struct RouteTraffic {
     dst: NodeId,
     /// Offered payload words per cycle.
     rate: f64,
+    /// Workload phase multiplier on `rate` (1.0 = the declared demand).
+    /// Fleet workload generators modulate this over time
+    /// ([`Deployment::set_load_scale`]) — bursty on/off phases, diurnal
+    /// ramps, hotspot flips.
+    scale: f64,
     acc: f64,
     stream: WordStream,
     injected: u64,
@@ -419,6 +470,36 @@ pub struct FabricRouteReport {
     pub delivered_fraction: f64,
     /// Carried on the best-effort spillover plane rather than a circuit.
     pub spilled: bool,
+}
+
+/// A checkpoint of a whole [`Deployment`]: the fabric's
+/// [`FabricSnapshot`] plus the offered-load generators (word-stream
+/// positions, accumulators, phase scales, pause flags) and the delivery
+/// ledgers. Produced by [`Deployment::snapshot`]; consumed by
+/// [`Deployment::restore`]. The CCN mapping is *not* captured — a
+/// snapshot restores into a deployment built from the same spec, which
+/// already owns an identical mapping.
+#[derive(Debug)]
+pub struct DeploymentSnapshot {
+    fabric: FabricSnapshot,
+    traffic: Vec<RouteTraffic>,
+    delivered_at: Vec<u64>,
+    payload_at: Vec<Vec<u16>>,
+    keep_payload: bool,
+    cycles_run: CycleCount,
+    offered_cycles: CycleCount,
+}
+
+impl DeploymentSnapshot {
+    /// The backend label of the captured fabric state.
+    pub fn backend(&self) -> &'static str {
+        self.fabric.backend()
+    }
+
+    /// Cycles of traffic the captured deployment had simulated.
+    pub fn cycles_run(&self) -> CycleCount {
+        self.cycles_run
+    }
 }
 
 /// A deployed application: fabric, mapping, and offered-load bindings —
@@ -479,6 +560,7 @@ impl<F: Fabric> Deployment<F> {
                 dst: ms.dst,
                 // Mbit/s over (MHz × 16 bit/word) = words/cycle.
                 rate: ms.demand.value() / (b.clock.value() * 16.0),
+                scale: 1.0,
                 acc: 0.0,
                 stream: WordStream::new(b.pattern, b.seed ^ ((idx as u64) << 32)),
                 injected: 0,
@@ -573,6 +655,56 @@ impl<F: Fabric> Deployment<F> {
         EnergyModel::calibrated(self.clock)
     }
 
+    /// Number of offered-load traffic generators (one per stream this
+    /// backend serves).
+    pub fn traffic_streams(&self) -> usize {
+        self.traffic.len()
+    }
+
+    /// Scale generator `index`'s offered load: `scale` multiplies the
+    /// declared per-cycle rate (1.0 = the demand as mapped, 0.0 = an
+    /// off-phase). This is the knob fleet workload profiles turn between
+    /// batches — the generator's word stream and delivery accounting are
+    /// untouched, so phase changes never disturb payload determinism.
+    ///
+    /// # Panics
+    /// Panics when `index` is out of range or `scale` is negative/NaN.
+    pub fn set_load_scale(&mut self, index: usize, scale: f64) {
+        assert!(scale >= 0.0, "offered-load scale must be non-negative");
+        self.traffic[index].scale = scale;
+    }
+
+    /// Checkpoint the whole deployment — the fabric (via
+    /// [`Fabric::snapshot`]) plus every traffic generator's position and
+    /// the delivery ledgers. Restoring into a deployment built from the
+    /// same spec and continuing is bit-identical to never pausing.
+    pub fn snapshot(&self) -> DeploymentSnapshot {
+        DeploymentSnapshot {
+            fabric: self.fabric.snapshot(),
+            traffic: self.traffic.clone(),
+            delivered_at: self.delivered_at.clone(),
+            payload_at: self.payload_at.clone(),
+            keep_payload: self.keep_payload,
+            cycles_run: self.cycles_run,
+            offered_cycles: self.offered_cycles,
+        }
+    }
+
+    /// Replace this deployment's state with `snapshot`'s. The target must
+    /// use the same fabric backend (normally: it was built from the same
+    /// spec as the snapshotted deployment); on a backend mismatch the
+    /// deployment is left untouched.
+    pub fn restore(&mut self, snapshot: &DeploymentSnapshot) -> Result<(), SnapshotError> {
+        self.fabric.restore(&snapshot.fabric)?;
+        self.traffic = snapshot.traffic.clone();
+        self.delivered_at = snapshot.delivered_at.clone();
+        self.payload_at = snapshot.payload_at.clone();
+        self.keep_payload = snapshot.keep_payload;
+        self.cycles_run = snapshot.cycles_run;
+        self.offered_cycles = snapshot.offered_cycles;
+        Ok(())
+    }
+
     fn collect(&mut self) {
         // Stream-exact collection: each session is drained by handle, so
         // shared destinations attribute every word to the stream that
@@ -622,7 +754,7 @@ impl<F: Fabric> Deployment<F> {
                 if t.stopped || t.paused {
                     continue;
                 }
-                t.acc += t.rate;
+                t.acc += t.rate * t.scale;
                 while t.acc + 1e-9 >= 1.0 {
                     t.acc -= 1.0;
                     let word = t.stream.next_word();

@@ -44,6 +44,7 @@ use noc_sim::par::{par_commit, par_eval, ParPolicy};
 use noc_sim::stats::LatencyHistogram;
 use noc_sim::time::{Cycle, CycleCount};
 use noc_sim::units::{FemtoJoules, MegaHertz, SquareMicroMeters};
+use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
@@ -161,6 +162,85 @@ impl EnergyModel {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Snapshots: checkpoint/restore of full fabric state
+// ---------------------------------------------------------------------------
+
+/// An opaque, owned checkpoint of one fabric's complete state.
+///
+/// Snapshots exist so a running fabric can be checkpointed, replayed
+/// deterministically, or warm-migrated into a fresh same-backend instance
+/// (the fleet engine's tenant migration path). The representation is a
+/// deep copy of the backend's own state — router registers, stream
+/// tables, in-flight payload, telemetry, activity ledgers, everything —
+/// boxed behind [`Any`] so `Box<dyn Fabric>` can snapshot without the
+/// trait knowing concrete types. The contract, enforced by the
+/// conformance suite: `snapshot` → [`Fabric::restore`] → `step` is
+/// bit-identical to uninterrupted stepping, on every backend and under
+/// every [`ParPolicy`].
+///
+/// A snapshot only restores into the backend that took it;
+/// [`Fabric::restore`] on any other backend reports
+/// [`SnapshotError::BackendMismatch`] and leaves the target untouched.
+#[derive(Debug)]
+pub struct FabricSnapshot {
+    backend: &'static str,
+    state: Box<dyn Any + Send>,
+}
+
+impl FabricSnapshot {
+    /// Wrap a backend's cloned state. `backend` names the concrete type
+    /// and is what [`Fabric::restore`] matches on before downcasting.
+    pub fn new<S: Any + Send>(backend: &'static str, state: S) -> FabricSnapshot {
+        FabricSnapshot {
+            backend,
+            state: Box::new(state),
+        }
+    }
+
+    /// The concrete backend this snapshot was taken from.
+    pub fn backend(&self) -> &'static str {
+        self.backend
+    }
+
+    /// Downcast to the expected backend state, or a
+    /// [`SnapshotError::BackendMismatch`] naming both sides.
+    pub fn downcast<S: Any>(&self, expected: &'static str) -> Result<&S, SnapshotError> {
+        self.state
+            .downcast_ref::<S>()
+            .ok_or(SnapshotError::BackendMismatch {
+                expected,
+                found: self.backend,
+            })
+    }
+}
+
+/// Why restoring a [`FabricSnapshot`] failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The snapshot was taken from a different backend than the one
+    /// asked to restore it. The target fabric is left untouched.
+    BackendMismatch {
+        /// Backend of the fabric that refused the restore.
+        expected: &'static str,
+        /// Backend the snapshot was actually taken from.
+        found: &'static str,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BackendMismatch { expected, found } => write!(
+                f,
+                "snapshot of backend `{found}` cannot restore into backend `{expected}`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
 /// A whole network-on-chip usable as an application substrate.
 ///
 /// The contract layers over [`Clocked`]: `step` advances one full SoC
@@ -249,9 +329,22 @@ impl EnergyModel {
 /// let model = EnergyModel::calibrated(MegaHertz(100.0));
 /// assert!(fabric.total_energy(&model).value() > 0.0);
 /// ```
-pub trait Fabric: Clocked {
+pub trait Fabric: Clocked + Send {
     /// Which switching discipline this is.
     fn kind(&self) -> FabricKind;
+
+    /// Checkpoint the complete fabric state — router registers, stream
+    /// tables, in-flight payload, telemetry and activity ledgers — as an
+    /// owned [`FabricSnapshot`]. Restoring it (into this instance or a
+    /// fresh same-backend one) and continuing to [`Fabric::step`] is
+    /// bit-identical to never having checkpointed; the conformance suite
+    /// holds every backend to that.
+    fn snapshot(&self) -> FabricSnapshot;
+
+    /// Replace this fabric's entire state with `snapshot`'s. Fails with
+    /// [`SnapshotError::BackendMismatch`] — leaving `self` untouched —
+    /// when the snapshot came from a different backend.
+    fn restore(&mut self, snapshot: &FabricSnapshot) -> Result<(), SnapshotError>;
 
     /// The mesh topology.
     fn mesh(&self) -> &Mesh;
@@ -490,9 +583,22 @@ pub trait Fabric: Clocked {
 // Circuit-switched fabric: the existing Soc
 // ---------------------------------------------------------------------------
 
+/// Backend label of the circuit-switched [`crate::soc::Soc`] in
+/// [`FabricSnapshot`]s.
+pub(crate) const SOC_BACKEND: &str = "circuit-soc";
+
 impl Fabric for crate::soc::Soc {
     fn kind(&self) -> FabricKind {
         FabricKind::Circuit
+    }
+
+    fn snapshot(&self) -> FabricSnapshot {
+        FabricSnapshot::new(SOC_BACKEND, self.clone())
+    }
+
+    fn restore(&mut self, snapshot: &FabricSnapshot) -> Result<(), SnapshotError> {
+        *self = snapshot.downcast::<crate::soc::Soc>(SOC_BACKEND)?.clone();
+        Ok(())
     }
 
     fn mesh(&self) -> &Mesh {
@@ -623,7 +729,7 @@ struct PacketStream {
 /// [`noc_packet::flit::Flit::head_tagged`] carries the stream tag there —
 /// so the receiving tile interface attributes every delivered word (and
 /// its latency) to its stream without any side channel.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PacketFabric {
     mesh: Mesh,
     params: PacketParams,
@@ -899,9 +1005,21 @@ impl Clocked for PacketFabric {
     }
 }
 
+/// Backend label of [`PacketFabric`] in [`FabricSnapshot`]s.
+pub(crate) const PACKET_BACKEND: &str = "packet-mesh";
+
 impl Fabric for PacketFabric {
     fn kind(&self) -> FabricKind {
         FabricKind::Packet
+    }
+
+    fn snapshot(&self) -> FabricSnapshot {
+        FabricSnapshot::new(PACKET_BACKEND, self.clone())
+    }
+
+    fn restore(&mut self, snapshot: &FabricSnapshot) -> Result<(), SnapshotError> {
+        *self = snapshot.downcast::<PacketFabric>(PACKET_BACKEND)?.clone();
+        Ok(())
     }
 
     fn mesh(&self) -> &Mesh {
@@ -1116,6 +1234,14 @@ impl Clocked for Box<dyn Fabric> {
 impl Fabric for Box<dyn Fabric> {
     fn kind(&self) -> FabricKind {
         (**self).kind()
+    }
+
+    fn snapshot(&self) -> FabricSnapshot {
+        (**self).snapshot()
+    }
+
+    fn restore(&mut self, snapshot: &FabricSnapshot) -> Result<(), SnapshotError> {
+        (**self).restore(snapshot)
     }
 
     fn mesh(&self) -> &Mesh {
@@ -1452,6 +1578,56 @@ mod tests {
                 assert!(Fabric::can_admit_circuit(&soc, &demand));
             }
         }
+    }
+
+    #[test]
+    fn snapshot_restores_into_a_fresh_fabric_bit_identically() {
+        let mesh = Mesh::new(2, 2);
+        let mapping = mapped(mesh);
+        let words: Vec<u16> = (0..48).map(|i| 0x4000 + i).collect();
+
+        let mut live = Soc::new(mesh, RouterParams::paper());
+        let ids = Fabric::provision(&mut live, &mapping).unwrap();
+        Fabric::inject_stream(&mut live, ids[0], &words);
+        Fabric::run(&mut live, 7); // checkpoint mid-flight
+        let snap = Fabric::snapshot(&live);
+
+        let mut resumed = Soc::new(mesh, RouterParams::paper());
+        Fabric::restore(&mut resumed, &snap).unwrap();
+        Fabric::run(&mut live, 500);
+        Fabric::run(&mut resumed, 500);
+        assert_eq!(
+            Fabric::drain_stream(&mut live, ids[0]),
+            Fabric::drain_stream(&mut resumed, ids[0]),
+            "restored resume must deliver the identical tail"
+        );
+        let model = EnergyModel::calibrated(MegaHertz(100.0));
+        assert_eq!(
+            live.total_energy(&model).value().to_bits(),
+            resumed.total_energy(&model).value().to_bits(),
+            "activity ledgers are part of the snapshot"
+        );
+    }
+
+    #[test]
+    fn snapshot_refuses_a_foreign_backend() {
+        let mesh = Mesh::new(2, 2);
+        let pf = PacketFabric::new(
+            mesh,
+            PacketParams::paper(),
+            PacketFabric::DEFAULT_PACKET_WORDS,
+        );
+        let snap = Fabric::snapshot(&pf);
+        let mut soc = Soc::new(mesh, RouterParams::paper());
+        let err = Fabric::restore(&mut soc, &snap).unwrap_err();
+        assert_eq!(
+            err,
+            SnapshotError::BackendMismatch {
+                expected: SOC_BACKEND,
+                found: PACKET_BACKEND,
+            }
+        );
+        assert_eq!(soc.now().0, 0, "a refused restore leaves the target alone");
     }
 
     #[test]

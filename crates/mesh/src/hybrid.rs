@@ -43,7 +43,9 @@
 //!   can show the hybrid's energy landing between the pure endpoints.
 
 use crate::ccn::Mapping;
-use crate::fabric::{EnergyModel, Fabric, FabricKind, PacketFabric, ProvisionError};
+use crate::fabric::{
+    EnergyModel, Fabric, FabricKind, FabricSnapshot, PacketFabric, ProvisionError, SnapshotError,
+};
 use crate::soc::Soc;
 use crate::stream::{
     AdmitError, ProvisionMode, ReleaseMode, StreamDemand, StreamId, StreamPlane, StreamStats,
@@ -127,7 +129,7 @@ struct HybridStream {
 /// A hybrid-switched network-on-chip: an owned circuit-switched [`Soc`]
 /// and a clock-gated [`PacketFabric`] over the same mesh, provisioned
 /// together from one spill-admitted [`Mapping`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct HybridFabric {
     circuit: Soc,
     packet: PacketFabric,
@@ -324,9 +326,22 @@ impl Clocked for HybridFabric {
     }
 }
 
+/// Backend label of [`HybridFabric`] in
+/// [`crate::fabric::FabricSnapshot`]s.
+pub(crate) const HYBRID_BACKEND: &str = "hybrid-mesh";
+
 impl Fabric for HybridFabric {
     fn kind(&self) -> FabricKind {
         FabricKind::Hybrid
+    }
+
+    fn snapshot(&self) -> FabricSnapshot {
+        FabricSnapshot::new(HYBRID_BACKEND, self.clone())
+    }
+
+    fn restore(&mut self, snapshot: &FabricSnapshot) -> Result<(), SnapshotError> {
+        *self = snapshot.downcast::<HybridFabric>(HYBRID_BACKEND)?.clone();
+        Ok(())
     }
 
     fn mesh(&self) -> &Mesh {

@@ -74,11 +74,15 @@ pub mod topology;
 pub use be::{BeConfig, BeNetwork};
 pub use ccn::{Ccn, MappedStream, Mapping, MappingError, PathHop, SpillReason, SpillStream};
 pub use controller::{
-    AdmissionPolicy, FabricController, FirstFit, LoadDemotion, PolicyAction, PolicyStream,
-    PolicyView, ProfiledPromotion, Promotion, TickReport,
+    AdmissionPolicy, ControllerStats, FabricController, FirstFit, LoadDemotion, PolicyAction,
+    PolicyStream, PolicyView, ProfiledPromotion, Promotion, TickReport,
 };
-pub use deployment::{DeployError, Deployment, DeploymentBuilder, FabricRouteReport};
-pub use fabric::{EnergyModel, Fabric, FabricKind, PacketFabric, ProvisionError};
+pub use deployment::{
+    DeployError, Deployment, DeploymentBuilder, DeploymentSnapshot, FabricRouteReport,
+};
+pub use fabric::{
+    EnergyModel, Fabric, FabricKind, FabricSnapshot, PacketFabric, ProvisionError, SnapshotError,
+};
 pub use hybrid::{HybridFabric, SpillStats};
 pub use packet_mesh::{PacketMesh, RandomTraffic};
 pub use soc::Soc;

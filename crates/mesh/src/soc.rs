@@ -85,7 +85,7 @@ struct SocStream {
 /// The provisioned stream table behind the [`crate::fabric`] API: every
 /// circuit session with its lanes, queues and telemetry, plus the
 /// per-node source index the per-cycle TX pump walks.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct StreamPlan {
     streams: Vec<SocStream>,
     /// StreamId -> index into `streams`.
@@ -175,7 +175,7 @@ impl StreamPlan {
 }
 
 /// A mesh SoC of circuit-switched routers with one tile per router.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Soc {
     mesh: Mesh,
     params: RouterParams,

@@ -110,6 +110,10 @@ pub mod apprun;
 pub mod prelude;
 
 pub use apprun::{AppRun, RouteReport};
-pub use noc_mesh::deployment::{DeployError, Deployment, DeploymentBuilder, FabricRouteReport};
-pub use noc_mesh::fabric::{EnergyModel, Fabric, FabricKind, PacketFabric, ProvisionError};
+pub use noc_mesh::deployment::{
+    DeployError, Deployment, DeploymentBuilder, DeploymentSnapshot, FabricRouteReport,
+};
+pub use noc_mesh::fabric::{
+    EnergyModel, Fabric, FabricKind, FabricSnapshot, PacketFabric, ProvisionError, SnapshotError,
+};
 pub use noc_mesh::stream::{AdmitError, StreamDemand, StreamId, StreamPlane, StreamStats};

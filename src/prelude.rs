@@ -18,11 +18,15 @@ pub use noc_exp::fig9::{fig9, RouterKind};
 pub use noc_mesh::be::{BeConfig, BeNetwork};
 pub use noc_mesh::ccn::{Ccn, Mapping, MappingError, SpillReason, SpillStream};
 pub use noc_mesh::controller::{
-    AdmissionPolicy, FabricController, FirstFit, LoadDemotion, PolicyAction, PolicyStream,
-    PolicyView, ProfiledPromotion, Promotion, TickReport,
+    AdmissionPolicy, ControllerStats, FabricController, FirstFit, LoadDemotion, PolicyAction,
+    PolicyStream, PolicyView, ProfiledPromotion, Promotion, TickReport,
 };
-pub use noc_mesh::deployment::{DeployError, Deployment, DeploymentBuilder, FabricRouteReport};
-pub use noc_mesh::fabric::{EnergyModel, Fabric, FabricKind, PacketFabric, ProvisionError};
+pub use noc_mesh::deployment::{
+    DeployError, Deployment, DeploymentBuilder, DeploymentSnapshot, FabricRouteReport,
+};
+pub use noc_mesh::fabric::{
+    EnergyModel, Fabric, FabricKind, FabricSnapshot, PacketFabric, ProvisionError, SnapshotError,
+};
 pub use noc_mesh::hybrid::{HybridFabric, SpillStats};
 pub use noc_mesh::reconfig;
 pub use noc_mesh::soc::Soc;

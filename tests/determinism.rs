@@ -294,3 +294,63 @@ fn mapping_is_deterministic() {
     let b = ccn.map(&graph, &kinds).unwrap();
     assert_eq!(a, b);
 }
+
+/// A fleet restored from a mid-run snapshot must reproduce the original
+/// run's aggregate SLO report bit-for-bit — checkpoints are invisible in
+/// results, across mixed backends, phase-shifting workloads and the
+/// fleet-level worker-pool fan-out.
+#[test]
+fn restored_fleet_replay_reproduces_the_slo_report() {
+    use noc_apps::workload::PhaseProfile;
+    use noc_exp::fleet::{Fleet, TenantSpec};
+
+    let specs: Vec<TenantSpec> = (0..6)
+        .map(|i| {
+            TenantSpec::new(
+                format!("det-{i}"),
+                noc_apps::synthetic::streaming_pipeline(2 + i % 2, Bandwidth(50.0)),
+            )
+            .mesh(3, 3)
+            .seed(0xD1CE ^ i as u64)
+            .fabric(FabricKind::ALL[i % FabricKind::ALL.len()])
+            .workload(match i % 3 {
+                0 => PhaseProfile::Steady,
+                1 => PhaseProfile::BurstyOnOff {
+                    period: 256,
+                    on: 192,
+                },
+                _ => PhaseProfile::HotspotFlip {
+                    period: 128,
+                    background: 0.25,
+                },
+            })
+        })
+        .collect();
+    let build = || {
+        let mut fleet = Fleet::new(64);
+        for spec in &specs {
+            fleet.admit(spec).expect("feasible tenants admit");
+        }
+        fleet
+    };
+
+    // The uninterrupted run, checkpointed halfway through.
+    let mut original = build();
+    original.run_batches(4);
+    let checkpoint = original.snapshot();
+    original.run_batches(4);
+    assert!(original.retire_all(200), "the fleet settles to quiescence");
+    let report = original.slo_report();
+    assert!(report.loss_free(), "zero payload loss: {report:?}");
+
+    // A fresh fleet from the same specs, resumed from the checkpoint.
+    let mut replay = build();
+    replay.restore(&checkpoint).expect("same census restores");
+    replay.run_batches(4);
+    assert!(replay.retire_all(200));
+    assert_eq!(
+        replay.slo_report(),
+        report,
+        "the restored replay's SLO report diverged"
+    );
+}

@@ -31,7 +31,12 @@
 //!    ProvisionMode::BeDelivered)` charges the §5.1 configuration
 //!    delivery to each circuit stream's `reconfig_cycles` and to the
 //!    measured latency of words injected before readiness (backends with
-//!    no router configuration — the pure packet fabric — charge zero).
+//!    no router configuration — the pure packet fabric — charge zero);
+//! 9. **Snapshot/restore** — a mid-run `snapshot()` restored into a
+//!    fresh fabric of the same backend and stepped to settlement is
+//!    bit-identical to the uninterrupted original: same delivered tail,
+//!    same telemetry, same energy bits. Checkpointing must be invisible
+//!    in results, exactly like pooled stepping.
 //!
 //! The suite is instantiated for all three backends — the circuit-switched
 //! `Soc`, the `PacketFabric` baseline, and the `HybridFabric` — plus a
@@ -114,6 +119,8 @@ struct LifecycleFingerprint {
     drain_stats: StreamStats,
     cold_delivered: Vec<u16>,
     cold_stats: StreamStats,
+    restored_tail: Vec<u16>,
+    restored_stats: StreamStats,
 }
 
 /// The conformance suite. `mk` builds a fresh fabric over
@@ -379,11 +386,57 @@ fn conformance_under<F: Fabric>(mk: impl Fn() -> F, policy: ParPolicy) -> Lifecy
         );
     }
 
+    // 9. Snapshot/restore: checkpoint mid-run with the backlog partly in
+    // flight, continue the original to settlement, then restore the
+    // checkpoint into a *fresh* fabric and settle that — delivered tail,
+    // telemetry and energy bits must match the uninterrupted run exactly.
+    let mut original = mk();
+    let ids = original.provision(&mapping).unwrap();
+    let id = ids[0];
+    original.inject_stream(id, &words);
+    original.run(40); // some words delivered, some on the wire, some queued
+    let checkpoint = original.snapshot();
+    let live_tail = settle_stream(&mut original, id);
+    let live_stats = stats_of(&original, id);
+    let live_energy = original.total_energy(&model).value().to_bits();
+    assert!(
+        !live_tail.is_empty(),
+        "{}: premise — the checkpoint must leave work in flight",
+        original.kind()
+    );
+
+    let mut restored = mk();
+    restored
+        .restore(&checkpoint)
+        .expect("a same-backend fabric accepts the snapshot");
+    let restored_tail = settle_stream(&mut restored, id);
+    assert_eq!(
+        restored_tail,
+        live_tail,
+        "{}: the restored replay's tail diverged",
+        restored.kind()
+    );
+    let restored_stats = stats_of(&restored, id);
+    assert_eq!(
+        restored_stats,
+        live_stats,
+        "{}: restored telemetry diverged",
+        restored.kind()
+    );
+    assert_eq!(
+        restored.total_energy(&model).value().to_bits(),
+        live_energy,
+        "{}: restored energy diverged",
+        restored.kind()
+    );
+
     LifecycleFingerprint {
         drain_delivered,
         drain_stats,
         cold_delivered,
         cold_stats,
+        restored_tail,
+        restored_stats,
     }
 }
 
