@@ -27,10 +27,10 @@ fn run_with_window(wc: u16) -> u64 {
     soc.router_mut(b)
         .connect(Port::West, 0, Port::Tile, 0)
         .unwrap();
-    soc.tile_mut(a)
-        .bind_source(0, DataPattern::Random, 1, 1.0, 5);
+    soc.tiles_mut()
+        .bind_source(a.0, 0, DataPattern::Random, 1, 1.0, 5);
     soc.run(CYCLES);
-    soc.tile(b).rx(0).received
+    soc.tiles().rx(b.0, 0).received
 }
 
 fn bench_flow_control(c: &mut Criterion) {

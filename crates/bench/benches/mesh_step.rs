@@ -28,8 +28,8 @@ fn build_soc(side: usize) -> Soc {
         soc.router_mut(b)
             .connect(Port::West, 0, Port::Tile, 0)
             .unwrap();
-        soc.tile_mut(a)
-            .bind_source(0, DataPattern::Random, y as u64 + 1, 1.0, 5);
+        soc.tiles_mut()
+            .bind_source(a.0, 0, DataPattern::Random, y as u64 + 1, 1.0, 5);
     }
     soc
 }

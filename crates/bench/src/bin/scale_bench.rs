@@ -32,6 +32,18 @@
 //! `BENCH_scale.json` (hand-rolled [`noc_exp::json`] — the vendored serde
 //! is a no-op): one row per mesh × fabric with the raw throughput
 //! numbers, so CI can validate the artefact and reviews can diff it.
+//!
+//! **Perf trajectory:** before overwriting the artefact, the checked-in
+//! `BENCH_scale.json` is parsed back ([`Json::parse`]) and every fresh
+//! sequential-throughput number is diffed against its baseline row. Each
+//! row records `seq_vs_baseline` (fresh ÷ baseline), and any row slower
+//! than [`REGRESSION_FLOOR`] of its baseline prints a `regression:`
+//! warning and increments the artefact's `seq_regressions` counter — CI's
+//! bench-trajectory step fails on a nonzero count. Only the *sequential*
+//! rate gates: pooled throughput on a shared (often single-core) runner
+//! measures dispatch contention, not the simulator, so pooled and auto
+//! diffs are informational. Timing noise makes this a trajectory tripwire,
+//! not a precision benchmark — hence the generous 20% floor.
 
 use noc_apps::synthetic::streaming_pipeline;
 use noc_apps::taskgraph::TaskGraph;
@@ -45,6 +57,44 @@ use noc_sim::par::{ParPolicy, WorkerPool};
 use noc_sim::time::CycleCount;
 use noc_sim::units::{Bandwidth, MegaHertz};
 use std::time::Instant;
+
+/// A fresh sequential rate below this fraction of its checked-in baseline
+/// counts as a regression (matches the CI bench-trajectory gate).
+const REGRESSION_FLOOR: f64 = 0.8;
+
+/// The checked-in baseline's per-row sequential throughput, keyed by the
+/// row's `(mesh, fabric)` labels. Missing file, unparsable file, or
+/// missing row all degrade to "no baseline" — a fresh clone must not fail
+/// its first run.
+struct Baseline {
+    rows: Vec<(String, String, f64)>,
+}
+
+impl Baseline {
+    fn load(path: &str) -> Option<Baseline> {
+        let doc = Json::parse(&std::fs::read_to_string(path).ok()?).ok()?;
+        let rows = doc
+            .get("rows")?
+            .as_array()?
+            .iter()
+            .filter_map(|row| {
+                Some((
+                    row.get("mesh")?.as_str()?.to_string(),
+                    row.get("fabric")?.as_str()?.to_string(),
+                    row.get("seq_cycles_per_sec")?.as_f64()?,
+                ))
+            })
+            .collect();
+        Some(Baseline { rows })
+    }
+
+    fn seq_for(&self, mesh: &str, fabric: &str) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|(m, f, _)| m == mesh && f == fabric)
+            .map(|&(_, _, seq)| seq)
+    }
+}
 
 /// Everything a run must reproduce bit-identically across policies.
 #[derive(PartialEq)]
@@ -144,10 +194,34 @@ fn main() {
         println!("note: single CPU — pooled runs measure dispatch overhead, not speedup.\n");
     }
 
+    let out = "BENCH_scale.json";
+    let baseline = Baseline::load(out);
+    if baseline.is_none() {
+        println!("note: no parsable {out} baseline — skipping the regression diff.\n");
+    }
+
     let mut rows = Vec::new();
     let mut json_rows: Vec<Json> = Vec::new();
     let mut failures = 0;
+    let mut seq_regressions = 0u64;
     let mut packet_16_speedup = None;
+    // Fresh-vs-baseline sequential ratio for one row; warns and counts
+    // when the fresh rate falls below the floor.
+    let mut diff_baseline = |mesh: &str, fabric: &str, seq_cps: f64| -> Option<f64> {
+        let base = baseline.as_ref()?.seq_for(mesh, fabric)?;
+        if base <= 0.0 {
+            return None;
+        }
+        let ratio = seq_cps / base;
+        if ratio < REGRESSION_FLOOR {
+            println!(
+                "regression: {mesh} {fabric} sequential {seq_cps:.1} cyc/s is \
+                 {ratio:.2}x the checked-in baseline {base:.1}"
+            );
+            seq_regressions += 1;
+        }
+        Some(ratio)
+    };
     for &side in sides {
         let graph = streaming_pipeline(side, Bandwidth(60.0));
         for kind in FabricKind::ALL {
@@ -176,6 +250,11 @@ fn main() {
             if side == 16 && kind == FabricKind::Packet {
                 packet_16_speedup = Some(speedup);
             }
+            let vs_baseline = diff_baseline(
+                &format!("{side}x{side}"),
+                &kind.to_string(),
+                seq.cycles_per_sec,
+            );
             json_rows.push(
                 Json::obj()
                     .with("mesh", format!("{side}x{side}"))
@@ -186,6 +265,7 @@ fn main() {
                     .with("pooled_cycles_per_sec", pooled.cycles_per_sec)
                     .with("auto_cycles_per_sec", auto.cycles_per_sec)
                     .with("pooled_speedup", speedup)
+                    .with("seq_vs_baseline", vs_baseline)
                     .with("parity", parity),
             );
             rows.push(vec![
@@ -255,6 +335,11 @@ fn main() {
             );
             failures += 1;
         }
+        let vs_baseline = diff_baseline(
+            &format!("{side}x{side} ctl"),
+            "hybrid+BeDelivered",
+            seq.cycles_per_sec,
+        );
         json_rows.push(
             Json::obj()
                 .with("mesh", format!("{side}x{side} ctl"))
@@ -265,6 +350,7 @@ fn main() {
                 .with("pooled_cycles_per_sec", pooled.cycles_per_sec)
                 .with("auto_cycles_per_sec", auto.cycles_per_sec)
                 .with("pooled_speedup", pooled.cycles_per_sec / seq.cycles_per_sec)
+                .with("seq_vs_baseline", vs_baseline)
                 .with("parity", parity),
         );
         rows.push(vec![
@@ -310,6 +396,14 @@ fn main() {
          persistent WorkerPool only buys wall-clock time. Divergence or an\n\
          empty delivery exits non-zero so CI cannot rot.)"
     );
+    if seq_regressions > 0 {
+        println!(
+            "\nwarning: {seq_regressions} row(s) regressed below {REGRESSION_FLOOR}x the \
+             checked-in baseline (see `regression:` lines above)."
+        );
+    } else if baseline.is_some() {
+        println!("\nNo sequential-throughput regressions against the checked-in baseline.");
+    }
 
     let artefact = Json::obj()
         .with("bench", "scale_bench")
@@ -318,8 +412,9 @@ fn main() {
         .with("cores", cores)
         .with("pooled_lanes", pooled_lanes)
         .with("failures", failures as u64)
+        .with("regression_floor", REGRESSION_FLOOR)
+        .with("seq_regressions", seq_regressions)
         .with("rows", Json::Array(json_rows));
-    let out = "BENCH_scale.json";
     match std::fs::write(out, artefact.pretty()) {
         Ok(()) => println!("\nwrote {out}"),
         Err(e) => {

@@ -92,6 +92,12 @@ impl TxSerializer {
         self.remaining.q() > 0
     }
 
+    /// Fully parked: nothing shifting, nothing pending — evaluation holds
+    /// every register (`d == q`), so a commit is pure clock energy.
+    pub fn is_idle(&self) -> bool {
+        self.remaining.q() == 0 && self.pending.is_none()
+    }
+
     /// Combinational phase: consume a pending load or advance the shift.
     pub fn eval(&mut self) {
         if self.remaining.q() <= 1 {
@@ -306,6 +312,18 @@ impl DataConverter {
     /// Number of lanes served.
     pub fn lanes(&self) -> usize {
         self.tx.len()
+    }
+
+    /// Every serialiser and deserialiser parked (`d == q` under idle
+    /// inputs): the converter's commit is pure clock energy. Queued
+    /// received phits do not affect the datapath and are allowed.
+    pub fn is_idle(&self) -> bool {
+        self.tx.iter().all(TxSerializer::is_idle) && self.rx.iter().all(|rx| !rx.busy())
+    }
+
+    /// Received phits waiting across all lanes' tile-side queues.
+    pub fn rx_total(&self) -> usize {
+        self.rx_queues.iter().map(|q| q.len()).sum()
     }
 
     /// Architectural register bits (both directions, all lanes) — input to

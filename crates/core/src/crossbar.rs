@@ -151,6 +151,27 @@ impl Crossbar {
         self.out_regs.iter().map(|r| r.q())
     }
 
+    /// Every latched output at its reset value: zero data on all lanes, no
+    /// acks. With all inputs also zero, the next commit holds every register
+    /// (`d == q`) and charges only clock energy.
+    pub fn all_parked(&self) -> bool {
+        self.out_regs.iter().all(|r| r.q() == Nibble::ZERO) && self.ack_regs.iter().all(|r| !r.q())
+    }
+
+    /// RegClock bits one idle commit charges given the current gating state:
+    /// the constant part of the paper's dynamic-power offset. Depends on the
+    /// `active`/`ack_active` flags cached by the last eval, so it must be
+    /// re-read whenever the configuration memory changes.
+    pub fn idle_clock_bits(&self) -> u64 {
+        if !self.params.clock_gating {
+            return self.params.total_lanes() as u64 * u64::from(self.params.lane_width + 1);
+        }
+        let data =
+            self.active.iter().filter(|&&a| a).count() as u64 * u64::from(self.params.lane_width);
+        let acks = self.ack_active.iter().filter(|&&a| a).count() as u64;
+        data + acks
+    }
+
     /// Number of architectural register bits in the crossbar (data outputs
     /// plus ack flops) — input to the area model.
     pub fn register_bits(params: &RouterParams) -> u32 {

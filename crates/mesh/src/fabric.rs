@@ -33,14 +33,14 @@ use crate::topology::{Mesh, NodeId};
 use noc_core::error::ConfigError;
 use noc_packet::flit::{Flit, FlitKind};
 use noc_packet::params::{PacketParams, PacketPort};
-use noc_packet::router::PacketRouter;
+use noc_packet::router::RouterSlab;
 use noc_packet::routing::Coords;
 use noc_packet::vc::VcId;
 use noc_power::area::{circuit_router_area, packet_router_area};
 use noc_power::estimator::{PowerEstimator, PowerReport};
 use noc_sim::activity::ComponentActivity;
 use noc_sim::kernel::Clocked;
-use noc_sim::par::{par_commit, par_eval, ParPolicy};
+use noc_sim::par::ParPolicy;
 use noc_sim::stats::LatencyHistogram;
 use noc_sim::time::{Cycle, CycleCount};
 use noc_sim::units::{FemtoJoules, MegaHertz, SquareMicroMeters};
@@ -735,7 +735,7 @@ pub struct PacketFabric {
     params: PacketParams,
     packet_words: usize,
     policy: ParPolicy,
-    routers: Vec<PacketRouter>,
+    routers: RouterSlab,
     /// Stream sessions, provision-time then runtime-admitted.
     streams: Vec<PacketStream>,
     /// StreamId -> index into `streams`.
@@ -787,13 +787,14 @@ impl PacketFabric {
             mesh.width <= 16 && mesh.height <= 16,
             "coords are 8-bit nibble pairs in the head flit"
         );
-        let routers = mesh
+        let coords: Vec<Coords> = mesh
             .iter()
             .map(|n| {
                 let (x, y) = mesh.coords(n);
-                PacketRouter::new(params.at(Coords::new(x as u8, y as u8)))
+                Coords::new(x as u8, y as u8)
             })
             .collect();
+        let routers = RouterSlab::new(params, &coords);
         let vcs = params.vcs;
         PacketFabric {
             params,
@@ -824,11 +825,6 @@ impl PacketFabric {
     /// invisible to results; see [`noc_sim::par`].
     pub fn set_parallelism(&mut self, policy: ParPolicy) {
         self.policy = policy;
-    }
-
-    /// Immutable access to a router (testbench inspection).
-    pub fn router(&self, node: NodeId) -> &PacketRouter {
-        &self.routers[node.0]
     }
 
     /// Total flits queued at tile inputs but not yet injected.
@@ -903,18 +899,23 @@ impl PacketFabric {
     /// ingress queues, clock every router two-phase, collect deliveries.
     fn step_fabric(&mut self) {
         // 1. Wire the links: flits forward, credits backward. Outputs are
-        //    latched, so sampling before eval is race-free.
+        //    latched, so sampling before eval is race-free. A neighbour
+        //    whose `quiet_links` flag is set drives no flit and no credit
+        //    pulse on ANY port, so sampling it is provably a no-op.
         for node in self.mesh.iter() {
             for port in noc_core::lane::Port::NEIGHBOURS {
                 if let Some(nb) = self.mesh.neighbour(node, port) {
+                    if self.routers.quiet_links(nb.0) {
+                        continue;
+                    }
                     let opp = pport(port.opposite().expect("neighbour port"));
                     let p = pport(port);
-                    if let Some((vc, flit)) = self.routers[nb.0].link_output(opp).flit {
-                        self.routers[node.0].set_link_input(p, VcId(vc), flit);
+                    if let Some((vc, flit)) = self.routers.link_output(nb.0, opp).flit {
+                        self.routers.set_link_input(node.0, p, VcId(vc), flit);
                     }
                     for vc in 0..self.params.vcs as u8 {
-                        if self.routers[nb.0].credit_output(opp, VcId(vc)) {
-                            self.routers[node.0].set_credit_input(p, VcId(vc), true);
+                        if self.routers.credit_output(nb.0, opp, VcId(vc)) {
+                            self.routers.set_credit_input(node.0, p, VcId(vc), true);
                         }
                     }
                 }
@@ -925,7 +926,7 @@ impl PacketFabric {
         //    packets stay on one VC; heads only switch between packets).
         for node in self.mesh.iter() {
             if let Some(&flit) = self.ingress[node.0].front() {
-                if self.routers[node.0].tile_inject(VcId(0), flit) {
+                if self.routers.tile_inject(node.0, VcId(0), flit) {
                     self.ingress[node.0].pop_front();
                 }
             }
@@ -934,8 +935,8 @@ impl PacketFabric {
         // 3. Two-phase clocking of all routers, optionally fanned out over
         //    the persistent worker pool: inputs were sampled from latched
         //    outputs in phase 1, so router evaluation is order-free.
-        par_eval(&mut self.routers, self.policy);
-        par_commit(&mut self.routers, self.policy);
+        self.routers.par_eval(self.policy);
+        self.routers.par_commit(self.policy);
         self.now += 1;
 
         // 4. Tile deliveries: the head names the wormhole's stream (its
@@ -944,7 +945,7 @@ impl PacketFabric {
         //    on different VCs interleave at the tile; the per-VC slot
         //    keeps their attribution separate.
         for node in self.mesh.iter() {
-            while let Some((vc, flit)) = self.routers[node.0].tile_recv() {
+            while let Some((vc, flit)) = self.routers.tile_recv(node.0) {
                 match flit.kind {
                     FlitKind::Head => {
                         self.rx_stream[node.0][vc.index()] = flit.stream_tag().map(u32::from);
@@ -1184,8 +1185,8 @@ impl Fabric for PacketFabric {
 
     fn activity(&self) -> Vec<ComponentActivity> {
         let mut merged: Vec<ComponentActivity> = Vec::new();
-        for r in &self.routers {
-            for comp in r.activity() {
+        for r in 0..self.routers.len() {
+            for comp in self.routers.activity(r) {
                 match merged.iter_mut().find(|c| c.kind == comp.kind) {
                     Some(existing) => existing.ledger.merge(&comp.ledger),
                     None => merged.push(comp),
@@ -1196,19 +1197,15 @@ impl Fabric for PacketFabric {
     }
 
     fn clear_activity(&mut self) {
-        for r in &mut self.routers {
-            r.clear_activity();
-        }
+        self.routers.clear_activity();
     }
 
     fn is_quiescent(&self) -> bool {
         self.draining.is_empty()
             && self.streams.iter().all(|s| s.open.is_empty())
             && self.ingress.iter().all(|q| q.is_empty())
-            && self
-                .routers
-                .iter()
-                .all(|r| r.is_quiescent() && r.tile_rx_pending() == 0)
+            && (0..self.routers.len())
+                .all(|r| self.routers.is_quiescent(r) && self.routers.tile_rx_pending(r) == 0)
     }
 
     fn area(&self, model: &EnergyModel) -> SquareMicroMeters {
@@ -1514,12 +1511,12 @@ mod tests {
         );
         let _ = dst_b;
         assert_eq!(
-            soc.tile(dst_a).total_received(),
+            soc.tiles().total_received(dst_a.0),
             0,
             "stale destination still receiving after re-provision"
         );
         assert!(
-            !soc.tile(dst_a).capture_enabled(),
+            !soc.tiles().capture_enabled(dst_a.0),
             "stale capture flag survived re-provision"
         );
     }

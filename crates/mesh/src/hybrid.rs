@@ -55,7 +55,7 @@ use noc_core::params::RouterParams;
 use noc_packet::params::PacketParams;
 use noc_sim::activity::ComponentActivity;
 use noc_sim::kernel::Clocked;
-use noc_sim::par::{par_join, ParPolicy, WorkerPool};
+use noc_sim::par::{par_join, ParPolicy};
 use noc_sim::time::Cycle;
 use noc_sim::units::SquareMicroMeters;
 use std::collections::HashMap;
@@ -237,17 +237,15 @@ impl HybridFabric {
 
     /// Choose serial or pooled stepping (default [`ParPolicy::Auto`]).
     ///
-    /// When the policy parallelises a fabric of this size but cannot fan
-    /// routers wider than two lanes, the two planes step **concurrently**
-    /// on the worker pool — they share no state until `drain`/`activity`
-    /// merge their results, so a hybrid cycle is a two-sided fork-join
-    /// ([`noc_sim::par::par_join`]; a plane stepped inside the fork
-    /// evaluates its routers inline, since nested dispatches degrade to
-    /// sequential). With more lanes available the planes step in
-    /// sequence instead, each fanning its routers across every lane —
-    /// strictly more parallelism than the 2-way fork. The policy is
-    /// propagated to both planes either way; results are bit-identical
-    /// on every path.
+    /// When the policy parallelises a fabric of this size, the two planes
+    /// step **concurrently** — they share no state until `drain`/
+    /// `activity` merge their results, so a hybrid cycle is a two-sided
+    /// fork-join ([`noc_sim::par::par_join`]). The work-stealing pool
+    /// makes the fork composable: each plane's own router fan-out runs
+    /// *inside* its side of the fork, and idle lanes steal blocks across
+    /// the plane boundary instead of waiting at a barrier — no lane clamp,
+    /// no plane-vs-router trade-off. The policy is propagated to both
+    /// planes; results are bit-identical on every path.
     pub fn set_parallelism(&mut self, policy: ParPolicy) {
         self.policy = policy;
         self.circuit.set_parallelism(policy);
@@ -255,34 +253,21 @@ impl HybridFabric {
     }
 
     fn step_planes(&mut self) {
-        // Two ways to spend the pool on a hybrid cycle: fork the planes
-        // (2-way, each plane's router evaluation inline), or step the
-        // planes in sequence with each fanning its routers across every
-        // lane. The fork wins while router-level fan-out could not go
-        // wider than the two planes anyway; past that, sequential planes
-        // with full fan-out do more at once — and cost two dispatches per
-        // phase instead of one fork, so the comparison must use the lanes
-        // the pool can actually deliver, not the policy's unclamped ask
-        // (Threads(8) on a two-lane pool still fans out at most 2 wide).
+        // Fork the planes onto the pool. With work-stealing deques there
+        // is no reason to serialise them: a nested router dispatch inside
+        // either side publishes its blocks for any idle lane to steal, so
+        // the fork composes with full-width router fan-out instead of
+        // clamping it (par_join itself degrades to inline calls under a
+        // sequential or single-lane policy without waking the pool).
         let nodes = Soc::mesh(&self.circuit).nodes();
-        let lanes = self.policy.lanes_for(nodes);
-        // Short-circuit before consulting the global pool: a sequential or
-        // two-lane policy must not lazily spawn the pool's threads just to
-        // compute a clamp it does not need (par_join runs <=1 lane inline).
-        // Past two lanes the pool is about to be used either way.
-        if lanes <= 2 || lanes.min(WorkerPool::global().workers() + 1) <= 2 {
-            let circuit = &mut self.circuit;
-            let packet = &mut self.packet;
-            par_join(
-                self.policy,
-                2 * nodes,
-                || circuit.step(),
-                || Fabric::step(packet),
-            );
-        } else {
-            self.circuit.step();
-            Fabric::step(&mut self.packet);
-        }
+        let circuit = &mut self.circuit;
+        let packet = &mut self.packet;
+        par_join(
+            self.policy,
+            2 * nodes,
+            || circuit.step(),
+            || Fabric::step(packet),
+        );
         self.now += 1;
 
         // Mirror plane-finalised drains into the global session table: a

@@ -89,5 +89,5 @@ pub use soc::Soc;
 pub use stream::{
     AdmitError, ProvisionMode, ReleaseMode, StreamDemand, StreamId, StreamPlane, StreamStats,
 };
-pub use tile::{default_tile_kinds, Tile, TileKind};
+pub use tile::{default_tile_kinds, TileKind, TileSlab};
 pub use topology::{Mesh, NodeId};

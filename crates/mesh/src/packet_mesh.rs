@@ -12,10 +12,10 @@
 use crate::topology::{Mesh, NodeId};
 use noc_packet::flit::{Flit, FlitKind};
 use noc_packet::params::{PacketParams, PacketPort};
-use noc_packet::router::PacketRouter;
+use noc_packet::router::RouterSlab;
 use noc_packet::routing::Coords;
 use noc_packet::vc::VcId;
-use noc_sim::par::{par_commit, par_eval, ParPolicy};
+use noc_sim::par::ParPolicy;
 use noc_sim::rng::SplitMix64;
 use noc_sim::stats::LatencyHistogram;
 use noc_sim::time::{Cycle, CycleCount};
@@ -44,7 +44,7 @@ pub struct RandomTraffic {
 #[derive(Debug)]
 pub struct PacketMesh {
     mesh: Mesh,
-    routers: Vec<PacketRouter>,
+    routers: RouterSlab,
     policy: ParPolicy,
     /// Flits awaiting injection at each tile (unbounded source queue; its
     /// depth measures congestion).
@@ -75,13 +75,14 @@ impl PacketMesh {
             mesh.width <= 16 && mesh.height <= 16,
             "coords are 8-bit nibble pairs in the head flit"
         );
-        let routers = mesh
+        let coords: Vec<Coords> = mesh
             .iter()
             .map(|n| {
                 let (x, y) = mesh.coords(n);
-                PacketRouter::new(params.at(Coords::new(x as u8, y as u8)))
+                Coords::new(x as u8, y as u8)
             })
             .collect();
+        let routers = RouterSlab::new(params, &coords);
         PacketMesh {
             routers,
             policy: ParPolicy::Auto,
@@ -152,20 +153,25 @@ impl PacketMesh {
     /// Advance the whole BE plane one cycle.
     pub fn step(&mut self) {
         // 1. Wire the links: flits forward, credits backward. Outputs are
-        //    latched, so sampling before eval is race-free.
+        //    latched, so sampling before eval is race-free. Neighbours
+        //    whose `quiet_links` flag is set drive nothing on any port.
+        let vcs = self.routers.params().vcs as u8;
         for node in self.mesh.iter() {
             for port in noc_core::lane::Port::NEIGHBOURS {
                 if let Some(nb) = self.mesh.neighbour(node, port) {
+                    if self.routers.quiet_links(nb.0) {
+                        continue;
+                    }
                     let opp = pport(port.opposite().expect("neighbour port"));
                     let p = pport(port);
                     // Data from neighbour's opposite output into our input.
-                    if let Some((vc, flit)) = self.routers[nb.0].link_output(opp).flit {
-                        self.routers[node.0].set_link_input(p, VcId(vc), flit);
+                    if let Some((vc, flit)) = self.routers.link_output(nb.0, opp).flit {
+                        self.routers.set_link_input(node.0, p, VcId(vc), flit);
                     }
                     // Credits from the neighbour's input FIFOs back to us.
-                    for vc in 0..4u8 {
-                        if self.routers[nb.0].credit_output(opp, VcId(vc)) {
-                            self.routers[node.0].set_credit_input(p, VcId(vc), true);
+                    for vc in 0..vcs {
+                        if self.routers.credit_output(nb.0, opp, VcId(vc)) {
+                            self.routers.set_credit_input(node.0, p, VcId(vc), true);
                         }
                     }
                 }
@@ -182,7 +188,7 @@ impl PacketMesh {
                 // body/tail must continue the wormhole's VC — we inject a
                 // whole packet on one VC by only switching at heads).
                 let vc = VcId(0);
-                if self.routers[node.0].tile_inject(vc, flit) {
+                if self.routers.tile_inject(node.0, vc, flit) {
                     self.backlog[node.0].pop_front();
                 }
             }
@@ -191,13 +197,13 @@ impl PacketMesh {
         // 3. Two-phase clocking of all routers, optionally on the
         //    persistent worker pool (inputs were sampled from latched
         //    outputs in phase 1, so evaluation is order-free).
-        par_eval(&mut self.routers, self.policy);
-        par_commit(&mut self.routers, self.policy);
+        self.routers.par_eval(self.policy);
+        self.routers.par_commit(self.policy);
         self.now += 1;
 
         // 4. Tile deliveries: reassemble per VC, record latency at the tail.
         for node in self.mesh.iter() {
-            while let Some((vc, flit)) = self.routers[node.0].tile_recv() {
+            while let Some((vc, flit)) = self.routers.tile_recv(node.0) {
                 let slot = &mut self.rx_inject_ts[node.0][vc.index()];
                 match flit.kind {
                     FlitKind::Head => {

@@ -21,7 +21,7 @@ use crate::ccn::{Ccn, EdgeRoute, Mapping};
 use crate::stream::{
     AdmitError, ProvisionMode, ReleaseMode, StreamDemand, StreamId, StreamPlane, StreamStats,
 };
-use crate::tile::{default_tile_kinds, Tile, TileKind};
+use crate::tile::{default_tile_kinds, TileKind, TileSlab};
 use crate::topology::{Mesh, NodeId};
 use noc_core::error::ConfigError;
 use noc_core::lane::Port;
@@ -180,13 +180,9 @@ pub struct Soc {
     mesh: Mesh,
     params: RouterParams,
     routers: Vec<CircuitRouter>,
-    tiles: Vec<Tile>,
+    tiles: TileSlab,
     policy: ParPolicy,
     now: Cycle,
-    /// Scratch: sampled link values per node per flat lane (data).
-    sample_data: Vec<Vec<noc_sim::bits::Nibble>>,
-    /// Scratch: sampled reverse acks per node per flat lane.
-    sample_ack: Vec<Vec<bool>>,
     /// Set by [`Soc::provision`]; drives the fabric-level stream API.
     plan: Option<StreamPlan>,
     /// The BE configuration network runtime admission sends its circuit
@@ -201,11 +197,7 @@ impl Soc {
     pub fn new(mesh: Mesh, params: RouterParams) -> Soc {
         let kinds = default_tile_kinds(&mesh);
         let routers = mesh.iter().map(|_| CircuitRouter::new(params)).collect();
-        let tiles = mesh
-            .iter()
-            .map(|n| Tile::new(kinds[n.0], params.lanes_per_port))
-            .collect();
-        let lanes = params.total_lanes();
+        let tiles = TileSlab::new(kinds, params.lanes_per_port);
         Soc {
             mesh,
             params,
@@ -213,10 +205,6 @@ impl Soc {
             tiles,
             policy: ParPolicy::Auto,
             now: Cycle::ZERO,
-            sample_data: (0..mesh.nodes())
-                .map(|_| vec![Default::default(); lanes])
-                .collect(),
-            sample_ack: (0..mesh.nodes()).map(|_| vec![false; lanes]).collect(),
             plan: None,
             be: BeNetwork::new(mesh, BeConfig::default()),
         }
@@ -281,7 +269,7 @@ impl Soc {
                     // phases must not leak into the new plan's circuits.
                     self.routers[node.0].reset_tile_lane_flow(lane);
                 }
-                self.tiles[node.0].set_capture(false);
+                self.tiles.set_capture(node.0, false);
             }
         }
         if mode == ProvisionMode::Instant {
@@ -319,7 +307,7 @@ impl Soc {
                     plan.register(ms.id, route, ready.0, ready.0 - now.0, setup_msgs);
                 }
             }
-            self.tiles[ms.dst.0].set_capture(true);
+            self.tiles.set_capture(ms.dst.0, true);
             served.push(ms.id);
         }
         self.plan = Some(plan);
@@ -492,10 +480,10 @@ impl Soc {
             self.routers[dst.0].reset_tile_lane_flow(lane);
             plan.rx_map[dst.0][lane] = None;
             // Drop in-flight residue already captured on the lane.
-            let _ = self.tiles[dst.0].take_captured_lane(lane);
+            let _ = self.tiles.take_captured_lane(dst.0, lane);
         }
         if plan.rx_map[dst.0].iter().all(Option::is_none) {
-            self.tiles[dst.0].set_capture(false);
+            self.tiles.set_capture(dst.0, false);
         }
     }
 
@@ -574,7 +562,7 @@ impl Soc {
         plan.next_id += 1;
         let dst = route.dst().expect("paths checked non-empty");
         plan.register(id, route, ready.0, ready.0 - now.0, setup_msgs);
-        self.tiles[dst.0].set_capture(true);
+        self.tiles.set_capture(dst.0, true);
         Ok(id)
     }
 
@@ -628,19 +616,19 @@ impl Soc {
         &mut self.routers[node.0]
     }
 
-    /// Immutable access to a tile.
-    pub fn tile(&self, node: NodeId) -> &Tile {
-        &self.tiles[node.0]
+    /// Immutable access to the tile slab (per-node statistics, capture).
+    pub fn tiles(&self) -> &TileSlab {
+        &self.tiles
     }
 
-    /// Mutable access to a tile (stream binding).
-    pub fn tile_mut(&mut self, node: NodeId) -> &mut Tile {
-        &mut self.tiles[node.0]
+    /// Mutable access to the tile slab (stream binding).
+    pub fn tiles_mut(&mut self) -> &mut TileSlab {
+        &mut self.tiles
     }
 
     /// Set a tile's hardware kind (before mapping).
     pub fn set_tile_kind(&mut self, node: NodeId, kind: TileKind) {
-        self.tiles[node.0].kind = kind;
+        self.tiles.set_kind(node.0, kind);
     }
 
     /// Advance the whole SoC by one clock cycle.
@@ -658,32 +646,35 @@ impl Soc {
             }
         }
 
-        // 1. Sample neighbour outputs into scratch (reads only latched Qs).
+        // 1. Wire the links: every router's inputs are loaded from its
+        //    neighbours' registered outputs. `set_link_input` writes only
+        //    the input scratch and never a latched output, so one fused
+        //    pass reading neighbours while writing own inputs is race-free
+        //    (identical to the former sample-then-apply double pass). A
+        //    neighbour whose every output has been parked at zero for two
+        //    consecutive commits (`quiet_links`) drives nothing on any
+        //    lane — skip sampling it entirely; on a mostly-idle mesh this
+        //    removes the wiring pass from the per-cycle cost.
         let lanes = self.params.lanes_per_port;
+        let mut data = [noc_sim::bits::Nibble::ZERO; 16];
+        let mut acks = [false; 16];
+        debug_assert!(lanes <= data.len());
         for node in self.mesh.iter() {
             for port in Port::NEIGHBOURS {
                 if let Some(nb) = self.mesh.neighbour(node, port) {
-                    let opp = port.opposite().expect("neighbour port");
-                    for l in 0..lanes {
-                        let flat = noc_core::lane::LaneIndex::of(port, l, lanes).get();
-                        self.sample_data[node.0][flat] = self.routers[nb.0].link_output(opp, l);
-                        self.sample_ack[node.0][flat] = self.routers[nb.0].ack_to_upstream(opp, l);
+                    if self.routers[nb.0].quiet_links() {
+                        continue;
                     }
-                }
-            }
-        }
-        // Apply samples.
-        for node in self.mesh.iter() {
-            for port in Port::NEIGHBOURS {
-                if self.mesh.neighbour(node, port).is_some() {
+                    let opp = port.opposite().expect("neighbour port");
+                    let nbr = &self.routers[nb.0];
                     for l in 0..lanes {
-                        let flat = noc_core::lane::LaneIndex::of(port, l, lanes).get();
-                        self.routers[node.0].set_link_input(
-                            port,
-                            l,
-                            self.sample_data[node.0][flat],
-                        );
-                        self.routers[node.0].set_ack_input(port, l, self.sample_ack[node.0][flat]);
+                        data[l] = nbr.link_output(opp, l);
+                        acks[l] = nbr.ack_to_upstream(opp, l);
+                    }
+                    let me = &mut self.routers[node.0];
+                    for l in 0..lanes {
+                        me.set_link_input(port, l, data[l]);
+                        me.set_ack_input(port, l, acks[l]);
                     }
                 }
             }
@@ -718,7 +709,7 @@ impl Soc {
             }
         }
         for node in self.mesh.iter() {
-            self.tiles[node.0].step(&mut self.routers[node.0]);
+            self.tiles.step_node(node.0, &mut self.routers[node.0]);
         }
 
         // 2b. Collect per-lane captures into their streams' egress, pairing
@@ -729,7 +720,7 @@ impl Soc {
             for &n in &plan.rx_nodes {
                 for (lane, slot) in plan.rx_map[n].iter().enumerate() {
                     let Some((si, pj)) = *slot else { continue };
-                    let words = self.tiles[n].take_captured_lane(lane);
+                    let words = self.tiles.take_captured_lane(n, lane);
                     if words.is_empty() {
                         continue;
                     }
@@ -828,7 +819,9 @@ impl Soc {
 
     /// Total phits delivered to all tiles.
     pub fn total_delivered(&self) -> u64 {
-        self.tiles.iter().map(|t| t.total_received()).sum()
+        (0..self.tiles.len())
+            .map(|n| self.tiles.total_received(n))
+            .sum()
     }
 }
 
@@ -869,11 +862,11 @@ mod tests {
         soc.router_mut(b)
             .connect(Port::West, 0, Port::Tile, 0)
             .unwrap();
-        soc.tile_mut(a)
-            .bind_source(0, DataPattern::Random, 7, 1.0, 5);
+        soc.tiles_mut()
+            .bind_source(a.0, 0, DataPattern::Random, 7, 1.0, 5);
 
         soc.run(200);
-        let received = soc.tile(b).rx(0).received;
+        let received = soc.tiles().rx(b.0, 0).received;
         // 200 cycles / 5 per phit minus pipeline fill & window throttling.
         assert!(received >= 30, "expected a steady stream, got {received}");
         assert_eq!(soc.router(b).rx_overflows(), 0);
@@ -892,10 +885,10 @@ mod tests {
         soc.router_mut(b)
             .connect(Port::West, 0, Port::Tile, 0)
             .unwrap();
-        soc.tile_mut(a)
-            .bind_source(0, DataPattern::Zeros, 1, 1.0, 5);
+        soc.tiles_mut()
+            .bind_source(a.0, 0, DataPattern::Zeros, 1, 1.0, 5);
         soc.run(400);
-        let sent = soc.tile(a).total_sent();
+        let sent = soc.tiles().total_sent(a.0);
         assert!(
             sent > u64::from(soc.params().window_size) * 2,
             "window must refill through returning acks; sent {sent}"
@@ -919,12 +912,12 @@ mod tests {
         soc.router_mut(n2)
             .connect(Port::West, 0, Port::Tile, 0)
             .unwrap();
-        soc.tile_mut(n0)
-            .bind_source(0, DataPattern::Random, 3, 1.0, 5);
+        soc.tiles_mut()
+            .bind_source(n0.0, 0, DataPattern::Random, 3, 1.0, 5);
         soc.run(300);
-        assert!(soc.tile(n2).rx(0).received > 40);
+        assert!(soc.tiles().rx(n2.0, 0).received > 40);
         // Intermediate tile got nothing.
-        assert_eq!(soc.tile(n1).total_received(), 0);
+        assert_eq!(soc.tiles().total_received(n1.0), 0);
     }
 
     #[test]
@@ -939,8 +932,8 @@ mod tests {
             soc.router_mut(b)
                 .connect(Port::West, 0, Port::Tile, 0)
                 .unwrap();
-            soc.tile_mut(a)
-                .bind_source(0, DataPattern::Random, 11, 1.0, 5);
+            soc.tiles_mut()
+                .bind_source(a.0, 0, DataPattern::Random, 11, 1.0, 5);
             soc
         };
         let mut serial = build();
@@ -950,8 +943,11 @@ mod tests {
         serial.run(150);
         parallel.run(150);
         assert_eq!(
-            serial.tile(serial.mesh().node(1, 0)).rx(0).received,
-            parallel.tile(parallel.mesh().node(1, 0)).rx(0).received
+            serial.tiles().rx(serial.mesh().node(1, 0).0, 0).received,
+            parallel
+                .tiles()
+                .rx(parallel.mesh().node(1, 0).0, 0)
+                .received
         );
         assert_eq!(serial.total_activity(), parallel.total_activity());
     }
@@ -986,8 +982,8 @@ mod tests {
             .unwrap();
         assert!(soc.router_mut(a).tile_send(1, Phit::data(0xD00D)));
         soc.run(12);
-        assert_eq!(soc.tile(b).rx(1).received, 1);
-        assert_eq!(soc.tile(b).rx(1).last_word, Some(0xD00D));
+        assert_eq!(soc.tiles().rx(b.0, 1).received, 1);
+        assert_eq!(soc.tiles().rx(b.0, 1).last_word, Some(0xD00D));
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Data-parallel evaluation of independent components on a **persistent
-//! worker pool**.
+//! work-stealing worker pool**.
 //!
 //! The two-phase clocking contract ([`crate::kernel`]) guarantees that during
 //! the evaluate phase no component mutates state visible to another — each
@@ -8,22 +8,34 @@
 //! is therefore embarrassingly parallel, and on meshes of dozens of routers
 //! it pays to fan it out across cores.
 //!
-//! Earlier revisions spawned scoped threads *per cycle*; thread creation and
-//! join cost ~ms against the ~20 µs a 12×12 mesh needs to evaluate serially,
-//! so per-cycle threading never paid off at realistic sizes. [`WorkerPool`]
-//! replaces that: worker threads are spawned **once** and parked on a
-//! condition variable; each dispatch wakes them, hands every thread one
-//! contiguous chunk of the component slice, and acts as a barrier — the
-//! dispatching thread evaluates a chunk of its own and does not return until
-//! every chunk is done. A dispatch therefore costs wake + join on already
-//! running threads (µs, not ms), which moves the parallel crossover down to
-//! meshes the paper's workloads actually use (see [`ParPolicy::Auto`]).
+//! Earlier revisions spawned scoped threads *per cycle* (~ms, never paid
+//! off), then parked a persistent pool and handed every thread one fixed
+//! contiguous chunk per dispatch. Fixed chunks have two structural problems
+//! this revision removes:
 //!
-//! Mesh stepping alternates parallel evaluation with sequential wiring every
-//! cycle, so the pool's barrier semantics (nothing runs between dispatches)
-//! are exactly the clocking contract. Callers choose serial vs pooled via
-//! [`ParPolicy`]; the `mesh_step` bench and the `scale_bench` binary
-//! quantify the crossover.
+//! 1. **One job slot.** Only one dispatch could be in flight, so two
+//!    concurrent dispatchers (the hybrid fabric's two planes) serialised,
+//!    and a dispatch nested inside a pool task had to degrade to inline
+//!    execution.
+//! 2. **No balancing.** A worker that finished its chunk early parked while
+//!    a loaded chunk (e.g. the routers along a congested path) ran long.
+//!
+//! [`WorkerPool`] now keeps a **registry of live jobs**. A dispatch splits
+//! its index range into blocks, deals the blocks into one queue per lane,
+//! and publishes the job; every participant — workers *and* the dispatching
+//! thread — drains its own queue first and **steals from the fullest
+//! remaining queue (its own job's or any other live job's) when empty**.
+//! The dispatcher returns when its job's last block completes, which is the
+//! same barrier the clocking contract needs. Because any thread can claim
+//! blocks from any live job, two planes dispatched concurrently share every
+//! lane, and a dispatch nested inside a pool task simply publishes a child
+//! job and helps drain it — no inline degradation, no deadlock (a claimant
+//! always drains the job it waits on before blocking).
+//!
+//! **Determinism:** the block → index mapping is a pure function of the
+//! length and lane count, every index is executed exactly once, and blocks
+//! write disjoint state — so results are bit-identical under every policy
+//! and every steal schedule, enforced by the determinism suites.
 //!
 //! ```
 //! use noc_sim::par::{par_for_each_mut, ParPolicy};
@@ -37,8 +49,8 @@
 
 use crate::kernel::Clocked;
 use std::any::Any;
-use std::cell::Cell;
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread;
 
 /// Number of CPUs available to the process, sampled once.
@@ -59,9 +71,9 @@ fn available_cpus() -> usize {
 
 /// How to distribute per-cycle component evaluation over threads.
 ///
-/// Every policy produces **bit-identical results**: chunk boundaries depend
-/// only on the component count and the resolved lane count, and each
-/// component is touched by exactly one thread per phase, so simulation
+/// Every policy produces **bit-identical results**: the block → index
+/// mapping depends only on the component count and the resolved lane count,
+/// and each index is executed by exactly one thread per phase, so simulation
 /// outcomes (payload, activity ledgers, energy) never depend on scheduling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ParPolicy {
@@ -96,6 +108,12 @@ impl ParPolicy {
     /// the number of threads (dispatcher included) that would share the
     /// work. `1` means sequential.
     ///
+    /// The small-`len` arms short-circuit **before** touching the cached
+    /// CPU count: a nested dispatch over a handful of components (e.g. a
+    /// `par_join` fork evaluating a small plane inside a pool task) must
+    /// resolve to sequential without consulting — or faulting in — any
+    /// machine-wide state.
+    ///
     /// ```
     /// use noc_sim::par::ParPolicy;
     ///
@@ -120,65 +138,125 @@ impl ParPolicy {
     }
 }
 
-/// A chunk-dispatch job, lifetime-erased for the worker threads. The
-/// dispatcher blocks until every participating worker has finished the
-/// epoch, so the pointee (a closure on the dispatcher's stack) outlives
+/// One lane's block queue: a contiguous run of block ids `[cursor, end)`,
+/// popped from the front by its owner and by thieves alike (an atomic
+/// fetch-add hands out each block exactly once, so "steal" and "own pop"
+/// need no distinction for correctness — only for locality).
+struct BlockQueue {
+    cursor: AtomicUsize,
+    end: usize,
+}
+
+/// A published dispatch: a lifetime-erased task plus the per-lane block
+/// queues participants drain. The dispatcher blocks until `pending` hits
+/// zero, so the pointee (a closure on the dispatcher's stack) outlives
 /// every dereference.
-#[derive(Clone, Copy)]
-struct Job {
+struct JobCore {
     task: *const (dyn Fn(usize) + Sync),
+    queues: Vec<BlockQueue>,
+    /// Blocks not yet finished; the dispatcher's barrier condition.
+    pending: AtomicUsize,
+    /// First panic payload from any block; re-raised by the dispatcher.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
 }
 
 // SAFETY: the pointee is Sync, and the dispatch barrier guarantees it is
-// alive for as long as any participating worker can observe the Job.
-unsafe impl Send for Job {}
+// alive for as long as any thread can still claim a block (a claim can only
+// succeed while `pending > 0`).
+unsafe impl Send for JobCore {}
+unsafe impl Sync for JobCore {}
 
-struct PoolState {
-    /// Monotonic dispatch counter; workers run each epoch at most once.
-    epoch: u64,
-    /// The current epoch's task while any participant may still need it;
-    /// cleared by the dispatcher once the barrier resolves. A worker that
-    /// wakes late (after cleanup) must therefore never read this — it
-    /// decides participation from `chunks`, which persists.
-    job: Option<Job>,
-    /// Chunk count of the most recent epoch. Lives in the state (not the
-    /// `Job`) so a worker holding the lock can tell "not a participant /
-    /// epoch already completed" apart from "work to do" without touching
-    /// the cleared job slot.
-    chunks: usize,
-    /// Participating workers that have not yet finished the current epoch.
-    pending: usize,
-    /// First panic payload from a worker task; re-raised by the dispatcher.
-    panic: Option<Box<dyn Any + Send>>,
+impl JobCore {
+    fn new(task: *const (dyn Fn(usize) + Sync), blocks: usize, lanes: usize) -> JobCore {
+        let lanes = lanes.clamp(1, blocks);
+        let per = blocks.div_ceil(lanes);
+        let queues = (0..lanes)
+            .map(|l| BlockQueue {
+                cursor: AtomicUsize::new(per * l),
+                end: (per * (l + 1)).min(blocks),
+            })
+            .collect();
+        JobCore {
+            task,
+            queues,
+            pending: AtomicUsize::new(blocks),
+            panic: Mutex::new(None),
+        }
+    }
+
+    /// Claim one block: own queue (`home`) first, then steal from the
+    /// fullest other queue. Returns `None` when every queue is drained.
+    fn claim(&self, home: usize) -> Option<usize> {
+        let n = self.queues.len();
+        let home = home % n;
+        if let Some(b) = self.queues[home].pop() {
+            return Some(b);
+        }
+        loop {
+            // Steal from the queue with the most blocks left; re-scan on a
+            // lost race until all queues are provably empty.
+            let victim = (0..n)
+                .filter(|&q| q != home)
+                .max_by_key(|&q| self.queues[q].remaining())?;
+            if self.queues[victim].remaining() == 0 {
+                return None;
+            }
+            if let Some(b) = self.queues[victim].pop() {
+                return Some(b);
+            }
+        }
+    }
+
+    /// Any block still unclaimed?
+    fn has_work(&self) -> bool {
+        self.queues.iter().any(|q| q.remaining() > 0)
+    }
+}
+
+impl BlockQueue {
+    fn pop(&self) -> Option<usize> {
+        // The overshoot of a failed claim is harmless: `cursor` only ever
+        // moves up and every id below `end` is handed out exactly once.
+        let b = self.cursor.fetch_add(1, Ordering::Relaxed);
+        (b < self.end).then_some(b)
+    }
+
+    fn remaining(&self) -> usize {
+        self.end.saturating_sub(self.cursor.load(Ordering::Relaxed))
+    }
+}
+
+/// The pool's shared registry of live jobs.
+struct Registry {
+    jobs: Vec<Arc<JobCore>>,
     shutdown: bool,
 }
 
 struct Shared {
-    state: Mutex<PoolState>,
-    /// Workers park here between dispatches.
+    registry: Mutex<Registry>,
+    /// Workers park here when no live job has unclaimed blocks.
     work: Condvar,
-    /// The dispatcher parks here while workers finish (the barrier).
+    /// Dispatchers park here while their job's stragglers finish.
     done: Condvar,
-    /// Serialises dispatchers: the pool has one job slot, so a second
-    /// thread dispatching concurrently waits its turn here.
-    gate: Mutex<()>,
 }
 
-thread_local! {
-    /// Set while this thread is executing inside a pool operation (as a
-    /// worker, or as the dispatcher running its own chunk). Nested
-    /// dispatches from such a context run inline instead of deadlocking
-    /// on the single job slot.
-    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+/// Lock the registry, shrugging off poison: blocks run outside the lock,
+/// so a panicking task can never leave the registry inconsistent.
+fn lock_registry(shared: &Shared) -> MutexGuard<'_, Registry> {
+    shared
+        .registry
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
-/// A persistent pool of parked worker threads for per-cycle fan-out.
+/// A persistent pool of parked worker threads with work-stealing dispatch.
 ///
 /// Workers are spawned once (at construction) and live until the pool is
-/// dropped; a dispatch wakes them, gives each a chunk id, and blocks the
-/// dispatching thread — which evaluates chunk 0 itself — until every chunk
-/// has finished. This is what makes per-cycle parallelism profitable:
-/// dispatch cost is two condvar round-trips, not thread creation.
+/// dropped. A dispatch publishes a job (per-lane block queues) and the
+/// dispatching thread helps drain it; parked workers wake and drain every
+/// live job, stealing across queues — and across *jobs* — when their own
+/// runs dry. The dispatcher returns only when its job's last block has
+/// finished, so a dispatch is still a barrier from the caller's view.
 ///
 /// Most callers never construct one: [`par_for_each_mut`] (and the fabric
 /// backends built on it) use [`WorkerPool::global`], sized to the machine.
@@ -192,8 +270,9 @@ thread_local! {
 /// let mut items = vec![1u32; 100];
 /// pool.for_each_mut(&mut items, 3, |x| *x *= 2);
 /// assert!(items.iter().all(|&x| x == 2));
-/// // Nested dispatch from inside a task degrades to inline execution
-/// // instead of deadlocking; a two-sided join runs closures concurrently.
+/// // A dispatch nested inside a pool task publishes a child job and the
+/// // pool's lanes are shared across both; a two-sided join runs closures
+/// // concurrently.
 /// let (mut a, mut b) = (0u64, 0u64);
 /// pool.join(|| a = 1, || b = 2);
 /// assert_eq!((a, b), (1, 2));
@@ -205,23 +284,23 @@ pub struct WorkerPool {
 }
 
 impl WorkerPool {
+    /// Blocks per lane a dispatch is split into. More than one block per
+    /// lane is what makes stealing meaningful: a lane that finishes early
+    /// takes whole blocks from a loaded lane instead of parking.
+    const BLOCKS_PER_LANE: usize = 4;
+
     /// Spawn a pool of `workers` parked threads (at least one). Total
     /// parallelism of a dispatch is `workers + 1`: the dispatching thread
     /// always participates.
     pub fn new(workers: usize) -> WorkerPool {
         let workers = workers.max(1);
         let shared = Arc::new(Shared {
-            state: Mutex::new(PoolState {
-                epoch: 0,
-                job: None,
-                chunks: 0,
-                pending: 0,
-                panic: None,
+            registry: Mutex::new(Registry {
+                jobs: Vec::new(),
                 shutdown: false,
             }),
             work: Condvar::new(),
             done: Condvar::new(),
-            gate: Mutex::new(()),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -253,50 +332,63 @@ impl WorkerPool {
         self.workers
     }
 
+    /// Run `f(i)` for every index in `0..len`, fanned out over up to
+    /// `lanes` threads. Blocks until every index has been processed;
+    /// each index runs exactly once.
+    ///
+    /// This is the slab-stepping primitive: `f` is only required to be
+    /// `Sync` + `Fn`, so callers whose state lives in index-striped slabs
+    /// (disjoint writes per index, e.g. `RouterSlab`) wrap their access in
+    /// the closure and uphold disjointness themselves.
+    pub fn for_each_index<F>(&self, len: usize, lanes: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let lanes = lanes.max(1).min(self.workers + 1).min(len.max(1));
+        if lanes <= 1 || len <= 1 {
+            for i in 0..len {
+                f(i);
+            }
+            return;
+        }
+        let blocks = (lanes * Self::BLOCKS_PER_LANE).min(len);
+        let grain = len.div_ceil(blocks);
+        let task = move |block: usize| {
+            let start = block * grain;
+            let end = (start + grain).min(len);
+            for i in start..end {
+                f(i);
+            }
+        };
+        self.dispatch(blocks, lanes, &task);
+    }
+
     /// Apply `f` to every element, fanned out over up to `lanes` threads
-    /// (clamped to the pool size and the element count) in contiguous
-    /// chunks. Blocks until every element has been processed. Each
-    /// invocation gets an exclusive `&mut`, so `f` only needs to be safe
-    /// to run concurrently on *different* elements — which the type system
-    /// already enforces.
+    /// (clamped to the pool size and the element count). Blocks until every
+    /// element has been processed. Each invocation gets an exclusive
+    /// `&mut`, so `f` only needs to be safe to run concurrently on
+    /// *different* elements — which the type system already enforces.
     pub fn for_each_mut<T, F>(&self, items: &mut [T], lanes: usize, f: F)
     where
         T: Send,
         F: Fn(&mut T) + Sync,
     {
-        let lanes = lanes.max(1).min(self.workers + 1).min(items.len().max(1));
-        if lanes <= 1 || items.len() <= 1 {
-            for item in items.iter_mut() {
-                f(item);
-            }
-            return;
-        }
         let len = items.len();
-        let chunk = len.div_ceil(lanes);
         let base = SendPtr(items.as_mut_ptr());
-        let task = move |id: usize| {
+        self.for_each_index(len, lanes, move |i| {
             let base = base;
-            let start = id * chunk;
-            if start >= len {
-                return;
-            }
-            let end = (start + chunk).min(len);
-            // SAFETY: chunk `id` covers items [start, end) and ids are
-            // distinct, so slabs are disjoint; the dispatch barrier keeps
-            // the caller's &mut [T] borrow alive until all chunks finish.
-            let slab = unsafe { std::slice::from_raw_parts_mut(base.0.add(start), end - start) };
-            for item in slab {
-                f(item);
-            }
-        };
-        self.dispatch(lanes, &task);
+            // SAFETY: each index is executed exactly once per dispatch, so
+            // the &mut views are disjoint; the dispatch barrier keeps the
+            // caller's &mut [T] borrow alive until all blocks finish.
+            f(unsafe { &mut *base.0.add(i) });
+        });
     }
 
     /// Run two closures, one on the calling thread and one on a pool
     /// worker, and wait for both — the two-sided fork-join used to step a
-    /// hybrid fabric's circuit and packet planes concurrently. Degrades to
-    /// sequential execution (`left` then `right`) when called from inside
-    /// a pool task.
+    /// hybrid fabric's circuit and packet planes concurrently. Dispatches
+    /// nested inside either side publish child jobs on the same pool, so
+    /// both planes' router fan-out shares every lane.
     pub fn join<L, R>(&self, left: L, right: R)
     where
         L: FnOnce() + Send,
@@ -313,67 +405,50 @@ impl WorkerPool {
                 side();
             }
         };
-        self.dispatch(2, &task);
+        self.dispatch(2, 2, &task);
     }
 
-    /// Hand `task` to the pool as `chunks` chunk ids: the dispatcher runs
-    /// id 0, workers run 1..chunks, and this returns only when all are
-    /// done. Runs inline when nested inside another pool operation or when
+    /// Publish `task` as a job of `blocks` blocks over `lanes` queues, help
+    /// drain it, and return once every block has finished. Runs inline when
     /// there is nothing to fan out.
-    fn dispatch(&self, chunks: usize, task: &(dyn Fn(usize) + Sync)) {
-        if chunks <= 1 || IN_POOL.with(|f| f.get()) {
-            for id in 0..chunks {
-                task(id);
+    fn dispatch(&self, blocks: usize, lanes: usize, task: &(dyn Fn(usize) + Sync)) {
+        if blocks <= 1 {
+            for b in 0..blocks {
+                task(b);
             }
             return;
         }
-        // One dispatch at a time: the job slot is shared. A panic in a
-        // previous dispatch may have poisoned the gate on its way out;
-        // the slot itself is left consistent, so the lock stays usable.
-        let _turn = self
-            .shared
-            .gate
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
         // Lifetime erasure: the barrier below keeps `task` alive for as
-        // long as any participating worker can reach it.
-        let job = Job {
-            task: unsafe { erase(task) },
-        };
+        // long as any thread can still claim one of its blocks.
+        let job = Arc::new(JobCore::new(unsafe { erase(task) }, blocks, lanes));
         {
-            let mut st = self.shared.state.lock().expect("pool state");
-            st.job = Some(job);
-            st.chunks = chunks;
-            st.epoch += 1;
-            // Only workers with a chunk (ids 1..chunks) are barriered on;
-            // the rest wake (notify_all reaches everyone), observe from
-            // `st.chunks` that the epoch does not involve them, and park
-            // again off the critical path — possibly only after this
-            // dispatch has completed and cleared the job slot.
-            st.pending = self.workers.min(chunks - 1);
+            let mut reg = lock_registry(&self.shared);
+            reg.jobs.push(Arc::clone(&job));
             self.shared.work.notify_all();
         }
-        // The dispatcher takes chunk 0; nested dispatches from inside the
-        // task fall back to inline execution via IN_POOL.
-        IN_POOL.with(|f| f.set(true));
-        let caller = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(0)));
-        IN_POOL.with(|f| f.set(false));
-        // Barrier: wait for every participant to finish the epoch before
-        // the borrowed closure (and the data it captures) can go away.
-        let worker_panic = {
-            let mut st = self.shared.state.lock().expect("pool state");
-            while st.pending > 0 {
-                st = self.shared.done.wait(st).expect("pool state");
-            }
-            st.job = None;
-            st.panic.take()
-        };
-        if let Err(payload) = caller {
-            std::panic::resume_unwind(payload);
+        // Help-first: drain our own queues (stealing within the job when
+        // ours runs dry), then wait for stragglers. A nested dispatch from
+        // inside a block lands here recursively with its own job — it
+        // drains that child to completion before returning, so the parent
+        // block always finishes and the barrier chain unwinds.
+        while let Some(b) = job.claim(0) {
+            run_block(&job, b, &self.shared);
         }
-        if let Some(payload) = worker_panic {
-            // Re-raise the worker's original payload so the failure reads
-            // exactly like it would have on the calling thread.
+        {
+            let mut reg = lock_registry(&self.shared);
+            while job.pending.load(Ordering::Acquire) > 0 {
+                reg = self
+                    .shared
+                    .done
+                    .wait(reg)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+            reg.jobs.retain(|j| !Arc::ptr_eq(j, &job));
+        }
+        let payload = job.panic.lock().expect("panic slot").take();
+        if let Some(payload) = payload {
+            // Re-raise the original payload so the failure reads exactly
+            // like it would have on the calling thread.
             std::panic::resume_unwind(payload);
         }
     }
@@ -382,8 +457,8 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut st = self.shared.state.lock().expect("pool state");
-            st.shutdown = true;
+            let mut reg = lock_registry(&self.shared);
+            reg.shutdown = true;
             self.shared.work.notify_all();
         }
         for handle in self.handles.drain(..) {
@@ -400,15 +475,37 @@ impl std::fmt::Debug for WorkerPool {
     }
 }
 
+/// Run one claimed block: execute, record a panic if any, retire the block
+/// and wake the dispatcher on the last one.
+fn run_block(job: &JobCore, block: usize, shared: &Shared) {
+    // SAFETY: a block can only be claimed while `pending > 0`, and the
+    // dispatcher does not return (ending the task borrow) until then.
+    let task = unsafe { &*job.task };
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(block)));
+    if let Err(payload) = result {
+        let mut slot = job.panic.lock().expect("panic slot");
+        // Keep the first payload; the dispatcher re-raises it.
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+    if job.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+        // Last block: the dispatcher may be parked on `done`. Taking the
+        // registry lock orders this notify after its wait begins.
+        let _reg = lock_registry(shared);
+        shared.done.notify_all();
+    }
+}
+
 /// Erase the borrow lifetime of a dispatch task. Callers must guarantee
 /// the pointee outlives every dereference — [`WorkerPool::dispatch`] does,
-/// by not returning until all workers finished the epoch.
+/// by not returning until every block of the job has finished.
 unsafe fn erase<'a>(task: &'a (dyn Fn(usize) + Sync + 'a)) -> *const (dyn Fn(usize) + Sync) {
     std::mem::transmute(task)
 }
 
 /// A raw pointer that may cross threads; used to hand each worker the base
-/// of the (disjointly chunked) component slice.
+/// of the (disjointly indexed) component slice.
 struct SendPtr<T>(*mut T);
 
 impl<T> Clone for SendPtr<T> {
@@ -419,52 +516,31 @@ impl<T> Clone for SendPtr<T> {
 impl<T> Copy for SendPtr<T> {}
 
 // SAFETY: the pointee elements are Send and every element is accessed by
-// exactly one thread per dispatch (disjoint chunks).
+// exactly one thread per dispatch (each index runs exactly once).
 unsafe impl<T: Send> Send for SendPtr<T> {}
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 fn worker_loop(shared: &Shared, index: usize) {
-    // Anything this thread runs is already inside a pool operation.
-    IN_POOL.with(|f| f.set(true));
-    let mut seen = 0u64;
     loop {
         let job = {
-            let mut st = shared.state.lock().expect("pool state");
+            let mut reg = lock_registry(shared);
             loop {
-                if st.shutdown {
+                if reg.shutdown {
                     return;
                 }
-                if st.epoch != seen {
-                    seen = st.epoch;
-                    // Participation is decided here, under the lock, from
-                    // `st.chunks` — NOT from the job slot. A worker without
-                    // a chunk is not in `pending`, so the dispatcher may
-                    // have finished the epoch and cleared `job` before this
-                    // worker even woke; for such a worker the epoch is
-                    // simply over and it parks again. Participants are
-                    // barriered on, so their job is always still present.
-                    if index >= st.chunks {
-                        continue;
-                    }
-                    break st.job.expect("participant woke without a job");
+                // Steal-on-empty across jobs: any live job with unclaimed
+                // blocks is fair game, in publication order.
+                if let Some(job) = reg.jobs.iter().find(|j| j.has_work()) {
+                    break Arc::clone(job);
                 }
-                st = shared.work.wait(st).expect("pool state");
+                reg = shared
+                    .work
+                    .wait(reg)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
             }
         };
-        // SAFETY: the dispatcher blocks until `pending` hits zero, so
-        // the task outlives this call.
-        let task = unsafe { &*job.task };
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(index)));
-        let mut st = shared.state.lock().expect("pool state");
-        if let Err(payload) = result {
-            // Keep the first payload; the dispatcher re-raises it.
-            if st.panic.is_none() {
-                st.panic = Some(payload);
-            }
-        }
-        st.pending -= 1;
-        if st.pending == 0 {
-            shared.done.notify_all();
+        while let Some(b) = job.claim(index) {
+            run_block(&job, b, shared);
         }
     }
 }
@@ -489,12 +565,34 @@ where
     WorkerPool::global().for_each_mut(items, lanes, f);
 }
 
+/// Run `f(i)` for every index in `0..len`, possibly in parallel per
+/// `policy`, on the [`WorkerPool::global`] pool.
+///
+/// The closure must be safe to run concurrently on *different* indices:
+/// callers stepping index-striped slabs (`RouterSlab`, `TileSlab`) uphold
+/// write-disjointness per index themselves — each index runs exactly once
+/// per call, on exactly one thread.
+pub fn par_indexed<F>(len: usize, policy: ParPolicy, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let lanes = policy.lanes_for(len);
+    if lanes <= 1 || len <= 1 {
+        for i in 0..len {
+            f(i);
+        }
+        return;
+    }
+    WorkerPool::global().for_each_index(len, lanes, f);
+}
+
 /// Run `left` and `right` concurrently on the global pool when `policy`
 /// resolves to more than one lane for `work_items` components, otherwise
 /// sequentially (`left` first). `work_items` should be the total component
 /// count behind both closures — e.g. the router count of both planes of a
 /// hybrid fabric — so [`ParPolicy::Auto`] can judge whether the fork is
-/// worth a dispatch.
+/// worth a dispatch. Dispatches nested inside either side publish child
+/// jobs on the same pool (full lane sharing, no inline degradation).
 pub fn par_join<L, R>(policy: ParPolicy, work_items: usize, left: L, right: R)
 where
     L: FnOnce() + Send,
@@ -526,6 +624,7 @@ mod tests {
     use super::*;
     use crate::activity::ActivityLedger;
     use crate::signal::Reg;
+    use std::sync::atomic::AtomicU64;
 
     struct Doubler {
         v: Reg<u32>,
@@ -626,13 +725,30 @@ mod tests {
     }
 
     #[test]
+    fn indexed_dispatch_covers_every_index_once() {
+        let pool = WorkerPool::new(3);
+        for len in [0usize, 1, 2, 7, 64, 333] {
+            for lanes in [1usize, 2, 4, 9] {
+                let hits: Vec<AtomicU64> = (0..len).map(|_| AtomicU64::new(0)).collect();
+                pool.for_each_index(len, lanes, |i| {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                });
+                assert!(
+                    hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                    "len={len} lanes={lanes}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn small_dispatches_on_a_larger_pool_do_not_race() {
-        // Regression: with chunks < workers + 1, notify_all wakes workers
-        // that hold no chunk. Such a worker may only get scheduled after
-        // the dispatcher has finished the epoch and cleared the job slot;
-        // it must treat the missed epoch as already complete and park
-        // again, not panic on the empty slot. The idle gaps give late
-        // wakers time to run after cleanup.
+        // Regression (PR 3 shape): a dispatch with fewer blocks than
+        // workers wakes threads that will find nothing to claim. They must
+        // park again cleanly — never touch a retired job — even when they
+        // get scheduled only after the dispatcher finished and removed the
+        // job from the registry. The idle gaps give late wakers time to
+        // run after cleanup.
         let pool = WorkerPool::new(3);
         let mut xs = vec![0u64; 2];
         for i in 0..500 {
@@ -646,7 +762,7 @@ mod tests {
 
     #[test]
     fn join_on_a_larger_pool_does_not_race() {
-        // Same shape as HybridFabric's par_join: 2 chunks on a pool with
+        // Same shape as HybridFabric's par_join: 2 blocks on a pool with
         // more than one worker, repeated with gaps.
         let pool = WorkerPool::new(3);
         let (mut a, mut b) = (0u64, 0u64);
@@ -681,9 +797,52 @@ mod tests {
     }
 
     #[test]
-    fn nested_dispatch_degrades_to_inline() {
-        // A pool task that itself fans out must not deadlock on the pool's
-        // single job slot; the nested call runs inline.
+    fn steal_under_contention_drains_unbalanced_queues() {
+        // Stress the steal path: lane 0's blocks are much heavier than the
+        // rest, so finished lanes must steal from lane 0's queue for the
+        // dispatch to complete in bounded time — and every element must
+        // still be touched exactly once.
+        let pool = WorkerPool::new(3);
+        let mut xs = vec![0u64; 256];
+        for _ in 0..50 {
+            pool.for_each_mut(&mut xs, 4, |x| {
+                if *x % 7 == 0 {
+                    std::thread::yield_now();
+                }
+                *x += 1;
+            });
+        }
+        assert!(xs.iter().all(|&x| x == 50));
+    }
+
+    #[test]
+    fn concurrent_dispatchers_share_the_pool() {
+        // Two threads dispatching at once: with the job registry neither
+        // serialises on the other, workers drain both jobs, and each
+        // dispatch still acts as a barrier for its own items.
+        let pool = Arc::new(WorkerPool::new(2));
+        let other = Arc::clone(&pool);
+        let handle = std::thread::spawn(move || {
+            let mut ys = vec![0u64; 512];
+            for _ in 0..200 {
+                other.for_each_mut(&mut ys, 3, |y| *y += 1);
+            }
+            ys
+        });
+        let mut xs = vec![0u64; 512];
+        for _ in 0..200 {
+            pool.for_each_mut(&mut xs, 3, |x| *x += 1);
+        }
+        let ys = handle.join().expect("dispatcher thread");
+        assert!(xs.iter().all(|&x| x == 200));
+        assert!(ys.iter().all(|&y| y == 200));
+    }
+
+    #[test]
+    fn nested_dispatch_shares_the_pool() {
+        // A pool task that itself fans out publishes a child job on the
+        // same pool — no deadlock, and the nested dispatcher drains the
+        // child before returning.
         let pool = WorkerPool::new(2);
         let mut outer = vec![vec![0u8; 100]; 4];
         pool.for_each_mut(&mut outer, 3, |inner| {
@@ -693,7 +852,7 @@ mod tests {
     }
 
     #[test]
-    fn nested_join_degrades_to_inline() {
+    fn nested_join_completes_both_levels() {
         let pool = WorkerPool::new(1);
         let mut results = [0u32; 2];
         let (left, right) = results.split_at_mut(1);
@@ -706,6 +865,36 @@ mod tests {
             || right[0] = 5,
         );
         assert_eq!(results, [3, 5]);
+    }
+
+    #[test]
+    fn nested_small_dispatch_short_circuits_before_cpu_count() {
+        // Satellite regression: a par_join (or any dispatch) nested inside
+        // a pool task over fewer than AUTO_SEQUENTIAL_BELOW components must
+        // resolve to sequential from the length alone — left side first,
+        // deterministically — rather than consulting machine-wide state.
+        // `lanes_for` short-circuits on `len` before its Auto arm reads the
+        // cached CPU count, so the nested fork is inline on every machine.
+        assert_eq!(
+            ParPolicy::Auto.lanes_for(ParPolicy::AUTO_SEQUENTIAL_BELOW - 1),
+            1
+        );
+        let pool = WorkerPool::new(2);
+        let order = Mutex::new(Vec::new());
+        pool.join(
+            || {
+                // Nested join over a tiny plane: must run inline, in order.
+                par_join(
+                    ParPolicy::Auto,
+                    ParPolicy::AUTO_SEQUENTIAL_BELOW - 1,
+                    || order.lock().unwrap().push("inner-left"),
+                    || order.lock().unwrap().push("inner-right"),
+                );
+            },
+            || {},
+        );
+        let seen = order.lock().unwrap().clone();
+        assert_eq!(seen, vec!["inner-left", "inner-right"]);
     }
 
     #[test]
@@ -733,7 +922,6 @@ mod tests {
         // their message.
         let pool = WorkerPool::new(1);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            // Chunk 0 (dispatcher) holds the 0, chunk 1 (worker) the 1.
             let mut xs = vec![0u32, 1];
             pool.for_each_mut(&mut xs, 2, |x| {
                 if *x == 1 {
@@ -756,6 +944,30 @@ mod tests {
     }
 
     #[test]
+    fn panic_under_stealing_still_completes_other_blocks() {
+        // A panic in one stolen block must not wedge the dispatch or lose
+        // the payload, even while other lanes keep claiming blocks.
+        let pool = WorkerPool::new(3);
+        for _ in 0..50 {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut xs = vec![0u32; 64];
+                xs[37] = 1;
+                pool.for_each_mut(&mut xs, 4, |x| {
+                    if *x == 1 {
+                        panic!("block 37 exploded");
+                    }
+                    *x += 2;
+                });
+            }));
+            assert!(result.is_err(), "panic must propagate every iteration");
+        }
+        // Pool still healthy afterwards.
+        let mut xs = vec![0u32; 64];
+        pool.for_each_mut(&mut xs, 4, |x| *x += 1);
+        assert!(xs.iter().all(|&x| x == 1));
+    }
+
+    #[test]
     fn par_join_sequential_policy_runs_inline() {
         let order = Mutex::new(Vec::new());
         par_join(
@@ -773,5 +985,20 @@ mod tests {
         let mut b = 0;
         par_join(ParPolicy::Threads(2), 1_000, || a = 1, || b = 2);
         assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn par_indexed_matches_sequential() {
+        let seq: Vec<AtomicU64> = (0..300).map(AtomicU64::new).collect();
+        let par: Vec<AtomicU64> = (0..300).map(AtomicU64::new).collect();
+        par_indexed(300, ParPolicy::Sequential, |i| {
+            seq[i].fetch_add(i as u64, Ordering::Relaxed);
+        });
+        par_indexed(300, ParPolicy::Threads(4), |i| {
+            par[i].fetch_add(i as u64, Ordering::Relaxed);
+        });
+        for (a, b) in seq.iter().zip(par.iter()) {
+            assert_eq!(a.load(Ordering::Relaxed), b.load(Ordering::Relaxed));
+        }
     }
 }

@@ -464,6 +464,47 @@ mod tests {
         assert_eq!(lat.max(), Some(1_000_000));
     }
 
+    /// The overflow boundary sits at exactly
+    /// `BUCKET_WIDTH * BUCKETS` = 2048 cycles: 2047 is the last in-range
+    /// value, 2048 the first overflow. On either side of it, no quantile
+    /// may exceed the tracked exact `max` — the congested-stream p95 bug
+    /// this clamp guards against.
+    #[test]
+    fn latency_histogram_quantile_clamps_at_overflow_boundary() {
+        let range = LatencyHistogram::BUCKET_WIDTH * LatencyHistogram::BUCKETS as u64;
+        assert_eq!(range, 2048, "default covered range");
+
+        // Last in-range value: its bucket's upper bound (2047) happens to
+        // coincide with the sample, but a sample of 2045 would share the
+        // bucket — the quantile must clamp to the exact max, not report
+        // the bound.
+        let mut edge = LatencyHistogram::new();
+        for _ in 0..99 {
+            edge.record(1);
+        }
+        edge.record(range - 3); // 2045, in the final bucket [2044, 2048)
+        assert_eq!(edge.max(), Some(2045));
+        assert_eq!(edge.quantile(1.0), Some(2045), "clamped to max, not 2047");
+        assert!(edge.hist.overflow() == 0, "2045 is in range");
+
+        // First overflow value: exactly 2048 lands in the overflow bucket
+        // and every quantile that resolves there reports the exact max.
+        let mut over = LatencyHistogram::new();
+        for _ in 0..99 {
+            over.record(1);
+        }
+        over.record(range); // exactly 2048
+        assert_eq!(over.hist.overflow(), 1, "2048 is the first overflow value");
+        assert_eq!(over.quantile(1.0), Some(2048));
+        assert_eq!(over.p95().unwrap(), 3, "p95 still resolves in range");
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert!(
+                over.quantile(q).unwrap() <= over.max().unwrap(),
+                "quantile({q}) exceeded max"
+            );
+        }
+    }
+
     #[test]
     fn latency_histogram_empty() {
         let lat = LatencyHistogram::new();

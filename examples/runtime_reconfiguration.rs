@@ -18,7 +18,7 @@ fn main() {
     let clock = MegaHertz(200.0);
     let ccn = Ccn::new(mesh, params, clock);
     let mut soc = Soc::new(mesh, params);
-    let kinds: Vec<TileKind> = mesh.iter().map(|n| soc.tile(n).kind).collect();
+    let kinds: Vec<TileKind> = mesh.iter().map(|n| soc.tiles().kind(n.0)).collect();
 
     // Phase 1: WLAN running.
     let wlan = noc_apps::hiperlan2::task_graph(&Hiperlan2Params::standard(Modulation::Qam64));

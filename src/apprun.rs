@@ -93,7 +93,7 @@ impl AppRun {
         // switch the destination tiles' capture buffers off so unbounded
         // runs do not accumulate payload history.
         for node in mesh.iter() {
-            soc.tile_mut(node).set_capture(false);
+            soc.tiles_mut().set_capture(node.0, false);
         }
 
         // Configuration rides the BE network from the CCN's corner node.
@@ -138,7 +138,8 @@ impl AppRun {
             for (j, path) in route.paths.iter().enumerate() {
                 let tx_lane = path[0].in_lane;
                 let rx_lane = path.last().expect("non-empty").out_lane;
-                soc.tile_mut(src).bind_source(
+                soc.tiles_mut().bind_source(
+                    src.0,
                     tx_lane,
                     DataPattern::Random,
                     seed ^ ((idx as u64) << 32) ^ j as u64,
@@ -188,7 +189,7 @@ impl AppRun {
                 );
                 let bits: u64 = rx_lanes
                     .iter()
-                    .map(|&lane| self.soc.tile(*dst).rx(lane).payload_bits)
+                    .map(|&lane| self.soc.tiles().rx(dst.0, lane).payload_bits)
                     .sum();
                 let measured = Bandwidth::from_bits_over(bits, window);
                 RouteReport {

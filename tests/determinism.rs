@@ -62,12 +62,12 @@ fn soc_results_independent_of_thread_count() {
         soc.router_mut(b)
             .connect(Port::North, 0, Port::Tile, 0)
             .unwrap();
-        soc.tile_mut(a)
-            .bind_source(0, DataPattern::Random, 99, 1.0, 5);
+        soc.tiles_mut()
+            .bind_source(a.0, 0, DataPattern::Random, 99, 1.0, 5);
         soc.run(3000);
         (
-            soc.tile(b).rx(0).received,
-            soc.tile(b).rx(0).last_word,
+            soc.tiles().rx(b.0, 0).received,
+            soc.tiles().rx(b.0, 0).last_word,
             soc.total_activity(),
         )
     };
@@ -288,7 +288,7 @@ fn mapping_is_deterministic() {
     let mesh = Mesh::new(4, 4);
     let params = RouterParams::paper();
     let soc = Soc::new(mesh, params);
-    let kinds: Vec<TileKind> = mesh.iter().map(|n| soc.tile(n).kind).collect();
+    let kinds: Vec<TileKind> = mesh.iter().map(|n| soc.tiles().kind(n.0)).collect();
     let ccn = Ccn::new(mesh, params, MegaHertz(100.0));
     let a = ccn.map(&graph, &kinds).unwrap();
     let b = ccn.map(&graph, &kinds).unwrap();

@@ -143,14 +143,14 @@ fn streams_on_shared_ports_do_not_interfere() {
         .connect(Port::West, 1, Port::Tile, 1)
         .unwrap();
 
-    soc.tile_mut(n0)
-        .bind_source(0, DataPattern::Random, 10, 1.0, 5);
-    soc.tile_mut(n1)
-        .bind_source(0, DataPattern::Random, 11, 1.0, 5);
+    soc.tiles_mut()
+        .bind_source(n0.0, 0, DataPattern::Random, 10, 1.0, 5);
+    soc.tiles_mut()
+        .bind_source(n1.0, 0, DataPattern::Random, 11, 1.0, 5);
     soc.run(5000);
 
-    let a = soc.tile(n2).rx(0).received;
-    let b = soc.tile(n2).rx(1).received;
+    let a = soc.tiles().rx(n2.0, 0).received;
+    let b = soc.tiles().rx(n2.0, 1).received;
     assert!(a >= 980, "stream A starved: {a}");
     assert!(b >= 980, "stream B starved: {b}");
     assert_eq!(soc.router(n2).rx_overflows(), 0);
@@ -196,7 +196,7 @@ fn be_configuration_matches_direct_configuration() {
     let params = RouterParams::paper();
     let ccn = Ccn::new(mesh, params, MegaHertz(100.0));
     let soc_probe = Soc::new(mesh, params);
-    let kinds: Vec<TileKind> = mesh.iter().map(|n| soc_probe.tile(n).kind).collect();
+    let kinds: Vec<TileKind> = mesh.iter().map(|n| soc_probe.tiles().kind(n.0)).collect();
     let mapping = ccn.map(&graph, &kinds).unwrap();
 
     // Direct application.

@@ -105,11 +105,11 @@ fn recovery_over_be_network_restores_traffic() {
     let dst_proc = graph.edges().next().unwrap().1.dst;
     let dst_node = remapped.node_of(dst_proc).unwrap();
     let rx_lane = remapped.dest_lane(first_edge).unwrap();
-    soc.tile_mut(src_node)
-        .bind_source(tx_lane, DataPattern::Random, 5, 1.0, 5);
+    soc.tiles_mut()
+        .bind_source(src_node.0, tx_lane, DataPattern::Random, 5, 1.0, 5);
     soc.run(2000);
     assert!(
-        soc.tile(dst_node).rx(rx_lane).received > 300,
+        soc.tiles().rx(dst_node.0, rx_lane).received > 300,
         "traffic must resume after recovery"
     );
 }

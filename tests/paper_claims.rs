@@ -148,7 +148,7 @@ fn claim_applications_feasible() {
     let mesh = Mesh::new(4, 4);
     let params = RouterParams::paper();
     let soc = Soc::new(mesh, params);
-    let kinds: Vec<TileKind> = mesh.iter().map(|n| soc.tile(n).kind).collect();
+    let kinds: Vec<TileKind> = mesh.iter().map(|n| soc.tiles().kind(n.0)).collect();
     let ccn = Ccn::new(mesh, params, MegaHertz(200.0));
 
     let graphs = [
