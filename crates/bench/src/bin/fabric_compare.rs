@@ -1,5 +1,5 @@
 //! The unified-fabric head-to-head: every application workload deployed on
-//! **all three** switching fabrics through one generic code path.
+//! **all four** switching fabrics through one generic code path.
 //!
 //! This is the deployment-level generalisation of Fig. 9: where the paper
 //! compares one router under synthetic Table 3 streams, this binary runs
@@ -13,6 +13,11 @@
 //!   lanes (spill-admitted: carries only the GT subset when oversubscribed);
 //! * **hybrid** — profiled hybrid switching (arXiv:2005.08478): admitted
 //!   streams on circuits, spillover on a clock-gated packet plane;
+//! * **deflection** — the bufferless mesh: single-flit-register routers,
+//!   age-ordered arbitration, contention absorbed as misroutes — no FIFO
+//!   energy anywhere, so it must beat the ungated packet baseline on
+//!   uncontended workloads (enforced by exit code) while the hotspot
+//!   workload shows nonzero deflections with bounded worst-case latency;
 //! * **packet** — the ungated VC wormhole baseline carrying everything.
 //!
 //! Run with `--smoke` for a seconds-scale CI sanity pass (small mesh, few
@@ -313,7 +318,7 @@ fn main() {
         BenchConfig::full()
     };
     println!(
-        "Unified Fabric comparison: identical workloads, three backends,\n\
+        "Unified Fabric comparison: identical workloads, four backends,\n\
          {} at {}, {} offered-load cycles + settling{}.\n",
         cfg.mesh,
         cfg.clock,
@@ -353,9 +358,55 @@ fn main() {
         let cmp = compare_fabrics(graph, *mesh, cfg.clock, cfg.cycles, seed)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         rows_for(name, &cmp, &mut rows);
-        let ordered = cmp.hybrid_between_endpoints();
+        // The four-way frontier ordering, measured and exit-code enforced:
+        // circuit <= hybrid <= whichever of deflection/packet is cheaper.
+        let ordered = cmp.hybrid_between_endpoints()
+            && cmp.hybrid.energy.value()
+                <= cmp.deflection.energy.value().min(cmp.packet.energy.value());
         if !ordered {
+            println!(
+                "!! {name}: frontier ordering violated: circuit {} <= hybrid {} \
+                 <= min(deflection {}, packet {})",
+                cmp.circuit.energy, cmp.hybrid.energy, cmp.deflection.energy, cmp.packet.energy,
+            );
             failures += 1;
+        }
+        let deflection_max_latency = cmp
+            .deflection
+            .streams
+            .iter()
+            .filter_map(|s| s.latency.max())
+            .max();
+        if *name == "oversubscribed 2-stream" {
+            // The hotspot forces misroutes: the deflection telemetry must
+            // show them, and age-ordered arbitration must still bound the
+            // worst word's service latency to (well under) one offered-load
+            // window — livelock would blow straight through this.
+            if cmp.max_deflections() == 0 {
+                println!("!! {name}: the hotspot must force deflections");
+                failures += 1;
+            }
+            match deflection_max_latency {
+                Some(max) if max < cfg.cycles => {}
+                got => {
+                    println!(
+                        "!! {name}: deflection worst-case latency {got:?} not \
+                         bounded by the {}-cycle offered window",
+                        cfg.cycles
+                    );
+                    failures += 1;
+                }
+            }
+        } else {
+            // No contention hotspot: the bufferless mesh pays no FIFO
+            // energy and must land strictly below the ungated baseline.
+            if cmp.deflection.energy.value() >= cmp.packet.energy.value() {
+                println!(
+                    "!! {name}: deflection {} must beat the ungated packet {}",
+                    cmp.deflection.energy, cmp.packet.energy
+                );
+                failures += 1;
+            }
         }
         if *name == "oversubscribed 2-stream" {
             if cmp.hybrid.spilled_words == 0 {
@@ -382,6 +433,8 @@ fn main() {
             name.to_string(),
             cmp.energy_ratio(),
             cmp.hybrid_energy_ratio(),
+            cmp.deflection_energy_ratio(),
+            cmp.max_deflections(),
             cmp.hybrid.spilled_streams,
             ordered,
             (
@@ -412,13 +465,14 @@ fn main() {
         println!("\n{table}");
     }
 
-    println!("\nTotal-energy ratios per workload (vs pure circuit / vs hybrid),");
+    println!("\nTotal-energy ratios per workload (vs circuit / hybrid / deflection),");
     println!("with the hybrid's GT/BE service gap (worst circuit p95 / best spilled p95):");
-    for (name, rc, rh, spilled, ordered, (gt, be)) in &ratios {
+    for (name, rc, rh, rd, maxd, spilled, ordered, (gt, be)) in &ratios {
         println!(
-            "  {name:<24} packet/circuit {rc:.2}x   packet/hybrid {rh:.2}x   \
+            "  {name:<24} pkt/circuit {rc:.2}x   pkt/hybrid {rh:.2}x   \
+             pkt/deflection {rd:.2}x   max deflections {maxd}   \
              spilled streams {spilled}   GT p95 {:>4}   BE p95 {:>4}   \
-             circuit<=hybrid<=packet: {}",
+             frontier ordered: {}",
             fmt_p95(*gt),
             fmt_p95(*be),
             if *ordered { "yes" } else { "VIOLATED" }
@@ -431,10 +485,13 @@ fn main() {
          The hybrid lands between the endpoints because admitted streams ride\n\
          circuits while its packet plane — clock-gated, mostly idle — only\n\
          wakes for the spillover; the circuit endpoint of an oversubscribed\n\
-         workload delivers the admitted GT subset only. On the oversubscribed\n\
-         workload the GT/BE p95 ordering is enforced by exit code: circuits\n\
-         must serve their streams no worse than the spillover plane serves\n\
-         its.)"
+         workload delivers the admitted GT subset only. The bufferless\n\
+         deflection mesh must beat the ungated packet baseline on every\n\
+         uncontended workload (no FIFOs to clock), and on the hotspot it\n\
+         must show nonzero deflections with worst-case latency bounded by\n\
+         the offered window — all enforced by exit code, as is the GT/BE\n\
+         p95 ordering: circuits must serve their streams no worse than the\n\
+         spillover plane serves its.)"
     );
     if failures > 0 {
         // Non-zero exit so the CI smoke step can't silently rot.

@@ -68,18 +68,27 @@ const RETIRE_BUDGET: u64 = 400;
 /// with BE-delivered cold start — its light stream rides the spilled
 /// (BE) plane and its circuits pay a §5.1 admission latency, so the
 /// fleet-wide GT/BE service gap and admission-latency SLOs are exercised,
-/// not vacuous.
+/// not vacuous. A second tenth (offset 4) runs the same oversubscribed
+/// line on the bufferless *deflection* fabric, so the fleet census
+/// carries tenants that actually misroute under contention and the
+/// replay gate covers deflection snapshot/restore under load.
 fn specs(tenants: usize) -> Vec<TenantSpec> {
     let lane = Ccn::new(Mesh::new(3, 1), RouterParams::paper(), MegaHertz(25.0)).lane_capacity();
     (0..tenants)
         .map(|i| {
             let profile = PROFILES[(i / FabricKind::ALL.len()) % PROFILES.len()];
-            if i % 10 == 9 {
+            if i % 10 == 9 || i % 10 == 4 {
+                let kind = if i % 10 == 9 {
+                    FabricKind::Hybrid
+                } else {
+                    FabricKind::Deflection
+                };
                 return TenantSpec::new(format!("tenant-{i:04}"), oversubscribed_line(lane))
                     .mesh(3, 1)
                     .clock(MegaHertz(25.0))
                     .seed(0xF1EE7 ^ i as u64)
-                    .fabric(FabricKind::Hybrid)
+                    .fabric(kind)
+                    .spill(true)
                     .provisioning(ProvisionMode::BeDelivered)
                     .workload(profile);
             }

@@ -6,7 +6,7 @@
 //! D&T 2005), and the ROADMAP's production-scale goal needs those sizes to
 //! simulate fast. This binary sweeps square meshes from 4×4 up to 16×16
 //! (the packet header's coordinate ceiling), deploys the same pipeline
-//! workload on all three backends through `Deployment::builder`, and times
+//! workload on all four backends through `Deployment::builder`, and times
 //! whole-fabric stepping under three [`ParPolicy`] variants:
 //!
 //! * `Sequential` — everything on the calling thread (the baseline);
@@ -255,6 +255,15 @@ fn main() {
                 &kind.to_string(),
                 seq.cycles_per_sec,
             );
+            // Worst per-stream misroute count — 0 by definition on the
+            // buffered backends, real telemetry on the deflection mesh.
+            let max_deflections = seq
+                .outcome
+                .streams
+                .iter()
+                .map(|s| s.max_deflections)
+                .max()
+                .unwrap_or(0);
             json_rows.push(
                 Json::obj()
                     .with("mesh", format!("{side}x{side}"))
@@ -266,6 +275,7 @@ fn main() {
                     .with("auto_cycles_per_sec", auto.cycles_per_sec)
                     .with("pooled_speedup", speedup)
                     .with("seq_vs_baseline", vs_baseline)
+                    .with("max_deflections", max_deflections)
                     .with("parity", parity),
             );
             rows.push(vec![
@@ -350,6 +360,15 @@ fn main() {
                 .with("pooled_cycles_per_sec", pooled.cycles_per_sec)
                 .with("auto_cycles_per_sec", auto.cycles_per_sec)
                 .with("pooled_speedup", pooled.cycles_per_sec / seq.cycles_per_sec)
+                .with(
+                    "max_deflections",
+                    seq.outcome
+                        .streams
+                        .iter()
+                        .map(|s| s.max_deflections)
+                        .max()
+                        .unwrap_or(0),
+                )
                 .with("seq_vs_baseline", vs_baseline)
                 .with("parity", parity),
         );

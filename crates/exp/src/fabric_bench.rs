@@ -8,16 +8,17 @@
 //! [`noc_mesh::deployment::Deployment`] onto *any* backend, driven at its
 //! demanded offered load, settled, and costed with the calibrated energy
 //! model. [`compare_fabrics`] runs the identical workload (same seed, same
-//! payload words) on all three backends — circuit, hybrid, packet — and
-//! reports the paper's headline quantities side by side.
+//! payload words) on all four backends — circuit, hybrid, deflection,
+//! packet — and reports the paper's headline quantities side by side.
 //!
 //! Admission is spill-tolerant across the board so that oversubscribed
 //! workloads (circuits alone cannot admit every stream) compare cleanly:
 //! the circuit endpoint carries the admitted GT subset only, the hybrid
 //! carries everything (spillover on its clock-gated packet plane), the
-//! packet endpoint carries everything on ungated wormhole routers. For
-//! feasible workloads the spill set is empty and the circuit/packet
-//! numbers are identical to strict admission.
+//! bufferless deflection mesh and the ungated packet baseline carry
+//! everything on their own routers. For feasible workloads the spill set
+//! is empty and the circuit/packet numbers are identical to strict
+//! admission.
 
 use noc_apps::taskgraph::TaskGraph;
 use noc_mesh::deployment::{DeployError, Deployment};
@@ -127,7 +128,7 @@ pub fn run_app<F: Fabric>(
     }
 }
 
-/// All three backends' results for one workload, pure-circuit to
+/// All four backends' results for one workload, pure-circuit to
 /// pure-packet.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FabricComparison {
@@ -137,6 +138,9 @@ pub struct FabricComparison {
     /// The hybrid run: admitted streams on circuits, spillover on the
     /// clock-gated packet plane.
     pub hybrid: FabricRunSummary,
+    /// The bufferless deflection run: every stream, single-flit-register
+    /// routers, contention absorbed as age-arbitrated misroutes.
+    pub deflection: FabricRunSummary,
     /// The packet-switched run (every stream, ungated baseline).
     pub packet: FabricRunSummary,
 }
@@ -163,17 +167,36 @@ impl FabricComparison {
             && self.hybrid.energy.value() <= self.packet.energy.value()
     }
 
+    /// Packet-over-deflection total-energy ratio: what dropping every
+    /// FIFO (and paying deflection re-traversals instead) saves against
+    /// the ungated buffered baseline.
+    pub fn deflection_energy_ratio(&self) -> f64 {
+        self.packet.energy.value() / self.deflection.energy.value()
+    }
+
+    /// Largest per-stream `max_deflections` of the deflection run — 0 on
+    /// an uncontended workload, positive once streams contend for links.
+    pub fn max_deflections(&self) -> u64 {
+        self.deflection
+            .streams
+            .iter()
+            .map(|s| s.max_deflections)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// The summary for `kind`.
     pub fn summary(&self, kind: FabricKind) -> &FabricRunSummary {
         match kind {
             FabricKind::Circuit => &self.circuit,
             FabricKind::Hybrid => &self.hybrid,
+            FabricKind::Deflection => &self.deflection,
             FabricKind::Packet => &self.packet,
         }
     }
 }
 
-/// Deploy `graph` on all three backends (same mesh, clock and traffic
+/// Deploy `graph` on all four backends (same mesh, clock and traffic
 /// seed) and run the identical workload through each. Admission is
 /// spill-tolerant (see the module docs); a feasible workload behaves
 /// exactly as under strict admission.
@@ -193,10 +216,12 @@ pub fn compare_fabrics(
     };
     let mut circuit = builder(graph).build_circuit()?;
     let mut hybrid = builder(graph).build_hybrid()?;
+    let mut deflection = builder(graph).build_deflection()?;
     let mut packet = builder(graph).build_packet()?;
     Ok(FabricComparison {
         circuit: run_app(&mut circuit, graph, cycles),
         hybrid: run_app(&mut hybrid, graph, cycles),
+        deflection: run_app(&mut deflection, graph, cycles),
         packet: run_app(&mut packet, graph, cycles),
     })
 }
@@ -328,6 +353,53 @@ mod tests {
         assert!(
             cmp.hybrid.gt_no_worse_than_be(),
             "GT p95 {gt:?} exceeds BE p95 {be:?}"
+        );
+    }
+
+    #[test]
+    fn deflection_beats_ungated_packet_on_a_feasible_workload() {
+        // The fourth backend's frontier position: HiperLAN/2 is feasible
+        // (no oversubscription), so the deflection mesh delivers the same
+        // words with no FIFO energy and must land strictly below the
+        // ungated packet baseline.
+        let cmp = comparison();
+        assert_eq!(cmp.deflection.kind, FabricKind::Deflection);
+        assert_eq!(cmp.deflection.injected, cmp.packet.injected);
+        assert_eq!(cmp.deflection.delivered, cmp.packet.delivered);
+        assert!(cmp.deflection.min_delivered_fraction > 0.9);
+        assert!(
+            cmp.deflection.energy.value() < cmp.packet.energy.value(),
+            "deflection {} must beat the ungated packet {}",
+            cmp.deflection.energy,
+            cmp.packet.energy
+        );
+        assert!(cmp.deflection_energy_ratio() > 1.0);
+    }
+
+    #[test]
+    fn oversubscribed_deflection_deflects_but_delivers() {
+        // Oversubscription on the deflection mesh shows up as misroutes,
+        // not loss: the max_deflections telemetry goes positive while
+        // every injected word still lands.
+        let clock = MegaHertz(25.0);
+        let ccn = noc_mesh::Ccn::new(
+            Mesh::new(3, 1),
+            noc_core::params::RouterParams::paper(),
+            clock,
+        );
+        let g = noc_apps::synthetic::oversubscribed_line(ccn.lane_capacity());
+        let cmp = compare_fabrics(&g, Mesh::new(3, 1), clock, 4000, 0x0B5)
+            .expect("spill admission deploys everywhere");
+        assert_eq!(cmp.deflection.injected, cmp.packet.injected);
+        assert_eq!(
+            cmp.deflection.delivered, cmp.deflection.injected,
+            "deflection routing never drops payload"
+        );
+        // On a 3x1 line two streams converge on one sink, so words must
+        // contend for the same link and deflect.
+        assert!(
+            cmp.max_deflections() > 0,
+            "the hotspot must force deflections"
         );
     }
 

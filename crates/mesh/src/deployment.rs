@@ -32,7 +32,8 @@
 //! # Ok::<(), noc_mesh::deployment::DeployError>(())
 //! ```
 //!
-//! `build_circuit()` / `build_packet()` return concretely-typed
+//! `build_circuit()` / `build_hybrid()` / `build_deflection()` /
+//! `build_packet()` return concretely-typed
 //! deployments for code that is itself generic over `F: Fabric`; `build()`
 //! erases the backend behind `Box<dyn Fabric>` for runtime selection.
 //! Either way the scenario plumbing — CCN mapping, per-route offered-load
@@ -41,6 +42,7 @@
 
 use crate::ccn::{Ccn, Mapping, MappingError};
 use crate::controller::{AdmissionPolicy, FabricController, FirstFit};
+use crate::deflection::DeflectionFabric;
 use crate::fabric::{
     EnergyModel, Fabric, FabricKind, FabricSnapshot, PacketFabric, ProvisionError, SnapshotError,
 };
@@ -52,6 +54,7 @@ use crate::topology::{Mesh, NodeId};
 use noc_apps::taskgraph::TaskGraph;
 use noc_apps::traffic::{DataPattern, WordStream};
 use noc_core::params::RouterParams;
+use noc_packet::deflection::DeflectionParams;
 use noc_packet::params::PacketParams;
 use noc_power::estimator::PowerReport;
 use noc_sim::par::ParPolicy;
@@ -98,6 +101,7 @@ pub struct DeploymentBuilder<'g> {
     mesh: Mesh,
     router_params: RouterParams,
     packet_params: PacketParams,
+    deflection_params: DeflectionParams,
     clock: MegaHertz,
     seed: u64,
     kind: FabricKind,
@@ -105,6 +109,7 @@ pub struct DeploymentBuilder<'g> {
     pattern: DataPattern,
     tile_kinds: Option<Vec<TileKind>>,
     spill: bool,
+    deflection_spill: bool,
     parallelism: ParPolicy,
     provisioning: ProvisionMode,
     policy: Option<Box<dyn AdmissionPolicy>>,
@@ -118,6 +123,7 @@ impl<'g> DeploymentBuilder<'g> {
             mesh: Mesh::new(4, 4),
             router_params: RouterParams::paper(),
             packet_params: PacketParams::paper(),
+            deflection_params: DeflectionParams::paper(),
             clock: MegaHertz(100.0),
             seed: 0,
             kind: FabricKind::Circuit,
@@ -125,6 +131,7 @@ impl<'g> DeploymentBuilder<'g> {
             pattern: DataPattern::Random,
             tile_kinds: None,
             spill: false,
+            deflection_spill: false,
             parallelism: ParPolicy::Auto,
             provisioning: ProvisionMode::Instant,
             policy: None,
@@ -153,6 +160,13 @@ impl<'g> DeploymentBuilder<'g> {
     /// Packet-router parameters (default [`PacketParams::paper`]).
     pub fn packet_params(mut self, params: PacketParams) -> Self {
         self.packet_params = params;
+        self
+    }
+
+    /// Deflection-router parameters (default [`DeflectionParams::paper`]:
+    /// ungated, pure bufferless).
+    pub fn deflection_params(mut self, params: DeflectionParams) -> Self {
+        self.deflection_params = params;
         self
     }
 
@@ -205,6 +219,34 @@ impl<'g> DeploymentBuilder<'g> {
     pub fn spill(mut self, spill: bool) -> Self {
         self.spill = spill;
         self
+    }
+
+    /// Put the hybrid backend's spillover on a **bufferless deflection
+    /// plane** ([`HybridFabric::with_deflection_spill`]) instead of the
+    /// default buffered packet plane. Uses the builder's
+    /// [`DeploymentBuilder::deflection_params`] with clock gating forced
+    /// on. Only the hybrid backend reads this knob.
+    pub fn deflection_spill(mut self, on: bool) -> Self {
+        self.deflection_spill = on;
+        self
+    }
+
+    /// The hybrid fabric this builder's knobs describe.
+    fn hybrid_fabric(&self) -> HybridFabric {
+        if self.deflection_spill {
+            HybridFabric::with_deflection_spill(
+                self.mesh,
+                self.router_params,
+                self.deflection_params,
+            )
+        } else {
+            HybridFabric::new(
+                self.mesh,
+                self.router_params,
+                self.packet_params,
+                self.packet_words,
+            )
+        }
     }
 
     /// Per-cycle evaluation policy for the built fabric (default
@@ -300,14 +342,13 @@ impl<'g> DeploymentBuilder<'g> {
             ),
             FabricKind::Hybrid => {
                 self.check_packet_mesh()?;
+                (Box::new(self.hybrid_fabric()), self.map_admission(true)?)
+            }
+            FabricKind::Deflection => {
+                self.check_packet_mesh()?;
                 (
-                    Box::new(HybridFabric::new(
-                        self.mesh,
-                        self.router_params,
-                        self.packet_params,
-                        self.packet_words,
-                    )),
-                    self.map_admission(true)?,
+                    Box::new(DeflectionFabric::new(self.mesh, self.deflection_params)),
+                    self.map()?,
                 )
             }
             FabricKind::Packet => {
@@ -347,14 +388,13 @@ impl<'g> DeploymentBuilder<'g> {
             ),
             FabricKind::Hybrid => {
                 self.check_packet_mesh()?;
+                (Box::new(self.hybrid_fabric()), self.map_admission(true)?)
+            }
+            FabricKind::Deflection => {
+                self.check_packet_mesh()?;
                 (
-                    Box::new(HybridFabric::new(
-                        self.mesh,
-                        self.router_params,
-                        self.packet_params,
-                        self.packet_words,
-                    )),
-                    self.map_admission(true)?,
+                    Box::new(DeflectionFabric::new(self.mesh, self.deflection_params)),
+                    self.map()?,
                 )
             }
             FabricKind::Packet => {
@@ -393,6 +433,15 @@ impl<'g> DeploymentBuilder<'g> {
         Ok(Deployment::assemble(fabric, mapping, &self))
     }
 
+    /// Deploy onto the bufferless deflection mesh.
+    pub fn build_deflection(self) -> Result<Deployment<DeflectionFabric>, DeployError> {
+        self.check_packet_mesh()?;
+        let mapping = self.map()?;
+        let mut fabric = DeflectionFabric::new(self.mesh, self.deflection_params);
+        fabric.provision_with(&mapping, self.provisioning)?;
+        Ok(Deployment::assemble(fabric, mapping, &self))
+    }
+
     /// Deploy onto the hybrid fabric: circuits for the admitted streams, a
     /// clock-gated packet plane for the spillover. Admission is always
     /// spill-tolerant — routing heavy flows onto circuits and the rest
@@ -401,12 +450,7 @@ impl<'g> DeploymentBuilder<'g> {
     pub fn build_hybrid(self) -> Result<Deployment<HybridFabric>, DeployError> {
         self.check_packet_mesh()?;
         let mapping = self.map_admission(true)?;
-        let mut fabric = HybridFabric::new(
-            self.mesh,
-            self.router_params,
-            self.packet_params,
-            self.packet_words,
-        );
+        let mut fabric = self.hybrid_fabric();
         fabric.provision_with(&mapping, self.provisioning)?;
         Ok(Deployment::assemble(fabric, mapping, &self))
     }

@@ -57,6 +57,10 @@ pub enum FabricKind {
     /// clock-gated packet plane for the spillover
     /// ([`crate::hybrid::HybridFabric`]).
     Hybrid,
+    /// Bufferless deflection routing: no FIFOs anywhere, contention
+    /// absorbed as age-arbitrated misroutes
+    /// ([`crate::deflection::DeflectionFabric`]).
+    Deflection,
     /// The packet-switched virtual-channel wormhole baseline mesh.
     Packet,
 }
@@ -66,14 +70,21 @@ impl FabricKind {
     pub const BOTH: [FabricKind; 2] = [FabricKind::Circuit, FabricKind::Packet];
 
     /// All kinds, ordered from pure-circuit to pure-packet — the energy
-    /// ordering the hybrid is expected to land inside.
-    pub const ALL: [FabricKind; 3] = [FabricKind::Circuit, FabricKind::Hybrid, FabricKind::Packet];
+    /// ordering the hybrid is expected to land inside, with bufferless
+    /// deflection between it and the FIFO-buffered packet baseline.
+    pub const ALL: [FabricKind; 4] = [
+        FabricKind::Circuit,
+        FabricKind::Hybrid,
+        FabricKind::Deflection,
+        FabricKind::Packet,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
         match self {
             FabricKind::Circuit => "circuit-switched",
             FabricKind::Hybrid => "hybrid-switched",
+            FabricKind::Deflection => "deflection-routed",
             FabricKind::Packet => "packet-switched",
         }
     }
@@ -759,7 +770,7 @@ pub struct PacketFabric {
 }
 
 /// Map a mesh port to the packet router's port type.
-fn pport(port: noc_core::lane::Port) -> PacketPort {
+pub(crate) fn pport(port: noc_core::lane::Port) -> PacketPort {
     match port {
         noc_core::lane::Port::Tile => PacketPort::Tile,
         noc_core::lane::Port::North => PacketPort::North,
@@ -1108,6 +1119,7 @@ impl Fabric for PacketFabric {
                 delivered_words: s.delivered,
                 reconfig_cycles: 0,
                 latency: s.latency.clone(),
+                max_deflections: 0,
             })
             .collect()
     }

@@ -43,6 +43,7 @@
 //!   can show the hybrid's energy landing between the pure endpoints.
 
 use crate::ccn::Mapping;
+use crate::deflection::DeflectionFabric;
 use crate::fabric::{
     EnergyModel, Fabric, FabricKind, FabricSnapshot, PacketFabric, ProvisionError, SnapshotError,
 };
@@ -52,6 +53,7 @@ use crate::stream::{
 };
 use crate::topology::Mesh;
 use noc_core::params::RouterParams;
+use noc_packet::deflection::DeflectionParams;
 use noc_packet::params::PacketParams;
 use noc_sim::activity::ComponentActivity;
 use noc_sim::kernel::Clocked;
@@ -104,6 +106,46 @@ pub struct ServiceGap {
     pub be_best_p95: Option<u64>,
 }
 
+/// Which backend carries the hybrid's best-effort spillover.
+///
+/// The classic profiled-hybrid design gates a FIFO-buffered packet plane;
+/// swapping in the bufferless deflection mesh removes even the spill
+/// path's FIFOs — spilled traffic then pays deflection re-traversals
+/// under contention instead of buffer read/writes. Either way the
+/// circuit plane and the session table above are untouched: the spill
+/// plane is addressed purely through the [`Fabric`] trait.
+#[derive(Debug, Clone)]
+pub enum SpillPlane {
+    /// FIFO-buffered wormhole routers, clock-gated while idle (the
+    /// default, arXiv:2005.08478's design point).
+    Packet(PacketFabric),
+    /// Bufferless deflection routers, clock-gated while idle.
+    Deflection(DeflectionFabric),
+}
+
+impl SpillPlane {
+    fn as_fabric(&self) -> &dyn Fabric {
+        match self {
+            SpillPlane::Packet(p) => p,
+            SpillPlane::Deflection(d) => d,
+        }
+    }
+
+    fn as_fabric_mut(&mut self) -> &mut dyn Fabric {
+        match self {
+            SpillPlane::Packet(p) => p,
+            SpillPlane::Deflection(d) => d,
+        }
+    }
+
+    fn stream_is_active(&self, id: StreamId) -> Option<bool> {
+        match self {
+            SpillPlane::Packet(p) => p.stream_is_active(id),
+            SpillPlane::Deflection(d) => d.stream_is_active(id),
+        }
+    }
+}
+
 /// Which plane serves a hybrid session, with its plane-local handle.
 #[derive(Debug, Clone, Copy)]
 enum PlaneSlot {
@@ -127,12 +169,13 @@ struct HybridStream {
 }
 
 /// A hybrid-switched network-on-chip: an owned circuit-switched [`Soc`]
-/// and a clock-gated [`PacketFabric`] over the same mesh, provisioned
-/// together from one spill-admitted [`Mapping`].
+/// and a clock-gated best-effort [`SpillPlane`] (buffered packet routers
+/// by default, bufferless deflection routers on request) over the same
+/// mesh, provisioned together from one spill-admitted [`Mapping`].
 #[derive(Debug, Clone)]
 pub struct HybridFabric {
     circuit: Soc,
-    packet: PacketFabric,
+    spill: SpillPlane,
     /// Global session table; [`StreamId`] -> index via `by_id`.
     table: Vec<HybridStream>,
     by_id: HashMap<u32, usize>,
@@ -161,9 +204,38 @@ impl HybridFabric {
         packet_params: PacketParams,
         packet_words: usize,
     ) -> HybridFabric {
+        HybridFabric::with_spill(
+            mesh,
+            router_params,
+            SpillPlane::Packet(PacketFabric::new(mesh, packet_params.gated(), packet_words)),
+        )
+    }
+
+    /// A hybrid fabric whose spillover rides a **bufferless deflection
+    /// plane** ([`DeflectionFabric`]) instead of the buffered packet
+    /// mesh: no spill-path FIFOs at all, contention absorbed as
+    /// age-arbitrated misroutes. Clock gating is forced on, exactly as
+    /// for the packet spill plane — an idle spill plane must sleep.
+    ///
+    /// # Panics
+    /// Panics when the mesh exceeds the 16×16 deflection coordinate
+    /// space.
+    pub fn with_deflection_spill(
+        mesh: Mesh,
+        router_params: RouterParams,
+        deflection_params: DeflectionParams,
+    ) -> HybridFabric {
+        HybridFabric::with_spill(
+            mesh,
+            router_params,
+            SpillPlane::Deflection(DeflectionFabric::new(mesh, deflection_params.gated())),
+        )
+    }
+
+    fn with_spill(mesh: Mesh, router_params: RouterParams, spill: SpillPlane) -> HybridFabric {
         HybridFabric {
             circuit: Soc::new(mesh, router_params),
-            packet: PacketFabric::new(mesh, packet_params.gated(), packet_words),
+            spill,
             table: Vec::new(),
             by_id: HashMap::new(),
             draining: Vec::new(),
@@ -191,8 +263,28 @@ impl HybridFabric {
     }
 
     /// The packet spillover plane (testbench inspection).
+    ///
+    /// # Panics
+    /// Panics when this hybrid spills onto a deflection plane
+    /// ([`HybridFabric::with_deflection_spill`]) — use
+    /// [`HybridFabric::deflection_plane`] there.
     pub fn packet_plane(&self) -> &PacketFabric {
-        &self.packet
+        match &self.spill {
+            SpillPlane::Packet(p) => p,
+            SpillPlane::Deflection(_) => {
+                panic!("this hybrid spills onto a deflection plane, not a packet plane")
+            }
+        }
+    }
+
+    /// The deflection spillover plane, when this hybrid was built with
+    /// [`HybridFabric::with_deflection_spill`] (`None` on the default
+    /// packet spill plane).
+    pub fn deflection_plane(&self) -> Option<&DeflectionFabric> {
+        match &self.spill {
+            SpillPlane::Packet(_) => None,
+            SpillPlane::Deflection(d) => Some(d),
+        }
     }
 
     /// The GT-on-circuit vs BE-on-packet split so far.
@@ -249,7 +341,7 @@ impl HybridFabric {
     pub fn set_parallelism(&mut self, policy: ParPolicy) {
         self.policy = policy;
         self.circuit.set_parallelism(policy);
-        self.packet.set_parallelism(policy);
+        self.spill.as_fabric_mut().set_parallelism(policy);
     }
 
     fn step_planes(&mut self) {
@@ -261,13 +353,8 @@ impl HybridFabric {
         // sequential or single-lane policy without waking the pool).
         let nodes = Soc::mesh(&self.circuit).nodes();
         let circuit = &mut self.circuit;
-        let packet = &mut self.packet;
-        par_join(
-            self.policy,
-            2 * nodes,
-            || circuit.step(),
-            || Fabric::step(packet),
-        );
+        let spill = self.spill.as_fabric_mut();
+        par_join(self.policy, 2 * nodes, || circuit.step(), || spill.step());
         self.now += 1;
 
         // Mirror plane-finalised drains into the global session table: a
@@ -275,11 +362,11 @@ impl HybridFabric {
         // which completes it loss-free once the stream's words are out.
         if !self.draining.is_empty() {
             let table = &mut self.table;
-            let (circuit, packet) = (&self.circuit, &self.packet);
+            let (circuit, spill) = (&self.circuit, &self.spill);
             self.draining.retain(|&idx| {
                 let done = match table[idx].slot {
                     PlaneSlot::Circuit(local) => circuit.stream_is_active(local) == Some(false),
-                    PlaneSlot::Packet(local) => packet.stream_is_active(local) == Some(false),
+                    PlaneSlot::Packet(local) => spill.stream_is_active(local) == Some(false),
                 };
                 if done {
                     table[idx].active = false;
@@ -369,7 +456,7 @@ impl Fabric for HybridFabric {
             spilled: mapping.spilled.clone(),
             lane_capacity: mapping.lane_capacity,
         };
-        let packet_ids = Fabric::provision(&mut self.packet, &spill_view)?;
+        let packet_ids = self.spill.as_fabric_mut().provision(&spill_view)?;
 
         self.table.clear();
         self.by_id.clear();
@@ -418,7 +505,7 @@ impl Fabric for HybridFabric {
                 self.words_on_circuit += words.len() as u64;
             }
             PlaneSlot::Packet(local) => {
-                Fabric::inject_stream(&mut self.packet, local, words);
+                self.spill.as_fabric_mut().inject_stream(local, words);
                 self.words_spilled += words.len() as u64;
             }
         }
@@ -428,7 +515,7 @@ impl Fabric for HybridFabric {
     fn drain_stream(&mut self, stream: StreamId) -> Vec<u16> {
         match self.entry(stream).slot {
             PlaneSlot::Circuit(local) => self.circuit.drain_stream_words(local),
-            PlaneSlot::Packet(local) => Fabric::drain_stream(&mut self.packet, local),
+            PlaneSlot::Packet(local) => self.spill.as_fabric_mut().drain_stream(local),
         }
     }
 
@@ -443,7 +530,10 @@ impl Fabric for HybridFabric {
             .into_iter()
             .map(|s| (s.id.0, s))
             .collect();
-        let packet: HashMap<u32, StreamStats> = Fabric::stream_stats(&self.packet)
+        let packet: HashMap<u32, StreamStats> = self
+            .spill
+            .as_fabric()
+            .stream_stats()
             .into_iter()
             .map(|s| (s.id.0, s))
             .collect();
@@ -482,8 +572,8 @@ impl Fabric for HybridFabric {
                 self.circuit.stream_is_active(local) == Some(false)
             }
             PlaneSlot::Packet(local) => {
-                Fabric::release(&mut self.packet, local, mode)?;
-                self.packet.stream_is_active(local) == Some(false)
+                self.spill.as_fabric_mut().release(local, mode)?;
+                self.spill.stream_is_active(local) == Some(false)
             }
         };
         if finalised {
@@ -513,7 +603,7 @@ impl Fabric for HybridFabric {
             }
             Err(AdmitError::Unsupported(why)) => return Err(AdmitError::Unsupported(why)),
             Err(_circuit_full) => (
-                PlaneSlot::Packet(Fabric::admit(&mut self.packet, demand)?),
+                PlaneSlot::Packet(self.spill.as_fabric_mut().admit(demand)?),
                 0,
             ),
         };
@@ -544,7 +634,7 @@ impl Fabric for HybridFabric {
     /// `Fabric::finish_injection` contract for composite fabrics).
     fn finish_injection(&mut self) {
         self.circuit.finish_injection();
-        self.packet.finish_injection();
+        self.spill.as_fabric_mut().finish_injection();
     }
 
     fn set_parallelism(&mut self, policy: ParPolicy) {
@@ -560,7 +650,7 @@ impl Fabric for HybridFabric {
     /// prices exactly like the planes priced separately.
     fn activity(&self) -> Vec<ComponentActivity> {
         let mut merged = self.circuit.activity();
-        for comp in Fabric::activity(&self.packet) {
+        for comp in self.spill.as_fabric().activity() {
             match merged.iter_mut().find(|c| c.kind == comp.kind) {
                 Some(existing) => existing.ledger.merge(&comp.ledger),
                 None => merged.push(comp),
@@ -571,15 +661,15 @@ impl Fabric for HybridFabric {
 
     fn clear_activity(&mut self) {
         self.circuit.clear_activity();
-        Fabric::clear_activity(&mut self.packet);
+        self.spill.as_fabric_mut().clear_activity();
     }
 
     fn is_quiescent(&self) -> bool {
-        Fabric::is_quiescent(&self.circuit) && Fabric::is_quiescent(&self.packet)
+        Fabric::is_quiescent(&self.circuit) && self.spill.as_fabric().is_quiescent()
     }
 
     fn total_overflows(&self) -> u64 {
-        Fabric::total_overflows(&self.circuit) + Fabric::total_overflows(&self.packet)
+        Fabric::total_overflows(&self.circuit) + self.spill.as_fabric().total_overflows()
     }
 
     fn spilled_streams(&self) -> u64 {
@@ -596,7 +686,7 @@ impl Fabric for HybridFabric {
     /// charged on all of it; the *clock* energy of the idle packet plane
     /// is what gating removes.)
     fn area(&self, model: &EnergyModel) -> SquareMicroMeters {
-        Fabric::area(&self.circuit, model) + Fabric::area(&self.packet, model)
+        Fabric::area(&self.circuit, model) + self.spill.as_fabric().area(model)
     }
 }
 
@@ -946,6 +1036,55 @@ mod tests {
             Fabric::inject_stream(&mut hybrid, bogus, &[1]);
         }));
         assert!(result.is_err(), "no such session handle");
+    }
+
+    #[test]
+    fn deflection_spill_plane_carries_the_overflow() {
+        // The same oversubscribed line, but the spillover rides the
+        // bufferless deflection plane: the spilled session still delivers
+        // exactly, labelled Spilled, and its telemetry carries the
+        // deflection plane's max_deflections counter.
+        let (g, mesh, ccn) = oversubscribed_line();
+        let mapping = ccn
+            .map_with_spill(&g, &default_tile_kinds(&mesh))
+            .expect("spill admission");
+        assert_eq!(mapping.spilled.len(), 1, "premise: the light edge spills");
+
+        let mut hybrid = HybridFabric::with_deflection_spill(
+            mesh,
+            RouterParams::paper(),
+            noc_packet::deflection::DeflectionParams::paper(),
+        );
+        assert!(hybrid.deflection_plane().is_some());
+        let ids = Fabric::provision(&mut hybrid, &mapping).unwrap();
+        let words: Vec<u16> = (0..40).map(|i| 0x7000 + i).collect();
+        Fabric::inject_stream(&mut hybrid, ids[1], &words);
+        let delivered = drive_until_quiet(&mut hybrid, ids[1]);
+        assert_eq!(delivered, words, "spilled stream delivered intact");
+        assert_eq!(hybrid.spill_stats().words_spilled, 40);
+        assert!(Fabric::is_quiescent(&hybrid));
+        let spilled = Fabric::stream_stats(&hybrid)
+            .into_iter()
+            .find(|s| s.plane == StreamPlane::Spilled)
+            .expect("one spilled session");
+        assert_eq!(spilled.delivered_words, 40);
+        // A single spilled stream on an otherwise idle plane never
+        // deflects — the counter is wired through, and it is honest.
+        assert_eq!(spilled.max_deflections, 0);
+        // Snapshot/restore round-trips the deflection spill plane too.
+        let snap = Fabric::snapshot(&hybrid);
+        let mut other = HybridFabric::with_deflection_spill(
+            mesh,
+            RouterParams::paper(),
+            noc_packet::deflection::DeflectionParams::paper(),
+        );
+        Fabric::restore(&mut other, &snap).unwrap();
+        assert_eq!(other.spill_stats().words_spilled, 40);
+
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = hybrid.packet_plane();
+        }));
+        assert!(result.is_err(), "packet_plane() refuses a deflection spill");
     }
 
     #[test]

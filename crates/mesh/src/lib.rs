@@ -43,6 +43,13 @@
 //!   over the same mesh; the CCN's spill-tolerant admission
 //!   ([`ccn::Ccn::map_with_spill`]) puts admitted GT streams on circuits
 //!   and the overflow on the packet plane, with per-plane spill accounting.
+//! * [`deflection`] — **bufferless deflection routing**: the fourth
+//!   [`fabric::Fabric`] backend. [`deflection::DeflectionFabric`] is a
+//!   mesh of single-flit-register routers
+//!   ([`noc_packet::deflection::DeflectionSlab`]) with age-ordered
+//!   arbitration — no FIFOs anywhere, contention absorbed as misroutes —
+//!   sitting between the hybrid and the buffered packet baseline on the
+//!   energy frontier.
 //! * [`controller`] — **the control plane**: a policy-driven
 //!   [`controller::FabricController`] (itself a [`fabric::Fabric`]) that
 //!   runs a pluggable [`controller::AdmissionPolicy`] every window —
@@ -61,6 +68,7 @@
 pub mod be;
 pub mod ccn;
 pub mod controller;
+pub mod deflection;
 pub mod deployment;
 pub mod fabric;
 pub mod hybrid;
@@ -77,13 +85,14 @@ pub use controller::{
     AdmissionPolicy, ControllerStats, FabricController, FirstFit, LoadDemotion, PolicyAction,
     PolicyStream, PolicyView, ProfiledPromotion, Promotion, TickReport,
 };
+pub use deflection::DeflectionFabric;
 pub use deployment::{
     DeployError, Deployment, DeploymentBuilder, DeploymentSnapshot, FabricRouteReport,
 };
 pub use fabric::{
     EnergyModel, Fabric, FabricKind, FabricSnapshot, PacketFabric, ProvisionError, SnapshotError,
 };
-pub use hybrid::{HybridFabric, SpillStats};
+pub use hybrid::{HybridFabric, SpillPlane, SpillStats};
 pub use packet_mesh::{PacketMesh, RandomTraffic};
 pub use soc::Soc;
 pub use stream::{

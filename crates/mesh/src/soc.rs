@@ -388,6 +388,7 @@ impl Soc {
                 delivered_words: s.delivered,
                 reconfig_cycles: s.reconfig_cycles,
                 latency: s.latency.clone(),
+                max_deflections: 0,
             })
             .collect()
     }

@@ -113,6 +113,12 @@ pub struct StreamStats {
     /// including serialisation backlog, in-network transit and (for
     /// runtime-admitted circuits) the reconfiguration wait.
     pub latency: LatencyHistogram,
+    /// Largest per-word misroute count observed among this stream's
+    /// delivered words. Only the bufferless deflection backend
+    /// ([`crate::deflection::DeflectionFabric`]) can misroute, so this is
+    /// always 0 on circuit, wormhole-packet and hybrid planes; there it
+    /// is the stream-level view of deflection-storm severity.
+    pub max_deflections: u64,
 }
 
 /// Largest p95 service latency among `plane`'s streams with deliveries.

@@ -68,11 +68,17 @@ impl Flit {
     /// The wormhole fabrics run on meshes of at most 16×16 (asserted at
     /// construction), so each coordinate byte of [`Coords::encode`] only
     /// uses its low nibble. The two high nibbles ride free on the wire and
-    /// carry the source fabric's stream identity end-to-end: routing reads
-    /// the masked coordinates ([`Flit::dest`]), the receiving tile
-    /// interface reads the tag ([`Flit::stream_tag`]) to attribute the
-    /// wormhole's payload words to their stream — per-stream delivery and
-    /// latency accounting without a single extra wire.
+    /// carry the source fabric's stream identity end-to-end. Placement is
+    /// fixed: the tag's **high** nibble (bits 7:4) lands in payload bits
+    /// 15:12 — the spare nibble of the *x*-coordinate byte — and the
+    /// tag's **low** nibble (bits 3:0) lands in payload bits 7:4, the
+    /// spare nibble of the *y*-coordinate byte. Routing reads the masked
+    /// coordinates ([`Flit::dest`]), the receiving tile interface reads
+    /// the tag ([`Flit::stream_tag`]) to attribute the wormhole's payload
+    /// words to their stream — per-stream delivery and latency accounting
+    /// without a single extra wire. The deflection router re-encodes and
+    /// re-reads this halfword at every hop, so both decoders must mask
+    /// exactly these nibbles.
     ///
     /// # Panics
     /// Panics when a coordinate exceeds the 16×16 space (its high nibble
@@ -305,6 +311,28 @@ mod tests {
                 assert_eq!(f.dest(), Some(Coords::new(x, y)), "tag {tag:#x}");
                 assert_eq!(f.stream_tag(), Some(tag), "at ({x},{y})");
             }
+        }
+    }
+
+    #[test]
+    fn tag_boundary_255_roundtrips_through_reencode() {
+        // The 8-bit boundary: tag 255 sets every spare-nibble bit. The
+        // deflection router re-encodes the header halfword at every hop,
+        // so the tag must survive decode -> re-encode cycles bit-exactly
+        // at every corner of the coordinate space.
+        for (x, y) in [(0u8, 0u8), (15, 0), (0, 15), (15, 15)] {
+            let first = Flit::head_tagged(Coords::new(x, y), 255);
+            assert_eq!(first.dest(), Some(Coords::new(x, y)));
+            assert_eq!(first.stream_tag(), Some(255));
+            // One "hop": decode the masked fields, rebuild the header.
+            let rebuilt = Flit::head_tagged(
+                first.dest().expect("head carries coords"),
+                first.stream_tag().expect("head carries tag"),
+            );
+            assert_eq!(rebuilt.payload, first.payload, "at ({x},{y})");
+            // Tag 255 saturates exactly the two spare high nibbles.
+            assert_eq!(first.payload & 0xF0F0, 0xF0F0);
+            assert_eq!(first.payload & 0x0F0F, Coords::new(x, y).encode());
         }
     }
 

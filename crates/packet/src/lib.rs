@@ -21,6 +21,9 @@
 //! * [`routing`] — dimension-ordered XY routing.
 //! * [`vc`] — per-input virtual-channel state and credit tracking.
 //! * [`router`] — the assembled five-port router.
+//! * [`deflection`] — the bufferless counterpoint: a single-flit-register
+//!   deflection router with age-based arbitration and no FIFOs at all,
+//!   modelling the other end of the buffering/misrouting trade-off.
 //!
 //! Like the circuit router, this model follows the two-phase clocking of
 //! [`noc_sim::kernel`] and reports per-component activity for `noc-power`.
@@ -29,6 +32,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod arbiter;
+pub mod deflection;
 pub mod fifo;
 pub mod flit;
 pub mod params;
@@ -37,6 +41,7 @@ pub mod routing;
 pub mod vc;
 
 pub use arbiter::RoundRobin;
+pub use deflection::{DeflectFlit, DeflectionParams, DeflectionRouter, DeflectionSlab};
 pub use fifo::FlitFifo;
 pub use flit::{Flit, FlitKind, LinkWord, Packet};
 pub use params::PacketParams;

@@ -12,6 +12,7 @@
 use crate::gates;
 use crate::tech::Technology;
 use noc_core::params::RouterParams;
+use noc_packet::deflection::DeflectionParams;
 use noc_packet::params::PacketParams;
 use noc_sim::activity::ComponentKind;
 use noc_sim::units::SquareMicroMeters;
@@ -117,6 +118,51 @@ pub fn packet_router_area(p: &PacketParams, tech: &Technology) -> AreaBreakdown 
     }
 }
 
+/// Area breakdown of the bufferless deflection router. Reuses the packet
+/// router's calibrated layout overheads — the blocks are the same kinds
+/// (a congested wide crossbar, flattened arbitration trees, routing
+/// miscellanea), only their sizes differ. The `Buffering` row appears
+/// only when a side buffer is configured; pure bufferless routers simply
+/// have no such component.
+pub fn deflection_router_area(p: &DeflectionParams, tech: &Technology) -> AreaBreakdown {
+    let mut components = vec![
+        (
+            ComponentKind::Crossbar,
+            area_of(
+                gates::deflection_crossbar(p),
+                OVERHEAD_PACKET_CROSSBAR,
+                tech,
+            ),
+        ),
+        (
+            ComponentKind::Arbitration,
+            area_of(
+                gates::deflection_arbitration(p),
+                OVERHEAD_PACKET_ARBITRATION,
+                tech,
+            ),
+        ),
+        (
+            ComponentKind::Misc,
+            area_of(gates::deflection_misc(p), OVERHEAD_PACKET_MISC, tech),
+        ),
+    ];
+    if p.side_buffer > 0 {
+        components.insert(
+            1,
+            (
+                ComponentKind::Buffering,
+                area_of(
+                    gates::deflection_buffering(p),
+                    OVERHEAD_PACKET_BUFFERING,
+                    tech,
+                ),
+            ),
+        );
+    }
+    AreaBreakdown { components }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,6 +238,32 @@ mod tests {
             (3.3..3.9).contains(&ratio),
             "area ratio {ratio:.2} should be ~3.5"
         );
+    }
+
+    #[test]
+    fn deflection_area_between_circuit_and_packet() {
+        // The energy-frontier premise at area level: no FIFOs, so the
+        // deflection router lands between the circuit router and the
+        // buffered packet router.
+        let t = tech();
+        let c = circuit_router_area(&RouterParams::paper(), &t).total();
+        let d = deflection_router_area(&DeflectionParams::paper(), &t).total();
+        let p = packet_router_area(&PacketParams::paper(), &t).total();
+        assert!(c < d, "circuit {c} < deflection {d}");
+        assert!(d < p, "deflection {d} < packet {p}");
+    }
+
+    #[test]
+    fn deflection_buffering_row_tracks_side_buffer() {
+        let t = tech();
+        let pure = deflection_router_area(&DeflectionParams::paper(), &t);
+        assert_eq!(
+            pure.component(ComponentKind::Buffering),
+            SquareMicroMeters::ZERO
+        );
+        let minbd = deflection_router_area(&DeflectionParams::paper().with_side_buffer(4), &t);
+        assert!(minbd.component(ComponentKind::Buffering).value() > 0.0);
+        assert!(minbd.total().value() > pure.total().value());
     }
 
     #[test]

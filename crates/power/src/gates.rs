@@ -6,6 +6,7 @@
 //! Counts are NAND2-equivalents using the standard cell weights below.
 
 use noc_core::params::RouterParams;
+use noc_packet::deflection::DeflectionParams;
 use noc_packet::params::PacketParams;
 
 /// NAND2-equivalents of one D flip-flop.
@@ -119,6 +120,68 @@ pub fn packet_total(p: &PacketParams) -> f64 {
     packet_buffering(p) + packet_crossbar(p) + packet_arbitration(p) + packet_misc(p)
 }
 
+// ---------------------------------------------------------------------------
+// Bufferless deflection router components
+// ---------------------------------------------------------------------------
+
+/// Ports of the deflection router (same five-port geometry as the packet
+/// router, but no virtual channels).
+const DEFLECT_PORTS: f64 = 5.0;
+
+/// Crossbar gates of the deflection router: a full 64-bit switch from
+/// every link source (plus the side-buffer re-injection slot when one
+/// exists) to every output, the registered outputs, and select
+/// distribution. The registers are wider than the packet router's (the
+/// flit carries age/sequence sideband), but there are only five of them —
+/// no per-VC replication.
+pub fn deflection_crossbar(p: &DeflectionParams) -> f64 {
+    let out_bits = f64::from(p.flit_bits());
+    let inputs = 5 + usize::from(p.side_buffer > 0);
+    let mux = DEFLECT_PORTS * out_bits * mux_tree(inputs);
+    let out_regs = DEFLECT_PORTS * out_bits * DFF;
+    let selects = DEFLECT_PORTS * 30.0;
+    mux + out_regs + selects
+}
+
+/// Arbitration gates: the oldest-first ranking network — pairwise 14-bit
+/// age comparators over the up-to-six arrivals — plus per-port grant
+/// registers. No round-robin pointer state: priority is carried by the
+/// flits themselves.
+pub fn deflection_arbitration(p: &DeflectionParams) -> f64 {
+    let arrivals = DEFLECT_PORTS + f64::from(u8::from(p.side_buffer > 0));
+    let age_bits = 14.0;
+    let comparators = arrivals * (arrivals - 1.0) / 2.0 * age_bits * 1.5;
+    let grant_regs = DEFLECT_PORTS * 3.0 * DFF;
+    comparators + grant_regs
+}
+
+/// Buffering gates: the optional MinBD-style side buffer's storage flops
+/// and occupancy control. Exactly zero in the pure bufferless
+/// configuration — deleting this row is the whole point of deflection.
+pub fn deflection_buffering(p: &DeflectionParams) -> f64 {
+    if p.side_buffer == 0 {
+        return 0.0;
+    }
+    let storage = p.side_buffer as f64 * f64::from(p.flit_bits()) * DFF;
+    let ptr_bits = (usize::BITS - (p.side_buffer - 1).leading_zeros()).max(1);
+    storage + counter(ptr_bits) * 2.0 + 10.0
+}
+
+/// Miscellaneous gates: per-arrival route computation (the header
+/// halfword is re-decoded every hop). No credit counters — deflection has
+/// no flow control at all.
+pub fn deflection_misc(_p: &DeflectionParams) -> f64 {
+    DEFLECT_PORTS * 30.0
+}
+
+/// Total deflection-router gates.
+pub fn deflection_total(p: &DeflectionParams) -> f64 {
+    deflection_crossbar(p)
+        + deflection_arbitration(p)
+        + deflection_buffering(p)
+        + deflection_misc(p)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,6 +226,32 @@ mod tests {
         let more = PacketParams { vcs: 8, ..base };
         assert!(packet_buffering(&more) > 1.8 * packet_buffering(&base));
         assert!(packet_arbitration(&more) > packet_arbitration(&base));
+    }
+
+    #[test]
+    fn deflection_cheaper_than_packet_at_gate_level() {
+        // Deleting the FIFOs must show up at gate level: fewer total
+        // gates than the buffered packet router, and in particular fewer
+        // than that router's buffering block alone. (The full circuit <
+        // deflection < packet ordering is asserted at *area* level, where
+        // the calibrated layout overheads apply — the circuit router's
+        // serdes converters are gate-heavy but layout-cheap.)
+        let d = deflection_total(&DeflectionParams::paper());
+        let k = packet_total(&PacketParams::paper());
+        assert!(d < k, "deflection {d} < packet {k}");
+        assert!(
+            d < packet_buffering(&PacketParams::paper()),
+            "deflection router should cost less than the packet FIFOs alone"
+        );
+    }
+
+    #[test]
+    fn pure_bufferless_has_zero_buffering_gates() {
+        let p = DeflectionParams::paper();
+        assert_eq!(deflection_buffering(&p), 0.0);
+        let buffered = p.with_side_buffer(4);
+        assert!(deflection_buffering(&buffered) > 4.0 * 64.0 * DFF);
+        assert!(deflection_crossbar(&buffered) > deflection_crossbar(&p));
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod synthesis;
 pub mod tech;
 pub mod timing;
 
-pub use area::{circuit_router_area, packet_router_area, AreaBreakdown};
+pub use area::{circuit_router_area, deflection_router_area, packet_router_area, AreaBreakdown};
 pub use energy::EnergyTable;
 pub use estimator::{PowerEstimator, PowerReport};
 pub use synthesis::{table4, SynthesisRow, Table4};

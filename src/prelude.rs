@@ -21,6 +21,7 @@ pub use noc_mesh::controller::{
     AdmissionPolicy, ControllerStats, FabricController, FirstFit, LoadDemotion, PolicyAction,
     PolicyStream, PolicyView, ProfiledPromotion, Promotion, TickReport,
 };
+pub use noc_mesh::deflection::DeflectionFabric;
 pub use noc_mesh::deployment::{
     DeployError, Deployment, DeploymentBuilder, DeploymentSnapshot, FabricRouteReport,
 };
@@ -35,6 +36,7 @@ pub use noc_mesh::stream::{
 };
 pub use noc_mesh::tile::TileKind;
 pub use noc_mesh::topology::{Mesh, NodeId};
+pub use noc_packet::deflection::DeflectionParams;
 pub use noc_packet::params::PacketParams;
 pub use noc_packet::router::PacketRouter;
 pub use noc_power::estimator::{PowerEstimator, PowerReport};

@@ -80,7 +80,8 @@ fn soc_results_independent_of_thread_count() {
 }
 
 /// Same seed ⇒ bit-identical delivered words and energy, for every
-/// `FabricKind` — circuit, hybrid and packet — across independent runs.
+/// `FabricKind` — circuit, hybrid, deflection and packet — across
+/// independent runs.
 /// The workload oversubscribes the circuit lanes so the hybrid's spillover
 /// path (and its spill accounting) is inside the reproducibility contract.
 #[test]

@@ -31,17 +31,19 @@
 //!    ProvisionMode::BeDelivered)` charges the §5.1 configuration
 //!    delivery to each circuit stream's `reconfig_cycles` and to the
 //!    measured latency of words injected before readiness (backends with
-//!    no router configuration — the pure packet fabric — charge zero);
+//!    no router configuration — the pure packet fabric and the bufferless
+//!    deflection mesh — charge zero);
 //! 9. **Snapshot/restore** — a mid-run `snapshot()` restored into a
 //!    fresh fabric of the same backend and stepped to settlement is
 //!    bit-identical to the uninterrupted original: same delivered tail,
 //!    same telemetry, same energy bits. Checkpointing must be invisible
 //!    in results, exactly like pooled stepping.
 //!
-//! The suite is instantiated for all three backends — the circuit-switched
-//! `Soc`, the `PacketFabric` baseline, and the `HybridFabric` — plus a
-//! boxed fabric and a policy-driven `FabricController` wrapping the
-//! hybrid, so a future backend only needs one new `#[test]` here.
+//! The suite is instantiated for all four backends — the circuit-switched
+//! `Soc`, the `PacketFabric` baseline, the `HybridFabric`, and the
+//! bufferless `DeflectionFabric` — plus a boxed fabric and a policy-driven
+//! `FabricController` wrapping the hybrid, so a future backend only needs
+//! one new `#[test]` here.
 //! Each backend additionally runs the whole suite under every [`ParPolicy`]
 //! (sequential, an explicit two-lane pool, and `Auto`): pooled stepping on
 //! the persistent `noc_sim::par::WorkerPool` is part of the behavioural
@@ -199,6 +201,12 @@ fn conformance_under<F: Fabric>(mk: impl Fn() -> F, policy: ParPolicy) -> Lifecy
         "delivery is never instant"
     );
     assert!(stats.latency.p50() <= stats.latency.p95());
+    assert_eq!(
+        stats.max_deflections,
+        0,
+        "{}: an uncontended single stream must never be deflected",
+        fabric.kind()
+    );
     fabric.clear_activity();
     assert_eq!(
         stats_of(&fabric, id),
@@ -368,10 +376,11 @@ fn conformance_under<F: Fabric>(mk: impl Fn() -> F, policy: ParPolicy) -> Lifecy
         cold.kind()
     );
     let cold_stats = stats_of(&cold, id);
-    if cold.kind() == FabricKind::Packet {
+    if matches!(cold.kind(), FabricKind::Packet | FabricKind::Deflection) {
         assert_eq!(
             cold_stats.reconfig_cycles, 0,
-            "a wormhole plane has no router configuration to deliver"
+            "a bufferless or wormhole plane has no router configuration to \
+             deliver"
         );
     } else {
         assert!(
@@ -472,6 +481,15 @@ fn gated_packet_fabric_conforms() {
 #[test]
 fn hybrid_fabric_conforms() {
     conformance(|| HybridFabric::paper(Mesh::new(2, 2)));
+}
+
+#[test]
+fn deflection_fabric_conforms() {
+    // The bufferless backend: no FIFOs, no lanes, routing decided per
+    // cycle by age-ordered port arbitration — yet the behavioural
+    // contract (including drain-release and snapshot/restore) holds
+    // clause for clause.
+    conformance(|| DeflectionFabric::paper(Mesh::new(2, 2)));
 }
 
 #[test]
