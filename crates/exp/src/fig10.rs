@@ -50,7 +50,11 @@ impl Fig10 {
             .iter()
             .filter(|p| p.router == router && p.scenario == scenario)
             .collect();
-        pts.sort_by(|a, b| a.flip_fraction.partial_cmp(&b.flip_fraction).unwrap());
+        pts.sort_by(|a, b| {
+            a.flip_fraction
+                .partial_cmp(&b.flip_fraction)
+                .expect("flip fractions are finite by construction")
+        });
         pts
     }
 

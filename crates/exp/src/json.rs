@@ -365,7 +365,9 @@ impl Parser<'_> {
                     // Copy one UTF-8 scalar value verbatim.
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| self.err("invalid UTF-8 in string"))?;
-                    let c = rest.chars().next().expect("peeked a byte");
+                    let Some(c) = rest.chars().next() else {
+                        return Err(self.err("unexpected end of string"));
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -401,7 +403,8 @@ impl Parser<'_> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("non-ASCII bytes in number"))?;
         if !fractional {
             if let Ok(u) = text.parse::<u64>() {
                 return Ok(Json::UInt(u));

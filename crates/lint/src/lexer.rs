@@ -1,0 +1,512 @@
+//! A hand-rolled Rust lexer, just deep enough for lint rules.
+//!
+//! The rules in this crate pattern-match on *token* sequences, never on raw
+//! text, so string literals containing `"Instant::now"` or commented-out
+//! code can never trip a rule. The lexer therefore has to get exactly three
+//! hard cases right:
+//!
+//! 1. **Strings** — plain, raw (`r#"…"#` with any hash depth), byte, and
+//!    byte-raw strings, with escapes.
+//! 2. **`'` disambiguation** — `'a'` (char literal) vs `'a` (lifetime),
+//!    including escaped chars (`'\n'`, `'\u{1F600}'`).
+//! 3. **Comments** — line and (nested) block comments, preserved with their
+//!    line numbers so pragma and `// SAFETY:` rules can find them.
+//!
+//! Everything else (numbers, idents, punctuation) only needs to be split
+//! correctly; the rules never interpret numeric values except the array
+//! arity in the registry rule, which keeps the literal's raw text.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`fn`, `unsafe`, `HashMap`, …). Raw
+    /// identifiers (`r#type`) are stored without the `r#` prefix.
+    Ident(String),
+    /// A lifetime (`'a`), stored without the quote.
+    Lifetime(String),
+    /// Any literal — string, char, byte, or number — with its raw text.
+    Literal(String),
+    /// Punctuation. `::` is joined into one token (the rules care about
+    /// path separators); every other operator is split per character.
+    Punct(&'static str),
+    /// Punctuation not in the fixed table (rare; kept for completeness).
+    OtherPunct(char),
+}
+
+impl Tok {
+    /// The identifier text, if this is an identifier token.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Is this token exactly the identifier `name`?
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(self, Tok::Ident(s) if s == name)
+    }
+
+    /// Is this token exactly the punctuation `p`?
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(self, Tok::Punct(s) if *s == p)
+    }
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// A comment (line or block) with the 1-based line it starts on. Line
+/// comments keep their `//` prefix; block comments keep `/*`/`*/`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+const JOINED: &[(&str, &str)] = &[("::", "::")];
+
+/// Lex `src` into tokens and comments. Unterminated constructs (string,
+/// block comment) consume to end of input rather than erroring: the linter
+/// runs on code that `rustc` already accepted, so this is only a
+/// robustness guard for fixtures.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Count newlines in bytes[start..end] into `line`.
+    fn advance_lines(bytes: &[u8], start: usize, end: usize, line: &mut u32) {
+        *line += bytes[start..end].iter().filter(|&&b| b == b'\n').count() as u32;
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    line: start_line,
+                });
+            }
+            b'"' => {
+                let start = i;
+                let start_line = line;
+                i = skip_string(bytes, i);
+                advance_lines(bytes, start, i, &mut line);
+                out.tokens.push(Token {
+                    tok: Tok::Literal(src[start..i].to_string()),
+                    line: start_line,
+                });
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(bytes, i) => {
+                let start = i;
+                let start_line = line;
+                i = skip_raw_or_byte_string(bytes, i);
+                advance_lines(bytes, start, i, &mut line);
+                out.tokens.push(Token {
+                    tok: Tok::Literal(src[start..i].to_string()),
+                    line: start_line,
+                });
+            }
+            b'r' if bytes.get(i + 1) == Some(&b'#')
+                && bytes
+                    .get(i + 2)
+                    .is_some_and(|&c| c.is_ascii_alphabetic() || c == b'_') =>
+            {
+                // Raw identifier r#ident.
+                let start = i + 2;
+                i = start;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Ident(src[start..i].to_string()),
+                    line,
+                });
+            }
+            b'\'' => {
+                // Lifetime or char literal. A lifetime is `'` + ident NOT
+                // followed by a closing `'`; everything else is a char.
+                let start = i;
+                let mut j = i + 1;
+                let mut is_lifetime = false;
+                if j < bytes.len() && (bytes[j].is_ascii_alphabetic() || bytes[j] == b'_') {
+                    while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_')
+                    {
+                        j += 1;
+                    }
+                    if bytes.get(j) != Some(&b'\'') {
+                        is_lifetime = true;
+                    }
+                }
+                if is_lifetime {
+                    out.tokens.push(Token {
+                        tok: Tok::Lifetime(src[i + 1..j].to_string()),
+                        line,
+                    });
+                    i = j;
+                } else {
+                    // Char literal: handle escape then closing quote.
+                    i += 1;
+                    if i < bytes.len() && bytes[i] == b'\\' {
+                        i += 1;
+                        if i < bytes.len() && bytes[i] == b'u' {
+                            while i < bytes.len() && bytes[i] != b'}' {
+                                i += 1;
+                            }
+                        }
+                        i += 1;
+                    } else if i < bytes.len() {
+                        // One UTF-8 scalar.
+                        i += utf8_len(bytes[i]);
+                    }
+                    if i < bytes.len() && bytes[i] == b'\'' {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        tok: Tok::Literal(src[start..i.min(src.len())].to_string()),
+                        line,
+                    });
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    let c = bytes[i];
+                    if c.is_ascii_alphanumeric() || c == b'_' {
+                        i += 1;
+                    } else if c == b'.'
+                        && bytes.get(i + 1).is_some_and(|&d| d.is_ascii_digit())
+                        && bytes.get(i + 1) != Some(&b'.')
+                    {
+                        // Fractional part — but never consume `..` ranges.
+                        i += 1;
+                    } else if (c == b'+' || c == b'-')
+                        && matches!(bytes.get(i.wrapping_sub(1)), Some(&b'e') | Some(&b'E'))
+                    {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Literal(src[start..i].to_string()),
+                    line,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Ident(src[start..i].to_string()),
+                    line,
+                });
+            }
+            _ => {
+                // Punctuation: join `::`, split everything else.
+                let mut emitted = false;
+                for &(pat, tok) in JOINED {
+                    if src[i..].starts_with(pat) {
+                        out.tokens.push(Token {
+                            tok: Tok::Punct(tok),
+                            line,
+                        });
+                        i += pat.len();
+                        emitted = true;
+                        break;
+                    }
+                }
+                if !emitted {
+                    let tok = match b {
+                        b'(' => Tok::Punct("("),
+                        b')' => Tok::Punct(")"),
+                        b'{' => Tok::Punct("{"),
+                        b'}' => Tok::Punct("}"),
+                        b'[' => Tok::Punct("["),
+                        b']' => Tok::Punct("]"),
+                        b'<' => Tok::Punct("<"),
+                        b'>' => Tok::Punct(">"),
+                        b',' => Tok::Punct(","),
+                        b';' => Tok::Punct(";"),
+                        b':' => Tok::Punct(":"),
+                        b'.' => Tok::Punct("."),
+                        b'=' => Tok::Punct("="),
+                        b'&' => Tok::Punct("&"),
+                        b'#' => Tok::Punct("#"),
+                        b'|' => Tok::Punct("|"),
+                        b'!' => Tok::Punct("!"),
+                        b'?' => Tok::Punct("?"),
+                        b'*' => Tok::Punct("*"),
+                        b'+' => Tok::Punct("+"),
+                        b'-' => Tok::Punct("-"),
+                        b'/' => Tok::Punct("/"),
+                        b'%' => Tok::Punct("%"),
+                        b'^' => Tok::Punct("^"),
+                        b'@' => Tok::Punct("@"),
+                        b'$' => Tok::Punct("$"),
+                        _ => {
+                            let ch = src[i..].chars().next().unwrap_or('\u{FFFD}');
+                            i += ch.len_utf8() - 1; // the +1 below covers 1 byte
+                            Tok::OtherPunct(ch)
+                        }
+                    };
+                    out.tokens.push(Token { tok, line });
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Skip a plain `"…"` string starting at `i` (which points at `"`).
+fn skip_string(bytes: &[u8], mut i: usize) -> usize {
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Does `bytes[i..]` start a raw string (`r"`, `r#`), byte string (`b"`),
+/// byte-raw string (`br"`, `br#`), or byte char (`b'`)?
+fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    match bytes[i] {
+        b'r' => match bytes.get(i + 1) {
+            Some(b'"') => true,
+            Some(b'#') => {
+                // r#"…"# raw string vs r#ident raw identifier: raw strings
+                // have only `#`s between `r` and the opening quote.
+                let mut j = i + 1;
+                while bytes.get(j) == Some(&b'#') {
+                    j += 1;
+                }
+                bytes.get(j) == Some(&b'"')
+            }
+            _ => false,
+        },
+        b'b' => matches!(
+            (bytes.get(i + 1), bytes.get(i + 2)),
+            (Some(b'"'), _)
+                | (Some(b'\''), _)
+                | (Some(b'r'), Some(b'"'))
+                | (Some(b'r'), Some(b'#'))
+        ),
+        _ => false,
+    }
+}
+
+/// Skip whichever raw/byte string form starts at `i`.
+fn skip_raw_or_byte_string(bytes: &[u8], mut i: usize) -> usize {
+    if bytes[i] == b'b' {
+        i += 1;
+        if i < bytes.len() && bytes[i] == b'\'' {
+            // Byte char b'x'.
+            i += 1;
+            if i < bytes.len() && bytes[i] == b'\\' {
+                i += 2;
+            } else {
+                i += 1;
+            }
+            if i < bytes.len() && bytes[i] == b'\'' {
+                i += 1;
+            }
+            return i;
+        }
+        if i < bytes.len() && bytes[i] == b'"' {
+            return skip_string(bytes, i);
+        }
+    }
+    // r or br raw form: count hashes, then scan for `"` + hashes.
+    i += 1; // past 'r'
+    let mut hashes = 0usize;
+    while i < bytes.len() && bytes[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'"' {
+        i += 1;
+        while i < bytes.len() {
+            if bytes[i] == b'"' {
+                let mut j = i + 1;
+                let mut seen = 0usize;
+                while seen < hashes && bytes.get(j) == Some(&b'#') {
+                    seen += 1;
+                    j += 1;
+                }
+                if seen == hashes {
+                    return j;
+                }
+            }
+            i += 1;
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.tok.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_content() {
+        let src = r##"let x = "Instant::now() HashMap"; let y = r#"SystemTime "quoted""#;"##;
+        assert!(!idents(src)
+            .iter()
+            .any(|i| i == "Instant" || i == "HashMap" || i == "SystemTime"));
+        assert_eq!(idents(src), vec!["let", "x", "let", "y"]);
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenised() {
+        let src = "// SAFETY: fine\nfn f() {} /* Instant::now()\n spans lines */ fn g() {}";
+        let lexed = lex(src);
+        assert!(!lexed.tokens.iter().any(|t| t.tok.is_ident("Instant")));
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(lexed.comments[0].text.contains("SAFETY:"));
+        assert_eq!(lexed.comments[1].line, 2);
+        // g is on the line after the block comment ends (line 3).
+        let g = lexed.tokens.iter().find(|t| t.tok.is_ident("g")).unwrap();
+        assert_eq!(g.line, 3);
+    }
+
+    #[test]
+    fn lifetimes_and_chars_disambiguate() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.tok, Tok::Lifetime(_)))
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Literal(s) if s == "'x'")));
+    }
+
+    #[test]
+    fn escaped_chars_do_not_eat_the_file() {
+        let src = r"let a = '\n'; let b = '\''; let c = '\u{1F600}'; fn after() {}";
+        assert!(idents(src).iter().any(|i| i == "after"));
+    }
+
+    #[test]
+    fn path_separator_is_joined() {
+        let lexed = lex("std::time::Instant::now()");
+        let puncts: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.tok.is_punct("::"))
+            .collect();
+        assert_eq!(puncts.len(), 3);
+        // And a lone `:` annotation stays single.
+        let lexed = lex("let x: u32 = 0;");
+        assert!(lexed.tokens.iter().any(|t| t.tok.is_punct(":")));
+        assert!(!lexed.tokens.iter().any(|t| t.tok.is_punct("::")));
+    }
+
+    #[test]
+    fn numbers_do_not_consume_ranges_or_methods() {
+        let lexed = lex("for i in 0..n { x.0.add(1); 1.5e-3; }");
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Literal(s) if s == "1.5e-3")));
+        assert!(lexed.tokens.iter().any(|t| t.tok.is_ident("add")));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ fn real() {}";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.tokens.iter().any(|t| t.tok.is_ident("real")));
+        assert!(!lexed.tokens.iter().any(|t| t.tok.is_ident("inner")));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let src = r##"let a = b"Instant"; let b = b'\n'; let c = br#"HashMap"#; fn done() {}"##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "Instant" || i == "HashMap"));
+        assert!(ids.iter().any(|i| i == "done"));
+    }
+}

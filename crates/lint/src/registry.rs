@@ -1,0 +1,424 @@
+//! D6: cross-file registry-drift detection.
+//!
+//! The fabric registry lives in four places that history shows drift apart
+//! when a backend is added:
+//!
+//! 1. `FabricKind` itself — the enum and its `ALL` constant in
+//!    `crates/mesh/src/fabric.rs` (the arity is written into the array type,
+//!    so a missed entry is a silent truncation, not a compile error).
+//! 2. The conformance suite — every variant must have a
+//!    `<variant>_fabric_conforms` test in `tests/fabric_conformance.rs`.
+//! 3. `fabric_bench`'s `summary()` — the per-kind match in
+//!    `crates/exp/src/fabric_bench.rs` must cover every variant.
+//! 4. The bench bins — `fabric_compare` and `scale_bench` must sweep
+//!    `FabricKind::ALL` (not a hand-maintained subset).
+//!
+//! The checker parses the enum with the same lexer as every other rule, so
+//! it keeps working as the registry grows; the paths are configurable so
+//! the fixture suite can point it at deliberately drifted mini-trees.
+
+use crate::lexer::{lex, Tok, Token};
+use crate::report::Finding;
+use std::path::{Path, PathBuf};
+
+/// Where the registry's four surfaces live, relative to the workspace root.
+#[derive(Debug, Clone)]
+pub struct RegistrySpec {
+    pub fabric_rs: PathBuf,
+    pub conformance_rs: PathBuf,
+    pub fabric_bench_rs: PathBuf,
+    pub sweep_bins: Vec<PathBuf>,
+}
+
+impl Default for RegistrySpec {
+    fn default() -> Self {
+        RegistrySpec {
+            fabric_rs: "crates/mesh/src/fabric.rs".into(),
+            conformance_rs: "tests/fabric_conformance.rs".into(),
+            fabric_bench_rs: "crates/exp/src/fabric_bench.rs".into(),
+            sweep_bins: vec![
+                "crates/bench/src/bin/fabric_compare.rs".into(),
+                "crates/bench/src/bin/scale_bench.rs".into(),
+            ],
+        }
+    }
+}
+
+/// Run the registry-drift check rooted at `root`. Missing files are
+/// findings, not errors: a drifted tree is exactly what this rule exists
+/// to catch.
+pub fn check_registry(root: &Path, spec: &RegistrySpec, out: &mut Vec<Finding>) {
+    let rel = |p: &Path| p.to_string_lossy().into_owned();
+    let read = |p: &Path| std::fs::read_to_string(root.join(p)).ok();
+
+    let Some(fabric_src) = read(&spec.fabric_rs) else {
+        out.push(drift(
+            rel(&spec.fabric_rs),
+            1,
+            "fabric registry file missing".into(),
+        ));
+        return;
+    };
+    let fabric = lex(&fabric_src).tokens;
+
+    let variants = enum_variants(&fabric, "FabricKind");
+    if variants.is_empty() {
+        out.push(drift(
+            rel(&spec.fabric_rs),
+            1,
+            "no `enum FabricKind` found".into(),
+        ));
+        return;
+    }
+
+    // ALL: arity and per-variant coverage.
+    match const_all(&fabric) {
+        Some(all) => {
+            if all.arity != variants.len() {
+                out.push(drift(
+                    rel(&spec.fabric_rs),
+                    all.line,
+                    format!(
+                        "`FabricKind::ALL` declares arity {} but the enum has {} variants",
+                        all.arity,
+                        variants.len()
+                    ),
+                ));
+            }
+            for v in &variants {
+                let n = all.entries.iter().filter(|e| *e == v).count();
+                if n != 1 {
+                    out.push(drift(
+                        rel(&spec.fabric_rs),
+                        all.line,
+                        format!("variant `{v}` appears {n} times in `FabricKind::ALL` (expected exactly once)"),
+                    ));
+                }
+            }
+        }
+        None => out.push(drift(
+            rel(&spec.fabric_rs),
+            1,
+            "no `const ALL: [FabricKind; N]` found".into(),
+        )),
+    }
+
+    // Conformance suite: one `<snake>_fabric_conforms` test per variant.
+    match read(&spec.conformance_rs) {
+        Some(src) => {
+            let toks = lex(&src).tokens;
+            for v in &variants {
+                let want = format!("{}_fabric_conforms", snake(v));
+                if !toks.iter().any(|t| t.tok.is_ident(&want)) {
+                    out.push(drift(
+                        rel(&spec.conformance_rs),
+                        1,
+                        format!("no `{want}` test for variant `{v}`"),
+                    ));
+                }
+            }
+        }
+        None => out.push(drift(
+            rel(&spec.conformance_rs),
+            1,
+            "conformance suite missing".into(),
+        )),
+    }
+
+    // fabric_bench::summary must match on every variant.
+    match read(&spec.fabric_bench_rs) {
+        Some(src) => {
+            let toks = lex(&src).tokens;
+            match fn_body(&toks, "summary") {
+                Some(body) => {
+                    for v in &variants {
+                        let covered = body.windows(3).any(|w| {
+                            w[0].tok.is_ident("FabricKind")
+                                && w[1].tok.is_punct("::")
+                                && w[2].tok.is_ident(v)
+                        });
+                        if !covered {
+                            out.push(drift(
+                                rel(&spec.fabric_bench_rs),
+                                1,
+                                format!("`summary()` has no arm for `FabricKind::{v}`"),
+                            ));
+                        }
+                    }
+                }
+                None => out.push(drift(
+                    rel(&spec.fabric_bench_rs),
+                    1,
+                    "no `fn summary` found to check per-kind coverage".into(),
+                )),
+            }
+        }
+        None => out.push(drift(
+            rel(&spec.fabric_bench_rs),
+            1,
+            "fabric_bench file missing".into(),
+        )),
+    }
+
+    // Sweep bins must iterate FabricKind::ALL, not a hand-written subset.
+    for bin in &spec.sweep_bins {
+        match read(bin) {
+            Some(src) => {
+                let toks = lex(&src).tokens;
+                let sweeps = toks.windows(3).any(|w| {
+                    w[0].tok.is_ident("FabricKind")
+                        && w[1].tok.is_punct("::")
+                        && w[2].tok.is_ident("ALL")
+                });
+                if !sweeps {
+                    out.push(drift(
+                        rel(bin),
+                        1,
+                        "bench bin does not sweep `FabricKind::ALL` — hand-maintained kind lists drift".into(),
+                    ));
+                }
+            }
+            None => out.push(drift(rel(bin), 1, "sweep bin missing".into())),
+        }
+    }
+}
+
+fn drift(file: String, line: u32, message: String) -> Finding {
+    Finding {
+        rule: "registry-drift",
+        file,
+        line,
+        message,
+    }
+}
+
+/// Variant names of `enum <name> { … }` (unit variants only, which is all
+/// the registry uses): idents at brace depth 1 that directly follow `{`,
+/// `,`, or a `]` closing an attribute.
+fn enum_variants(toks: &[Token], name: &str) -> Vec<String> {
+    let mut i = 0usize;
+    while i + 2 < toks.len() {
+        if toks[i].tok.is_ident("enum") && toks[i + 1].tok.is_ident(name) {
+            break;
+        }
+        i += 1;
+    }
+    if i + 2 >= toks.len() {
+        return Vec::new();
+    }
+    // Find the opening brace, then walk depth-1 entries.
+    let mut j = i + 2;
+    while j < toks.len() && !toks[j].tok.is_punct("{") {
+        j += 1;
+    }
+    let mut variants = Vec::new();
+    let mut depth = 0i32;
+    let mut expect_variant = false;
+    while j < toks.len() {
+        match &toks[j].tok {
+            Tok::Punct("{") => {
+                depth += 1;
+                if depth == 1 {
+                    expect_variant = true;
+                }
+            }
+            Tok::Punct("}") => {
+                depth -= 1;
+                if depth == 0 {
+                    return variants;
+                }
+            }
+            Tok::Punct(",") if depth == 1 => expect_variant = true,
+            Tok::Punct("#") if depth == 1 => {
+                // Skip `#[…]` attributes between variants.
+                let mut d = 0i32;
+                j += 1;
+                while j < toks.len() {
+                    if toks[j].tok.is_punct("[") {
+                        d += 1;
+                    } else if toks[j].tok.is_punct("]") {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+            }
+            Tok::Ident(s) if depth == 1 && expect_variant => {
+                variants.push(s.clone());
+                expect_variant = false;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    variants
+}
+
+struct AllConst {
+    arity: usize,
+    entries: Vec<String>,
+    line: u32,
+}
+
+/// Parse `const ALL: [FabricKind; N] = [Variant, FabricKind::Variant, …];`.
+fn const_all(toks: &[Token]) -> Option<AllConst> {
+    let mut i = 0usize;
+    loop {
+        while i + 1 < toks.len()
+            && !(toks[i].tok.is_ident("const") && toks[i + 1].tok.is_ident("ALL"))
+        {
+            i += 1;
+        }
+        if i + 1 >= toks.len() {
+            return None;
+        }
+        // const ALL : [ FabricKind ; N ]
+        let line = toks[i].line;
+        let mut j = i + 2;
+        if !toks.get(j)?.tok.is_punct(":") {
+            i += 1;
+            continue;
+        }
+        j += 1;
+        if !toks.get(j)?.tok.is_punct("[") {
+            i += 1;
+            continue;
+        }
+        // Find the `;` and the arity literal inside the type brackets.
+        let mut arity: Option<usize> = None;
+        while j < toks.len() && !toks[j].tok.is_punct("]") {
+            if toks[j].tok.is_punct(";") {
+                if let Some(Tok::Literal(n)) = toks.get(j + 1).map(|t| &t.tok) {
+                    arity = n.replace('_', "").parse().ok();
+                }
+            }
+            j += 1;
+        }
+        let arity = arity?;
+        // Initialiser: `= [ entries ]`.
+        while j < toks.len() && !toks[j].tok.is_punct("=") {
+            j += 1;
+        }
+        while j < toks.len() && !toks[j].tok.is_punct("[") {
+            j += 1;
+        }
+        let mut entries = Vec::new();
+        let mut last_ident: Option<String> = None;
+        j += 1;
+        while j < toks.len() && !toks[j].tok.is_punct("]") {
+            if let Tok::Ident(s) = &toks[j].tok {
+                last_ident = Some(s.clone());
+            } else if toks[j].tok.is_punct(",") {
+                if let Some(s) = last_ident.take() {
+                    entries.push(s);
+                }
+            }
+            j += 1;
+        }
+        if let Some(s) = last_ident.take() {
+            entries.push(s);
+        }
+        return Some(AllConst {
+            arity,
+            entries,
+            line,
+        });
+    }
+}
+
+/// Token slice of the body of `fn <name>(…) … { … }`.
+fn fn_body<'t>(toks: &'t [Token], name: &str) -> Option<&'t [Token]> {
+    let mut i = 0usize;
+    while i + 1 < toks.len() {
+        if toks[i].tok.is_ident("fn") && toks[i + 1].tok.is_ident(name) {
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].tok.is_punct("{") {
+                j += 1;
+            }
+            let start = j;
+            let mut depth = 0i32;
+            while j < toks.len() {
+                if toks[j].tok.is_punct("{") {
+                    depth += 1;
+                } else if toks[j].tok.is_punct("}") {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(&toks[start..=j]);
+                    }
+                }
+                j += 1;
+            }
+            return None;
+        }
+        i += 1;
+    }
+    None
+}
+
+/// CamelCase → snake_case (`GatedPacket` → `gated_packet`).
+fn snake(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_enum_and_all() {
+        let src = "\
+#[derive(Clone, Copy)]
+pub enum FabricKind {
+    /// docs
+    Circuit,
+    Hybrid,
+    Packet,
+}
+impl FabricKind {
+    pub const BOTH: [FabricKind; 2] = [FabricKind::Circuit, FabricKind::Packet];
+    pub const ALL: [FabricKind; 3] = [FabricKind::Circuit, FabricKind::Hybrid, FabricKind::Packet];
+}
+";
+        let toks = lex(src).tokens;
+        assert_eq!(
+            enum_variants(&toks, "FabricKind"),
+            vec!["Circuit", "Hybrid", "Packet"]
+        );
+        let all = const_all(&toks).unwrap();
+        assert_eq!(all.arity, 3);
+        assert_eq!(
+            all.entries,
+            vec!["Circuit", "Hybrid", "Packet"],
+            "path-qualified entries keep only the variant ident"
+        );
+    }
+
+    #[test]
+    fn snake_case() {
+        assert_eq!(snake("Circuit"), "circuit");
+        assert_eq!(snake("GatedPacket"), "gated_packet");
+    }
+
+    #[test]
+    fn fn_body_extraction() {
+        let src =
+            "fn other() { nope(); }\npub fn summary(&self, k: K) -> R { match k { K::A => 1 } }";
+        let toks = lex(src).tokens;
+        let body = fn_body(&toks, "summary").unwrap();
+        assert!(body.iter().any(|t| t.tok.is_ident("match")));
+        assert!(!body.iter().any(|t| t.tok.is_ident("nope")));
+    }
+}

@@ -1,0 +1,198 @@
+//! Findings and report rendering (human text and JSON).
+//!
+//! The JSON emitter is hand-rolled: the linter is pure-std by design so it
+//! can build and run before anything else in the workspace. The shape is
+//! stable and asserted by CI:
+//!
+//! ```json
+//! {
+//!   "tool": "noc-lint",
+//!   "rules": ["wall-clock", ...],
+//!   "files_scanned": 42,
+//!   "findings": [{"rule": "...", "file": "...", "line": 7, "message": "..."}],
+//!   "suppressed": 3,
+//!   "deny": true
+//! }
+//! ```
+
+use std::fmt::Write as _;
+
+/// All rule identifiers, in severity-neutral, stable order.
+pub const RULES: &[&str] = &[
+    "wall-clock",
+    "unordered-iter",
+    "thread-discipline",
+    "unsafe-discipline",
+    "unwrap-justify",
+    "registry-drift",
+    "pragma",
+];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+}
+
+/// The result of a full workspace run.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub files_scanned: usize,
+    /// Findings suppressed by a justified pragma.
+    pub suppressed: usize,
+    pub deny: bool,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Sort findings for stable output: by file, then line, then rule.
+    pub fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    }
+
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+        }
+        let _ = writeln!(
+            out,
+            "noc-lint: {} finding{} across {} file{} ({} suppressed by pragma)",
+            self.findings.len(),
+            if self.findings.len() == 1 { "" } else { "s" },
+            self.files_scanned,
+            if self.files_scanned == 1 { "" } else { "s" },
+            self.suppressed,
+        );
+        out
+    }
+
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"tool\": \"noc-lint\",\n");
+        out.push_str("  \"rules\": [");
+        for (i, r) in RULES.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{r}\"");
+        }
+        out.push_str("],\n");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                json_str(f.rule),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.message)
+            );
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        let _ = writeln!(out, "  \"suppressed\": {},", self.suppressed);
+        let _ = writeln!(out, "  \"deny\": {}", self.deny);
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Escape a string for JSON output.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut r = Report {
+            findings: vec![Finding {
+                rule: "wall-clock",
+                file: "crates/sim/src/x.rs".into(),
+                line: 7,
+                message: "Instant::now() in deterministic crate".into(),
+            }],
+            files_scanned: 3,
+            suppressed: 1,
+            deny: true,
+        };
+        r.sort();
+        let json = r.render_json();
+        assert!(json.contains("\"tool\": \"noc-lint\""));
+        assert!(json.contains("\"files_scanned\": 3"));
+        assert!(json.contains("\"rule\": \"wall-clock\""));
+        assert!(json.contains("\"line\": 7"));
+        assert!(json.contains("\"suppressed\": 1"));
+        assert!(json.contains("\"deny\": true"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn empty_findings_render_as_empty_array() {
+        let r = Report {
+            files_scanned: 10,
+            ..Report::default()
+        };
+        let json = r.render_json();
+        assert!(json.contains("\"findings\": [],"));
+    }
+
+    #[test]
+    fn sort_orders_by_file_line_rule() {
+        let mut r = Report::default();
+        for (file, line) in [("b.rs", 1), ("a.rs", 9), ("a.rs", 2)] {
+            r.findings.push(Finding {
+                rule: "pragma",
+                file: file.into(),
+                line,
+                message: String::new(),
+            });
+        }
+        r.sort();
+        let order: Vec<_> = r
+            .findings
+            .iter()
+            .map(|f| (f.file.as_str(), f.line))
+            .collect();
+        assert_eq!(order, vec![("a.rs", 2), ("a.rs", 9), ("b.rs", 1)]);
+    }
+}

@@ -1,0 +1,358 @@
+//! Per-file source model: tokens + comments + pragmas + test regions.
+//!
+//! Rules operate on a [`SourceFile`], which layers three things over the raw
+//! token stream:
+//!
+//! - **Pragmas** — `// noc-lint: allow(<rule>, <reason>)` comments. A pragma
+//!   on its own line suppresses findings on the *next* code line; a trailing
+//!   pragma suppresses findings on its *own* line. Pragmas without a reason
+//!   are themselves findings (rule `pragma`), as are pragmas that suppress
+//!   nothing (kept honest so dead allows don't accumulate).
+//! - **Test regions** — line ranges inside `#[cfg(test)] mod … { … }`, found
+//!   by brace matching. Determinism rules (unordered-iter, unwrap-justify)
+//!   don't apply there.
+//! - **Comment lookup** — "is there a `SAFETY:` comment just above line N?"
+//!   for the unsafe-discipline rule.
+
+use crate::lexer::{lex, Lexed, Token};
+
+/// A parsed `noc-lint: allow(...)` pragma.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// Rule name the pragma suppresses, e.g. `unordered-iter`.
+    pub rule: String,
+    /// Justification text; empty if the author omitted it.
+    pub reason: String,
+    /// Line the pragma comment sits on.
+    pub line: u32,
+    /// Line whose findings it suppresses (same line for trailing pragmas,
+    /// next code line for standalone ones).
+    pub target_line: u32,
+    /// Set by the engine when a finding is actually suppressed.
+    pub used: std::cell::Cell<bool>,
+}
+
+/// One lexed + analyzed source file, ready for rules.
+pub struct SourceFile {
+    /// Workspace-relative path, e.g. `crates/mesh/src/ccn.rs`.
+    pub path: String,
+    pub lexed: Lexed,
+    pub pragmas: Vec<Pragma>,
+    /// Malformed pragma comments: (line, message).
+    pub pragma_errors: Vec<(u32, String)>,
+    /// Inclusive line ranges covered by `#[cfg(test)] mod … { … }`.
+    pub test_regions: Vec<(u32, u32)>,
+    /// Does the file open with `#![cfg(test)]`? (Whole file is test code.)
+    pub whole_file_test: bool,
+}
+
+impl SourceFile {
+    pub fn parse(path: &str, src: &str) -> SourceFile {
+        let lexed = lex(src);
+        let (pragmas, pragma_errors) = collect_pragmas(&lexed);
+        let test_regions = find_test_regions(&lexed.tokens);
+        let whole_file_test = has_inner_cfg_test(&lexed.tokens);
+        SourceFile {
+            path: path.to_string(),
+            lexed,
+            pragmas,
+            pragma_errors,
+            test_regions,
+            whole_file_test,
+        }
+    }
+
+    pub fn tokens(&self) -> &[Token] {
+        &self.lexed.tokens
+    }
+
+    /// Is `line` inside a `#[cfg(test)]` module (or a whole-file test)?
+    pub fn in_test_region(&self, line: u32) -> bool {
+        self.whole_file_test
+            || self
+                .test_regions
+                .iter()
+                .any(|&(lo, hi)| line >= lo && line <= hi)
+    }
+
+    /// If a pragma allows `rule` on `line`, mark it used and return true.
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        for p in &self.pragmas {
+            if p.target_line == line && (p.rule == rule || p.rule == "all") {
+                p.used.set(true);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Comments whose text contains `needle`, on lines in `[lo, hi]`.
+    pub fn comment_in_lines(&self, needle: &str, lo: u32, hi: u32) -> bool {
+        self.lexed
+            .comments
+            .iter()
+            .any(|c| c.line >= lo && c.line <= hi && c.text.contains(needle))
+    }
+}
+
+/// Parse `noc-lint:` pragmas out of the comment list. Accepted grammar:
+///
+/// ```text
+/// // noc-lint: allow(rule-name, free-form reason text)
+/// // noc-lint: allow(rule-name)          <- missing reason: pragma error
+/// ```
+fn collect_pragmas(lexed: &Lexed) -> (Vec<Pragma>, Vec<(u32, String)>) {
+    let mut pragmas = Vec::new();
+    let mut errors = Vec::new();
+    for c in &lexed.comments {
+        // Pragmas live only in plain `//` comments that *start* with the
+        // directive — doc comments (`///`, `//!`) and prose that merely
+        // mentions `noc-lint:` mid-sentence are never parsed.
+        let Some(body) = c.text.strip_prefix("//") else {
+            continue;
+        };
+        if body.starts_with('/') || body.starts_with('!') {
+            continue;
+        }
+        let Some(rest) = body.trim().strip_prefix("noc-lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let Some(args) = rest.strip_prefix("allow") else {
+            errors.push((
+                c.line,
+                format!("unrecognized noc-lint directive: `{}`", rest),
+            ));
+            continue;
+        };
+        let args = args.trim();
+        let inner = match args.strip_prefix('(').and_then(|a| a.strip_suffix(')')) {
+            Some(inner) => inner,
+            None => {
+                errors.push((
+                    c.line,
+                    "malformed allow pragma: expected `allow(rule, reason)`".to_string(),
+                ));
+                continue;
+            }
+        };
+        let (rule, reason) = match inner.split_once(',') {
+            Some((r, why)) => (r.trim().to_string(), why.trim().to_string()),
+            None => (inner.trim().to_string(), String::new()),
+        };
+        if rule.is_empty() {
+            errors.push((c.line, "allow pragma with empty rule name".to_string()));
+            continue;
+        }
+        if reason.is_empty() {
+            errors.push((
+                c.line,
+                format!("allow({rule}) pragma has no reason — write `allow({rule}, <why>)`"),
+            ));
+            continue;
+        }
+        // Target line: own line if any token shares it (trailing pragma),
+        // else the next line that has a token (standalone pragma).
+        let target_line = if lexed.tokens.iter().any(|t| t.line == c.line) {
+            c.line
+        } else {
+            lexed
+                .tokens
+                .iter()
+                .map(|t| t.line)
+                .filter(|&l| l > c.line)
+                .min()
+                .unwrap_or(c.line)
+        };
+        pragmas.push(Pragma {
+            rule,
+            reason,
+            line: c.line,
+            target_line,
+            used: std::cell::Cell::new(false),
+        });
+    }
+    (pragmas, errors)
+}
+
+/// Find `#[cfg(test)] mod name { … }` regions by scanning for the attribute
+/// token sequence and then brace-matching the module body.
+fn find_test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_cfg_test_attr(tokens, i) {
+            // Skip the attribute (# [ cfg ( test ) ]) = 7 tokens, then look
+            // for `mod ident {`. Other attributes may sit between.
+            let mut j = i + 7;
+            // Skip any further attributes.
+            while j < tokens.len() && tokens[j].tok.is_punct("#") {
+                j = skip_attr(tokens, j);
+            }
+            if j + 1 < tokens.len() && tokens[j].tok.is_ident("mod") {
+                // Find the opening brace after the module name.
+                let mut k = j + 1;
+                while k < tokens.len()
+                    && !tokens[k].tok.is_punct("{")
+                    && !tokens[k].tok.is_punct(";")
+                {
+                    k += 1;
+                }
+                if k < tokens.len() && tokens[k].tok.is_punct("{") {
+                    let start_line = tokens[i].line;
+                    let mut depth = 0i32;
+                    let mut end = k;
+                    for (off, t) in tokens[k..].iter().enumerate() {
+                        if t.tok.is_punct("{") {
+                            depth += 1;
+                        } else if t.tok.is_punct("}") {
+                            depth -= 1;
+                            if depth == 0 {
+                                end = k + off;
+                                break;
+                            }
+                        }
+                    }
+                    regions.push((start_line, tokens[end].line));
+                    i = end;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// Does the token stream open with `#![cfg(test)]`?
+fn has_inner_cfg_test(tokens: &[Token]) -> bool {
+    // # ! [ cfg ( test ) ]
+    tokens.len() >= 8
+        && tokens[0].tok.is_punct("#")
+        && tokens[1].tok.is_punct("!")
+        && tokens[2].tok.is_punct("[")
+        && tokens[3].tok.is_ident("cfg")
+        && tokens[4].tok.is_punct("(")
+        && tokens[5].tok.is_ident("test")
+}
+
+/// Is `tokens[i..]` exactly `# [ cfg ( test ) ]`?
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    tokens.len() >= i + 7
+        && tokens[i].tok.is_punct("#")
+        && tokens[i + 1].tok.is_punct("[")
+        && tokens[i + 2].tok.is_ident("cfg")
+        && tokens[i + 3].tok.is_punct("(")
+        && tokens[i + 4].tok.is_ident("test")
+        && tokens[i + 5].tok.is_punct(")")
+        && tokens[i + 6].tok.is_punct("]")
+}
+
+/// Skip one `#[…]` attribute starting at the `#` token; returns the index
+/// just past its closing `]`.
+fn skip_attr(tokens: &[Token], i: usize) -> usize {
+    let mut j = i + 1;
+    if j < tokens.len() && tokens[j].tok.is_punct("!") {
+        j += 1;
+    }
+    if j >= tokens.len() || !tokens[j].tok.is_punct("[") {
+        return i + 1;
+    }
+    let mut depth = 0i32;
+    while j < tokens.len() {
+        if tokens[j].tok.is_punct("[") {
+            depth += 1;
+        } else if tokens[j].tok.is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trailing_and_standalone_pragmas() {
+        let src = "\
+let a = m.iter(); // noc-lint: allow(unordered-iter, order-independent fold)
+// noc-lint: allow(wall-clock, test shim only)
+let b = now();
+";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.pragmas.len(), 2);
+        assert_eq!(f.pragmas[0].target_line, 1);
+        assert_eq!(f.pragmas[1].target_line, 3);
+        assert!(f.allowed("unordered-iter", 1));
+        assert!(f.allowed("wall-clock", 3));
+        assert!(!f.allowed("wall-clock", 1));
+    }
+
+    #[test]
+    fn pragma_without_reason_is_an_error() {
+        let f = SourceFile::parse("x.rs", "// noc-lint: allow(unwrap-justify)\nlet x = 1;\n");
+        assert!(f.pragmas.is_empty());
+        assert_eq!(f.pragma_errors.len(), 1);
+        assert!(f.pragma_errors[0].1.contains("no reason"));
+    }
+
+    #[test]
+    fn malformed_directive_is_an_error() {
+        let f = SourceFile::parse("x.rs", "// noc-lint: deny(stuff)\n");
+        assert_eq!(f.pragma_errors.len(), 1);
+    }
+
+    #[test]
+    fn doc_comments_and_prose_never_parse_as_pragmas() {
+        let src = "\
+//! noc-lint: a static analyzer.
+/// Suppress with `// noc-lint: allow(rule, why)` pragmas.
+// Prose mentioning noc-lint: allow(x) mid-sentence is fine too? No — this
+// one starts with a capital so it is prose, not a directive.
+fn f() {}
+";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.pragmas.is_empty());
+        assert!(f.pragma_errors.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_regions_found() {
+        let src = "\
+fn lib_code() {}
+
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+    #[test]
+    fn t() {}
+}
+
+fn more_lib() {}
+";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.test_regions, vec![(3, 8)]);
+        assert!(!f.in_test_region(1));
+        assert!(f.in_test_region(5));
+        assert!(!f.in_test_region(10));
+    }
+
+    #[test]
+    fn whole_file_cfg_test() {
+        let f = SourceFile::parse("x.rs", "#![cfg(test)]\nfn anything() {}\n");
+        assert!(f.whole_file_test);
+        assert!(f.in_test_region(2));
+    }
+
+    #[test]
+    fn attr_between_cfg_test_and_mod() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod tests { fn x() {} }\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.test_regions.len(), 1);
+    }
+}

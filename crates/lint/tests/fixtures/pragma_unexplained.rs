@@ -1,0 +1,8 @@
+// Fixture: pragma hygiene — a reasonless allow and a dead allow are both
+// findings even though the unwrap itself is suppressed by the first one.
+fn f(x: Option<u32>) -> u32 {
+    // noc-lint: allow(unwrap-justify)
+    let v = x.unwrap();
+    // noc-lint: allow(wall-clock, nothing below reads a clock)
+    v + 1
+}

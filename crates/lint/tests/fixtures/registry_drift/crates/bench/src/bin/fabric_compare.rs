@@ -1,0 +1,5 @@
+fn main() {
+    for kind in FabricKind::ALL {
+        run(kind);
+    }
+}

@@ -1,0 +1,9 @@
+impl Bench {
+    pub fn summary(&self, kind: FabricKind) -> &Summary {
+        match kind {
+            FabricKind::Circuit => &self.circuit,
+            FabricKind::Packet => &self.packet,
+            FabricKind::Deflection => unimplemented!(),
+        }
+    }
+}

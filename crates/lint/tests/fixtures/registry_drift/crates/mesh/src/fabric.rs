@@ -1,0 +1,12 @@
+// Drifted registry: a third variant was added but ALL still lists two.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum FabricKind {
+    Circuit,
+    Packet,
+    /// Added in a hurry; never registered anywhere else.
+    Deflection,
+}
+
+impl FabricKind {
+    pub const ALL: [FabricKind; 2] = [FabricKind::Circuit, FabricKind::Packet];
+}

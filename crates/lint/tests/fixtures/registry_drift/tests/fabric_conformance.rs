@@ -1,0 +1,9 @@
+#[test]
+fn circuit_fabric_conforms() {
+    run_conformance(FabricKind::Circuit);
+}
+
+#[test]
+fn packet_fabric_conforms() {
+    run_conformance(FabricKind::Packet);
+}

@@ -1,0 +1,7 @@
+fn main() {
+    for side in [4usize, 8, 16] {
+        for kind in FabricKind::ALL {
+            run(side, kind);
+        }
+    }
+}

@@ -1,0 +1,8 @@
+impl Bench {
+    pub fn summary(&self, kind: FabricKind) -> &Summary {
+        match kind {
+            FabricKind::Circuit => &self.circuit,
+            FabricKind::Packet => &self.packet,
+        }
+    }
+}

@@ -1,0 +1,12 @@
+// Mini fabric registry: two variants, ALL in sync.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum FabricKind {
+    /// Circuit-switched guaranteed-throughput fabric.
+    Circuit,
+    /// Packet-switched wormhole baseline.
+    Packet,
+}
+
+impl FabricKind {
+    pub const ALL: [FabricKind; 2] = [FabricKind::Circuit, FabricKind::Packet];
+}

@@ -1,0 +1,12 @@
+// Fixture: D4 positives — undocumented unsafe in all four forms.
+struct Wrapper(*mut u8);
+
+unsafe impl Send for Wrapper {}
+
+unsafe fn read_at(base: *const u8, off: usize) -> u8 {
+    unsafe { *base.add(off) }
+}
+
+fn caller(w: &Wrapper) -> u8 {
+    unsafe { read_at(w.0, 3) }
+}

@@ -1,0 +1,21 @@
+// Fixture: D4 negatives — every unsafe site documented.
+struct Wrapper(*mut u8);
+
+// SAFETY: the pointer is owned by Wrapper and never aliased; sending the
+// owner transfers the unique borrow with it.
+unsafe impl Send for Wrapper {}
+
+/// Read one byte at an offset.
+///
+/// # Safety
+///
+/// `base + off` must be in bounds of one live allocation.
+unsafe fn read_at(base: *const u8, off: usize) -> u8 {
+    // SAFETY: in-bounds per the function contract above.
+    unsafe { *base.add(off) }
+}
+
+fn caller(w: &Wrapper) -> u8 {
+    // SAFETY: Wrapper allocations are 8 bytes; 3 is in bounds.
+    unsafe { read_at(w.0, 3) }
+}

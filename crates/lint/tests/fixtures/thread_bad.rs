@@ -1,0 +1,12 @@
+// Fixture: D3 positives — ad-hoc threading outside noc_sim::par.
+use std::sync::{Condvar, Mutex};
+
+fn racy() {
+    let state = Mutex::new(0u32);
+    let cv = Condvar::new();
+    let handle = std::thread::spawn(move || {
+        let _ = state.lock();
+        cv.notify_all();
+    });
+    let _ = handle.join();
+}

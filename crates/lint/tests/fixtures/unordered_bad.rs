@@ -1,0 +1,24 @@
+// Fixture: D2 positives — order-dependent consumption of hash maps.
+use std::collections::{HashMap, HashSet};
+
+struct Telemetry {
+    counts: HashMap<u32, u64>,
+}
+
+impl Telemetry {
+    fn report(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (_, v) in &self.counts {
+            out.push(*v);
+        }
+        out
+    }
+
+    fn drain_ids(&mut self) -> Vec<u32> {
+        self.counts.keys().copied().collect()
+    }
+}
+
+fn first_seen(seen: HashSet<u32>) -> Option<u32> {
+    seen.into_iter().next()
+}

@@ -1,0 +1,6 @@
+// Fixture: D5 positives — bare unwraps and computed expect messages.
+fn pick(xs: &[u32]) -> u32 {
+    let first = xs.first().unwrap();
+    let msg = format!("{first} missing");
+    xs.last().copied().expect(&msg)
+}

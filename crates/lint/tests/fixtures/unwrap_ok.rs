@@ -1,0 +1,18 @@
+// Fixture: D5 negatives — literal expect messages, unwrap_or family,
+// pragma-justified unwrap, and test-module unwraps.
+fn pick(xs: &[u32]) -> u32 {
+    let first = xs.first().expect("caller guarantees non-empty input");
+    let last = xs.last().copied().unwrap_or(0);
+    // noc-lint: allow(unwrap-justify, slice checked non-empty two lines up)
+    let mid = xs.get(xs.len() / 2).unwrap();
+    first + last + mid
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_here() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

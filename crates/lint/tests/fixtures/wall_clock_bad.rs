@@ -1,0 +1,12 @@
+// Fixture: D1 positives. Three wall-clock reads a deterministic crate
+// must never make. (This file is never compiled — the linter reads it.)
+use std::time::Instant;
+
+fn elapsed() -> u128 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos()
+}
+
+fn epoch() -> std::time::SystemTime {
+    SystemTime::now()
+}

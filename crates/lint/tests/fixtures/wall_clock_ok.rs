@@ -1,0 +1,10 @@
+// Fixture: D1 negatives. Durations, the simulator's own `Instant`
+// provisioning mode, and prose in strings are all fine.
+use std::time::Duration;
+
+fn tick(mode: ProvisionMode) -> Duration {
+    if mode == ProvisionMode::Instant {
+        log("Instant provisioning charges nothing");
+    }
+    Duration::from_nanos(10)
+}

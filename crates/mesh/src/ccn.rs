@@ -39,7 +39,7 @@ use noc_core::lane::Port;
 use noc_core::params::RouterParams;
 use noc_sim::units::{Bandwidth, MegaHertz};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 
 /// One router traversal of an allocated circuit.
@@ -606,8 +606,8 @@ impl Ccn {
         let lanes = self.params.lanes_per_port;
         loop {
             // Distinct out/in partner clusters and exchanged bandwidth.
-            let mut out_partners: HashMap<usize, HashMap<usize, f64>> = HashMap::new();
-            let mut in_partners: HashMap<usize, HashMap<usize, f64>> = HashMap::new();
+            let mut out_partners: BTreeMap<usize, BTreeMap<usize, f64>> = BTreeMap::new();
+            let mut in_partners: BTreeMap<usize, BTreeMap<usize, f64>> = BTreeMap::new();
             for (_, e) in graph.edges() {
                 let s = find(&rep, e.src.0);
                 let d = find(&rep, e.dst.0);
@@ -696,7 +696,9 @@ impl Ccn {
         order.sort_by(|a, b| {
             let va = volume.get(a).copied().unwrap_or(0.0);
             let vb = volume.get(b).copied().unwrap_or(0.0);
-            vb.partial_cmp(&va).unwrap().then(a.cmp(b))
+            vb.partial_cmp(&va)
+                .expect("traffic volumes are finite sums of finite bandwidths")
+                .then(a.cmp(b))
         });
 
         let mut placed: HashMap<usize, NodeId> = HashMap::new();
@@ -782,7 +784,7 @@ impl Ccn {
         let capacity = self.lane_capacity();
 
         // Aggregate edges into demands by (src tile, dst tile).
-        let mut demands: HashMap<(NodeId, NodeId), (Vec<EdgeId>, f64)> = HashMap::new();
+        let mut demands: BTreeMap<(NodeId, NodeId), (Vec<EdgeId>, f64)> = BTreeMap::new();
         for (id, e) in graph.edges() {
             let key = (node_of[&e.src], node_of[&e.dst]);
             let entry = demands.entry(key).or_default();
@@ -794,7 +796,7 @@ impl Ccn {
         demand_list.sort_by(|a, b| {
             b.1 .1
                 .partial_cmp(&a.1 .1)
-                .unwrap()
+                .expect("aggregate demands are finite sums of finite bandwidths")
                 .then(a.1 .0.cmp(&b.1 .0))
         });
 
@@ -917,13 +919,20 @@ impl Ccn {
                     (Port::Tile, tx[j])
                 } else {
                     let from = node_path[i - 1];
-                    let port = self.port_between(from, node).unwrap();
-                    (port.opposite().unwrap(), link_lanes[i - 1][j])
+                    let port = self
+                        .port_between(from, node)
+                        .expect("BFS paths step between mesh neighbours");
+                    (
+                        port.opposite().expect("mesh ports have opposites"),
+                        link_lanes[i - 1][j],
+                    )
                 };
                 let (out_port, out_lane) = if i + 1 == node_path.len() {
                     (Port::Tile, rx[j])
                 } else {
-                    let port = self.port_between(node, node_path[i + 1]).unwrap();
+                    let port = self
+                        .port_between(node, node_path[i + 1])
+                        .expect("BFS paths step between mesh neighbours");
                     (port, link_lanes[i][j])
                 };
                 hops.push(PathHop {

@@ -50,7 +50,7 @@ use noc_sim::kernel::Clocked;
 use noc_sim::par::ParPolicy;
 use noc_sim::time::{Cycle, CycleCount};
 use noc_sim::units::{Bandwidth, FemtoJoules, MegaHertz, SquareMicroMeters};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 /// One live stream as a policy sees it: measured telemetry joined with
@@ -242,9 +242,9 @@ pub struct LoadDemotion {
     /// Per-circuit smoothed bandwidth estimate (Mbit/s), keyed by
     /// session id. A re-admission gets a fresh session id and therefore
     /// a fresh estimate.
-    ewma: HashMap<u32, f64>,
+    ewma: BTreeMap<u32, f64>,
     /// Per-circuit count of observed windows (dwell), keyed likewise.
-    dwell: HashMap<u32, u32>,
+    dwell: BTreeMap<u32, u32>,
 }
 
 impl LoadDemotion {
@@ -267,8 +267,8 @@ impl LoadDemotion {
             promote: None,
             ewma_alpha: None,
             min_dwell: 0,
-            ewma: HashMap::new(),
-            dwell: HashMap::new(),
+            ewma: BTreeMap::new(),
+            dwell: BTreeMap::new(),
         }
     }
 
@@ -535,7 +535,7 @@ pub struct FabricController {
     /// ticks to wait before evicting the same demand again, after an
     /// eviction turned out pointless (its re-admission landed straight
     /// back on circuit lanes because no promotion claimed them).
-    cooldown: HashMap<(usize, usize), u32>,
+    cooldown: BTreeMap<(usize, usize), u32>,
     /// Cumulative action counters since the last provision.
     stats: ControllerStats,
 }
@@ -576,7 +576,7 @@ impl FabricController {
             demoting: Vec::new(),
             reports: Vec::new(),
             pending_moves: Vec::new(),
-            cooldown: HashMap::new(),
+            cooldown: BTreeMap::new(),
             stats: ControllerStats::default(),
         }
     }
@@ -835,7 +835,7 @@ struct ControllerState {
     demoting: Vec<StreamId>,
     reports: Vec<TickReport>,
     pending_moves: Vec<(StreamId, Option<StreamId>)>,
-    cooldown: HashMap<(usize, usize), u32>,
+    cooldown: BTreeMap<(usize, usize), u32>,
     stats: ControllerStats,
 }
 

@@ -50,7 +50,7 @@ use noc_sim::par::ParPolicy;
 use noc_sim::stats::LatencyHistogram;
 use noc_sim::time::Cycle;
 use noc_sim::units::SquareMicroMeters;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// One deflection stream session: destination registration, sequence
 /// bookkeeping for the reorder window, and telemetry.
@@ -96,7 +96,7 @@ pub struct DeflectionFabric {
     /// Stream sessions, provision-time then runtime-admitted.
     streams: Vec<DeflectStream>,
     /// StreamId -> index into `streams`.
-    by_id: HashMap<u32, usize>,
+    by_id: BTreeMap<u32, usize>,
     /// Stream indices mid-drain, polled each cycle for completion.
     draining: Vec<usize>,
     /// Per node: flits awaiting injection at the tile port.
@@ -134,7 +134,7 @@ impl DeflectionFabric {
             policy: ParPolicy::Auto,
             routers,
             streams: Vec::new(),
-            by_id: HashMap::new(),
+            by_id: BTreeMap::new(),
             draining: Vec::new(),
             ingress: mesh.iter().map(|_| Default::default()).collect(),
             now: Cycle::ZERO,

@@ -45,7 +45,7 @@ use noc_sim::stats::LatencyHistogram;
 use noc_sim::time::{Cycle, CycleCount};
 use noc_sim::units::{FemtoJoules, MegaHertz, SquareMicroMeters};
 use std::any::Any;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 /// Which switching discipline a fabric implements.
@@ -750,7 +750,7 @@ pub struct PacketFabric {
     /// Stream sessions, provision-time then runtime-admitted.
     streams: Vec<PacketStream>,
     /// StreamId -> index into `streams`.
-    by_id: HashMap<u32, usize>,
+    by_id: BTreeMap<u32, usize>,
     /// Stream indices mid-drain, polled each cycle for completion.
     draining: Vec<usize>,
     /// Per node, per VC: stream tag of the wormhole being delivered.
@@ -813,7 +813,7 @@ impl PacketFabric {
             policy: ParPolicy::Auto,
             routers,
             streams: Vec::new(),
-            by_id: HashMap::new(),
+            by_id: BTreeMap::new(),
             draining: Vec::new(),
             rx_stream: mesh.iter().map(|_| vec![None; vcs]).collect(),
             ingress: mesh.iter().map(|_| Default::default()).collect(),

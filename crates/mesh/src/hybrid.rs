@@ -60,7 +60,7 @@ use noc_sim::kernel::Clocked;
 use noc_sim::par::{par_join, ParPolicy};
 use noc_sim::time::Cycle;
 use noc_sim::units::SquareMicroMeters;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 #[cfg(doc)]
 use crate::ccn::Ccn;
@@ -178,7 +178,7 @@ pub struct HybridFabric {
     spill: SpillPlane,
     /// Global session table; [`StreamId`] -> index via `by_id`.
     table: Vec<HybridStream>,
-    by_id: HashMap<u32, usize>,
+    by_id: BTreeMap<u32, usize>,
     /// Table indices mid-drain, polled each cycle against their plane.
     draining: Vec<usize>,
     policy: ParPolicy,
@@ -237,7 +237,7 @@ impl HybridFabric {
             circuit: Soc::new(mesh, router_params),
             spill,
             table: Vec::new(),
-            by_id: HashMap::new(),
+            by_id: BTreeMap::new(),
             draining: Vec::new(),
             policy: ParPolicy::Auto,
             now: Cycle::ZERO,

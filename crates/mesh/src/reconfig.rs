@@ -18,7 +18,7 @@ use noc_core::error::ConfigError;
 use noc_core::params::RouterParams;
 use noc_sim::time::Cycle;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// The configuration-word diff between two mappings.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -41,13 +41,13 @@ impl ReconfigPlan {
             .iter()
             .chain(&self.setup)
             .map(|&(n, _)| n)
-            .collect::<HashSet<_>>()
+            .collect::<BTreeSet<_>>()
             .len()
     }
 }
 
 /// Output lanes (as `(node, flat word address portion)`) used by a mapping.
-fn used_lanes(mapping: &Mapping, params: &RouterParams) -> HashSet<(NodeId, u16)> {
+fn used_lanes(mapping: &Mapping, params: &RouterParams) -> BTreeSet<(NodeId, u16)> {
     mapping
         .config_words(params)
         .into_iter()
@@ -77,7 +77,7 @@ pub fn teardown_words_for_route(
     route: &EdgeRoute,
     params: &RouterParams,
 ) -> Vec<(NodeId, ConfigWord)> {
-    let lanes: HashSet<(NodeId, u16)> = route
+    let lanes: BTreeSet<(NodeId, u16)> = route
         .config_words(params)
         .into_iter()
         .map(|(node, w)| (node, w.0 >> params.entry_bits()))
@@ -113,7 +113,7 @@ pub fn plan(old: &Mapping, new: &Mapping, params: &RouterParams) -> ReconfigPlan
     // Setup: every word of the new mapping whose (node, lane, entry) is not
     // already in force under the old mapping. Re-sending identical words is
     // harmless but wastes BE bandwidth, so filter exact duplicates.
-    let old_words: HashSet<(NodeId, u16)> = old
+    let old_words: BTreeSet<(NodeId, u16)> = old
         .config_words(params)
         .into_iter()
         .map(|(n, w)| (n, w.0))

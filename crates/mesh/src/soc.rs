@@ -34,7 +34,7 @@ use noc_sim::par::{par_commit, par_eval, ParPolicy};
 use noc_sim::stats::LatencyHistogram;
 use noc_sim::time::{Cycle, CycleCount};
 use noc_sim::units::Bandwidth;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// One provisioned circuit stream: the session state behind a
 /// [`StreamId`] on the circuit plane.
@@ -89,7 +89,7 @@ struct SocStream {
 struct StreamPlan {
     streams: Vec<SocStream>,
     /// StreamId -> index into `streams`.
-    by_id: HashMap<u32, usize>,
+    by_id: BTreeMap<u32, usize>,
     /// Per node: indices of *active* streams originating there.
     by_src: Vec<Vec<usize>>,
     /// Per node, per tile RX lane: which (stream, path) terminates there.
@@ -111,7 +111,7 @@ impl StreamPlan {
     fn new(mesh: &Mesh, lanes_per_port: usize, lane_capacity: Bandwidth) -> StreamPlan {
         StreamPlan {
             streams: Vec::new(),
-            by_id: HashMap::new(),
+            by_id: BTreeMap::new(),
             by_src: vec![Vec::new(); mesh.nodes()],
             rx_map: vec![vec![None; lanes_per_port]; mesh.nodes()],
             rx_nodes: Vec::new(),

@@ -579,25 +579,31 @@ impl DeflectionSlab {
     /// whole dispatch, and each index runs exactly once).
     unsafe fn lane<'a>(p: SlabPtrs, r: usize) -> Lane<'a> {
         use std::slice::{from_raw_parts, from_raw_parts_mut};
-        Lane {
-            here: *p.coords.add(r),
-            valid: from_raw_parts(p.valid.add(r * P), P),
-            capacity: *p.capacity.add(r),
-            link_in: from_raw_parts_mut(p.link_in.add(r * P), P),
-            out_regs: from_raw_parts_mut(p.out_regs.add(r * P), P),
-            out_next: from_raw_parts_mut(p.out_next.add(r * P), P),
-            out_flits: from_raw_parts_mut(p.out_flits.add(r * P), P),
-            link_wires: from_raw_parts_mut(p.link_wires.add(r * P), P),
-            out_select: from_raw_parts_mut(p.out_select.add(r * P), P),
-            side_buf: &mut *p.side_buf.add(r),
-            tile_rx: &mut *p.tile_rx.add(r),
-            led: &mut *p.ledgers.add(r),
-            flits_delivered: &mut *p.flits_delivered.add(r),
-            deflections: &mut *p.deflections.add(r),
-            settled: &mut *p.settled.add(r),
-            skipped: &mut *p.skipped.add(r),
-            inbox: &mut *p.inbox.add(r),
-            quiet: &mut *p.quiet.add(r),
+        // SAFETY: `r` is a unique, in-bounds stripe index (caller contract
+        // above), so every `add(r * …)` lands inside its slab allocation
+        // and the borrows produced here are disjoint from every other
+        // stripe's.
+        unsafe {
+            Lane {
+                here: *p.coords.add(r),
+                valid: from_raw_parts(p.valid.add(r * P), P),
+                capacity: *p.capacity.add(r),
+                link_in: from_raw_parts_mut(p.link_in.add(r * P), P),
+                out_regs: from_raw_parts_mut(p.out_regs.add(r * P), P),
+                out_next: from_raw_parts_mut(p.out_next.add(r * P), P),
+                out_flits: from_raw_parts_mut(p.out_flits.add(r * P), P),
+                link_wires: from_raw_parts_mut(p.link_wires.add(r * P), P),
+                out_select: from_raw_parts_mut(p.out_select.add(r * P), P),
+                side_buf: &mut *p.side_buf.add(r),
+                tile_rx: &mut *p.tile_rx.add(r),
+                led: &mut *p.ledgers.add(r),
+                flits_delivered: &mut *p.flits_delivered.add(r),
+                deflections: &mut *p.deflections.add(r),
+                settled: &mut *p.settled.add(r),
+                skipped: &mut *p.skipped.add(r),
+                inbox: &mut *p.inbox.add(r),
+                quiet: &mut *p.quiet.add(r),
+            }
         }
     }
 

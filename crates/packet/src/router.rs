@@ -453,28 +453,34 @@ impl RouterSlab {
     unsafe fn lane<'a>(p: SlabPtrs, vcs: usize, r: usize) -> Lane<'a> {
         use std::slice::from_raw_parts_mut;
         let pv = P * vcs;
-        Lane {
-            coords: *p.coords.add(r),
-            inputs: from_raw_parts_mut(p.inputs.add(r * pv), pv),
-            outputs: from_raw_parts_mut(p.outputs.add(r * pv), pv),
-            link_in: from_raw_parts_mut(p.link_in.add(r * P), P),
-            credit_in: from_raw_parts_mut(p.credit_in.add(r * pv), pv),
-            out_regs: from_raw_parts_mut(p.out_regs.add(r * P), P),
-            out_words: from_raw_parts_mut(p.out_words.add(r * P), P),
-            link_wires: from_raw_parts_mut(p.link_wires.add(r * P), P),
-            out_select: from_raw_parts_mut(p.out_select.add(r * P), P),
-            credit_out_next: from_raw_parts_mut(p.credit_out_next.add(r * pv), pv),
-            credit_out_regs: from_raw_parts_mut(p.credit_out_regs.add(r * pv), pv),
-            input_arbs: from_raw_parts_mut(p.input_arbs.add(r * P), P),
-            output_arbs: from_raw_parts_mut(p.output_arbs.add(r * P), P),
-            vc_arbs: from_raw_parts_mut(p.vc_arbs.add(r * P), P),
-            tile_rx: &mut *p.tile_rx.add(r),
-            led: &mut *p.ledgers.add(r),
-            flits_delivered: &mut *p.flits_delivered.add(r),
-            settled: &mut *p.settled.add(r),
-            skipped: &mut *p.skipped.add(r),
-            inbox: &mut *p.inbox.add(r),
-            quiet: &mut *p.quiet.add(r),
+        // SAFETY: `r` is a unique, in-bounds stripe index (caller contract
+        // above), so every `add(r * …)` lands inside its slab allocation
+        // and the borrows produced here are disjoint from every other
+        // stripe's.
+        unsafe {
+            Lane {
+                coords: *p.coords.add(r),
+                inputs: from_raw_parts_mut(p.inputs.add(r * pv), pv),
+                outputs: from_raw_parts_mut(p.outputs.add(r * pv), pv),
+                link_in: from_raw_parts_mut(p.link_in.add(r * P), P),
+                credit_in: from_raw_parts_mut(p.credit_in.add(r * pv), pv),
+                out_regs: from_raw_parts_mut(p.out_regs.add(r * P), P),
+                out_words: from_raw_parts_mut(p.out_words.add(r * P), P),
+                link_wires: from_raw_parts_mut(p.link_wires.add(r * P), P),
+                out_select: from_raw_parts_mut(p.out_select.add(r * P), P),
+                credit_out_next: from_raw_parts_mut(p.credit_out_next.add(r * pv), pv),
+                credit_out_regs: from_raw_parts_mut(p.credit_out_regs.add(r * pv), pv),
+                input_arbs: from_raw_parts_mut(p.input_arbs.add(r * P), P),
+                output_arbs: from_raw_parts_mut(p.output_arbs.add(r * P), P),
+                vc_arbs: from_raw_parts_mut(p.vc_arbs.add(r * P), P),
+                tile_rx: &mut *p.tile_rx.add(r),
+                led: &mut *p.ledgers.add(r),
+                flits_delivered: &mut *p.flits_delivered.add(r),
+                settled: &mut *p.settled.add(r),
+                skipped: &mut *p.skipped.add(r),
+                inbox: &mut *p.inbox.add(r),
+                quiet: &mut *p.quiet.add(r),
+            }
         }
     }
 
@@ -599,7 +605,7 @@ fn eval_lane(params: &PacketParams, lane: Lane<'_>) {
             *slot = ivc.out_vc.is_some()
                 && !ivc.fifo.is_empty()
                 && ivc.route.is_some_and(|r| {
-                    let ovc = ivc.out_vc.unwrap();
+                    let ovc = ivc.out_vc.expect("checked is_some above");
                     // The tile output sinks into an unbounded queue: it
                     // always has credit. Mesh outputs need real credit.
                     r == PacketPort::Tile || lane.outputs[r.index() * v + ovc.index()].credits > 0

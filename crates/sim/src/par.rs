@@ -418,8 +418,9 @@ impl WorkerPool {
             }
             return;
         }
-        // Lifetime erasure: the barrier below keeps `task` alive for as
-        // long as any thread can still claim one of its blocks.
+        // SAFETY: lifetime erasure. The barrier below keeps `task` alive
+        // for as long as any thread can still claim one of its blocks —
+        // dispatch does not return until `pending` hits zero.
         let job = Arc::new(JobCore::new(unsafe { erase(task) }, blocks, lanes));
         {
             let mut reg = lock_registry(&self.shared);
@@ -497,11 +498,18 @@ fn run_block(job: &JobCore, block: usize, shared: &Shared) {
     }
 }
 
-/// Erase the borrow lifetime of a dispatch task. Callers must guarantee
-/// the pointee outlives every dereference — [`WorkerPool::dispatch`] does,
-/// by not returning until every block of the job has finished.
+/// Erase the borrow lifetime of a dispatch task.
+///
+/// # Safety
+///
+/// Callers must guarantee the pointee outlives every dereference —
+/// [`WorkerPool::dispatch`] does, by not returning until every block of
+/// the job has finished.
 unsafe fn erase<'a>(task: &'a (dyn Fn(usize) + Sync + 'a)) -> *const (dyn Fn(usize) + Sync) {
-    std::mem::transmute(task)
+    // SAFETY: only the lifetime is transmuted away; the vtable and data
+    // pointers are unchanged. Validity past the borrow is the caller's
+    // contract above.
+    unsafe { std::mem::transmute(task) }
 }
 
 /// A raw pointer that may cross threads; used to hand each worker the base
