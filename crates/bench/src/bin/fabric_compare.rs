@@ -31,11 +31,16 @@ use noc_core::params::RouterParams;
 use noc_exp::fabric_bench::{compare_fabrics, FabricComparison, FabricRunSummary};
 use noc_exp::tables;
 use noc_mesh::ccn::Ccn;
+use noc_mesh::chiplet::ChipletFabric;
 use noc_mesh::controller::{FabricController, ProfiledPromotion};
-use noc_mesh::fabric::{Fabric, FabricKind};
+use noc_mesh::deflection::DeflectionFabric;
+use noc_mesh::fabric::{EnergyModel, Fabric, FabricKind, PacketFabric};
 use noc_mesh::hybrid::HybridFabric;
+use noc_mesh::soc::Soc;
 use noc_mesh::stream::{ProvisionMode, ReleaseMode, StreamId, StreamPlane, StreamStats};
 use noc_mesh::topology::Mesh;
+use noc_packet::deflection::DeflectionParams;
+use noc_packet::params::PacketParams;
 use noc_sim::time::CycleCount;
 use noc_sim::units::{Bandwidth, MegaHertz};
 
@@ -310,6 +315,81 @@ fn policy_gate(cfg: &BenchConfig) -> usize {
     failures
 }
 
+/// The chiplet-hierarchy transparency gate: a **1×1 chiplet grid must be
+/// bit-identical to the flat fabric of the same kind** — same session
+/// handles, same delivered payload, same per-stream telemetry, same
+/// energy bits — for every `FabricKind`, on a workload with both admitted
+/// and spilled streams. Each diverging observable counts one failure.
+fn chiplet_parity_gate(cfg: &BenchConfig) -> usize {
+    let mesh = cfg.mesh;
+    let ccn = Ccn::new(mesh, RouterParams::paper(), MegaHertz(25.0));
+    let graph = streaming_pipeline(mesh.nodes().min(6), Bandwidth(120.0));
+    let kinds = noc_mesh::tile::default_tile_kinds(&mesh);
+    let mapping = ccn.map_with_spill(&graph, &kinds).expect("spill admission");
+    let model = EnergyModel::calibrated(MegaHertz(25.0));
+
+    let mut failures = 0;
+    let mut fail = |cond: bool, msg: String| {
+        if !cond {
+            println!("!! chiplet parity gate: {msg}");
+            failures += 1;
+        }
+    };
+    for kind in FabricKind::ALL {
+        let mut flat: Box<dyn Fabric> = match kind {
+            FabricKind::Circuit => Box::new(Soc::new(mesh, RouterParams::paper())),
+            FabricKind::Hybrid => Box::new(HybridFabric::paper(mesh)),
+            FabricKind::Deflection => {
+                Box::new(DeflectionFabric::new(mesh, DeflectionParams::paper()))
+            }
+            FabricKind::Packet => Box::new(PacketFabric::new(
+                mesh,
+                PacketParams::paper(),
+                PacketFabric::DEFAULT_PACKET_WORDS,
+            )),
+        };
+        let mut chip = ChipletFabric::paper(mesh, 1, 1, kind);
+        let flat_ids = flat.provision(&mapping).expect("legal mapping");
+        let chip_ids = Fabric::provision(&mut chip, &mapping).expect("legal mapping");
+        fail(
+            flat_ids == chip_ids,
+            format!("{kind}: session handles diverge"),
+        );
+        for (k, &id) in flat_ids.iter().enumerate() {
+            let words: Vec<u16> = (0..24)
+                .map(|i: u16| i.wrapping_mul(0xB0C5) ^ ((k as u16) << 9))
+                .collect();
+            flat.inject_stream(id, &words);
+            Fabric::inject_stream(&mut chip, id, &words);
+        }
+        flat.finish_injection();
+        chip.finish_injection();
+        flat.run(cfg.cycles);
+        Fabric::run(&mut chip, cfg.cycles);
+        for &id in &flat_ids {
+            fail(
+                flat.drain_stream(id) == Fabric::drain_stream(&mut chip, id),
+                format!("{kind}: payload diverges on {id}"),
+            );
+        }
+        fail(
+            flat.stream_stats() == Fabric::stream_stats(&chip),
+            format!("{kind}: per-stream telemetry diverges"),
+        );
+        fail(
+            flat.total_energy(&model).value().to_bits()
+                == Fabric::total_energy(&chip, &model).value().to_bits(),
+            format!("{kind}: energy bits diverge"),
+        );
+    }
+    println!(
+        "\nChiplet parity gate: flat {mesh} vs 1x1 chiplet grid, all four \
+         kinds bit-checked (payload, telemetry, energy)  [{}]",
+        if failures == 0 { "ok" } else { "VIOLATED" },
+    );
+    failures
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let cfg = if smoke {
@@ -479,6 +559,7 @@ fn main() {
         );
     }
     failures += policy_gate(&cfg);
+    failures += chiplet_parity_gate(&cfg);
 
     println!(
         "\n(The paper's single-router Fig. 9 headline is ~3.5x for Scenario IV.\n\

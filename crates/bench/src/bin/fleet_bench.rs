@@ -71,7 +71,13 @@ const RETIRE_BUDGET: u64 = 400;
 /// not vacuous. A second tenth (offset 4) runs the same oversubscribed
 /// line on the bufferless *deflection* fabric, so the fleet census
 /// carries tenants that actually misroute under contention and the
-/// replay gate covers deflection snapshot/restore under load.
+/// replay gate covers deflection snapshot/restore under load. A third
+/// tenth (offset 6) deploys its pipeline on a *chiplet hierarchy* — a
+/// 2×2 grid of hybrid planes on a 4×4 mesh, with six stages so the
+/// placement is forced across chiplet borders and words actually cross
+/// the NoI — putting the chiplet fabric's full state (inner planes, NoI
+/// link queues, entry-lane reservations) under the snapshot/replay and
+/// loss-free-retirement gates.
 fn specs(tenants: usize) -> Vec<TenantSpec> {
     let lane = Ccn::new(Mesh::new(3, 1), RouterParams::paper(), MegaHertz(25.0)).lane_capacity();
     (0..tenants)
@@ -91,6 +97,17 @@ fn specs(tenants: usize) -> Vec<TenantSpec> {
                     .spill(true)
                     .provisioning(ProvisionMode::BeDelivered)
                     .workload(profile);
+            }
+            if i % 10 == 6 {
+                return TenantSpec::new(
+                    format!("tenant-{i:04}"),
+                    streaming_pipeline(6, Bandwidth(60.0)),
+                )
+                .mesh(4, 4)
+                .seed(0xF1EE7 ^ i as u64)
+                .fabric(FabricKind::Hybrid)
+                .chiplets(2, 2)
+                .workload(profile);
             }
             let kind = FabricKind::ALL[i % FabricKind::ALL.len()];
             let stages = 2 + i % 3;

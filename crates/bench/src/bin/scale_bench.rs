@@ -47,12 +47,16 @@
 
 use noc_apps::synthetic::streaming_pipeline;
 use noc_apps::taskgraph::TaskGraph;
+use noc_core::params::RouterParams;
 use noc_exp::json::Json;
 use noc_exp::tables;
+use noc_mesh::ccn::{Ccn, Mapping};
+use noc_mesh::chiplet::{ChipletConfig, ChipletFabric, CHIPLET_BACKEND};
 use noc_mesh::controller::ProfiledPromotion;
 use noc_mesh::deployment::{Deployment, DeploymentBuilder};
-use noc_mesh::fabric::FabricKind;
-use noc_mesh::stream::{ProvisionMode, StreamPlane, StreamStats};
+use noc_mesh::fabric::{Fabric, FabricKind};
+use noc_mesh::stream::{ProvisionMode, StreamDemand, StreamPlane, StreamStats};
+use noc_mesh::topology::Mesh;
 use noc_sim::par::{ParPolicy, WorkerPool};
 use noc_sim::time::CycleCount;
 use noc_sim::units::{Bandwidth, MegaHertz};
@@ -112,6 +116,9 @@ struct Outcome {
 struct Timed {
     outcome: Outcome,
     cycles_per_sec: f64,
+    /// `(noi_wait_cycles, noi_links, cross_chiplet_streams)` when the
+    /// deployed fabric is a [`ChipletFabric`]; `None` on flat backends.
+    noi: Option<(u64, usize, usize)>,
 }
 
 fn run(
@@ -157,6 +164,20 @@ fn run_with(
         .iter()
         .map(|n| dep.payload_at(n).to_vec())
         .collect();
+    // Chiplet hierarchy telemetry, recovered through the snapshot's typed
+    // downcast (outside the timed region; flat backends yield `None`).
+    let noi = dep
+        .fabric()
+        .snapshot()
+        .downcast::<ChipletFabric>(CHIPLET_BACKEND)
+        .ok()
+        .map(|ch| {
+            let cross = Fabric::stream_stats(ch)
+                .iter()
+                .filter(|s| ch.chip_of(s.src) != ch.chip_of(s.dst))
+                .count();
+            (ch.noi_wait_cycles(), ch.noi_links(), cross)
+        });
     Timed {
         outcome: Outcome {
             payload,
@@ -167,6 +188,7 @@ fn run_with(
             streams: dep.fabric().stream_stats(),
         },
         cycles_per_sec: dep.cycles_run() as f64 / elapsed.max(1e-9),
+        noi,
     }
 }
 
@@ -386,6 +408,190 @@ fn main() {
                 "DIVERGED".into()
             },
         ]);
+    }
+
+    // Chiplet mesh-of-meshes: the aggregate mesh sharded into a grid of
+    // per-chiplet hybrid planes stitched by NoI entry routers. The
+    // pipeline is longer than one chiplet's tile count, so the CCN's
+    // compact placement is forced across chiplet borders and the NoI
+    // actually carries traffic. Same bit-exact cross-policy parity gate
+    // as the flat rows; the sharded stepping is where the pool earns its
+    // keep (one chiplet plane per worker lane).
+    {
+        let (agg, grid, stages) = if smoke { (16, 2, 80) } else { (48, 4, 200) };
+        let graph = streaming_pipeline(stages, Bandwidth(60.0));
+        let chiplet_run = |policy| {
+            run_with(&graph, agg, FabricKind::Hybrid, policy, cycles, |b| {
+                b.chiplets(grid, grid)
+            })
+        };
+        let seq = chiplet_run(ParPolicy::Sequential);
+        let pooled = chiplet_run(ParPolicy::Threads(pooled_lanes));
+        let auto = chiplet_run(ParPolicy::Auto);
+        let mesh_label = format!("{agg}x{agg}");
+        let fabric_label = format!("chiplet-{grid}x{grid}-hybrid");
+        let parity = seq.outcome == pooled.outcome && seq.outcome == auto.outcome;
+        if !parity {
+            println!("!! {mesh_label} {fabric_label}: policies diverged");
+            failures += 1;
+        }
+        if seq.outcome.delivered == 0 {
+            println!("!! {mesh_label} {fabric_label}: delivered nothing");
+            failures += 1;
+        }
+        let stream_sum: u64 = seq.outcome.streams.iter().map(|s| s.delivered_words).sum();
+        if stream_sum != seq.outcome.delivered {
+            println!(
+                "!! {mesh_label} {fabric_label}: per-stream sum {stream_sum} != \
+                 total {}",
+                seq.outcome.delivered
+            );
+            failures += 1;
+        }
+        let (noi_wait, noi_links, cross) = seq.noi.expect("a chiplet deployment");
+        if cross == 0 {
+            println!(
+                "!! {mesh_label} {fabric_label}: the {stages}-stage pipeline \
+                 must cross chiplet borders"
+            );
+            failures += 1;
+        }
+        let speedup = pooled.cycles_per_sec / seq.cycles_per_sec;
+        let vs_baseline = diff_baseline(&mesh_label, &fabric_label, seq.cycles_per_sec);
+        json_rows.push(
+            Json::obj()
+                .with("mesh", mesh_label.clone())
+                .with("fabric", fabric_label.clone())
+                .with("chiplet", true)
+                .with("shards", (grid * grid) as u64)
+                .with("inner_mesh", format!("{}x{}", agg / grid, agg / grid))
+                .with("cross_chiplet_streams", cross as u64)
+                .with("noi_links", noi_links as u64)
+                .with("noi_wait_cycles", noi_wait)
+                .with("delivered", seq.outcome.delivered)
+                .with("injected", seq.outcome.injected)
+                .with("seq_cycles_per_sec", seq.cycles_per_sec)
+                .with("pooled_cycles_per_sec", pooled.cycles_per_sec)
+                .with("auto_cycles_per_sec", auto.cycles_per_sec)
+                .with("pooled_speedup", speedup)
+                .with("seq_vs_baseline", vs_baseline)
+                .with(
+                    "max_deflections",
+                    seq.outcome
+                        .streams
+                        .iter()
+                        .map(|s| s.max_deflections)
+                        .max()
+                        .unwrap_or(0),
+                )
+                .with("parity", parity),
+        );
+        rows.push(vec![
+            mesh_label,
+            fabric_label,
+            seq.outcome.delivered.to_string(),
+            format!("{:.1}", seq.cycles_per_sec / 1e3),
+            format!("{:.1}", pooled.cycles_per_sec / 1e3),
+            format!("{:.1}", auto.cycles_per_sec / 1e3),
+            format!("{speedup:.2}x"),
+            if parity {
+                "ok".into()
+            } else {
+                "DIVERGED".into()
+            },
+        ]);
+        println!(
+            "chiplet hierarchy: {grid}x{grid} grid ({} shards), {cross} \
+             cross-chiplet stream(s), {noi_links} NoI links, {noi_wait} \
+             entry-lane wait cycle(s).\n",
+            grid * grid
+        );
+    }
+
+    // Hierarchy-transparency gate: a 1x1 chiplet grid must be bit-exact
+    // against the flat deployment of the same kind — payload, per-stream
+    // telemetry and energy. Divergence exits non-zero.
+    {
+        let side = 8;
+        let graph = streaming_pipeline(side, Bandwidth(60.0));
+        for kind in FabricKind::ALL {
+            let flat = run(&graph, side, kind, ParPolicy::Sequential, cycles);
+            let one = run_with(&graph, side, kind, ParPolicy::Sequential, cycles, |b| {
+                b.chiplets(1, 1)
+            });
+            if flat.outcome != one.outcome {
+                println!(
+                    "!! {side}x{side} {kind}: 1x1 chiplet grid diverges from \
+                     the flat fabric (payload/telemetry/energy)"
+                );
+                failures += 1;
+            }
+        }
+        println!("chiplet 1x1 parity gate: flat {side}x{side} vs 1x1 grid, all kinds checked.\n");
+    }
+
+    // NoI entry-lane queueing gate: with a single entry lane and a burst
+    // of words, cross-chiplet streams must queue at the NoI router and the
+    // wait must be charged to their service-latency histogram.
+    {
+        let mesh = Mesh::new(4, 1);
+        let mut config = ChipletConfig::paper();
+        config.entry_lanes = 1;
+        let mut fabric = ChipletFabric::new(mesh, 4, 1, FabricKind::Hybrid, config);
+        let empty = Mapping {
+            placement: Vec::new(),
+            routes: Vec::new(),
+            spilled: Vec::new(),
+            lane_capacity: Ccn::new(mesh, RouterParams::paper(), MegaHertz(100.0)).lane_capacity(),
+        };
+        fabric
+            .provision_with(&empty, ProvisionMode::Instant)
+            .expect("empty mapping always provisions");
+        let id = fabric
+            .admit(&StreamDemand {
+                src: mesh.node(0, 0),
+                dst: mesh.node(3, 0),
+                demand: Bandwidth(60.0),
+            })
+            .expect("one stream fits one lane");
+        let payload: Vec<u16> = (0..48).collect();
+        fabric.inject_stream(id, &payload);
+        fabric.finish_injection();
+        fabric.run(2_000);
+        let delivered = fabric.drain_stream(id);
+        let wait = fabric.noi_wait_cycles();
+        let stats = Fabric::stream_stats(&fabric)
+            .into_iter()
+            .find(|s| s.id == id)
+            .expect("the admitted session is reported");
+        if delivered != payload {
+            println!("!! NoI queueing gate: burst payload lost or reordered");
+            failures += 1;
+        }
+        if wait == 0 {
+            println!("!! NoI queueing gate: a 1-lane entry router must queue a burst");
+            failures += 1;
+        }
+        let spread = matches!(
+            (stats.latency.min(), stats.latency.max()),
+            (Some(lo), Some(hi)) if hi > lo
+        );
+        if !spread {
+            println!(
+                "!! NoI queueing gate: entry-lane waits must spread the \
+                 latency histogram (min {:?}, max {:?})",
+                stats.latency.min(),
+                stats.latency.max()
+            );
+            failures += 1;
+        }
+        println!(
+            "NoI queueing gate: {wait} wait cycle(s) across {} NoI link(s), \
+             latency min/max {:?}/{:?}.\n",
+            fabric.noi_links(),
+            stats.latency.min(),
+            stats.latency.max()
+        );
     }
 
     println!(

@@ -72,6 +72,11 @@ pub struct TenantSpec {
     pub seed: u64,
     /// Fabric backend.
     pub kind: FabricKind,
+    /// Optional chiplet grid: `Some((cw, ch))` deploys the tenant on a
+    /// [`noc_mesh::chiplet::ChipletFabric`] — a `cw × ch` grid of
+    /// per-chiplet `kind` planes stitched by NoI entry routers — instead
+    /// of a flat fabric. The grid must divide the mesh dimensions.
+    pub chiplets: Option<(usize, usize)>,
     /// Spill-tolerant admission (the hybrid backend always spills).
     pub spill: bool,
     /// Offered-load profile applied across the tenant's streams.
@@ -96,6 +101,7 @@ impl Clone for TenantSpec {
             clock: self.clock,
             seed: self.seed,
             kind: self.kind,
+            chiplets: self.chiplets,
             spill: self.spill,
             workload: self.workload,
             policy: self.policy.as_ref().map(|p| p.box_clone()),
@@ -117,6 +123,7 @@ impl TenantSpec {
             clock: MegaHertz(100.0),
             seed: 0,
             kind: FabricKind::Circuit,
+            chiplets: None,
             spill: false,
             workload: PhaseProfile::Steady,
             policy: None,
@@ -146,6 +153,13 @@ impl TenantSpec {
     /// Fabric backend.
     pub fn fabric(mut self, kind: FabricKind) -> TenantSpec {
         self.kind = kind;
+        self
+    }
+
+    /// Deploy on a `cw × ch` chiplet grid of `kind` planes instead of a
+    /// flat fabric (the grid must divide the mesh dimensions).
+    pub fn chiplets(mut self, cw: usize, ch: usize) -> TenantSpec {
+        self.chiplets = Some((cw, ch));
         self
     }
 
@@ -377,6 +391,9 @@ impl Fleet {
             .parallelism(ParPolicy::Sequential)
             .provisioning(spec.provisioning)
             .tick_window(spec.tick_window);
+        if let Some((cw, ch)) = spec.chiplets {
+            builder = builder.chiplets(cw, ch);
+        }
         if let Some(policy) = &spec.policy {
             builder = builder.policy(policy.box_clone());
         }
@@ -888,6 +905,55 @@ mod tests {
             replay.slo_report(),
             final_report,
             "replay from the checkpoint diverged"
+        );
+    }
+
+    #[test]
+    fn a_chiplet_tenant_runs_and_replays_bit_identically() {
+        // A mixed census: one chiplet-hierarchy tenant (2×2 grid of hybrid
+        // planes on a 4×4 mesh — six pipeline stages force cross-chiplet
+        // streams through the NoI) next to a flat tenant. Both the
+        // loss-free retirement SLO and the mid-run snapshot/replay gate
+        // must hold over the chiplet fabric's full state.
+        let specs = vec![
+            TenantSpec::new("chiplet-0", streaming_pipeline(6, Bandwidth(60.0)))
+                .mesh(4, 4)
+                .seed(7)
+                .fabric(FabricKind::Hybrid)
+                .chiplets(2, 2)
+                .workload(PhaseProfile::DiurnalRamp {
+                    period: 512,
+                    floor: 0.3,
+                }),
+            TenantSpec::new("flat-1", streaming_pipeline(3, Bandwidth(60.0)))
+                .mesh(3, 3)
+                .seed(8)
+                .fabric(FabricKind::Circuit),
+        ];
+        let build = || {
+            let mut fleet = Fleet::new(64);
+            for spec in &specs {
+                fleet.admit(spec).expect("feasible tenants admit");
+            }
+            fleet
+        };
+        let mut original = build();
+        original.run_batches(5);
+        let checkpoint = original.snapshot();
+        original.run_batches(5);
+        assert!(original.retire_all(200), "chiplet tenant settles");
+        let final_report = original.slo_report();
+        assert!(final_report.loss_free(), "{final_report:?}");
+        assert!(final_report.tenants[0].injected > 0);
+
+        let mut replay = build();
+        replay.restore(&checkpoint).expect("same census restores");
+        replay.run_batches(5);
+        replay.retire_all(200);
+        assert_eq!(
+            replay.slo_report(),
+            final_report,
+            "chiplet replay from the checkpoint diverged"
         );
     }
 

@@ -13,6 +13,14 @@
 //! 4. The bench bins — `fabric_compare` and `scale_bench` must sweep
 //!    `FabricKind::ALL` (not a hand-maintained subset).
 //!
+//! The chiplet topology registry is a fifth drift surface with the same
+//! failure mode: the hierarchy is reachable from the deployment builder
+//! (`.chiplets(cw, ch)`), the conformance suite and both sweep bins, and
+//! forgetting any one of them silently un-tests or un-benches the
+//! subsystem. The checker ties them together: the builder's `build` and
+//! `build_controlled` paths must both consult the chiplet grid, and the
+//! conformance suite and every sweep bin must instantiate `ChipletFabric`.
+//!
 //! The checker parses the enum with the same lexer as every other rule, so
 //! it keeps working as the registry grows; the paths are configurable so
 //! the fixture suite can point it at deliberately drifted mini-trees.
@@ -28,6 +36,8 @@ pub struct RegistrySpec {
     pub conformance_rs: PathBuf,
     pub fabric_bench_rs: PathBuf,
     pub sweep_bins: Vec<PathBuf>,
+    /// The deployment builder — root of the chiplet topology registry.
+    pub deployment_rs: PathBuf,
 }
 
 impl Default for RegistrySpec {
@@ -40,6 +50,7 @@ impl Default for RegistrySpec {
                 "crates/bench/src/bin/fabric_compare.rs".into(),
                 "crates/bench/src/bin/scale_bench.rs".into(),
             ],
+            deployment_rs: "crates/mesh/src/deployment.rs".into(),
         }
     }
 }
@@ -179,6 +190,79 @@ pub fn check_registry(root: &Path, spec: &RegistrySpec, out: &mut Vec<Finding>) 
                 }
             }
             None => out.push(drift(rel(bin), 1, "sweep bin missing".into())),
+        }
+    }
+
+    check_chiplet_registry(root, spec, out);
+}
+
+/// The chiplet topology registry: builder arm ↔ conformance instantiation
+/// ↔ both sweep bins. The deployment builder is the anchor — once it
+/// exposes a `chiplets` knob, every `build*` path must consult the grid
+/// and the test/bench surfaces must cover `ChipletFabric`.
+fn check_chiplet_registry(root: &Path, spec: &RegistrySpec, out: &mut Vec<Finding>) {
+    let rel = |p: &Path| p.to_string_lossy().into_owned();
+    let read = |p: &Path| std::fs::read_to_string(root.join(p)).ok();
+
+    let Some(deploy_src) = read(&spec.deployment_rs) else {
+        out.push(drift(
+            rel(&spec.deployment_rs),
+            1,
+            "deployment builder file missing".into(),
+        ));
+        return;
+    };
+    let deploy = lex(&deploy_src).tokens;
+    let has_knob = deploy
+        .windows(2)
+        .any(|w| w[0].tok.is_ident("fn") && w[1].tok.is_ident("chiplets"));
+    if !has_knob {
+        out.push(drift(
+            rel(&spec.deployment_rs),
+            1,
+            "deployment builder has no `fn chiplets` arm for the chiplet topology".into(),
+        ));
+        return;
+    }
+    // Every build path must consult the grid — a path that ignores it
+    // silently deploys a flat fabric for a chiplet request.
+    for path in ["build", "build_controlled"] {
+        let consults = fn_body(&deploy, path)
+            .is_some_and(|body| body.iter().any(|t| t.tok.is_ident("chiplets")));
+        if !consults {
+            out.push(drift(
+                rel(&spec.deployment_rs),
+                1,
+                format!("`{path}()` ignores the builder's chiplet grid"),
+            ));
+        }
+    }
+    // Conformance and both sweep bins must instantiate the hierarchy.
+    let covers = |src: &str| {
+        lex(src)
+            .tokens
+            .iter()
+            .any(|t| t.tok.is_ident("ChipletFabric"))
+    };
+    if let Some(src) = read(&spec.conformance_rs) {
+        if !covers(&src) {
+            out.push(drift(
+                rel(&spec.conformance_rs),
+                1,
+                "no `ChipletFabric` conformance instantiation for the chiplet registry".into(),
+            ));
+        }
+    }
+    for bin in &spec.sweep_bins {
+        if let Some(src) = read(bin) {
+            if !covers(&src) {
+                out.push(drift(
+                    rel(bin),
+                    1,
+                    "bench bin does not cover `ChipletFabric` — the chiplet registry drifted"
+                        .into(),
+                ));
+            }
         }
     }
 }

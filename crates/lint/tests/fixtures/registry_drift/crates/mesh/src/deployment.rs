@@ -1,0 +1,19 @@
+// Drifted deployment builder: the knob exists but `build_controlled`
+// silently deploys a flat fabric — exactly the drift D6 must catch.
+impl DeploymentBuilder {
+    pub fn chiplets(mut self, cw: usize, ch: usize) -> Self {
+        self.chiplets = Some((cw, ch));
+        self
+    }
+
+    pub fn build(self) -> Result<Deployment, DeployError> {
+        if let Some((cw, ch)) = self.chiplets {
+            return self.build_chiplet_parts(cw, ch);
+        }
+        self.build_flat()
+    }
+
+    pub fn build_controlled(self) -> Result<Deployment, DeployError> {
+        self.build_flat()
+    }
+}

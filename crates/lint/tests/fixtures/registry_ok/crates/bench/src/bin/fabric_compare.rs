@@ -2,4 +2,5 @@ fn main() {
     for kind in FabricKind::ALL {
         run(kind);
     }
+    parity_gate(ChipletFabric::paper(Mesh::new(8, 8), 1, 1, FabricKind::Circuit));
 }

@@ -4,4 +4,5 @@ fn main() {
             run(side, kind);
         }
     }
+    run_chiplet(ChipletFabric::paper(Mesh::new(48, 48), 4, 4, FabricKind::Hybrid));
 }

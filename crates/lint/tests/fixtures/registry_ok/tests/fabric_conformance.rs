@@ -7,3 +7,8 @@ fn circuit_fabric_conforms() {
 fn packet_fabric_conforms() {
     run_conformance(FabricKind::Packet);
 }
+
+#[test]
+fn chiplet_circuit_fabric_conforms() {
+    conformance(|| ChipletFabric::paper(Mesh::new(2, 2), 2, 1, FabricKind::Circuit));
+}

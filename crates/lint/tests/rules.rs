@@ -153,6 +153,25 @@ fn registry_drift_fails_on_every_surface() {
     );
     // fabric_bench::summary covers all three variants, so no finding names it.
     assert!(!msgs.iter().any(|m| m.contains("summary")), "{msgs:?}");
+    // Chiplet registry drift: the builder knob exists but `build_controlled`
+    // bypasses the grid, and no test/bench surface instantiates the hierarchy.
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("`build_controlled()` ignores the builder's chiplet grid")),
+        "{msgs:?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("no `ChipletFabric` conformance instantiation")),
+        "{msgs:?}"
+    );
+    assert_eq!(
+        msgs.iter()
+            .filter(|m| m.contains("does not cover `ChipletFabric`"))
+            .count(),
+        2,
+        "both sweep bins must be flagged: {msgs:?}"
+    );
 }
 
 /// The real tree must lint clean — this is the same gate CI runs, kept as

@@ -41,6 +41,7 @@
 //! here.
 
 use crate::ccn::{Ccn, Mapping, MappingError};
+use crate::chiplet::{ChipletConfig, ChipletFabric};
 use crate::controller::{AdmissionPolicy, FabricController, FirstFit};
 use crate::deflection::DeflectionFabric;
 use crate::fabric::{
@@ -110,6 +111,7 @@ pub struct DeploymentBuilder<'g> {
     tile_kinds: Option<Vec<TileKind>>,
     spill: bool,
     deflection_spill: bool,
+    chiplets: Option<(usize, usize)>,
     parallelism: ParPolicy,
     provisioning: ProvisionMode,
     policy: Option<Box<dyn AdmissionPolicy>>,
@@ -132,6 +134,7 @@ impl<'g> DeploymentBuilder<'g> {
             tile_kinds: None,
             spill: false,
             deflection_spill: false,
+            chiplets: None,
             parallelism: ParPolicy::Auto,
             provisioning: ProvisionMode::Instant,
             policy: None,
@@ -231,6 +234,58 @@ impl<'g> DeploymentBuilder<'g> {
         self
     }
 
+    /// Split the mesh into a `cw × ch` **chiplet grid**
+    /// ([`crate::chiplet::ChipletFabric`]): each chiplet runs its own
+    /// backend fabric of the builder's [`DeploymentBuilder::fabric`] kind
+    /// over the sub-mesh, stitched through network-on-interposer entry
+    /// routers with finite entry lanes. Cross-chiplet streams are split
+    /// into boundary segments and queue at the NoI (the wait lands in
+    /// their latency histograms); each chiplet is one parallel dispatch
+    /// shard under [`DeploymentBuilder::parallelism`]. Only
+    /// [`DeploymentBuilder::build`] and
+    /// [`DeploymentBuilder::build_controlled`] honour this knob. The mesh
+    /// must divide evenly into the grid (checked at build time with a
+    /// panic, like `Mesh` bounds).
+    ///
+    /// ```
+    /// use noc_apps::taskgraph::{TaskGraph, TrafficShape};
+    /// use noc_mesh::deployment::Deployment;
+    /// use noc_mesh::fabric::FabricKind;
+    /// use noc_sim::units::Bandwidth;
+    ///
+    /// let mut graph = TaskGraph::new("sharded");
+    /// let a = graph.add_process("a");
+    /// let b = graph.add_process("b");
+    /// graph.add_edge(a, b, Bandwidth(60.0), TrafficShape::Streaming, "a->b");
+    ///
+    /// let mut dep = Deployment::builder(&graph)
+    ///     .mesh(4, 4)
+    ///     .fabric(FabricKind::Hybrid)
+    ///     .chiplets(2, 2) // four 2x2 chiplet shards, NoI-stitched
+    ///     .build()?;
+    /// dep.run(2_000);
+    /// dep.settle(2_000);
+    /// let reports = dep.report(&graph);
+    /// assert!(reports.iter().all(|r| r.delivered_fraction > 0.9));
+    /// # Ok::<(), noc_mesh::deployment::DeployError>(())
+    /// ```
+    pub fn chiplets(mut self, cw: usize, ch: usize) -> Self {
+        self.chiplets = Some((cw, ch));
+        self
+    }
+
+    /// The chiplet fabric this builder's knobs describe.
+    fn chiplet_fabric(&self, cw: usize, ch: usize) -> ChipletFabric {
+        let config = ChipletConfig {
+            router_params: self.router_params,
+            packet_params: self.packet_params,
+            deflection_params: self.deflection_params,
+            packet_words: self.packet_words,
+            entry_lanes: ChipletFabric::DEFAULT_ENTRY_LANES,
+        };
+        ChipletFabric::new(self.mesh, cw, ch, self.kind, config)
+    }
+
     /// The hybrid fabric this builder's knobs describe.
     fn hybrid_fabric(&self) -> HybridFabric {
         if self.deflection_spill {
@@ -327,6 +382,40 @@ impl<'g> DeploymentBuilder<'g> {
         Ok(())
     }
 
+    /// The chiplet variant of [`DeploymentBuilder::check_packet_mesh`]:
+    /// packet coordinates only have to cover one chiplet's sub-mesh, which
+    /// is exactly how the hierarchy scales packet-coordinate backends past
+    /// the 16×16 header limit.
+    fn check_chiplet_mesh(&self, cw: usize, ch: usize) -> Result<(), DeployError> {
+        if matches!(self.kind, FabricKind::Circuit) {
+            return Ok(());
+        }
+        let inner_w = self.mesh.width / cw.max(1);
+        let inner_h = self.mesh.height / ch.max(1);
+        if inner_w > 16 || inner_h > 16 {
+            return Err(ProvisionError::MeshTooLarge {
+                width: inner_w,
+                height: inner_h,
+            }
+            .into());
+        }
+        Ok(())
+    }
+
+    /// Fabric + mapping for a chiplet build ([`DeploymentBuilder::chiplets`]).
+    fn build_chiplet_parts(
+        &self,
+        cw: usize,
+        ch: usize,
+    ) -> Result<(Box<dyn Fabric>, Mapping), DeployError> {
+        self.check_chiplet_mesh(cw, ch)?;
+        let mapping = match self.kind {
+            FabricKind::Hybrid => self.map_admission(true)?,
+            _ => self.map()?,
+        };
+        Ok((Box::new(self.chiplet_fabric(cw, ch)), mapping))
+    }
+
     /// Deploy onto the backend chosen with [`DeploymentBuilder::fabric`].
     /// This backend-erased path is also where the control plane plugs in:
     /// with a [`DeploymentBuilder::policy`], the fabric is wrapped in a
@@ -335,32 +424,36 @@ impl<'g> DeploymentBuilder<'g> {
     /// inside ordinary [`Fabric::step`]s.
     pub fn build(mut self) -> Result<Deployment<Box<dyn Fabric>>, DeployError> {
         let policy = self.policy.take();
-        let (fabric, mapping): (Box<dyn Fabric>, Mapping) = match self.kind {
-            FabricKind::Circuit => (
-                Box::new(Soc::new(self.mesh, self.router_params)),
-                self.map()?,
-            ),
-            FabricKind::Hybrid => {
-                self.check_packet_mesh()?;
-                (Box::new(self.hybrid_fabric()), self.map_admission(true)?)
-            }
-            FabricKind::Deflection => {
-                self.check_packet_mesh()?;
-                (
-                    Box::new(DeflectionFabric::new(self.mesh, self.deflection_params)),
+        let (fabric, mapping): (Box<dyn Fabric>, Mapping) = if let Some((cw, ch)) = self.chiplets {
+            self.build_chiplet_parts(cw, ch)?
+        } else {
+            match self.kind {
+                FabricKind::Circuit => (
+                    Box::new(Soc::new(self.mesh, self.router_params)),
                     self.map()?,
-                )
-            }
-            FabricKind::Packet => {
-                self.check_packet_mesh()?;
-                (
-                    Box::new(PacketFabric::new(
-                        self.mesh,
-                        self.packet_params,
-                        self.packet_words,
-                    )),
-                    self.map()?,
-                )
+                ),
+                FabricKind::Hybrid => {
+                    self.check_packet_mesh()?;
+                    (Box::new(self.hybrid_fabric()), self.map_admission(true)?)
+                }
+                FabricKind::Deflection => {
+                    self.check_packet_mesh()?;
+                    (
+                        Box::new(DeflectionFabric::new(self.mesh, self.deflection_params)),
+                        self.map()?,
+                    )
+                }
+                FabricKind::Packet => {
+                    self.check_packet_mesh()?;
+                    (
+                        Box::new(PacketFabric::new(
+                            self.mesh,
+                            self.packet_params,
+                            self.packet_words,
+                        )),
+                        self.map()?,
+                    )
+                }
             }
         };
         let mut fabric: Box<dyn Fabric> = match policy {
@@ -381,32 +474,36 @@ impl<'g> DeploymentBuilder<'g> {
     pub fn build_controlled(mut self) -> Result<Deployment<FabricController>, DeployError> {
         let policy = self.policy.take().unwrap_or_else(|| Box::new(FirstFit));
         let window = self.tick_window;
-        let (fabric, mapping): (Box<dyn Fabric>, Mapping) = match self.kind {
-            FabricKind::Circuit => (
-                Box::new(Soc::new(self.mesh, self.router_params)),
-                self.map()?,
-            ),
-            FabricKind::Hybrid => {
-                self.check_packet_mesh()?;
-                (Box::new(self.hybrid_fabric()), self.map_admission(true)?)
-            }
-            FabricKind::Deflection => {
-                self.check_packet_mesh()?;
-                (
-                    Box::new(DeflectionFabric::new(self.mesh, self.deflection_params)),
+        let (fabric, mapping): (Box<dyn Fabric>, Mapping) = if let Some((cw, ch)) = self.chiplets {
+            self.build_chiplet_parts(cw, ch)?
+        } else {
+            match self.kind {
+                FabricKind::Circuit => (
+                    Box::new(Soc::new(self.mesh, self.router_params)),
                     self.map()?,
-                )
-            }
-            FabricKind::Packet => {
-                self.check_packet_mesh()?;
-                (
-                    Box::new(PacketFabric::new(
-                        self.mesh,
-                        self.packet_params,
-                        self.packet_words,
-                    )),
-                    self.map()?,
-                )
+                ),
+                FabricKind::Hybrid => {
+                    self.check_packet_mesh()?;
+                    (Box::new(self.hybrid_fabric()), self.map_admission(true)?)
+                }
+                FabricKind::Deflection => {
+                    self.check_packet_mesh()?;
+                    (
+                        Box::new(DeflectionFabric::new(self.mesh, self.deflection_params)),
+                        self.map()?,
+                    )
+                }
+                FabricKind::Packet => {
+                    self.check_packet_mesh()?;
+                    (
+                        Box::new(PacketFabric::new(
+                            self.mesh,
+                            self.packet_params,
+                            self.packet_words,
+                        )),
+                        self.map()?,
+                    )
+                }
             }
         };
         let mut controller = FabricController::new(fabric, policy).with_window(window);

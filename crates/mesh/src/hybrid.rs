@@ -309,6 +309,13 @@ impl HybridFabric {
             .count() as u64
     }
 
+    /// Whether stream `id` is live (`None` when the handle is unknown) —
+    /// the same composite-fabric drain probe the pure backends expose,
+    /// polled by layers that own a hybrid plane (`crate::chiplet`).
+    pub fn stream_is_active(&self, id: StreamId) -> Option<bool> {
+        self.by_id.get(&id.0).map(|&idx| self.table[idx].active)
+    }
+
     /// The GT/BE service gap: worst circuit-plane p95 latency versus best
     /// spilled p95 latency, over streams with deliveries so far.
     pub fn service_gap(&self) -> ServiceGap {

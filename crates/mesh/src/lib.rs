@@ -56,6 +56,13 @@
 //!   profiled promotion of spilled streams onto freed circuits, load-based
 //!   demotion of under-used circuits, loss-free draining releases and
 //!   BE-delivered cold-start provisioning as one phased lifecycle.
+//! * [`chiplet`] — **the chiplet mesh-of-meshes**: a
+//!   [`chiplet::ChipletFabric`] splits the aggregate mesh into a `cw × ch`
+//!   grid of per-chiplet backend fabrics (any [`fabric::FabricKind`])
+//!   stitched through network-on-interposer entry routers with finite entry
+//!   lanes; cross-chiplet streams queue at the boundary (wait charged to
+//!   their latency histogram) and each chiplet is one parallel dispatch
+//!   shard on the shared worker pool.
 //! * [`deployment`] — the [`deployment::Deployment`] builder: task graph
 //!   in, provisioned and traffic-bound fabric out, generic over the
 //!   backend (`build_circuit`/`build_hybrid`/`build_packet`, spill or
@@ -67,6 +74,7 @@
 
 pub mod be;
 pub mod ccn;
+pub mod chiplet;
 pub mod controller;
 pub mod deflection;
 pub mod deployment;
@@ -81,6 +89,7 @@ pub mod topology;
 
 pub use be::{BeConfig, BeNetwork};
 pub use ccn::{Ccn, MappedStream, Mapping, MappingError, PathHop, SpillReason, SpillStream};
+pub use chiplet::{ChipletConfig, ChipletFabric};
 pub use controller::{
     AdmissionPolicy, ControllerStats, FabricController, FirstFit, LoadDemotion, PolicyAction,
     PolicyStream, PolicyView, ProfiledPromotion, Promotion, TickReport,

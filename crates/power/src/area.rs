@@ -38,6 +38,11 @@ pub const OVERHEAD_PACKET_CROSSBAR: f64 = 3.365;
 pub const OVERHEAD_PACKET_ARBITRATION: f64 = 0.741;
 /// Layout overhead of routing/credit miscellanea. CALIBRATED to 0.0038 mm².
 pub const OVERHEAD_PACKET_MISC: f64 = 1.049;
+/// Layout overhead of the chiplet NoI entry router: a register-dominated
+/// boundary macro (per-lane staging flops, one narrow word mux onto the
+/// die-to-die link), so close to unity — there is no congested switching
+/// fabric to absorb wiring blow-up.
+pub const OVERHEAD_NOI_ENTRY: f64 = 1.25;
 
 /// Per-component silicon areas of one router.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -163,6 +168,38 @@ pub fn deflection_router_area(p: &DeflectionParams, tech: &Technology) -> AreaBr
     AreaBreakdown { components }
 }
 
+/// Area breakdown of one chiplet NoI entry router serving `entry_lanes`
+/// entry lanes. This is the contended boundary resource of the chiplet
+/// mesh-of-meshes (`noc_mesh::chiplet`): per-lane staging buffers, the
+/// lane arbiter, and the registered die-to-die link driver. One such
+/// router exists per *directed* NoI link of the chiplet grid.
+pub fn noi_entry_router_area(entry_lanes: usize, tech: &Technology) -> AreaBreakdown {
+    AreaBreakdown {
+        components: vec![
+            (
+                ComponentKind::Buffering,
+                area_of(
+                    gates::noi_entry_buffering(entry_lanes),
+                    OVERHEAD_NOI_ENTRY,
+                    tech,
+                ),
+            ),
+            (
+                ComponentKind::Arbitration,
+                area_of(
+                    gates::noi_entry_arbitration(entry_lanes),
+                    OVERHEAD_PACKET_ARBITRATION,
+                    tech,
+                ),
+            ),
+            (
+                ComponentKind::Link,
+                area_of(gates::noi_entry_link(entry_lanes), OVERHEAD_NOI_ENTRY, tech),
+            ),
+        ],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,6 +301,34 @@ mod tests {
         let minbd = deflection_router_area(&DeflectionParams::paper().with_side_buffer(4), &t);
         assert!(minbd.component(ComponentKind::Buffering).value() > 0.0);
         assert!(minbd.total().value() > pure.total().value());
+    }
+
+    #[test]
+    fn noi_entry_router_smaller_than_circuit_router() {
+        // The chiplet stitching overhead must stay in the noise next to
+        // the routers it stitches.
+        let t = tech();
+        let noi = noi_entry_router_area(4, &t).total();
+        let c = circuit_router_area(&RouterParams::paper(), &t).total();
+        assert!(noi.value() > 0.0);
+        assert!(noi < c, "NoI entry router {noi} should be below {c}");
+    }
+
+    #[test]
+    fn noi_entry_area_scales_with_lanes() {
+        let t = tech();
+        let narrow = noi_entry_router_area(2, &t).total();
+        let wide = noi_entry_router_area(8, &t).total();
+        assert!(wide.value() > 2.0 * narrow.value());
+        // All three component rows are populated.
+        let a = noi_entry_router_area(4, &t);
+        for kind in [
+            ComponentKind::Buffering,
+            ComponentKind::Arbitration,
+            ComponentKind::Link,
+        ] {
+            assert!(a.component(kind).value() > 0.0, "{kind} row missing");
+        }
     }
 
     #[test]

@@ -182,6 +182,41 @@ pub fn deflection_total(p: &DeflectionParams) -> f64 {
         + deflection_misc(p)
 }
 
+// ---------------------------------------------------------------------------
+// Chiplet NoI entry router (boundary of a chiplet mesh-of-meshes)
+// ---------------------------------------------------------------------------
+
+/// Bits crossing a network-on-interposer link per word: the 16-bit tile
+/// word plus a 2-bit entry-lane tag.
+const NOI_WORD_BITS: f64 = 18.0;
+
+/// Buffering gates of one NoI entry router: a one-word staging register
+/// per entry lane (decoupling the two chiplet clock trees) plus per-lane
+/// occupancy control.
+pub fn noi_entry_buffering(entry_lanes: usize) -> f64 {
+    entry_lanes as f64 * (NOI_WORD_BITS * DFF + counter(2) + 4.0)
+}
+
+/// Arbitration gates: the lanes:1 grant over staged words — a flat
+/// priority chain plus the grant pointer register.
+pub fn noi_entry_arbitration(entry_lanes: usize) -> f64 {
+    let ptr = (usize::BITS - entry_lanes.saturating_sub(1).leading_zeros()).max(1);
+    entry_lanes as f64 * 2.0 + f64::from(ptr + 1) * DFF
+}
+
+/// Link gates: the lanes:1 word mux onto the die-to-die link and the
+/// registered link driver.
+pub fn noi_entry_link(entry_lanes: usize) -> f64 {
+    NOI_WORD_BITS * mux_tree(entry_lanes) + NOI_WORD_BITS * DFF
+}
+
+/// Total NoI entry-router gates.
+pub fn noi_entry_total(entry_lanes: usize) -> f64 {
+    noi_entry_buffering(entry_lanes)
+        + noi_entry_arbitration(entry_lanes)
+        + noi_entry_link(entry_lanes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,6 +287,22 @@ mod tests {
         let buffered = p.with_side_buffer(4);
         assert!(deflection_buffering(&buffered) > 4.0 * 64.0 * DFF);
         assert!(deflection_crossbar(&buffered) > deflection_crossbar(&p));
+    }
+
+    #[test]
+    fn noi_entry_router_is_tiny() {
+        // A boundary macro of staging registers and one word mux must cost
+        // far less than any full router — the chiplet hierarchy's stitching
+        // overhead is supposed to be in the noise.
+        let n = noi_entry_total(4);
+        assert!(n > 0.0);
+        assert!(n < circuit_total(&RouterParams::paper()) / 4.0);
+    }
+
+    #[test]
+    fn noi_entry_gates_scale_with_lanes() {
+        assert!(noi_entry_total(8) > 1.8 * noi_entry_total(4));
+        assert!(noi_entry_buffering(1) > 0.0);
     }
 
     #[test]

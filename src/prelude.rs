@@ -17,6 +17,7 @@ pub use noc_exp::fig10::fig10;
 pub use noc_exp::fig9::{fig9, RouterKind};
 pub use noc_mesh::be::{BeConfig, BeNetwork};
 pub use noc_mesh::ccn::{Ccn, Mapping, MappingError, SpillReason, SpillStream};
+pub use noc_mesh::chiplet::{ChipletConfig, ChipletFabric};
 pub use noc_mesh::controller::{
     AdmissionPolicy, ControllerStats, FabricController, FirstFit, LoadDemotion, PolicyAction,
     PolicyStream, PolicyView, ProfiledPromotion, Promotion, TickReport,

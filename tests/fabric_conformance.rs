@@ -493,6 +493,22 @@ fn deflection_fabric_conforms() {
 }
 
 #[test]
+fn chiplet_circuit_fabric_conforms() {
+    // The hierarchical backend over circuit inner planes: a 2×1 chiplet
+    // grid of 1×2 sub-meshes, so the standard stream may cross the NoI —
+    // segment splitting, entry-lane accounting and the NoI configuration
+    // charge all sit inside the ordinary behavioural contract.
+    conformance(|| ChipletFabric::paper(Mesh::new(2, 2), 2, 1, FabricKind::Circuit));
+}
+
+#[test]
+fn chiplet_hybrid_fabric_conforms() {
+    // Same hierarchy with hybrid inner planes: boundary segments that the
+    // per-chiplet CCN cannot put on circuit lanes ride the spill plane.
+    conformance(|| ChipletFabric::paper(Mesh::new(2, 2), 2, 1, FabricKind::Hybrid));
+}
+
+#[test]
 fn boxed_fabric_conforms() {
     // The trait-object path used by runtime backend selection obeys the
     // same contract as the concrete types it erases.
